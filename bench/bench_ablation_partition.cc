@@ -1,0 +1,101 @@
+// Ablation: Hilbert-curve partitioning vs row-major grid vs random segment
+// assignment — partition Score (Eq. 7) and reduce-input balance.
+//
+// Theorem 2 claims the Hilbert curve is a *perfect* partition function; a
+// row-major traversal of the same grid covers dimensions unevenly
+// (early segments span entire rows), inflating duplication.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/hilbert/hilbert.h"
+
+using namespace mrtheta;  // NOLINT
+
+namespace {
+
+// Score of a partition described by cell -> segment, for uniform slice
+// populations over a d-dim grid.
+int64_t ScoreOf(const HilbertCurve& curve,
+                const std::vector<int>& segment_of_cell, int k,
+                int64_t rows_per_relation) {
+  const int dims = curve.dims();
+  const uint32_t side = curve.side();
+  // seen[seg][dim][slice]
+  std::vector<std::vector<std::vector<bool>>> seen(
+      k, std::vector<std::vector<bool>>(dims,
+                                        std::vector<bool>(side, false)));
+  std::vector<uint32_t> coords(dims);
+  for (uint64_t cell = 0; cell < curve.num_cells(); ++cell) {
+    // Cells here are enumerated in row-major order: decode manually.
+    uint64_t rest = cell;
+    for (int d = dims - 1; d >= 0; --d) {
+      coords[d] = static_cast<uint32_t>(rest % side);
+      rest /= side;
+    }
+    const int seg = segment_of_cell[cell];
+    for (int d = 0; d < dims; ++d) seen[seg][d][coords[d]] = true;
+  }
+  int64_t score = 0;
+  const int64_t per_slice = rows_per_relation / side;
+  for (int seg = 0; seg < k; ++seg) {
+    for (int d = 0; d < dims; ++d) {
+      for (uint32_t s = 0; s < side; ++s) {
+        if (seen[seg][d][s]) score += per_slice;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  const int dims = 3, order = 3, k = 16;
+  const int64_t rows = 1 << 15;
+  const auto curve = HilbertCurve::Create(dims, order);
+  if (!curve.ok()) return 1;
+  const uint64_t cells = curve->num_cells();
+
+  // Hilbert: contiguous curve segments (exact, via SegmentCoverage).
+  const auto coverage = SegmentCoverage::Build(*curve, k);
+  if (!coverage.ok()) return 1;
+  int64_t hilbert_score = 0;
+  for (int d = 0; d < dims; ++d) {
+    hilbert_score += coverage->ReplicasForUniformRelation(d, rows);
+  }
+
+  // Row-major: contiguous ranges of row-major cell order.
+  std::vector<int> row_major(cells);
+  for (uint64_t c = 0; c < cells; ++c) {
+    row_major[c] = static_cast<int>(c * k / cells);
+  }
+  // Random: each cell assigned to a random segment.
+  Rng rng(99);
+  std::vector<int> random(cells);
+  for (uint64_t c = 0; c < cells; ++c) {
+    random[c] = static_cast<int>(rng.Uniform(k));
+  }
+
+  TablePrinter table({"partition", "Score (replicas)", "vs hilbert"});
+  const int64_t rm = ScoreOf(*curve, row_major, k, rows);
+  const int64_t rnd = ScoreOf(*curve, random, k, rows);
+  table.AddRow({"hilbert", TablePrinter::Int(hilbert_score), "1.00"});
+  table.AddRow({"row-major grid", TablePrinter::Int(rm),
+                TablePrinter::Num(static_cast<double>(rm) / hilbert_score,
+                                  2)});
+  table.AddRow({"random cells", TablePrinter::Int(rnd),
+                TablePrinter::Num(static_cast<double>(rnd) / hilbert_score,
+                                  2)});
+  std::printf(
+      "Ablation: partition Score (Eq. 7) of a %d-dim cube, %d segments\n\n",
+      dims, k);
+  table.Print(std::cout);
+  std::printf(
+      "\nLower is better; Hilbert's fair traversal (Theorem 2) minimizes\n"
+      "tuple duplication among the partition functions tested.\n");
+  return 0;
+}

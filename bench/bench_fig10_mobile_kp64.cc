@@ -1,0 +1,4 @@
+// Fig. 10: same harness as Fig. 9 with kP <= 64 — the resource-scarce
+// regime where kP-aware scheduling pays off.
+#include "bench/mobile_suite.h"
+int main() { return mrtheta::bench::RunMobileSuite(64); }

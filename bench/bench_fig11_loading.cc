@@ -1,0 +1,29 @@
+// Fig. 11: data-loading time — plain HDFS upload vs Hive load vs our
+// method (upload + sampling + statistics/index construction).
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/mapreduce/load_model.h"
+
+using namespace mrtheta;  // NOLINT
+
+int main() {
+  ClusterConfig cfg;
+  LoadModel model;
+  std::printf("Fig. 11: data loading time (s)\n\n");
+  TablePrinter table({"volume (GB)", "plain upload", "hive", "ours",
+                      "ours/hive"});
+  for (int64_t gb : {1, 5, 20, 50, 100, 200, 350, 500}) {
+    const int64_t bytes = gb * kGiB;
+    const double plain = ToSeconds(model.PlainUpload(cfg, bytes));
+    const double hive = ToSeconds(model.HiveLoad(cfg, bytes));
+    const double ours = ToSeconds(model.OurLoad(cfg, bytes));
+    table.AddRow({TablePrinter::Int(gb), TablePrinter::Num(plain, 0),
+                  TablePrinter::Num(hive, 0), TablePrinter::Num(ours, 0),
+                  TablePrinter::Num(ours / hive, 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

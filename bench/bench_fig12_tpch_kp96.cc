@@ -1,0 +1,4 @@
+// Fig. 12: TPC-H Q7/Q17/Q18/Q21 (amended with inequality predicates) at
+// SF 200/500/1000, kP <= 96.
+#include "bench/mobile_suite.h"
+int main() { return mrtheta::bench::RunTpchSuite(96); }

@@ -1,0 +1,3 @@
+// Fig. 13: the TPC-H harness with kP <= 64.
+#include "bench/mobile_suite.h"
+int main() { return mrtheta::bench::RunTpchSuite(64); }

@@ -1,0 +1,54 @@
+// Fig. 6: execution time of a sample join job as a function of the reduce
+// task count (kR = 2..64) for inputs of 500/100/10/1 GB.
+//
+// Reproduces the paper's observations: large inputs gain sharply from the
+// first reducers then flatten; small inputs show an inflection where
+// connection overhead overtakes the shrinking per-task work.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/cost/calibration.h"
+
+using namespace mrtheta;  // NOLINT
+
+int main() {
+  SimCluster cluster{ClusterConfig{}};
+  std::printf("Fig. 6: sample join execution time vs reduce tasks\n");
+  std::printf("cluster: %s\n\n", cluster.config().ToString().c_str());
+
+  const int krs[] = {2, 4, 8, 16, 24, 32, 48, 64};
+  for (double gb : {500.0, 100.0, 10.0, 1.0}) {
+    TablePrinter table({"kR", "time (s)"});
+    double best = 1e300;
+    int best_kr = 0;
+    for (int kr : krs) {
+      bench::Harness* unused = nullptr;
+      (void)unused;
+      SyntheticJobSpec job;
+      job.input_bytes = gb * kGiB;
+      job.alpha = 1.0;  // a join shuffles roughly its input
+      job.num_reduce_tasks = kr;
+      job.output_bytes = 0.3 * gb * kGiB;
+      job.skew = 0.2;
+      const auto timing = RunSyntheticJob(cluster, job);
+      if (!timing.ok()) {
+        std::fprintf(stderr, "sim failed: %s\n",
+                     timing.status().ToString().c_str());
+        return 1;
+      }
+      const double seconds = ToSeconds(timing->finish - timing->release);
+      if (seconds < best) {
+        best = seconds;
+        best_kr = kr;
+      }
+      table.AddRow({TablePrinter::Int(kr), TablePrinter::Num(seconds, 1)});
+    }
+    std::printf("input %.0f GB (best kR = %d):\n", gb, best_kr);
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

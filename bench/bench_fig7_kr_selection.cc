@@ -1,0 +1,74 @@
+// Fig. 7: (a) the best kR for different map-output volumes with the
+// fitted curve used by the planner; (b) the calibrated distributions of
+// the cost-model variables p and q.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/cost/calibration.h"
+#include "src/cost/kr_chooser.h"
+
+using namespace mrtheta;  // NOLINT
+
+int main() {
+  SimCluster cluster{ClusterConfig{}};
+
+  // ---- Fig. 7(a): sweep map output volume, find the kR that minimizes
+  // the simulated job time. ----
+  std::printf("Fig. 7(a): best kR vs total map output volume\n");
+  TablePrinter fig7a({"map output (GB)", "best kR", "fit kR"});
+  std::vector<double> volumes_gb = {1, 2, 5, 10, 25, 50, 100, 200};
+  std::vector<double> best_krs;
+  for (double gb : volumes_gb) {
+    double best = 1e300;
+    int best_kr = 1;
+    for (int kr = 2; kr <= 80; kr += 2) {
+      SyntheticJobSpec job;
+      job.input_bytes = gb * kGiB;  // alpha 1: output == input volume
+      job.alpha = 1.0;
+      job.num_reduce_tasks = kr;
+      job.output_bytes = 0.2 * gb * kGiB;
+      const auto timing = RunSyntheticJob(cluster, job);
+      if (!timing.ok()) return 1;
+      const double seconds = ToSeconds(timing->finish - timing->release);
+      if (seconds < best) {
+        best = seconds;
+        best_kr = kr;
+      }
+    }
+    best_krs.push_back(static_cast<double>(best_kr));
+  }
+  const PowerFit fit = FitPowerLaw(volumes_gb, best_krs);
+  for (size_t i = 0; i < volumes_gb.size(); ++i) {
+    fig7a.AddRow({TablePrinter::Num(volumes_gb[i], 0),
+                  TablePrinter::Int(static_cast<int64_t>(best_krs[i])),
+                  TablePrinter::Num(fit(volumes_gb[i]), 1)});
+  }
+  fig7a.Print(std::cout);
+  std::printf("fitting curve: kR = %.2f * volumeGB^%.2f\n\n", fit.a, fit.b);
+
+  // ---- Fig. 7(b): calibrated p and q ----
+  const auto calib = CalibrateCostModel(cluster);
+  if (!calib.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 calib.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Fig. 7(b): fitted p (spill cost) vs per-task output\n");
+  TablePrinter pt({"map output/task (MB)", "p (ms/MB)"});
+  for (size_t i = 0; i < calib->p_volumes.size(); ++i) {
+    pt.AddRow({TablePrinter::Num(calib->p_volumes[i] / kMiB, 0),
+               TablePrinter::Num(calib->p_values[i] * kMiB * 1e3, 3)});
+  }
+  pt.Print(std::cout);
+  std::printf("\nFig. 7(b): fitted q (connection overhead) vs reducers\n");
+  TablePrinter qt({"reduce tasks", "q (s per map task)"});
+  for (size_t i = 0; i < calib->q_counts.size(); ++i) {
+    qt.AddRow({TablePrinter::Num(calib->q_counts[i], 0),
+               TablePrinter::Num(calib->q_values[i], 4)});
+  }
+  qt.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,4 @@
+// Fig. 9: execution time of mobile Q1..Q4 over 20/100/500 GB, kP <= 96,
+// comparing our planner against YSmart/Hive/Pig-style baselines.
+#include "bench/mobile_suite.h"
+int main() { return mrtheta::bench::RunMobileSuite(96); }

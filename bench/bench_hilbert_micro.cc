@@ -1,0 +1,58 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: Hilbert
+// encode/decode, coverage construction, and condition evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/exec/join_side.h"
+#include "src/hilbert/hilbert.h"
+
+namespace mrtheta {
+namespace {
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const HilbertCurve curve = *HilbertCurve::Create(dims, 5);
+  std::vector<uint32_t> coords(dims, 7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    coords[0] = static_cast<uint32_t>(i++ % curve.side());
+    benchmark::DoNotOptimize(curve.Encode(coords));
+  }
+}
+BENCHMARK(BM_HilbertEncode)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_HilbertDecode(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const HilbertCurve curve = *HilbertCurve::Create(dims, 5);
+  std::vector<uint32_t> coords(dims);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    curve.Decode(i++ % curve.num_cells(), coords);
+    benchmark::DoNotOptimize(coords[0]);
+  }
+}
+BENCHMARK(BM_HilbertDecode)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CoverageBuild(benchmark::State& state) {
+  const HilbertCurve curve = *HilbertCurve::Create(3, 4);
+  for (auto _ : state) {
+    auto coverage = SegmentCoverage::Build(curve,
+                                           static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(coverage->num_segments());
+  }
+}
+BENCHMARK(BM_CoverageBuild)->Arg(8)->Arg(64);
+
+void BM_MixHash(benchmark::State& state) {
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = MixHash(x, 0x1234);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MixHash);
+
+}  // namespace
+}  // namespace mrtheta
+
+BENCHMARK_MAIN();

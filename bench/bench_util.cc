@@ -1,0 +1,77 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/baselines/baseline_planners.h"
+#include "src/cost/calibration.h"
+
+namespace mrtheta::bench {
+
+namespace {
+
+ClusterConfig ConfigFor(int kp) {
+  ClusterConfig cfg;
+  cfg.num_workers = kp;
+  return cfg;
+}
+
+}  // namespace
+
+Harness::Harness(int kp) : cluster(ConfigFor(kp)) {
+  // Calibration probes need one free map wave; run them on a 96-wide
+  // calibration cluster (the model parameters are kP-independent).
+  SimCluster calibration_cluster{ConfigFor(96)};
+  StatusOr<CalibrationReport> report =
+      CalibrateCostModel(calibration_cluster);
+  if (!report.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  params = report->params;
+}
+
+StatusOr<SystemResult> RunSystem(const std::string& system,
+                                 const Query& query, Harness& harness,
+                                 uint64_t seed) {
+  StatusOr<QueryPlan> plan = Status::Internal("unknown system");
+  if (system == "ours") {
+    Planner planner(&harness.cluster, harness.params);
+    plan = planner.Plan(query);
+  } else if (system == "ysmart") {
+    plan = PlanYSmartStyle(query, harness.cluster);
+  } else if (system == "hive") {
+    plan = PlanHiveStyle(query, harness.cluster);
+  } else if (system == "pig") {
+    plan = PlanPigStyle(query, harness.cluster);
+  }
+  if (!plan.ok()) return plan.status();
+  Executor executor(&harness.cluster);
+  StatusOr<ExecutionResult> result = executor.Execute(query, *plan, seed);
+  if (!result.ok()) return result.status();
+  SystemResult out;
+  out.system = system;
+  out.seconds = ToSeconds(result->makespan);
+  out.jobs = static_cast<int>(plan->jobs.size());
+  out.result_rows_physical = result->result_ids->num_rows();
+  out.result_selectivity = result->result_selectivity;
+  return out;
+}
+
+std::vector<SystemResult> RunAllSystems(const Query& query, Harness& harness,
+                                        uint64_t seed) {
+  std::vector<SystemResult> results;
+  for (const char* system : {"ours", "ysmart", "hive", "pig"}) {
+    StatusOr<SystemResult> r = RunSystem(system, query, harness, seed);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", system,
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    results.push_back(*std::move(r));
+  }
+  return results;
+}
+
+}  // namespace mrtheta::bench

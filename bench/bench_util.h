@@ -1,0 +1,45 @@
+#ifndef MRTHETA_BENCH_BENCH_UTIL_H_
+#define MRTHETA_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/cost_model.h"
+#include "src/mapreduce/sim_cluster.h"
+
+namespace mrtheta::bench {
+
+/// Builds a cluster with kP processing units and a calibrated cost model.
+/// Exits the process on failure (benches are top-level harnesses).
+struct Harness {
+  SimCluster cluster;
+  CostModelParams params;
+
+  explicit Harness(int kp);
+};
+
+/// Simulated seconds for one (query, planner) pair. Planner name in
+/// {"ours", "ysmart", "hive", "pig"}.
+struct SystemResult {
+  std::string system;
+  double seconds = 0.0;
+  int jobs = 0;
+  int64_t result_rows_physical = 0;
+  double result_selectivity = 0.0;
+};
+
+/// Plans and executes `query` with all four systems on `harness.cluster`.
+std::vector<SystemResult> RunAllSystems(const Query& query, Harness& harness,
+                                        uint64_t seed = 42);
+
+/// Runs one system only.
+StatusOr<SystemResult> RunSystem(const std::string& system,
+                                 const Query& query, Harness& harness,
+                                 uint64_t seed = 42);
+
+}  // namespace mrtheta::bench
+
+#endif  // MRTHETA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,17 @@
+#ifndef MRTHETA_BENCH_MOBILE_SUITE_H_
+#define MRTHETA_BENCH_MOBILE_SUITE_H_
+
+namespace mrtheta::bench {
+
+/// Runs the Fig. 9 / Fig. 10 harness: mobile Q1..Q4 at 20/100/500 GB with
+/// kP processing units, printing one table per query (columns: volume and
+/// the four systems' simulated seconds).
+int RunMobileSuite(int kp);
+
+/// Runs the Fig. 12 / Fig. 13 harness: TPC-H Q7/Q17/Q18/Q21 at SF
+/// 200/500/1000 with kP processing units.
+int RunTpchSuite(int kp);
+
+}  // namespace mrtheta::bench
+
+#endif  // MRTHETA_BENCH_MOBILE_SUITE_H_

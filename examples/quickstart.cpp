@@ -1,0 +1,82 @@
+// Quickstart: plan and execute a 3-way theta-join on the simulated cluster.
+//
+// Builds two tiny relations, joins them with inequality conditions through
+// the full pipeline (statistics -> cost calibration -> join-path graph ->
+// set cover -> malleable schedule -> Hilbert-partitioned MapReduce jobs),
+// and prints the result plus the simulated execution report.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/baselines/baseline_planners.h"
+#include "src/common/rng.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/calibration.h"
+#include "src/workload/mobile.h"
+
+using namespace mrtheta;  // NOLINT: example brevity
+
+int main() {
+  // 1. A simulated 96-unit cluster (Table 1 parameters).
+  SimCluster cluster(ClusterConfig{});
+  std::printf("cluster: %s\n", cluster.config().ToString().c_str());
+
+  // 2. Calibrate the cost model from observed sample jobs (Sec. 6.2).
+  StatusOr<CalibrationReport> calib = CalibrateCostModel(cluster);
+  if (!calib.ok()) {
+    std::printf("calibration failed: %s\n",
+                calib.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Data: mobile-call samples, each alias representing 2 GB of records.
+  MobileDataOptions data_options;
+  data_options.physical_rows = 1500;
+  data_options.logical_bytes = 2 * kGiB;
+
+  // 4. Query Q1: concurrent calls at the same base station.
+  StatusOr<Query> query = BuildMobileQuery(1, data_options);
+  if (!query.ok()) return 1;
+  std::printf("%s\n", query->ToString().c_str());
+
+  // 5. Plan: decompose into MRJs, pick T_opt, schedule on kP units.
+  Planner planner(&cluster, calib->params);
+  StatusOr<QueryPlan> plan = planner.Plan(*query);
+  if (!plan.ok()) {
+    std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", plan->ToString().c_str());
+
+  // 6. Execute: exact answers + simulated makespan.
+  Executor executor(&cluster);
+  StatusOr<ExecutionResult> result = executor.Execute(*query, *plan);
+  if (!result.ok()) {
+    std::printf("execution failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("result rows (physical): %lld, selectivity: %.6g\n",
+              static_cast<long long>(result->result_ids->num_rows()),
+              result->result_selectivity);
+  std::printf("simulated makespan: %s\n",
+              FormatSimTime(result->makespan).c_str());
+
+  // 7. Compare against the Hive-style baseline on the same cluster.
+  StatusOr<QueryPlan> hive = PlanHiveStyle(*query, cluster);
+  if (hive.ok()) {
+    StatusOr<ExecutionResult> hive_result =
+        executor.Execute(*query, *hive);
+    if (hive_result.ok()) {
+      std::printf("hive-style makespan: %s (%.2fx ours)\n",
+                  FormatSimTime(hive_result->makespan).c_str(),
+                  static_cast<double>(hive_result->makespan) /
+                      static_cast<double>(result->makespan));
+    } else {
+      std::printf("hive-style execution failed: %s\n",
+                  hive_result.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace mrtheta {
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller transform. Guard against log(0).
+  double u1 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = UniformDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return Uniform(n);
+  // Rejection-inversion sampling for the Zipf distribution on {1..n}
+  // (Hörmann & Derflinger 1996, as in Apache Commons RNG). 0-based rank.
+  const double e = 1.0 - s;
+  const double nd = static_cast<double>(n);
+  const bool s_is_one = std::abs(e) < 1e-12;
+  // Integral of t^-s from 1 to x (up to a constant).
+  auto h_integral = [&](double x) {
+    return s_is_one ? std::log(x) : (std::pow(x, e) - 1.0) / e;
+  };
+  auto h = [&](double x) { return std::pow(x, -s); };
+  auto h_integral_inverse = [&](double y) {
+    if (s_is_one) return std::exp(y);
+    double t = y * e;
+    if (t < -1.0) t = -1.0;  // guard rounding at the left boundary
+    return std::pow(1.0 + t, 1.0 / e);
+  };
+  const double h_int_x1 = h_integral(1.5) - 1.0;
+  const double h_int_n = h_integral(nd + 0.5);
+  const double accept_gap =
+      2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  for (;;) {
+    const double u =
+        h_int_n + UniformDouble() * (h_int_x1 - h_int_n);
+    const double x = h_integral_inverse(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > nd) kd = nd;
+    if (kd - x <= accept_gap) {
+      return static_cast<uint64_t>(kd) - 1;
+    }
+    if (u >= h_integral(kd + 0.5) - h(kd)) {
+      return static_cast<uint64_t>(kd) - 1;
+    }
+  }
+}
+
+}  // namespace mrtheta

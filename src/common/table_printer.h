@@ -1,0 +1,37 @@
+#ifndef MRTHETA_COMMON_TABLE_PRINTER_H_
+#define MRTHETA_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrtheta {
+
+/// \brief Fixed-width ASCII table writer used by the benchmark harnesses to
+/// print paper tables/figure series in a diff-friendly layout.
+///
+/// Usage:
+///   TablePrinter t({"query", "ours", "hive"});
+///   t.AddRow({"Q1", "12.3", "40.1"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_COMMON_TABLE_PRINTER_H_

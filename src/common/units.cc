@@ -1,0 +1,29 @@
+#include "src/common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mrtheta {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatSimTime(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f s", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace mrtheta

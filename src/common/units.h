@@ -1,0 +1,39 @@
+#ifndef MRTHETA_COMMON_UNITS_H_
+#define MRTHETA_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mrtheta {
+
+/// Byte-size constants. The simulator accounts for data volume in plain
+/// bytes; these helpers keep call sites readable.
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+constexpr int64_t MiB(double v) { return static_cast<int64_t>(v * kMiB); }
+constexpr int64_t GiB(double v) { return static_cast<int64_t>(v * kGiB); }
+
+/// Formats a byte count as a short human-readable string ("12.3 GB").
+std::string FormatBytes(int64_t bytes);
+
+/// Simulated time. The discrete-event engine keeps time in integer
+/// microseconds to stay deterministic; reports convert to seconds.
+using SimTime = int64_t;  // microseconds
+
+inline constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / kMicrosPerSecond;
+}
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * kMicrosPerSecond);
+}
+
+/// Formats simulated time as seconds with millisecond precision.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_COMMON_UNITS_H_

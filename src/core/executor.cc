@@ -1,0 +1,183 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/exec/hilbert_join.h"
+#include "src/exec/merge_join.h"
+#include "src/exec/pairwise_join.h"
+
+namespace mrtheta {
+
+namespace {
+
+// Resolves one plan input into a JoinSide.
+StatusOr<JoinSide> ResolveInput(const Query& query,
+                                const std::vector<JobExecution>& done,
+                                const PlanInput& input) {
+  if (input.is_base()) {
+    if (input.base >= query.num_relations()) {
+      return Status::InvalidArgument("plan input base out of range");
+    }
+    return JoinSide::ForBase(query.relations()[input.base], input.base);
+  }
+  if (input.job < 0 || input.job >= static_cast<int>(done.size()) ||
+      done[input.job].output == nullptr) {
+    return Status::InvalidArgument(
+        "plan input references a job that has not run (plans must be in "
+        "topological order)");
+  }
+  return JoinSide::ForIntermediate(done[input.job].output,
+                                   done[input.job].covered_bases);
+}
+
+}  // namespace
+
+StatusOr<ExecutionResult> Executor::Execute(const Query& query,
+                                            const QueryPlan& plan,
+                                            uint64_t seed) const {
+  MRTHETA_RETURN_IF_ERROR(query.Validate());
+  if (plan.jobs.empty()) {
+    return Status::InvalidArgument("plan has no jobs");
+  }
+
+  ExecutionResult result;
+  std::vector<SimJobSpec> sim_jobs;
+
+  for (size_t i = 0; i < plan.jobs.size(); ++i) {
+    const PlanJob& pj = plan.jobs[i];
+    // Resolve inputs.
+    std::vector<JoinSide> sides;
+    std::vector<int> dep_jobs;
+    for (const PlanInput& in : pj.inputs) {
+      StatusOr<JoinSide> side = ResolveInput(query, result.jobs, in);
+      if (!side.ok()) return side.status();
+      sides.push_back(*std::move(side));
+      if (!in.is_base()) dep_jobs.push_back(in.job);
+    }
+
+    // Build the MapReduce job.
+    StatusOr<MapReduceJobSpec> spec = Status::Internal("unset");
+    switch (pj.kind) {
+      case PlanJobKind::kHilbertJoin: {
+        MultiwayJoinJobSpec mw;
+        mw.name = pj.name.empty() ? "hilbert-join" : pj.name;
+        mw.inputs = sides;
+        mw.base_relations = query.relations();
+        mw.conditions = query.ConditionsById(pj.thetas);
+        mw.num_reduce_tasks = pj.num_reduce_tasks;
+        mw.seed = seed + i * 7919;
+        spec = BuildHilbertJoinJob(mw);
+        break;
+      }
+      case PlanJobKind::kEquiJoin:
+      case PlanJobKind::kThetaPair: {
+        if (sides.size() != 2) {
+          return Status::InvalidArgument("pairwise job needs two inputs");
+        }
+        PairwiseJoinJobSpec pw;
+        pw.name = pj.name.empty() ? "pairwise-join" : pj.name;
+        pw.left = sides[0];
+        pw.right = sides[1];
+        pw.base_relations = query.relations();
+        pw.conditions = query.ConditionsById(pj.thetas);
+        pw.num_reduce_tasks = pj.num_reduce_tasks;
+        pw.seed = seed + i * 7919;
+        spec = pj.kind == PlanJobKind::kEquiJoin ? BuildEquiJoinJob(pw)
+                                                 : BuildOneBucketThetaJob(pw);
+        break;
+      }
+      case PlanJobKind::kMerge: {
+        if (sides.size() != 2) {
+          return Status::InvalidArgument("merge job needs two inputs");
+        }
+        MergeJobSpec mg;
+        mg.name = pj.name.empty() ? "merge" : pj.name;
+        mg.left = sides[0];
+        mg.right = sides[1];
+        mg.base_relations = query.relations();
+        mg.num_reduce_tasks = pj.num_reduce_tasks;
+        spec = BuildMergeJob(mg);
+        break;
+      }
+    }
+    if (!spec.ok()) return spec.status();
+    spec->text_serde = pj.text_serde;
+
+    StatusOr<PhysicalJobResult> phys = RunJobPhysically(*spec);
+    if (!phys.ok()) return phys.status();
+
+    JobExecution exec;
+    exec.name = spec->name;
+    exec.kind = pj.kind;
+    exec.reduce_tasks = spec->num_reduce_tasks;
+    exec.metrics = phys->metrics;
+    exec.output = phys->output;
+    // Covered bases = union of the inputs' coverage.
+    std::set<int> bases;
+    for (const JoinSide& side : sides) {
+      bases.insert(side.bases.begin(), side.bases.end());
+    }
+    exec.covered_bases.assign(bases.begin(), bases.end());
+
+    // Shared-scan discount (YSmart-style plans): repeated scans of a base
+    // relation are served by one physical scan.
+    if (pj.scan_discount_bytes > 0) {
+      exec.metrics.input_bytes_logical =
+          std::max<int64_t>(cluster_->config().block_size,
+                            exec.metrics.input_bytes_logical -
+                                pj.scan_discount_bytes);
+    }
+
+    // The final job writes the query's *projection*, not materialized
+    // intermediate rows — every compared system benefits identically.
+    if (i + 1 == plan.jobs.size() && !query.outputs().empty()) {
+      int64_t projected_width = 4;  // record framing
+      for (const OutputColumn& out : query.outputs()) {
+        projected_width += query.relations()[out.base]
+                               ->schema()
+                               .column(out.column)
+                               .avg_width;
+      }
+      exec.metrics.output_bytes_logical = static_cast<int64_t>(
+          std::min(exec.metrics.output_rows_logical *
+                       static_cast<double>(projected_width),
+                   9.0e18));
+    }
+
+    sim_jobs.push_back(
+        cluster_->BuildSimJob(*spec, exec.metrics, dep_jobs));
+    result.jobs.push_back(std::move(exec));
+  }
+
+  // Replay the DAG through the discrete-event engine.
+  StatusOr<SimReport> report = RunSimulation(cluster_->config(), sim_jobs);
+  if (!report.ok()) return report.status();
+  result.makespan = report->makespan;
+  for (size_t i = 0; i < result.jobs.size(); ++i) {
+    result.jobs[i].timing = report->jobs[i];
+  }
+
+  // Final result: the last job's output.
+  const JobExecution& last = result.jobs.back();
+  result.result_ids = last.output;
+  result.covered_bases = last.covered_bases;
+
+  double cross = 1.0;
+  for (const RelationPtr& rel : query.relations()) {
+    cross *= static_cast<double>(std::max<int64_t>(1, rel->logical_rows()));
+  }
+  result.result_selectivity =
+      static_cast<double>(last.output->logical_rows()) / cross;
+
+  if (!query.outputs().empty()) {
+    StatusOr<Relation> projected =
+        ProjectResult(*last.output, last.covered_bases, query.relations(),
+                      query.outputs());
+    if (!projected.ok()) return projected.status();
+    result.projected = std::make_shared<Relation>(*std::move(projected));
+  }
+  return result;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,59 @@
+#ifndef MRTHETA_CORE_EXECUTOR_H_
+#define MRTHETA_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/plan.h"
+#include "src/core/query.h"
+#include "src/mapreduce/sim_cluster.h"
+
+namespace mrtheta {
+
+/// Everything recorded about one executed plan job.
+struct JobExecution {
+  std::string name;
+  PlanJobKind kind = PlanJobKind::kHilbertJoin;
+  int reduce_tasks = 1;
+  JobMeasurement metrics;
+  SimJobResult timing;
+  std::shared_ptr<Relation> output;
+  std::vector<int> covered_bases;
+};
+
+/// Result of executing a whole plan.
+struct ExecutionResult {
+  std::vector<JobExecution> jobs;
+  /// Simulated wall-clock makespan of the full plan (slot competition,
+  /// dependencies and merge steps included).
+  SimTime makespan = 0;
+  /// The final intermediate (one rid column per covered base).
+  std::shared_ptr<Relation> result_ids;
+  std::vector<int> covered_bases;
+  /// The projection requested by the query (empty schema when the query
+  /// declares no outputs).
+  std::shared_ptr<Relation> projected;
+  /// Logical result rows / Π logical |Ri| (the paper's "Result Sel.").
+  double result_selectivity = 0.0;
+};
+
+/// \brief Executes a QueryPlan: runs every plan job physically on the
+/// simulated cluster (exact answers over physical tuples), then replays the
+/// whole job DAG through the discrete-event engine to obtain the simulated
+/// makespan under the cluster's kP processing units.
+class Executor {
+ public:
+  /// `cluster` must outlive the executor.
+  explicit Executor(const SimCluster* cluster) : cluster_(cluster) {}
+
+  StatusOr<ExecutionResult> Execute(const Query& query, const QueryPlan& plan,
+                                    uint64_t seed = 42) const;
+
+ private:
+  const SimCluster* cluster_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_CORE_EXECUTOR_H_

@@ -1,0 +1,48 @@
+#include "src/core/plan.h"
+
+#include <cstdio>
+
+namespace mrtheta {
+
+const char* PlanJobKindName(PlanJobKind kind) {
+  switch (kind) {
+    case PlanJobKind::kHilbertJoin:
+      return "hilbert-join";
+    case PlanJobKind::kEquiJoin:
+      return "equi-join";
+    case PlanJobKind::kThetaPair:
+      return "theta-pair";
+    case PlanJobKind::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out = "Plan[" + strategy + "] est=" +
+                    std::to_string(est_makespan_sec) + "s\n";
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const PlanJob& j = jobs[i];
+    char buf[256];
+    std::string ins;
+    for (const PlanInput& in : j.inputs) {
+      if (!ins.empty()) ins += ",";
+      ins += in.is_base() ? "R" + std::to_string(in.base)
+                          : "J" + std::to_string(in.job);
+    }
+    std::string ths;
+    for (int t : j.thetas) {
+      if (!ths.empty()) ths += ",";
+      ths += std::to_string(t);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  J%zu %s in=[%s] θ=[%s] RN=%d est=%.1fs @[%.1f,%.1f]\n",
+                  i, PlanJobKindName(j.kind), ins.c_str(), ths.c_str(),
+                  j.num_reduce_tasks, j.est_seconds, j.est_start,
+                  j.est_finish);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,561 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "src/cost/kr_chooser.h"
+#include "src/exec/hilbert_join.h"
+#include "src/hilbert/hilbert.h"
+#include "src/sched/malleable.h"
+#include "src/sched/set_cover.h"
+#include "src/stats/selectivity.h"
+
+namespace mrtheta {
+
+Planner::Planner(const SimCluster* cluster, CostModelParams params,
+                 PlannerOptions options)
+    : cluster_(cluster), params_(std::move(params)), options_(options) {
+  params_.lambda = options_.lambda;
+}
+
+int Planner::MaxReduceTasks() const {
+  const int kp = cluster_->config().num_workers;
+  return options_.max_reduce_tasks > 0
+             ? std::min(options_.max_reduce_tasks, kp)
+             : kp;
+}
+
+std::vector<TableStats> Planner::CollectStats(const Query& query) const {
+  std::vector<TableStats> stats;
+  stats.reserve(query.num_relations());
+  StatsOptions so = options_.stats;
+  so.seed = options_.seed;
+  for (const RelationPtr& rel : query.relations()) {
+    TableStats ts = BuildTableStats(*rel, so);
+    // The planner's output estimates live in the β frame (DESIGN.md §1.1):
+    // selectivities describe the *physical sample*, so key-like columns
+    // must not be extrapolated past the sample's domain here.
+    for (ColumnStats& cs : ts.columns) {
+      cs.distinct = std::min(
+          cs.distinct, static_cast<double>(std::max<int64_t>(
+                           1, rel->num_rows())));
+    }
+    stats.push_back(std::move(ts));
+  }
+  return stats;
+}
+
+namespace {
+
+// A 2-relation candidate with an offset-free equality evaluates as a
+// repartition equi-join: the key is the shuffle key, no tuple duplication.
+bool IsEquiPair(const Query& query, const std::vector<int>& relations,
+                const std::vector<int>& thetas) {
+  if (relations.size() != 2) return false;
+  for (int t : thetas) {
+    const JoinCondition& c = query.conditions()[t];
+    if (c.op == ThetaOp::kEq && c.offset == 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+JobProfile Planner::CandidateProfile(const Query& query,
+                                     const std::vector<TableStats>& stats,
+                                     const std::vector<int>& relations,
+                                     const std::vector<int>& thetas,
+                                     int kr) const {
+  JobProfile profile;
+  profile.num_reduce_tasks = kr;
+  const int d = static_cast<int>(relations.size());
+  // Duplication follows the *fused* dimensionality: relations connected by
+  // equality share a hash dimension and are not replicated along it
+  // (Eq. 9 with d = number of dimension groups).
+  const std::vector<JoinCondition> fuse_conds = query.ConditionsById(thetas);
+  std::vector<std::vector<int>> input_bases;
+  input_bases.reserve(relations.size());
+  for (int r : relations) input_bases.push_back({r});
+  const DimensionGrouping grouping =
+      ComputeDimensionGrouping(input_bases, fuse_conds);
+  const bool equi_pair = IsEquiPair(query, relations, thetas);
+  const double dup = ApproxDuplicationFactor(grouping.num_dims, kr);
+
+  double si = 0.0;
+  double out_row_bytes = 0.0;
+  for (int r : relations) {
+    si += static_cast<double>(stats[r].logical_bytes);
+    out_row_bytes += static_cast<double>(stats[r].avg_row_bytes);
+  }
+  // A candidate covering every condition produces the final result, which
+  // is written in the query's projected width (see Executor).
+  if (static_cast<int>(thetas.size()) == query.num_conditions() &&
+      !query.outputs().empty()) {
+    out_row_bytes = 4.0;
+    for (const OutputColumn& out : query.outputs()) {
+      out_row_bytes +=
+          query.relations()[out.base]->schema().column(out.column).avg_width;
+    }
+  }
+  profile.input_bytes = si;
+  profile.alpha = dup;
+
+  std::vector<const TableStats*> stat_ptrs;
+  stat_ptrs.reserve(stats.size());
+  for (const TableStats& ts : stats) stat_ptrs.push_back(&ts);
+  const std::vector<JoinCondition> conds = query.ConditionsById(thetas);
+  // β-extrapolated output estimate, mirroring the executors: the physical
+  // sample fixes the joint-selectivity shape; results scale linearly with
+  // the represented volume (DESIGN.md §1).
+  const double sel = EstimateConjunctionSelectivity(conds, stat_ptrs);
+  double phys_cross = 1.0;
+  double max_scale = 1.0;
+  for (int r : relations) {
+    const Relation& rel = *query.relations()[r];
+    phys_cross *= static_cast<double>(std::max<int64_t>(1, rel.num_rows()));
+    if (rel.num_rows() > 0) {
+      max_scale = std::max(
+          max_scale, static_cast<double>(rel.logical_rows()) /
+                         static_cast<double>(rel.num_rows()));
+    }
+  }
+  const double out_rows = sel * phys_cross * max_scale;
+  profile.output_bytes = out_rows * out_row_bytes;
+
+  // Hash partitioning (equi pairs and fused hash dimensions) inherits key
+  // skew; pure Hilbert dimensions balance by construction (Theorem 2).
+  const double avg_reduce_bytes = profile.alpha * si / kr;
+  const bool hash_partitioned = equi_pair || grouping.num_dims < d;
+  const double sigma_frac = hash_partitioned
+                                ? 3.0 * options_.hilbert_sigma_frac
+                                : options_.hilbert_sigma_frac;
+  profile.sigma_reduce_bytes = sigma_frac * avg_reduce_bytes;
+
+  // Trail-order backtracking work estimate: each surviving prefix scans the
+  // next relation's local (per-component) portion; see DESIGN.md.
+  std::set<int> placed = {relations[0]};
+  double prefix_rows =
+      static_cast<double>(std::max<int64_t>(1, stats[relations[0]].logical_rows));
+  double comps = 0.0;
+  for (int j = 1; j < d; ++j) {
+    const int r = relations[j];
+    const double r_rows =
+        static_cast<double>(std::max<int64_t>(1, stats[r].logical_rows));
+    comps += prefix_rows * r_rows * dup;
+    double step_sel = 1.0;
+    for (const JoinCondition& cond : conds) {
+      const bool touches_r =
+          cond.lhs.relation == r || cond.rhs.relation == r;
+      const int other =
+          cond.lhs.relation == r ? cond.rhs.relation : cond.lhs.relation;
+      if (touches_r && placed.count(other)) {
+        step_sel *= EstimateThetaSelectivity(
+            stats[cond.lhs.relation].column(cond.lhs.column),
+            stats[cond.rhs.relation].column(cond.rhs.column), cond.op,
+            cond.offset);
+      }
+    }
+    prefix_rows = std::max(1.0, prefix_rows * r_rows * step_sel);
+    placed.insert(r);
+  }
+  profile.comparisons_total = comps;
+  return profile;
+}
+
+namespace {
+
+// Profile of a merge step joining two intermediates on shared rids.
+JobProfile MergeProfile(double left_rows, int left_bases, double right_rows,
+                        int right_bases, double out_bytes, int kr) {
+  JobProfile p;
+  p.num_reduce_tasks = kr;
+  p.input_bytes = left_rows * 8.0 * left_bases + right_rows * 8.0 *
+                                                     right_bases;
+  p.alpha = 1.0;
+  p.output_bytes = out_bytes;
+  p.sigma_reduce_bytes = 0.05 * p.alpha * p.input_bytes / kr;
+  p.comparisons_total = left_rows + right_rows;
+  return p;
+}
+
+}  // namespace
+
+StatusOr<QueryPlan> Planner::BuildPlanFromSelection(
+    const Query& query, const std::vector<TableStats>& stats,
+    const std::vector<JobCandidate>& candidates,
+    const std::vector<int>& selection) const {
+  const int kp = cluster_->config().num_workers;
+  const int kr_max = MaxReduceTasks();
+
+  std::vector<const TableStats*> stat_ptrs;
+  for (const TableStats& ts : stats) stat_ptrs.push_back(&ts);
+
+  // β-extrapolated output rows of a join over `rels` under `ths`
+  // (mirrors the executors' output_row_scale rule).
+  auto beta_rows = [&](const std::vector<int>& rels,
+                       const std::vector<int>& ths) {
+    const double sel =
+        EstimateConjunctionSelectivity(query.ConditionsById(ths), stat_ptrs);
+    double phys_cross = 1.0;
+    double max_scale = 1.0;
+    for (int r : rels) {
+      const Relation& rel = *query.relations()[r];
+      phys_cross *=
+          static_cast<double>(std::max<int64_t>(1, rel.num_rows()));
+      if (rel.num_rows() > 0) {
+        max_scale = std::max(
+            max_scale, static_cast<double>(rel.logical_rows()) /
+                           static_cast<double>(rel.num_rows()));
+      }
+    }
+    return sel * phys_cross * max_scale;
+  };
+
+  QueryPlan plan;
+  std::vector<MalleableJob> sched_jobs;
+
+  // Join jobs from the selected candidates.
+  struct NodeInfo {
+    std::set<int> bases;
+    double est_rows = 0.0;
+    std::vector<int> thetas;
+  };
+  std::vector<NodeInfo> info;
+  for (int sel : selection) {
+    const JobCandidate& cand = candidates[sel];
+    PlanJob job;
+    job.kind = IsEquiPair(query, cand.relations, cand.thetas)
+                   ? PlanJobKind::kEquiJoin
+                   : PlanJobKind::kHilbertJoin;
+    job.name = "join-" + std::to_string(plan.jobs.size());
+    for (int r : cand.relations) job.inputs.push_back(PlanInput::Base(r));
+    job.thetas = cand.thetas;
+    plan.jobs.push_back(job);
+
+    NodeInfo ni;
+    ni.bases.insert(cand.relations.begin(), cand.relations.end());
+    ni.est_rows = beta_rows(cand.relations, cand.thetas);
+    ni.thetas = cand.thetas;
+    info.push_back(std::move(ni));
+
+    MalleableJob mj;
+    const std::vector<int> rels = cand.relations;
+    const std::vector<int> ths = cand.thetas;
+    mj.time_for_slots = [this, &query, &stats, rels, ths, kp](int k) {
+      const JobProfile p = CandidateProfile(query, stats, rels, ths, k);
+      return PredictJobTime(params_, cluster_->config(), p, kp).total;
+    };
+    mj.max_slots = kr_max;
+    sched_jobs.push_back(std::move(mj));
+  }
+
+  // Merge chain: greedily fold in jobs sharing at least one relation.
+  std::vector<int> remaining(selection.size());
+  for (size_t i = 0; i < selection.size(); ++i) remaining[i] = static_cast<int>(i);
+  // Seed with the job covering the most conditions (cheapest merges later).
+  std::sort(remaining.begin(), remaining.end(), [&](int a, int b) {
+    return info[a].thetas.size() > info[b].thetas.size();
+  });
+  int current = remaining.front();
+  remaining.erase(remaining.begin());
+  std::set<int> acc_bases = info[current].bases;
+  std::vector<int> acc_thetas = info[current].thetas;
+  double acc_rows = info[current].est_rows;
+  int current_job_index = current;
+
+  while (!remaining.empty()) {
+    // Pick the first remaining job sharing a base with the accumulation.
+    auto it = std::find_if(remaining.begin(), remaining.end(), [&](int j) {
+      for (int b : info[j].bases) {
+        if (acc_bases.count(b)) return true;
+      }
+      return false;
+    });
+    if (it == remaining.end()) {
+      return Status::Internal(
+          "selected jobs do not overlap; merge chain impossible");
+    }
+    const int next = *it;
+    remaining.erase(it);
+
+    PlanJob merge;
+    merge.kind = PlanJobKind::kMerge;
+    merge.name = "merge-" + std::to_string(plan.jobs.size());
+    merge.inputs.push_back(PlanInput::Job(current_job_index));
+    merge.inputs.push_back(PlanInput::Job(next));
+    plan.jobs.push_back(merge);
+
+    // Merged estimates: union of conditions over union of bases.
+    std::set<int> union_bases = acc_bases;
+    union_bases.insert(info[next].bases.begin(), info[next].bases.end());
+    std::vector<int> union_thetas = acc_thetas;
+    for (int t : info[next].thetas) {
+      if (std::find(union_thetas.begin(), union_thetas.end(), t) ==
+          union_thetas.end()) {
+        union_thetas.push_back(t);
+      }
+    }
+    // Output rows: joint β-extrapolated estimate over the union.
+    const std::vector<int> union_rels(union_bases.begin(),
+                                      union_bases.end());
+    const double union_rows = beta_rows(union_rels, union_thetas);
+
+    double out_row_bytes = 0.0;
+    for (int b : union_bases) {
+      out_row_bytes += static_cast<double>(stats[b].avg_row_bytes);
+    }
+    const double l_rows = acc_rows;
+    const int l_bases = static_cast<int>(acc_bases.size());
+    const double r_rows = info[next].est_rows;
+    const int r_bases = static_cast<int>(info[next].bases.size());
+    MalleableJob mj;
+    mj.time_for_slots = [this, l_rows, l_bases, r_rows, r_bases, union_rows,
+                         out_row_bytes, kp](int k) {
+      const JobProfile p = MergeProfile(l_rows, l_bases, r_rows, r_bases,
+                                        union_rows * out_row_bytes, k);
+      return PredictJobTime(params_, cluster_->config(), p, kp).total;
+    };
+    mj.max_slots = kr_max;
+    mj.deps = {current_job_index, next};
+    sched_jobs.push_back(std::move(mj));
+    // NodeInfo for the merge node (so later merges can reference it).
+    NodeInfo merged;
+    merged.bases = union_bases;
+    merged.est_rows = union_rows;
+    merged.thetas = union_thetas;
+    info.push_back(std::move(merged));
+
+    current_job_index = static_cast<int>(plan.jobs.size()) - 1;
+    acc_bases = info.back().bases;
+    acc_thetas = info.back().thetas;
+    acc_rows = info.back().est_rows;
+  }
+
+  // Schedule everything on kP units.
+  StatusOr<ScheduleResult> sched = ScheduleMalleable(sched_jobs, kp);
+  if (!sched.ok()) return sched.status();
+  for (size_t i = 0; i < plan.jobs.size(); ++i) {
+    plan.jobs[i].num_reduce_tasks = sched->jobs[i].slots;
+    plan.jobs[i].est_start = sched->jobs[i].start;
+    plan.jobs[i].est_finish = sched->jobs[i].finish;
+    plan.jobs[i].est_seconds = sched->jobs[i].finish - sched->jobs[i].start;
+  }
+  plan.est_makespan_sec = sched->makespan;
+  return plan;
+}
+
+StatusOr<QueryPlan> Planner::BuildCascadePlan(
+    const Query& query, const std::vector<TableStats>& stats) const {
+  const int kp = cluster_->config().num_workers;
+  const int kr_max = MaxReduceTasks();
+
+  QueryPlan plan;
+  plan.strategy = "mrtheta-cascade";
+  std::set<int> joined;
+  std::vector<bool> used(query.num_conditions(), false);
+  std::vector<int> acc_thetas;
+  double prev_out_bytes = 0.0;
+  double makespan = 0.0;
+  int prev_job = -1;
+
+  std::vector<const TableStats*> stat_ptrs;
+  for (const TableStats& ts : stats) stat_ptrs.push_back(&ts);
+
+  while (true) {
+    // Next condition: equality-first among those connecting a new base.
+    int chosen = -1;
+    for (int pass = 0; pass < 2 && chosen < 0; ++pass) {
+      for (int t = 0; t < query.num_conditions(); ++t) {
+        if (used[t]) continue;
+        const JoinCondition& c = query.conditions()[t];
+        const bool l_in = joined.count(c.lhs.relation) > 0;
+        const bool r_in = joined.count(c.rhs.relation) > 0;
+        if (!(joined.empty() || (l_in != r_in))) continue;
+        if (pass == 0 && !(c.op == ThetaOp::kEq && c.offset == 0.0)) {
+          continue;
+        }
+        chosen = t;
+        break;
+      }
+    }
+    if (chosen < 0) break;
+    const JoinCondition& c = query.conditions()[chosen];
+
+    PlanJob job;
+    double base_in = 0.0;
+    if (joined.empty()) {
+      job.inputs = {PlanInput::Base(c.lhs.relation),
+                    PlanInput::Base(c.rhs.relation)};
+      joined.insert(c.lhs.relation);
+      joined.insert(c.rhs.relation);
+      base_in = static_cast<double>(stats[c.lhs.relation].logical_bytes) +
+                static_cast<double>(stats[c.rhs.relation].logical_bytes);
+    } else {
+      const int new_base = joined.count(c.lhs.relation) ? c.rhs.relation
+                                                        : c.lhs.relation;
+      job.inputs = {PlanInput::Job(prev_job), PlanInput::Base(new_base)};
+      joined.insert(new_base);
+      base_in = static_cast<double>(stats[new_base].logical_bytes);
+    }
+    // Bundle every now-internal condition.
+    for (int t = 0; t < query.num_conditions(); ++t) {
+      if (used[t]) continue;
+      const JoinCondition& o = query.conditions()[t];
+      if (joined.count(o.lhs.relation) && joined.count(o.rhs.relation)) {
+        job.thetas.push_back(t);
+        used[t] = true;
+      }
+    }
+    bool has_eq = false;
+    for (int t : job.thetas) {
+      const JoinCondition& o = query.conditions()[t];
+      has_eq |= o.op == ThetaOp::kEq && o.offset == 0.0;
+    }
+    job.kind = has_eq ? PlanJobKind::kEquiJoin : PlanJobKind::kThetaPair;
+    job.name = "cascade-" + std::to_string(plan.jobs.size());
+    acc_thetas.insert(acc_thetas.end(), job.thetas.begin(),
+                      job.thetas.end());
+
+    // Step cost: scan prev intermediate + new base, β-framed output.
+    const std::vector<int> covered(joined.begin(), joined.end());
+    const double sel = EstimateConjunctionSelectivity(
+        query.ConditionsById(acc_thetas), stat_ptrs);
+    double phys_cross = 1.0, max_scale = 1.0, row_bytes = 0.0;
+    for (int r : covered) {
+      const Relation& rel = *query.relations()[r];
+      phys_cross *=
+          static_cast<double>(std::max<int64_t>(1, rel.num_rows()));
+      row_bytes += static_cast<double>(stats[r].avg_row_bytes);
+      if (rel.num_rows() > 0) {
+        max_scale = std::max(
+            max_scale, static_cast<double>(rel.logical_rows()) /
+                           static_cast<double>(rel.num_rows()));
+      }
+    }
+    const double out_bytes = sel * phys_cross * max_scale * row_bytes;
+    auto profile_for = [&](int k) {
+      JobProfile p;
+      p.input_bytes = base_in + prev_out_bytes;
+      p.alpha = has_eq ? 1.0 : ApproxDuplicationFactor(2, k);
+      p.output_bytes = out_bytes;
+      p.sigma_reduce_bytes =
+          3.0 * options_.hilbert_sigma_frac * p.alpha * p.input_bytes / k;
+      p.num_reduce_tasks = k;
+      return p;
+    };
+    const KrChoice kr =
+        ChooseKrByCost(params_, cluster_->config(), profile_for, kr_max, kp);
+    job.num_reduce_tasks = kr.kr;
+    job.est_seconds =
+        PredictJobTime(params_, cluster_->config(), profile_for(kr.kr), kp)
+            .total;
+    job.est_start = makespan;
+    makespan += job.est_seconds;
+    job.est_finish = makespan;
+    prev_out_bytes = out_bytes;
+    prev_job = static_cast<int>(plan.jobs.size());
+    plan.jobs.push_back(std::move(job));
+  }
+  if (static_cast<int>(joined.size()) != query.num_relations()) {
+    return Status::Internal("cascade could not join all relations");
+  }
+  plan.est_makespan_sec = makespan;
+  return plan;
+}
+
+StatusOr<QueryPlan> Planner::Plan(const Query& query) const {
+  MRTHETA_RETURN_IF_ERROR(query.Validate());
+  const std::vector<TableStats> stats = CollectStats(query);
+  StatusOr<JoinGraph> graph = query.BuildJoinGraph();
+  if (!graph.ok()) return graph.status();
+
+  const int kp = cluster_->config().num_workers;
+  const int kr_max = MaxReduceTasks();
+
+  // Cost oracle for Algorithm 2.
+  CandidateCostFn cost_fn = [&](const std::vector<int>& thetas,
+                                const std::vector<int>& relations) {
+    std::vector<double> cards;
+    cards.reserve(relations.size());
+    for (int r : relations) {
+      cards.push_back(
+          static_cast<double>(std::max<int64_t>(1, stats[r].logical_rows)));
+    }
+    int kr;
+    if (options_.use_delta_kr) {
+      kr = ChooseKrByDelta(cards, kr_max, options_.lambda).kr;
+    } else {
+      kr = ChooseKrByCost(
+               params_, cluster_->config(),
+               [&](int k) {
+                 return CandidateProfile(query, stats, relations, thetas, k);
+               },
+               kr_max, kp)
+               .kr;
+    }
+    const JobProfile profile =
+        CandidateProfile(query, stats, relations, thetas, kr);
+    CandidateCost out;
+    out.weight = PredictJobTime(params_, cluster_->config(), profile, kp).total;
+    out.schedule_slots = kr;
+    return out;
+  };
+
+  JoinPathGraphOptions gjp_options;
+  gjp_options.enable_pruning = options_.enable_pruning;
+  JoinPathGraphStats gjp_stats;
+  StatusOr<std::vector<JobCandidate>> candidates =
+      BuildJoinPathGraph(*graph, cost_fn, gjp_options, &gjp_stats);
+  if (!candidates.ok()) return candidates.status();
+
+  // T selection: greedy weighted set cover over the condition universe.
+  std::vector<WeightedSet> sets;
+  sets.reserve(candidates->size());
+  for (const JobCandidate& cand : *candidates) {
+    sets.push_back({cand.theta_mask, cand.weight});
+  }
+  const uint32_t universe = query.AllConditionsMask();
+  StatusOr<std::vector<int>> cover = GreedyWeightedSetCover(sets, universe);
+  if (!cover.ok()) return cover.status();
+
+  StatusOr<QueryPlan> best =
+      BuildPlanFromSelection(query, stats, *candidates, *cover);
+  if (!best.ok()) return best.status();
+  best->strategy = "mrtheta";
+
+  // Also consider the cheapest single candidate covering everything.
+  int full = -1;
+  for (int i = 0; i < static_cast<int>(candidates->size()); ++i) {
+    if (((*candidates)[i].theta_mask & universe) == universe) {
+      if (full < 0 ||
+          (*candidates)[i].weight < (*candidates)[full].weight) {
+        full = i;
+      }
+    }
+  }
+  if (full >= 0 &&
+      (cover->size() != 1 || (*cover)[0] != full)) {
+    StatusOr<QueryPlan> single =
+        BuildPlanFromSelection(query, stats, *candidates, {full});
+    if (single.ok() && single->est_makespan_sec < best->est_makespan_sec) {
+      best = std::move(single);
+      best->strategy = "mrtheta-single-mrj";
+    }
+  }
+
+  // ...and the sequential pair-wise cascade (the traditional decomposition
+  // of Sec. 3.2's principle: if separate evaluation plus recombination is
+  // estimated cheaper, prefer it).
+  StatusOr<QueryPlan> cascade = BuildCascadePlan(query, stats);
+  if (cascade.ok() && cascade->est_makespan_sec < best->est_makespan_sec) {
+    best = std::move(cascade);
+  }
+
+  best->candidates = *std::move(candidates);
+  best->gjp_stats = gjp_stats;
+  return best;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,85 @@
+#ifndef MRTHETA_CORE_PLANNER_H_
+#define MRTHETA_CORE_PLANNER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/plan.h"
+#include "src/core/query.h"
+#include "src/cost/cost_model.h"
+#include "src/mapreduce/sim_cluster.h"
+#include "src/stats/table_stats.h"
+
+namespace mrtheta {
+
+/// Planner knobs.
+struct PlannerOptions {
+  uint64_t seed = 0x5eed;
+  /// λ of Eq. (10).
+  double lambda = 0.4;
+  /// Choose kR by sweeping the cost model (false, default — matches the
+  /// paper's Fig. 7(a) behaviour where best kR grows with map output
+  /// volume) or by the literal Eq. 10 Δ minimization (true). With raw
+  /// cardinalities Eq. 10's Π|Ri|/k term dominates at realistic scales and
+  /// saturates kR at the cap — kept as the DESIGN.md §4.4 ablation.
+  bool use_delta_kr = false;
+  /// Lemma 1/2 pruning in the G'_JP construction.
+  bool enable_pruning = true;
+  /// Cap on reduce tasks per job; 0 means the cluster's worker count.
+  int max_reduce_tasks = 0;
+  /// Assumed relative imbalance of Hilbert-partitioned reduce inputs
+  /// (drives the σ of the 3σ rule; Hilbert balances well by Theorem 2).
+  double hilbert_sigma_frac = 0.08;
+  /// Statistics collection options.
+  StatsOptions stats;
+};
+
+/// \brief The paper's optimizer: builds G'_JP (Algorithm 2), selects T by
+/// greedy weighted set cover, schedules T's MRJs plus the merge steps on kP
+/// processing units with the malleable scheduler, and returns the plan with
+/// the smallest estimated makespan.
+class Planner {
+ public:
+  /// `cluster` must outlive the planner. `params` come from
+  /// CalibrateCostModel (or tests' hand-built values).
+  Planner(const SimCluster* cluster, CostModelParams params,
+          PlannerOptions options = {});
+
+  /// Plans `query`. Also considers the single-MRJ evaluation of the whole
+  /// query when a full-cover trail exists, per the paper's observation that
+  /// one job sometimes beats any cascade.
+  StatusOr<QueryPlan> Plan(const Query& query) const;
+
+  /// Cost-model profile of a Hilbert chain-join over `relations` (trail
+  /// order) evaluating `thetas`, with kr reduce tasks. Exposed for benches.
+  JobProfile CandidateProfile(const Query& query,
+                              const std::vector<TableStats>& stats,
+                              const std::vector<int>& relations,
+                              const std::vector<int>& thetas, int kr) const;
+
+  /// Per-relation statistics as the planner computes them.
+  std::vector<TableStats> CollectStats(const Query& query) const;
+
+  const CostModelParams& params() const { return params_; }
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  int MaxReduceTasks() const;
+  StatusOr<QueryPlan> BuildPlanFromSelection(
+      const Query& query, const std::vector<TableStats>& stats,
+      const std::vector<JobCandidate>& candidates,
+      const std::vector<int>& selection) const;
+  /// A sequential pair-wise cascade (equality steps first) — the
+  /// traditional decomposition the paper's Sec. 3.2 principle compares
+  /// against; considered as a plan alternative alongside T + merges.
+  StatusOr<QueryPlan> BuildCascadePlan(
+      const Query& query, const std::vector<TableStats>& stats) const;
+
+  const SimCluster* cluster_;
+  CostModelParams params_;
+  PlannerOptions options_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_CORE_PLANNER_H_

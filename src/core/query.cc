@@ -1,0 +1,107 @@
+#include "src/core/query.h"
+
+namespace mrtheta {
+
+int Query::AddRelation(RelationPtr relation) {
+  relations_.push_back(std::move(relation));
+  return num_relations() - 1;
+}
+
+StatusOr<int> Query::AddCondition(int rel_a, const std::string& col_a,
+                                  ThetaOp op, int rel_b,
+                                  const std::string& col_b, double offset) {
+  if (rel_a < 0 || rel_a >= num_relations() || rel_b < 0 ||
+      rel_b >= num_relations()) {
+    return Status::InvalidArgument("condition relation index out of range");
+  }
+  if (rel_a == rel_b) {
+    return Status::InvalidArgument(
+        "conditions must connect two distinct query relations "
+        "(add the relation twice for a self-join)");
+  }
+  StatusOr<int> ca = relations_[rel_a]->schema().FindColumn(col_a);
+  if (!ca.ok()) return ca.status();
+  StatusOr<int> cb = relations_[rel_b]->schema().FindColumn(col_b);
+  if (!cb.ok()) return cb.status();
+  const ValueType ta = relations_[rel_a]->schema().column(*ca).type;
+  const ValueType tb = relations_[rel_b]->schema().column(*cb).type;
+  const bool a_num = ta != ValueType::kString;
+  const bool b_num = tb != ValueType::kString;
+  if (a_num != b_num) {
+    return Status::InvalidArgument("condition compares string with numeric");
+  }
+  if (!a_num && offset != 0.0) {
+    return Status::InvalidArgument("offset not supported on string columns");
+  }
+  JoinCondition cond;
+  cond.lhs = {rel_a, *ca};
+  cond.op = op;
+  cond.rhs = {rel_b, *cb};
+  cond.offset = offset;
+  cond.id = num_conditions();
+  conditions_.push_back(cond);
+  return cond.id;
+}
+
+Status Query::AddOutput(int rel, const std::string& col) {
+  if (rel < 0 || rel >= num_relations()) {
+    return Status::InvalidArgument("output relation index out of range");
+  }
+  StatusOr<int> c = relations_[rel]->schema().FindColumn(col);
+  if (!c.ok()) return c.status();
+  outputs_.push_back({rel, *c});
+  return Status::OK();
+}
+
+uint32_t Query::AllConditionsMask() const {
+  uint32_t mask = 0;
+  for (const auto& cond : conditions_) mask |= 1u << cond.id;
+  return mask;
+}
+
+std::vector<JoinCondition> Query::ConditionsById(
+    const std::vector<int>& thetas) const {
+  std::vector<JoinCondition> out;
+  out.reserve(thetas.size());
+  for (int id : thetas) out.push_back(conditions_[id]);
+  return out;
+}
+
+StatusOr<JoinGraph> Query::BuildJoinGraph() const {
+  JoinGraph graph(num_relations());
+  for (const JoinCondition& cond : conditions_) {
+    MRTHETA_RETURN_IF_ERROR(
+        graph.AddEdge(cond.lhs.relation, cond.rhs.relation, cond.id));
+  }
+  return graph;
+}
+
+Status Query::Validate() const {
+  if (num_relations() < 2) {
+    return Status::FailedPrecondition("query needs at least two relations");
+  }
+  if (num_conditions() < 1) {
+    return Status::FailedPrecondition("query needs at least one condition");
+  }
+  if (num_conditions() > 20) {
+    return Status::InvalidArgument("at most 20 join conditions supported");
+  }
+  StatusOr<JoinGraph> graph = BuildJoinGraph();
+  if (!graph.ok()) return graph.status();
+  if (!graph->IsConnected()) {
+    return Status::FailedPrecondition(
+        "join graph must be connected (no cross products)");
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  std::string out = "Query over " + std::to_string(num_relations()) +
+                    " relations:";
+  for (const auto& cond : conditions_) {
+    out += "\n  θ" + std::to_string(cond.id) + ": " + cond.ToString();
+  }
+  return out;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,81 @@
+#include "src/cost/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mrtheta {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  assert(xs_.size() == ys_.size() && !xs_.empty());
+  for (size_t i = 1; i < xs_.size(); ++i) assert(xs_[i] > xs_[i - 1]);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (xs_.empty()) return 0.0;
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) {
+    // Extrapolate with the last segment's slope (p and q keep growing with
+    // volume / connection count beyond the calibrated range).
+    if (xs_.size() == 1) return ys_.back();
+    const size_t k = xs_.size() - 1;
+    const double slope =
+        (ys_[k] - ys_[k - 1]) / (xs_[k] - xs_[k - 1]);
+    return ys_[k] + slope * (x - xs_[k]);
+  }
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const size_t hi = static_cast<size_t>(it - xs_.begin());
+  const size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+CostBreakdown PredictJobTime(const CostModelParams& params,
+                             const ClusterConfig& cluster,
+                             const JobProfile& profile, int slots) {
+  CostBreakdown out;
+  slots = std::max(1, slots);
+  const double si = std::max(1.0, profile.input_bytes);
+  const int m = static_cast<int>(
+      std::max<int64_t>(1, (static_cast<int64_t>(si) + cluster.block_size -
+                            1) /
+                               cluster.block_size));
+  const int n = std::max(1, profile.num_reduce_tasks);
+
+  // ---- Map phase: Eq. (1)-(2) ----
+  const double in_per_task = si / m;
+  const double out_per_task = profile.alpha * si / m;
+  out.t_map_task = in_per_task * params.c1_read_sec_per_byte +
+                   out_per_task * params.p_spill(out_per_task);
+  out.map_waves = (m + slots - 1) / slots;
+  out.jm = out.t_map_task * out.map_waves;
+
+  // ---- Copy phase: Eq. (3)-(4), overlapped with map waves ----
+  // Biggest reducer by the "three sigmas" rule (Sec. 4.1).
+  const double bytes_avg = profile.alpha * si / n;
+  const double s_star = bytes_avg + 3.0 * profile.sigma_reduce_bytes;
+  const double fetch = s_star * params.c2_net_sec_per_byte +
+                       m * params.q_conn(static_cast<double>(n)) / n;
+  const double overlap = out.jm - out.t_map_task;
+  out.copy_after_maps = std::max(0.0, fetch - overlap);
+
+  // ---- Reduce phase: Eq. (5) ----
+  const double skew_ratio = bytes_avg > 0 ? s_star / bytes_avg : 1.0;
+  const double comps_star = profile.comparisons_total / n * skew_ratio;
+  const double out_per_reduce = profile.output_bytes / n;
+  out.t_reduce_task = s_star * params.c1_read_sec_per_byte +
+                      comps_star / params.comparisons_per_sec +
+                      out_per_reduce * params.c1_write_sec_per_byte;
+  out.reduce_waves = (n + slots - 1) / slots;
+  out.jr = out.t_reduce_task * out.reduce_waves;
+
+  // ---- Total: Eq. (6) — the overlap case analysis is absorbed into
+  // copy_after_maps (fetch streams during later map waves). ----
+  out.total = params.job_startup_sec + out.jm + out.copy_after_maps +
+              out.jr + params.commit_sec_per_reduce * n;
+  return out;
+}
+
+}  // namespace mrtheta

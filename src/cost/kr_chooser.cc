@@ -1,0 +1,72 @@
+#include "src/cost/kr_chooser.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/hilbert/hilbert.h"
+
+namespace mrtheta {
+
+KrChoice ChooseKrByDelta(std::span<const double> cardinalities, int kr_max,
+                         double lambda) {
+  assert(!cardinalities.empty());
+  const int d = static_cast<int>(cardinalities.size());
+  double sum = 0.0, product = 1.0;
+  for (double c : cardinalities) {
+    sum += c;
+    product *= std::max(1.0, c);
+  }
+  KrChoice best;
+  best.delta = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= kr_max; ++k) {
+    const double dup = ApproxDuplicationFactor(d, k);
+    const double delta = lambda * sum * dup + (1.0 - lambda) * product / k;
+    if (delta < best.delta) {
+      best.delta = delta;
+      best.kr = k;
+    }
+  }
+  return best;
+}
+
+KrChoice ChooseKrByCost(const CostModelParams& params,
+                        const ClusterConfig& cluster,
+                        const std::function<JobProfile(int)>& profile_for,
+                        int kr_max, int slots) {
+  KrChoice best;
+  best.delta = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= kr_max; ++k) {
+    const JobProfile profile = profile_for(k);
+    const CostBreakdown cost =
+        PredictJobTime(params, cluster, profile, slots);
+    if (cost.total < best.delta) {
+      best.delta = cost.total;
+      best.kr = k;
+    }
+  }
+  return best;
+}
+
+double PowerFit::operator()(double x) const { return a * std::pow(x, b); }
+
+PowerFit FitPowerLaw(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0 && ys[i] > 0);
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  PowerFit fit;
+  fit.b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  fit.a = std::exp((sy - fit.b * sx) / n);
+  return fit;
+}
+
+}  // namespace mrtheta

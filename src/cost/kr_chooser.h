@@ -1,0 +1,44 @@
+#ifndef MRTHETA_COST_KR_CHOOSER_H_
+#define MRTHETA_COST_KR_CHOOSER_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+
+namespace mrtheta {
+
+/// Result of the Δ minimization (Eq. 10).
+struct KrChoice {
+  int kr = 1;
+  double delta = 0.0;
+};
+
+/// \brief Chooses the reduce-task count for a chain theta-join over
+/// relations with the given logical cardinalities by minimizing
+///   Δ(k) = λ · Score(f, k) + (1−λ) · Π|Ri| / k            (Eq. 10)
+/// where Score uses the closed-form Hilbert duplication factor
+/// k^((d−1)/d) (Eq. 9). Evaluated over k ∈ [1, kr_max].
+KrChoice ChooseKrByDelta(std::span<const double> cardinalities, int kr_max,
+                         double lambda = 0.4);
+
+/// Cost-model-based alternative: argmin over k of the predicted job time,
+/// with `profile_for(k)` supplying the k-dependent job profile.
+KrChoice ChooseKrByCost(const CostModelParams& params,
+                        const ClusterConfig& cluster,
+                        const std::function<JobProfile(int)>& profile_for,
+                        int kr_max, int slots);
+
+/// Least-squares power-law fit y = a·x^b in log-log space — the dashed
+/// fitting curve of Fig. 7(a). Requires positive xs/ys.
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double operator()(double x) const;
+};
+PowerFit FitPowerLaw(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_COST_KR_CHOOSER_H_

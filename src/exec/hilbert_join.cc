@@ -1,0 +1,520 @@
+#include "src/exec/hilbert_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace mrtheta {
+
+DimensionGrouping ComputeDimensionGrouping(
+    const std::vector<std::vector<int>>& input_bases,
+    const std::vector<JoinCondition>& conditions) {
+  const int n = static_cast<int>(input_bases.size());
+  DimensionGrouping g;
+  g.dim_of_input.assign(n, -1);
+  g.key_of_input.assign(n, ColumnRef{-1, -1});
+
+  auto input_covering = [&](int base) {
+    for (int i = 0; i < n; ++i) {
+      if (std::find(input_bases[i].begin(), input_bases[i].end(), base) !=
+          input_bases[i].end()) {
+        return i;
+      }
+    }
+    return -1;
+  };
+
+  // Endpoints of offset-free equality conditions, interned for union-find.
+  using EndPoint = std::tuple<int, int, int>;  // input, base relation, column
+  std::vector<EndPoint> eps;
+  std::map<EndPoint, int> ep_id;
+  std::vector<int> parent;
+  auto intern = [&](const EndPoint& ep) {
+    auto [it, inserted] = ep_id.try_emplace(ep, static_cast<int>(eps.size()));
+    if (inserted) {
+      eps.push_back(ep);
+      parent.push_back(it->second);
+    }
+    return it->second;
+  };
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (const JoinCondition& cond : conditions) {
+    if (cond.op != ThetaOp::kEq || cond.offset != 0.0) continue;
+    const int li = input_covering(cond.lhs.relation);
+    const int ri = input_covering(cond.rhs.relation);
+    if (li < 0 || ri < 0 || li == ri) continue;
+    const int a = intern({li, cond.lhs.relation, cond.lhs.column});
+    const int b = intern({ri, cond.rhs.relation, cond.rhs.column});
+    parent[find(a)] = find(b);
+  }
+
+  // Equivalence classes, largest (by distinct inputs) first.
+  std::map<int, std::vector<int>> classes;
+  for (int e = 0; e < static_cast<int>(eps.size()); ++e) {
+    classes[find(e)].push_back(e);
+  }
+  std::vector<std::vector<int>> sorted_classes;
+  for (auto& [root, members] : classes) sorted_classes.push_back(members);
+  auto distinct_inputs = [&](const std::vector<int>& members) {
+    std::set<int> ins;
+    for (int e : members) ins.insert(std::get<0>(eps[e]));
+    return ins;
+  };
+  std::sort(sorted_classes.begin(), sorted_classes.end(),
+            [&](const auto& a, const auto& b) {
+              return distinct_inputs(a).size() > distinct_inputs(b).size();
+            });
+
+  for (const auto& members : sorted_classes) {
+    // Fuse the class's still-unassigned inputs into one hash dimension.
+    std::vector<int> unassigned;
+    for (int in : distinct_inputs(members)) {
+      if (g.dim_of_input[in] < 0) unassigned.push_back(in);
+    }
+    if (unassigned.size() < 2) continue;
+    const int dim = g.num_dims++;
+    for (int in : unassigned) {
+      g.dim_of_input[in] = dim;
+      for (int e : members) {
+        if (std::get<0>(eps[e]) == in) {
+          g.key_of_input[in] = {std::get<1>(eps[e]), std::get<2>(eps[e])};
+          break;
+        }
+      }
+    }
+  }
+  // Remaining inputs get their own random-global-ID dimension.
+  for (int i = 0; i < n; ++i) {
+    if (g.dim_of_input[i] < 0) g.dim_of_input[i] = g.num_dims++;
+  }
+  return g;
+}
+
+namespace {
+
+// Shared state captured by the map and reduce closures.
+struct HilbertJobState {
+  HilbertCurve curve;
+  std::shared_ptr<const SegmentCoverage> coverage;
+  DimensionGrouping grouping;
+  std::vector<int64_t> logical_rows;   // per input
+  std::vector<int64_t> record_bytes;   // per input
+  std::vector<double> scales;          // per input
+  std::vector<RelationPtr> base_relations;
+  std::vector<JoinSide> inputs;
+  std::vector<int> output_bases;
+  std::vector<int> dim_representative;  // dim -> lowest input index
+  // conditions_at_depth[j] = conditions decidable once inputs 0..j are
+  // assigned (and not before).
+  std::vector<std::vector<JoinCondition>> conditions_at_depth;
+  uint64_t seed = 0;
+
+  // Grid slice of one tuple along its input's dimension: hash of the
+  // equality key for fused dimensions, random-global-ID position otherwise.
+  uint32_t SliceOfInput(int tag, int64_t row) const {
+    const uint64_t side = curve.side();
+    const ColumnRef key = grouping.key_of_input[tag];
+    if (key.relation >= 0) {
+      const Relation& base = *base_relations[key.relation];
+      const int64_t base_row = inputs[tag].BaseRow(row, key.relation);
+      return static_cast<uint32_t>(
+          HashValue(base.Get(base_row, key.column)) % side);
+    }
+    const uint64_t gid =
+        MixHash(seed + static_cast<uint64_t>(tag) * 0x9e37u,
+                static_cast<uint64_t>(row)) %
+        static_cast<uint64_t>(logical_rows[tag]);
+    return static_cast<uint32_t>(gid * side /
+                                 static_cast<uint64_t>(logical_rows[tag]));
+  }
+};
+
+// Backtracking join over one component's records. At every depth with a
+// numeric band condition against an already-bound input, candidates are
+// pre-sorted on the condition's column so each recursion step scans only
+// the qualifying value range (binary search) instead of the whole list.
+class ComponentJoiner {
+ public:
+  ComponentJoiner(const HilbertJobState& state, const ReduceContext& ctx,
+                  ReduceCollector& out)
+      : state_(state), ctx_(ctx), out_(out) {
+    const int dims = static_cast<int>(state_.inputs.size());
+    rows_.resize(dims);
+    slices_.resize(dims);
+    depth_checks_.assign(dims, 0.0);
+    PrepareSortedCandidates();
+  }
+
+  void Run() {
+    const int num_inputs = static_cast<int>(state_.inputs.size());
+    // Empty input => no results in this component.
+    for (int d = 0; d < num_inputs; ++d) {
+      if (ctx_.records(d).empty()) {
+        ChargeComparisons();
+        return;
+      }
+    }
+    Recurse(0);
+    ChargeComparisons();
+  }
+
+ private:
+  // One pre-sorted candidate list: records of a depth ordered by the value
+  // of `column` of the base relation covered by that input.
+  struct SortedCandidates {
+    bool active = false;
+    JoinCondition cond;       // the range condition driving the sort
+    bool current_is_lhs = false;
+    std::vector<std::pair<double, const MapOutputRecord*>> entries;
+  };
+
+  void PrepareSortedCandidates() {
+    const int num_inputs = static_cast<int>(state_.inputs.size());
+    sorted_.resize(num_inputs);
+    for (int d = 1; d < num_inputs; ++d) {
+      // Pick the first numeric non-<> condition at this depth whose other
+      // endpoint is bound earlier; it prunes by value range.
+      for (const JoinCondition& cond : state_.conditions_at_depth[d]) {
+        if (cond.op == ThetaOp::kNe) continue;
+        const bool cur_is_lhs =
+            state_.inputs[d].Covers(cond.lhs.relation);
+        const ColumnRef cur_ref = cur_is_lhs ? cond.lhs : cond.rhs;
+        const Relation& base = *state_.base_relations[cur_ref.relation];
+        if (base.schema().column(cur_ref.column).type ==
+            ValueType::kString) {
+          continue;
+        }
+        SortedCandidates sc;
+        sc.active = true;
+        sc.cond = cond;
+        sc.current_is_lhs = cur_is_lhs;
+        sc.entries.reserve(ctx_.records(d).size());
+        for (const MapOutputRecord* rec : ctx_.records(d)) {
+          const int64_t base_row =
+              state_.inputs[d].BaseRow(rec->row, cur_ref.relation);
+          sc.entries.emplace_back(base.GetDouble(base_row, cur_ref.column),
+                                  rec);
+        }
+        std::sort(sc.entries.begin(), sc.entries.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first < b.first;
+                  });
+        sorted_[d] = std::move(sc);
+        break;
+      }
+    }
+  }
+
+  // Qualifying [lo, hi) index range in sorted_[depth] given the currently
+  // bound prefix. Condition form: (lhs + offset) op rhs.
+  std::pair<size_t, size_t> RangeFor(int depth) {
+    const SortedCandidates& sc = sorted_[depth];
+    const JoinCondition& cond = sc.cond;
+    const ColumnRef other_ref = sc.current_is_lhs ? cond.rhs : cond.lhs;
+    const int other_pos = InputCovering(other_ref.relation);
+    const Relation& other_base = *state_.base_relations[other_ref.relation];
+    const double other_val = other_base.GetDouble(
+        state_.inputs[other_pos].BaseRow(rows_[other_pos],
+                                         other_ref.relation),
+        other_ref.column);
+    const auto& e = sc.entries;
+    auto lower = [&](double v) {
+      return static_cast<size_t>(
+          std::lower_bound(e.begin(), e.end(), v,
+                           [](const auto& a, double x) {
+                             return a.first < x;
+                           }) -
+          e.begin());
+    };
+    auto upper = [&](double v) {
+      return static_cast<size_t>(
+          std::upper_bound(e.begin(), e.end(), v,
+                           [](double x, const auto& a) {
+                             return x < a.first;
+                           }) -
+          e.begin());
+    };
+    // Solve for the current column value `cur`.
+    if (sc.current_is_lhs) {
+      // (cur + off) op other_val  =>  cur op (other_val - off)
+      const double bound = other_val - cond.offset;
+      switch (cond.op) {
+        case ThetaOp::kLt:
+          return {0, lower(bound)};
+        case ThetaOp::kLe:
+          return {0, upper(bound)};
+        case ThetaOp::kGt:
+          return {upper(bound), e.size()};
+        case ThetaOp::kGe:
+          return {lower(bound), e.size()};
+        case ThetaOp::kEq:
+          return {lower(bound), upper(bound)};
+        case ThetaOp::kNe:
+          break;
+      }
+    } else {
+      // (other_val + off) op cur
+      const double bound = other_val + cond.offset;
+      switch (cond.op) {
+        case ThetaOp::kLt:  // bound < cur
+          return {upper(bound), e.size()};
+        case ThetaOp::kLe:
+          return {lower(bound), e.size()};
+        case ThetaOp::kGt:  // bound > cur
+          return {0, lower(bound)};
+        case ThetaOp::kGe:
+          return {0, upper(bound)};
+        case ThetaOp::kEq:
+          return {lower(bound), upper(bound)};
+        case ThetaOp::kNe:
+          break;
+      }
+    }
+    return {0, e.size()};
+  }
+
+  void Recurse(int depth) {
+    const int num_inputs = static_cast<int>(state_.inputs.size());
+    const bool use_sorted = depth > 0 && sorted_[depth].active;
+    size_t lo = 0;
+    size_t hi = use_sorted ? sorted_[depth].entries.size()
+                           : ctx_.records(depth).size();
+    if (use_sorted) {
+      const auto range = RangeFor(depth);
+      lo = range.first;
+      hi = range.second;
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      const MapOutputRecord* rec = use_sorted
+                                       ? sorted_[depth].entries[i].second
+                                       : ctx_.records(depth)[i];
+      depth_checks_[depth] += 1.0;
+      rows_[depth] = rec->row;
+      slices_[depth] = static_cast<uint32_t>(rec->rec_id);
+      bool pass = true;
+      for (const JoinCondition& cond : state_.conditions_at_depth[depth]) {
+        if (!EvalAssigned(cond)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      if (depth + 1 < num_inputs) {
+        Recurse(depth + 1);
+        continue;
+      }
+      if (!OwnsCell()) continue;
+      EmitRow();
+    }
+  }
+
+  bool EvalAssigned(const JoinCondition& cond) const {
+    const int pl = InputCovering(cond.lhs.relation);
+    const int pr = InputCovering(cond.rhs.relation);
+    return EvalConditionBetween(cond, state_.base_relations,
+                                state_.inputs[pl], rows_[pl],
+                                state_.inputs[pr], rows_[pr]);
+  }
+
+  int InputCovering(int base) const {
+    for (int i = 0; i < static_cast<int>(state_.inputs.size()); ++i) {
+      if (state_.inputs[i].Covers(base)) return i;
+    }
+    assert(false && "condition references uncovered base");
+    return 0;
+  }
+
+  // Exactly-once ownership: the combination's cell must lie in this
+  // component's curve range. Inputs sharing a fused dimension have equal
+  // slices in any valid combination (their equality conditions held).
+  bool OwnsCell() const {
+    const int dims = state_.grouping.num_dims;
+    uint32_t coords[16];
+    for (int d = 0; d < dims; ++d) {
+      coords[d] = slices_[state_.dim_representative[d]];
+    }
+    const uint64_t idx =
+        state_.curve.Encode(std::span<const uint32_t>(coords, dims));
+    return state_.coverage->SegmentOfIndex(idx) ==
+           static_cast<int>(ctx_.key);
+  }
+
+  void EmitRow() {
+    std::vector<Value> row;
+    row.reserve(state_.output_bases.size());
+    for (int base : state_.output_bases) {
+      const int pos = InputCovering(base);
+      row.push_back(
+          Value(state_.inputs[pos].BaseRow(rows_[pos], base)));
+    }
+    out_.Emit(row);
+  }
+
+  void ChargeComparisons() {
+    // β frame: comparison work scales linearly with the represented
+    // volume, like every other extrapolated quantity (DESIGN.md §1).
+    double max_scale = 1.0;
+    for (double s : state_.scales) max_scale = std::max(max_scale, s);
+    double total = 0.0;
+    for (double c : depth_checks_) total += c;
+    out_.AddComparisons(total * max_scale);
+  }
+
+  const HilbertJobState& state_;
+  const ReduceContext& ctx_;
+  ReduceCollector& out_;
+  std::vector<int64_t> rows_;
+  std::vector<uint32_t> slices_;
+  std::vector<double> depth_checks_;
+  std::vector<SortedCandidates> sorted_;
+};
+
+}  // namespace
+
+StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
+                                               HilbertJoinPlanInfo* info) {
+  const int num_inputs = static_cast<int>(spec.inputs.size());
+  if (num_inputs < 2 || num_inputs > 16) {
+    return Status::InvalidArgument("hilbert join needs 2..16 inputs");
+  }
+  if (spec.num_reduce_tasks < 1) {
+    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
+  }
+  // Every condition endpoint must be covered by exactly one input.
+  for (const JoinCondition& cond : spec.conditions) {
+    for (int base : {cond.lhs.relation, cond.rhs.relation}) {
+      int covering = 0;
+      for (const JoinSide& side : spec.inputs) {
+        if (side.Covers(base)) ++covering;
+      }
+      if (covering != 1) {
+        return Status::InvalidArgument(
+            "condition " + cond.ToString() +
+            " endpoint covered by " + std::to_string(covering) +
+            " inputs (expected exactly 1)");
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> input_bases;
+  input_bases.reserve(spec.inputs.size());
+  for (const JoinSide& side : spec.inputs) input_bases.push_back(side.bases);
+  DimensionGrouping grouping =
+      ComputeDimensionGrouping(input_bases, spec.conditions);
+
+  const int dims = grouping.num_dims;
+  const int order = ChooseGridOrder(dims, spec.num_reduce_tasks,
+                                    spec.cells_per_segment,
+                                    spec.max_grid_bits);
+  StatusOr<HilbertCurve> curve = HilbertCurve::Create(dims, order);
+  if (!curve.ok()) return curve.status();
+
+  auto state = std::make_shared<HilbertJobState>(HilbertJobState{
+      *curve,
+      nullptr,
+      grouping,
+      {},
+      {},
+      {},
+      spec.base_relations,
+      spec.inputs,
+      {},
+      {},
+      {},
+      spec.seed});
+
+  const int kr = static_cast<int>(std::min<uint64_t>(
+      static_cast<uint64_t>(spec.num_reduce_tasks), curve->num_cells()));
+  StatusOr<SegmentCoverage> coverage = SegmentCoverage::Build(*curve, kr);
+  if (!coverage.ok()) return coverage.status();
+  state->coverage =
+      std::make_shared<const SegmentCoverage>(*std::move(coverage));
+
+  for (const JoinSide& side : spec.inputs) {
+    state->logical_rows.push_back(
+        std::max<int64_t>(1, side.data->logical_rows()));
+    state->record_bytes.push_back(side.data->schema().avg_row_bytes());
+    state->scales.push_back(side.scale);
+  }
+  state->dim_representative.assign(dims, -1);
+  for (int i = 0; i < num_inputs; ++i) {
+    const int d = grouping.dim_of_input[i];
+    if (state->dim_representative[d] < 0) state->dim_representative[d] = i;
+  }
+
+  // Output bases: ascending union of input coverage.
+  std::set<int> base_set;
+  for (const JoinSide& side : spec.inputs) {
+    base_set.insert(side.bases.begin(), side.bases.end());
+  }
+  state->output_bases.assign(base_set.begin(), base_set.end());
+
+  // Bucket conditions by the deepest input they touch.
+  state->conditions_at_depth.resize(num_inputs);
+  for (const JoinCondition& cond : spec.conditions) {
+    int depth = 0;
+    for (int i = 0; i < num_inputs; ++i) {
+      if (spec.inputs[i].Covers(cond.lhs.relation) ||
+          spec.inputs[i].Covers(cond.rhs.relation)) {
+        depth = std::max(depth, i);
+      }
+    }
+    state->conditions_at_depth[depth].push_back(cond);
+  }
+
+  MapReduceJobSpec job;
+  job.name = spec.name;
+  for (const JoinSide& side : spec.inputs) {
+    job.inputs.push_back({side.data, side.scale});
+  }
+  job.num_reduce_tasks = kr;
+  job.partition = [](int64_t key, int n) {
+    return static_cast<int>(key % n);
+  };
+  job.output_schema =
+      MakeIntermediateSchema(state->output_bases, spec.base_relations);
+  job.output_name = spec.name + ".out";
+  // β-extrapolation (the paper's Eq. 5 output model): results scale
+  // linearly with the represented data volume. See DESIGN.md §1.
+  double row_scale = 1.0;
+  for (const JoinSide& side : spec.inputs) {
+    row_scale = std::max(row_scale, side.scale);
+  }
+  job.output_row_scale = row_scale;
+
+  job.map = [state](int tag, const Relation& rel, int64_t row,
+                    MapEmitter& out) {
+    (void)rel;
+    const uint32_t slice = state->SliceOfInput(tag, row);
+    const int dim = state->grouping.dim_of_input[tag];
+    for (int seg : state->coverage->SegmentsForSlice(dim, slice)) {
+      out.Emit(seg, tag, row, slice, state->record_bytes[tag]);
+    }
+  };
+
+  job.reduce = [state](const ReduceContext& ctx, ReduceCollector& out) {
+    ComponentJoiner joiner(*state, ctx, out);
+    joiner.Run();
+  };
+
+  if (info != nullptr) {
+    info->grid_order = order;
+    info->effective_reduce_tasks = kr;
+    info->coverage = state->coverage;
+    info->grouping = state->grouping;
+    info->output_bases = state->output_bases;
+  }
+  return job;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,217 @@
+#include "src/exec/join_side.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrtheta {
+
+JoinSide JoinSide::ForBase(RelationPtr rel, int base_index) {
+  JoinSide side;
+  side.scale = rel->num_rows() > 0
+                   ? static_cast<double>(rel->logical_rows()) /
+                         static_cast<double>(rel->num_rows())
+                   : 1.0;
+  side.data = std::move(rel);
+  side.bases = {base_index};
+  side.is_base = true;
+  return side;
+}
+
+JoinSide JoinSide::ForIntermediate(RelationPtr rel, std::vector<int> bases) {
+  JoinSide side;
+  side.scale = rel->num_rows() > 0
+                   ? static_cast<double>(rel->logical_rows()) /
+                         static_cast<double>(rel->num_rows())
+                   : 1.0;
+  side.data = std::move(rel);
+  side.bases = std::move(bases);
+  side.is_base = false;
+  return side;
+}
+
+int64_t JoinSide::BaseRow(int64_t row, int base) const {
+  if (is_base) {
+    assert(base == bases[0]);
+    return row;
+  }
+  const auto it = std::find(bases.begin(), bases.end(), base);
+  assert(it != bases.end());
+  const int col = static_cast<int>(it - bases.begin());
+  return data->GetInt(row, col);
+}
+
+bool JoinSide::Covers(int base) const {
+  return std::find(bases.begin(), bases.end(), base) != bases.end();
+}
+
+Schema MakeIntermediateSchema(
+    const std::vector<int>& bases,
+    const std::vector<RelationPtr>& base_relations) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(bases.size());
+  for (int b : bases) {
+    const int width =
+        static_cast<int>(base_relations[b]->schema().avg_row_bytes());
+    cols.emplace_back("rid_" + std::to_string(b), ValueType::kInt64, width);
+  }
+  return Schema(std::move(cols));
+}
+
+bool EvalConditionBetween(const JoinCondition& cond,
+                          const std::vector<RelationPtr>& base_relations,
+                          const JoinSide& side_a, int64_t row_a,
+                          const JoinSide& side_b, int64_t row_b) {
+  const JoinSide* lhs_side = nullptr;
+  const JoinSide* rhs_side = nullptr;
+  int64_t lhs_row = 0, rhs_row = 0;
+  if (side_a.Covers(cond.lhs.relation)) {
+    lhs_side = &side_a;
+    lhs_row = row_a;
+  } else {
+    assert(side_b.Covers(cond.lhs.relation));
+    lhs_side = &side_b;
+    lhs_row = row_b;
+  }
+  if (side_a.Covers(cond.rhs.relation)) {
+    rhs_side = &side_a;
+    rhs_row = row_a;
+  } else {
+    assert(side_b.Covers(cond.rhs.relation));
+    rhs_side = &side_b;
+    rhs_row = row_b;
+  }
+  const Relation& lrel = *base_relations[cond.lhs.relation];
+  const Relation& rrel = *base_relations[cond.rhs.relation];
+  const int64_t lbase = lhs_side->BaseRow(lhs_row, cond.lhs.relation);
+  const int64_t rbase = rhs_side->BaseRow(rhs_row, cond.rhs.relation);
+  const ValueType lt = lrel.schema().column(cond.lhs.column).type;
+  const ValueType rt = rrel.schema().column(cond.rhs.column).type;
+  // Fast paths: this is the innermost loop of every reducer.
+  if (lt == ValueType::kInt64 && rt == ValueType::kInt64) {
+    const int64_t off = static_cast<int64_t>(cond.offset);
+    if (static_cast<double>(off) == cond.offset) {
+      return EvalThetaInt(lrel.GetInt(lbase, cond.lhs.column), cond.op,
+                          rrel.GetInt(rbase, cond.rhs.column), off);
+    }
+  }
+  if (lt != ValueType::kString && rt != ValueType::kString) {
+    const double l = lrel.GetDouble(lbase, cond.lhs.column) + cond.offset;
+    const double r = rrel.GetDouble(rbase, cond.rhs.column);
+    switch (cond.op) {
+      case ThetaOp::kLt:
+        return l < r;
+      case ThetaOp::kLe:
+        return l <= r;
+      case ThetaOp::kEq:
+        return l == r;
+      case ThetaOp::kGe:
+        return l >= r;
+      case ThetaOp::kGt:
+        return l > r;
+      case ThetaOp::kNe:
+        return l != r;
+    }
+  }
+  const Value lv = lrel.Get(lbase, cond.lhs.column);
+  const Value rv = rrel.Get(rbase, cond.rhs.column);
+  return EvalTheta(lv, cond.op, rv, cond.offset);
+}
+
+StatusOr<Relation> ProjectResult(
+    const Relation& intermediate, const std::vector<int>& covered_bases,
+    const std::vector<RelationPtr>& base_relations,
+    const std::vector<OutputColumn>& outputs) {
+  std::vector<ColumnDef> cols;
+  for (const OutputColumn& out : outputs) {
+    if (std::find(covered_bases.begin(), covered_bases.end(), out.base) ==
+        covered_bases.end()) {
+      return Status::InvalidArgument(
+          "projection references base not covered by result");
+    }
+    const ColumnDef& src =
+        base_relations[out.base]->schema().column(out.column);
+    cols.emplace_back("R" + std::to_string(out.base) + "." + src.name,
+                      src.type, src.avg_width);
+  }
+  Relation result("projection", Schema(std::move(cols)));
+  for (int64_t r = 0; r < intermediate.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(outputs.size());
+    for (const OutputColumn& out : outputs) {
+      const auto it = std::find(covered_bases.begin(), covered_bases.end(),
+                                out.base);
+      const int col = static_cast<int>(it - covered_bases.begin());
+      const int64_t base_row = intermediate.GetInt(r, col);
+      row.push_back(base_relations[out.base]->Get(base_row, out.column));
+    }
+    MRTHETA_RETURN_IF_ERROR(result.AppendRow(row));
+  }
+  return result;
+}
+
+ColumnDistinct EstimateDistinct(const Relation& rel, int column,
+                                int64_t max_rows) {
+  ColumnDistinct out;
+  const int64_t n = std::min<int64_t>(rel.num_rows(), max_rows);
+  if (n == 0) return out;
+  std::vector<uint64_t> hashes;
+  hashes.reserve(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    hashes.push_back(HashValue(rel.Get(r, column)));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  const int64_t d =
+      std::unique(hashes.begin(), hashes.end()) - hashes.begin();
+  out.physical = static_cast<double>(d);
+  // Extrapolate physical distinct to full physical cardinality (linear in
+  // the key-like regime, saturating otherwise).
+  if (rel.num_rows() > n && d > static_cast<int64_t>(0.9 * n)) {
+    out.physical *= static_cast<double>(rel.num_rows()) / n;
+  }
+  const bool key_like = d > static_cast<int64_t>(0.9 * n);
+  out.logical = key_like ? out.physical *
+                               static_cast<double>(rel.logical_rows()) /
+                               static_cast<double>(rel.num_rows())
+                         : out.physical;
+  return out;
+}
+
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return MixHash(0x1234, static_cast<uint64_t>(v.AsInt()));
+    case ValueType::kDouble: {
+      // Hash integral doubles like their int64 counterparts so that
+      // cross-type equi joins partition consistently.
+      const double d = v.AsDouble();
+      const int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return MixHash(0x1234, static_cast<uint64_t>(as_int));
+      }
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return MixHash(0x5678, bits);
+    }
+    case ValueType::kString: {
+      uint64_t h = 1469598103934665603ULL;
+      for (unsigned char c : v.AsString()) {
+        h ^= c;
+        h *= 1099511628211ULL;
+      }
+      return MixHash(0x9abc, h);
+    }
+  }
+  return 0;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,89 @@
+#ifndef MRTHETA_EXEC_JOIN_SIDE_H_
+#define MRTHETA_EXEC_JOIN_SIDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/predicate.h"
+#include "src/relation/relation.h"
+
+namespace mrtheta {
+
+/// \brief One input of a join job: either a base relation of the query or
+/// an intermediate result (a relation of "rid_<base>" columns produced by a
+/// previous job).
+///
+/// Intermediate rows reference base tuples by *physical row index*, so any
+/// downstream operator can resolve actual column values through the query's
+/// base-relation list. Width accounting of intermediates uses materialized
+/// widths (the bytes a real MapReduce job would spill), see DESIGN.md.
+struct JoinSide {
+  RelationPtr data;
+  /// Query-level indices of the base relations this side covers, in the
+  /// column order of `data` when `is_base` is false.
+  std::vector<int> bases;
+  bool is_base = true;
+  /// logical rows / physical rows for this side.
+  double scale = 1.0;
+
+  /// Makes a side for a base relation with query index `base_index`.
+  static JoinSide ForBase(RelationPtr rel, int base_index);
+  /// Makes a side for an intermediate result covering `bases`.
+  static JoinSide ForIntermediate(RelationPtr rel, std::vector<int> bases);
+
+  /// Physical row of base relation `base` referenced by this side's `row`.
+  int64_t BaseRow(int64_t row, int base) const;
+
+  /// True when this side covers query base `base`.
+  bool Covers(int base) const;
+};
+
+/// Builds the schema of an intermediate result covering `bases` (ascending
+/// query order): one int64 "rid_<b>" column per base, with avg_width set to
+/// the base relation's materialized row width.
+Schema MakeIntermediateSchema(const std::vector<int>& bases,
+                              const std::vector<RelationPtr>& base_relations);
+
+/// Evaluates `cond` (expressed over query base indices) for the pair
+/// (side_a row_a, side_b row_b). Exactly one side must cover each endpoint.
+bool EvalConditionBetween(const JoinCondition& cond,
+                          const std::vector<RelationPtr>& base_relations,
+                          const JoinSide& side_a, int64_t row_a,
+                          const JoinSide& side_b, int64_t row_b);
+
+/// Projects an intermediate result to output columns: for each
+/// (base, column) pair, emits the referenced base value. The intermediate
+/// must cover every requested base.
+struct OutputColumn {
+  int base = 0;
+  int column = 0;
+};
+StatusOr<Relation> ProjectResult(
+    const Relation& intermediate, const std::vector<int>& covered_bases,
+    const std::vector<RelationPtr>& base_relations,
+    const std::vector<OutputColumn>& outputs);
+
+/// Physical and extrapolated-logical distinct counts of a column: a column
+/// whose sample is nearly all-distinct is key-like, so its logical distinct
+/// count tracks the relation's logical cardinality.
+struct ColumnDistinct {
+  double physical = 1.0;
+  double logical = 1.0;
+};
+
+/// Estimates ColumnDistinct by exact counting over (up to `max_rows`)
+/// physical rows; a column whose sample is >90% distinct is treated as
+/// key-like and extrapolated to the relation's logical cardinality.
+ColumnDistinct EstimateDistinct(const Relation& rel, int column,
+                                int64_t max_rows = 65536);
+
+/// Deterministic 64-bit mix used for global-ID assignment and hash keys.
+uint64_t MixHash(uint64_t a, uint64_t b);
+
+/// Hash of a Value, for equi-join partition keys.
+uint64_t HashValue(const Value& v);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_EXEC_JOIN_SIDE_H_

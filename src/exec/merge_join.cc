@@ -1,0 +1,112 @@
+#include "src/exec/merge_join.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace mrtheta {
+
+std::vector<int> SharedBases(const JoinSide& a, const JoinSide& b) {
+  std::vector<int> shared;
+  for (int base : a.bases) {
+    if (b.Covers(base)) shared.push_back(base);
+  }
+  std::sort(shared.begin(), shared.end());
+  return shared;
+}
+
+namespace {
+
+struct MergeState {
+  JoinSide left;
+  JoinSide right;
+  std::vector<int> shared;
+  std::vector<int> output_bases;
+  int64_t left_bytes = 0;
+  int64_t right_bytes = 0;
+
+  uint64_t KeyOf(const JoinSide& side, int64_t row) const {
+    uint64_t h = 0x517cc1b727220a95ULL;
+    for (int base : shared) {
+      h = MixHash(h, static_cast<uint64_t>(side.BaseRow(row, base)));
+    }
+    return h;
+  }
+
+  bool RidsMatch(int64_t lrow, int64_t rrow) const {
+    for (int base : shared) {
+      if (left.BaseRow(lrow, base) != right.BaseRow(rrow, base)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+StatusOr<MapReduceJobSpec> BuildMergeJob(const MergeJobSpec& spec) {
+  if (spec.num_reduce_tasks < 1) {
+    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
+  }
+  auto state = std::make_shared<MergeState>();
+  state->left = spec.left;
+  state->right = spec.right;
+  state->shared = SharedBases(spec.left, spec.right);
+  if (state->shared.empty()) {
+    return Status::FailedPrecondition(
+        "merge requires the sides to share at least one relation");
+  }
+  std::set<int> bases(spec.left.bases.begin(), spec.left.bases.end());
+  bases.insert(spec.right.bases.begin(), spec.right.bases.end());
+  state->output_bases.assign(bases.begin(), bases.end());
+  // Merge inputs ship only record IDs: 8 bytes per covered relation.
+  state->left_bytes = 8 * static_cast<int64_t>(spec.left.bases.size());
+  state->right_bytes = 8 * static_cast<int64_t>(spec.right.bases.size());
+
+  MapReduceJobSpec job;
+  job.name = spec.name;
+  job.inputs.push_back({spec.left.data, spec.left.scale});
+  job.inputs.push_back({spec.right.data, spec.right.scale});
+  job.num_reduce_tasks = spec.num_reduce_tasks;
+  job.output_schema =
+      MakeIntermediateSchema(state->output_bases, spec.base_relations);
+  job.output_name = spec.name + ".out";
+  // A merged row pairs one left row with one right row agreeing on the
+  // shared rids; in expectation the logical count scales like an equi-join
+  // on a key: left.scale * right.scale overcounts matches lost to sampling
+  // both sides, so use the max (the dominating side's scale).
+  job.output_row_scale = std::max(spec.left.scale, spec.right.scale);
+
+  job.map = [state](int tag, const Relation& rel, int64_t row,
+                    MapEmitter& out) {
+    (void)rel;
+    const JoinSide& side = tag == 0 ? state->left : state->right;
+    out.Emit(static_cast<int64_t>(state->KeyOf(side, row)), tag, row, row,
+             tag == 0 ? state->left_bytes : state->right_bytes);
+  };
+  job.reduce = [state](const ReduceContext& ctx, ReduceCollector& out) {
+    const auto& lrecs = ctx.records(0);
+    const auto& rrecs = ctx.records(1);
+    out.AddComparisons(static_cast<double>(lrecs.size()) *
+                       static_cast<double>(rrecs.size()));
+    for (const MapOutputRecord* l : lrecs) {
+      for (const MapOutputRecord* r : rrecs) {
+        if (!state->RidsMatch(l->row, r->row)) continue;
+        std::vector<Value> row;
+        row.reserve(state->output_bases.size());
+        for (int base : state->output_bases) {
+          if (state->left.Covers(base)) {
+            row.push_back(Value(state->left.BaseRow(l->row, base)));
+          } else {
+            row.push_back(Value(state->right.BaseRow(r->row, base)));
+          }
+        }
+        out.Emit(row);
+      }
+    }
+  };
+  return job;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,102 @@
+#include "src/exec/naive_join.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/exec/join_side.h"
+
+namespace mrtheta {
+
+StatusOr<Relation> NaiveMultiwayJoin(
+    const std::vector<RelationPtr>& base_relations,
+    const std::vector<int>& base_indices,
+    const std::vector<JoinCondition>& conditions) {
+  if (base_indices.size() < 2) {
+    return Status::InvalidArgument("need at least two relations to join");
+  }
+  std::vector<int> sorted_bases = base_indices;
+  std::sort(sorted_bases.begin(), sorted_bases.end());
+
+  // Conditions checkable once the first (j+1) relations are bound.
+  const int m = static_cast<int>(sorted_bases.size());
+  std::vector<std::vector<JoinCondition>> at_depth(m);
+  auto pos_of = [&](int base) {
+    for (int i = 0; i < m; ++i) {
+      if (sorted_bases[i] == base) return i;
+    }
+    return -1;
+  };
+  for (const JoinCondition& cond : conditions) {
+    const int pl = pos_of(cond.lhs.relation);
+    const int pr = pos_of(cond.rhs.relation);
+    if (pl < 0 || pr < 0) {
+      return Status::InvalidArgument("condition " + cond.ToString() +
+                                     " references a relation not joined");
+    }
+    at_depth[std::max(pl, pr)].push_back(cond);
+  }
+
+  Relation result("naive.out",
+                  MakeIntermediateSchema(sorted_bases, base_relations));
+  std::vector<int64_t> rows(m, 0);
+
+  // Depth-first nested loops with early pruning.
+  std::vector<int64_t> assignment(m);
+  auto check = [&](int depth) {
+    for (const JoinCondition& cond : at_depth[depth]) {
+      const Relation& lrel = *base_relations[cond.lhs.relation];
+      const Relation& rrel = *base_relations[cond.rhs.relation];
+      const Value lv =
+          lrel.Get(assignment[pos_of(cond.lhs.relation)], cond.lhs.column);
+      const Value rv =
+          rrel.Get(assignment[pos_of(cond.rhs.relation)], cond.rhs.column);
+      if (!EvalTheta(lv, cond.op, rv, cond.offset)) return false;
+    }
+    return true;
+  };
+  // Iterative backtracking.
+  int depth = 0;
+  std::vector<int64_t> cursor(m, 0);
+  while (depth >= 0) {
+    const Relation& rel = *base_relations[sorted_bases[depth]];
+    if (cursor[depth] >= rel.num_rows()) {
+      cursor[depth] = 0;
+      --depth;
+      if (depth >= 0) ++cursor[depth];
+      continue;
+    }
+    assignment[depth] = cursor[depth];
+    if (!check(depth)) {
+      ++cursor[depth];
+      continue;
+    }
+    if (depth + 1 == m) {
+      std::vector<Value> row;
+      row.reserve(m);
+      for (int i = 0; i < m; ++i) row.push_back(Value(assignment[i]));
+      MRTHETA_RETURN_IF_ERROR(result.AppendRow(row));
+      ++cursor[depth];
+    } else {
+      ++depth;
+    }
+  }
+  (void)rows;
+  return SortedByRows(result);
+}
+
+Relation SortedByRows(const Relation& rel) {
+  std::vector<int64_t> order(rel.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  const int cols = rel.schema().num_columns();
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (int c = 0; c < cols; ++c) {
+      const int64_t va = rel.GetInt(a, c);
+      const int64_t vb = rel.GetInt(b, c);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+  return rel.Slice(order);
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,30 @@
+#ifndef MRTHETA_EXEC_NAIVE_JOIN_H_
+#define MRTHETA_EXEC_NAIVE_JOIN_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/predicate.h"
+#include "src/relation/relation.h"
+
+namespace mrtheta {
+
+/// \brief Single-machine nested-loop multi-way theta-join — the test oracle
+/// every distributed executor is checked against.
+///
+/// Joins `base_indices` (query-level indices into `base_relations`) under
+/// `conditions`, returning an intermediate-format relation (one "rid_<b>"
+/// column per base, ascending base order, rows sorted lexicographically) so
+/// results compare bit-for-bit with distributed outputs after sorting.
+StatusOr<Relation> NaiveMultiwayJoin(
+    const std::vector<RelationPtr>& base_relations,
+    const std::vector<int>& base_indices,
+    const std::vector<JoinCondition>& conditions);
+
+/// Sorts an intermediate result's rows lexicographically (all-int64
+/// schemas), for order-insensitive comparison in tests.
+Relation SortedByRows(const Relation& rel);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_EXEC_NAIVE_JOIN_H_

@@ -1,0 +1,70 @@
+#include "src/graph/join_graph.h"
+
+#include <vector>
+
+namespace mrtheta {
+
+Status JoinGraph::AddEdge(int u, int v, int theta_id) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loop join edges are not allowed");
+  }
+  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  const int idx = num_edges();
+  edges_.push_back({u, v, theta_id});
+  adjacency_[u].push_back(idx);
+  adjacency_[v].push_back(idx);
+  return Status::OK();
+}
+
+bool JoinGraph::IsConnected() const {
+  if (num_vertices() == 0) return true;
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int e : adjacency_[v]) {
+      const int w = edges_[e].u == v ? edges_[e].v : edges_[e].u;
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == num_vertices();
+}
+
+bool JoinGraph::HasEulerianTrail() const {
+  if (!IsConnected()) return false;
+  int odd = 0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (Degree(v) % 2 == 1) ++odd;
+  }
+  return odd == 0 || odd == 2;
+}
+
+bool JoinGraph::HasEulerianCircuit() const {
+  if (!IsConnected()) return false;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (Degree(v) % 2 == 1) return false;
+  }
+  return true;
+}
+
+std::string JoinGraph::ToString() const {
+  std::string out = "G_J{";
+  for (int i = 0; i < num_edges(); ++i) {
+    if (i) out += ", ";
+    out += "θ" + std::to_string(edges_[i].theta_id) + ":R" +
+           std::to_string(edges_[i].u) + "-R" + std::to_string(edges_[i].v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,61 @@
+#ifndef MRTHETA_GRAPH_JOIN_GRAPH_H_
+#define MRTHETA_GRAPH_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+
+/// One edge of the join graph G_J: join condition θ`theta_id` connecting
+/// relations `u` and `v` (Definition 1). Parallel edges are allowed — each
+/// θ function is its own edge.
+struct JoinGraphEdge {
+  int u = 0;
+  int v = 0;
+  int theta_id = 0;
+};
+
+/// \brief The paper's join graph G_J = ⟨V, E, L⟩: vertices are relations,
+/// edges are join conditions (a multigraph).
+class JoinGraph {
+ public:
+  explicit JoinGraph(int num_vertices) : adjacency_(num_vertices) {}
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<JoinGraphEdge>& edges() const { return edges_; }
+  const JoinGraphEdge& edge(int i) const { return edges_[i]; }
+
+  /// Adds the edge for condition `theta_id` between u and v (u != v).
+  Status AddEdge(int u, int v, int theta_id);
+
+  /// Edge indices incident to vertex v.
+  const std::vector<int>& IncidentEdges(int v) const {
+    return adjacency_[v];
+  }
+
+  /// Degree of vertex v (parallel edges counted).
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// True when every vertex is reachable from vertex 0 (queries must have
+  /// connected join graphs).
+  bool IsConnected() const;
+
+  /// Eulerian trail exists iff connected with 0 or 2 odd-degree vertices;
+  /// a circuit (the E(G_JP) of Fig. 1) iff all degrees are even.
+  bool HasEulerianTrail() const;
+  bool HasEulerianCircuit() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<JoinGraphEdge> edges_;
+  std::vector<std::vector<int>> adjacency_;  // vertex -> incident edge ids
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_GRAPH_JOIN_GRAPH_H_

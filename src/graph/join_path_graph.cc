@@ -1,0 +1,199 @@
+#include "src/graph/join_path_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mrtheta {
+
+std::string JobCandidate::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < thetas.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(thetas[i]);
+  }
+  out += "} over R{";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(relations[i]);
+  }
+  out += "} w=" + std::to_string(weight) +
+         " s=" + std::to_string(schedule_slots);
+  return out;
+}
+
+namespace {
+
+struct Trail {
+  uint32_t edge_mask = 0;   // over edge indices in G_J
+  std::vector<int> edges;   // edge indices in traversal order
+  std::vector<int> vertices;  // visited vertices (with repeats), |edges|+1
+  int start = 0;
+  int end = 0;
+};
+
+// Enumerates every trail (no-edge-repeating path) of G_J, grouped by hop
+// count, keeping the first traversal found for each distinct edge set.
+std::vector<std::vector<Trail>> EnumerateTrails(const JoinGraph& g,
+                                                int max_hops) {
+  std::vector<std::vector<Trail>> by_length(max_hops + 1);
+  std::map<uint32_t, bool> seen;  // edge_mask -> recorded
+
+  // Iterative DFS with explicit stack to bound recursion depth.
+  struct Frame {
+    int vertex;
+    uint32_t mask;
+    std::vector<int> edges;
+    std::vector<int> vertices;
+  };
+  for (int s = 0; s < g.num_vertices(); ++s) {
+    std::vector<Frame> stack;
+    stack.push_back({s, 0u, {}, {s}});
+    while (!stack.empty()) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      if (!f.edges.empty()) {
+        if (!seen[f.mask]) {
+          seen[f.mask] = true;
+          Trail t;
+          t.edge_mask = f.mask;
+          t.edges = f.edges;
+          t.vertices = f.vertices;
+          t.start = s;
+          t.end = f.vertex;
+          by_length[static_cast<int>(f.edges.size())].push_back(
+              std::move(t));
+        }
+      }
+      if (static_cast<int>(f.edges.size()) >= max_hops) continue;
+      for (int e : g.IncidentEdges(f.vertex)) {
+        if (f.mask & (1u << e)) continue;
+        const auto& edge = g.edge(e);
+        const int next = edge.u == f.vertex ? edge.v : edge.u;
+        Frame nf = f;
+        nf.vertex = next;
+        nf.mask |= 1u << e;
+        nf.edges.push_back(e);
+        nf.vertices.push_back(next);
+        stack.push_back(std::move(nf));
+      }
+    }
+  }
+  return by_length;
+}
+
+}  // namespace
+
+StatusOr<std::vector<JobCandidate>> BuildJoinPathGraph(
+    const JoinGraph& graph, const CandidateCostFn& cost_fn,
+    const JoinPathGraphOptions& options, JoinPathGraphStats* stats) {
+  if (graph.num_edges() > 20) {
+    return Status::InvalidArgument(
+        "join graphs with more than 20 conditions are not supported");
+  }
+  if (graph.num_edges() == 0) {
+    return Status::InvalidArgument("join graph has no conditions");
+  }
+  if (!cost_fn) {
+    return Status::InvalidArgument("cost_fn must be provided");
+  }
+  const int max_hops = options.max_hops > 0
+                           ? std::min(options.max_hops, graph.num_edges())
+                           : graph.num_edges();
+
+  JoinPathGraphStats local_stats;
+  JoinPathGraphStats& st = stats ? *stats : local_stats;
+
+  const auto by_length = EnumerateTrails(graph, max_hops);
+
+  // WL: reported candidates sorted ascending by weight. Stored as indices
+  // into `reported`.
+  std::vector<JobCandidate> reported;
+  std::vector<int> wl;  // sorted by reported[i].weight ascending
+  std::vector<uint32_t> pruned_masks;
+
+  auto theta_mask_of = [&](const Trail& t) {
+    uint32_t mask = 0;
+    for (int e : t.edges) mask |= 1u << graph.edge(e).theta_id;
+    return mask;
+  };
+
+  for (int len = 1; len <= max_hops; ++len) {
+    for (const Trail& trail : by_length[len]) {
+      ++st.trails_enumerated;
+      const uint32_t tmask = theta_mask_of(trail);
+
+      // Lemma 2: any pruned candidate whose conditions are a subset of this
+      // trail's conditions disqualifies it outright.
+      if (options.enable_pruning) {
+        bool lemma2 = false;
+        for (uint32_t pm : pruned_masks) {
+          if ((pm & tmask) == pm) {
+            lemma2 = true;
+            break;
+          }
+        }
+        if (lemma2) {
+          ++st.pruned_by_lemma2;
+          continue;
+        }
+      }
+
+      JobCandidate cand;
+      cand.theta_mask = tmask;
+      for (int e : trail.edges) cand.thetas.push_back(graph.edge(e).theta_id);
+      for (int v : trail.vertices) {
+        if (std::find(cand.relations.begin(), cand.relations.end(), v) ==
+            cand.relations.end()) {
+          cand.relations.push_back(v);
+        }
+      }
+      cand.endpoint_u = trail.start;
+      cand.endpoint_v = trail.end;
+      const CandidateCost cost = cost_fn(cand.thetas, cand.relations);
+      cand.weight = cost.weight;
+      cand.schedule_slots = cost.schedule_slots;
+
+      // Lemma 1: scan WL ascending; greedily collect strictly-cheaper
+      // reported candidates that add coverage of cand's conditions. If they
+      // cover it with total slot demand <= cand's, cand is substitutable.
+      bool lemma1 = false;
+      if (options.enable_pruning) {
+        uint32_t covered = 0;
+        int slots_sum = 0;
+        for (int idx : wl) {
+          const JobCandidate& other = reported[idx];
+          if (other.weight >= cand.weight) break;  // WL is sorted
+          const uint32_t gain = cand.theta_mask & other.theta_mask & ~covered;
+          if (gain == 0) continue;
+          covered |= other.theta_mask;
+          slots_sum += other.schedule_slots;
+          if ((covered & cand.theta_mask) == cand.theta_mask) break;
+        }
+        lemma1 = (covered & cand.theta_mask) == cand.theta_mask &&
+                 slots_sum <= cand.schedule_slots;
+      }
+      if (lemma1) {
+        ++st.pruned_by_lemma1;
+        pruned_masks.push_back(cand.theta_mask);
+        continue;
+      }
+
+      // Report: insert into WL keeping ascending weight order.
+      const int new_idx = static_cast<int>(reported.size());
+      reported.push_back(std::move(cand));
+      const auto pos = std::lower_bound(
+          wl.begin(), wl.end(), reported[new_idx].weight,
+          [&](int idx, double w) { return reported[idx].weight < w; });
+      wl.insert(pos, new_idx);
+      ++st.reported;
+    }
+  }
+
+  // Return in ascending-weight order (the WL order).
+  std::vector<JobCandidate> result;
+  result.reserve(wl.size());
+  for (int idx : wl) result.push_back(std::move(reported[idx]));
+  return result;
+}
+
+}  // namespace mrtheta

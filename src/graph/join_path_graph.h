@@ -1,0 +1,80 @@
+#ifndef MRTHETA_GRAPH_JOIN_PATH_GRAPH_H_
+#define MRTHETA_GRAPH_JOIN_PATH_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/join_graph.h"
+
+namespace mrtheta {
+
+/// \brief One edge e' of the join-path graph G'_JP: a no-edge-repeating path
+/// (trail) in G_J, i.e. a candidate MapReduce job MRJ(e') that evaluates all
+/// the θ conditions on the trail in one job (Definition 3).
+struct JobCandidate {
+  /// The trail's condition ids l'(e'), as a bitmask over θ ids (<= 31
+  /// conditions per query) and as an ordered list along the trail.
+  uint32_t theta_mask = 0;
+  std::vector<int> thetas;
+  /// Distinct relations on the trail, in first-visit order — the dimensions
+  /// of the partition hyper-cube S.
+  std::vector<int> relations;
+  /// Trail endpoints in G_J.
+  int endpoint_u = 0;
+  int endpoint_v = 0;
+  /// w(e'): minimum estimated evaluation time (seconds).
+  double weight = 0.0;
+  /// s(e'): the scheduling information — the reduce-task count achieving
+  /// w(e') (the paper's RN(MRJ)).
+  int schedule_slots = 1;
+
+  int num_conditions() const { return static_cast<int>(thetas.size()); }
+  std::string ToString() const;
+};
+
+/// Cost oracle supplied by the planner: returns (w, s) for evaluating the
+/// given condition set over the given distinct relations with one MRJ.
+struct CandidateCost {
+  double weight = 0.0;
+  int schedule_slots = 1;
+};
+using CandidateCostFn = std::function<CandidateCost(
+    const std::vector<int>& thetas, const std::vector<int>& relations)>;
+
+/// Options bounding the G'_JP construction.
+struct JoinPathGraphOptions {
+  /// Maximum trail length (hop count); 0 = all edges of G_J.
+  int max_hops = 0;
+  /// Disable Lemma 1/2 pruning (for the ablation benchmark).
+  bool enable_pruning = true;
+};
+
+/// Statistics reported by BuildJoinPathGraph (exercised in tests and the
+/// plan-explorer example).
+struct JoinPathGraphStats {
+  int trails_enumerated = 0;
+  int pruned_by_lemma1 = 0;
+  int pruned_by_lemma2 = 0;
+  int reported = 0;
+};
+
+/// \brief Algorithm 2: constructs the pruned join-path graph G'_JP.
+///
+/// Enumerates trails of increasing hop count L between every vertex pair
+/// (each trail identified by its condition *set* — traversal order does not
+/// change the MRJ). A sorted work list WL (ascending w) supports the Lemma 1
+/// test: a candidate is dropped when some already-reported collection of
+/// cheaper candidates covers its conditions with no greater slot demand.
+/// Lemma 2 then transitively drops every enumerated superset of a dropped
+/// candidate.
+StatusOr<std::vector<JobCandidate>> BuildJoinPathGraph(
+    const JoinGraph& graph, const CandidateCostFn& cost_fn,
+    const JoinPathGraphOptions& options = {},
+    JoinPathGraphStats* stats = nullptr);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_GRAPH_JOIN_PATH_GRAPH_H_

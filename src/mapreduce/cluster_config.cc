@@ -1,0 +1,19 @@
+#include "src/mapreduce/cluster_config.h"
+
+#include <cstdio>
+
+namespace mrtheta {
+
+std::string ClusterConfig::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "ClusterConfig{workers=%d block=%s sort=%s spill%%=%.2f "
+                "repl=%d read=%.2fMB/s write=%.2fMB/s net=%.1fMB/s}",
+                num_workers, FormatBytes(block_size).c_str(),
+                FormatBytes(io_sort_bytes).c_str(), io_sort_spill_percent,
+                replication, disk_read_mb_per_sec, disk_write_mb_per_sec,
+                network_mb_per_sec);
+  return buf;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,138 @@
+#ifndef MRTHETA_MAPREDUCE_JOB_H_
+#define MRTHETA_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/relation/relation.h"
+
+namespace mrtheta {
+
+/// One record emitted by a Map task: a partition key plus a *reference* to a
+/// physical tuple (tag = which input, row = row index). `rec_id` carries the
+/// tuple's logical global ID (the paper's randomly assigned GlobalID) and
+/// `bytes` the serialized size charged to the shuffle.
+struct MapOutputRecord {
+  int64_t key = 0;
+  int32_t tag = 0;
+  int64_t row = 0;
+  int64_t rec_id = 0;
+  int64_t bytes = 0;
+};
+
+/// Collects Map outputs. Map functions call Emit once per (key, record).
+class MapEmitter {
+ public:
+  void Emit(int64_t key, int32_t tag, int64_t row, int64_t rec_id,
+            int64_t bytes) {
+    records_.push_back({key, tag, row, rec_id, bytes});
+  }
+
+  std::vector<MapOutputRecord>& records() { return records_; }
+
+ private:
+  std::vector<MapOutputRecord> records_;
+};
+
+/// Collects Reduce outputs and CPU accounting.
+class ReduceCollector {
+ public:
+  explicit ReduceCollector(Relation* output) : output_(output) {}
+
+  /// Appends one result row to the job's output relation.
+  void Emit(const std::vector<Value>& row);
+
+  /// Charges `n` *logical* tuple-pair comparisons to the current reduce
+  /// task; drives the simulated CPU time of the task.
+  void AddComparisons(double n) { comparisons_ += n; }
+
+  double comparisons() const { return comparisons_; }
+  int64_t rows_emitted() const { return rows_emitted_; }
+
+ private:
+  Relation* output_;
+  double comparisons_ = 0;
+  int64_t rows_emitted_ = 0;
+};
+
+/// One input of a job. `scale` = logical_rows / physical_rows for this
+/// input; executors use it to convert measured physical volumes into the
+/// logical volumes the simulator clocks.
+struct JobInput {
+  RelationPtr relation;
+  double scale = 1.0;
+
+  int64_t logical_bytes() const { return relation->logical_bytes(); }
+};
+
+/// Context handed to the reduce function for one key group.
+struct ReduceContext {
+  int64_t key = 0;
+  /// Records of this key group, partitioned by input tag (stable row order).
+  const std::vector<std::vector<const MapOutputRecord*>>* by_tag = nullptr;
+  /// The job's inputs, for tuple access by (tag, row).
+  const std::vector<JobInput>* inputs = nullptr;
+
+  const Relation& relation(int tag) const {
+    return *(*inputs)[tag].relation;
+  }
+  const std::vector<const MapOutputRecord*>& records(int tag) const {
+    return (*by_tag)[tag];
+  }
+};
+
+/// Map function: invoked once per physical row of every input.
+using MapFn = std::function<void(int tag, const Relation& rel, int64_t row,
+                                 MapEmitter& out)>;
+
+/// Reduce function: invoked once per distinct key, keys in ascending order.
+using ReduceFn = std::function<void(const ReduceContext& ctx,
+                                    ReduceCollector& out)>;
+
+/// Partitioner: maps a key to a reduce task in [0, num_reduce_tasks).
+using PartitionFn = std::function<int(int64_t key, int num_reduce_tasks)>;
+
+/// Default partitioner: mixed hash modulo n (Hadoop's HashPartitioner).
+int HashPartition(int64_t key, int num_reduce_tasks);
+
+/// \brief Complete specification of one MapReduce job (MRJ).
+struct MapReduceJobSpec {
+  std::string name;
+  std::vector<JobInput> inputs;
+  MapFn map;
+  ReduceFn reduce;
+  /// RN(MRJ): the user-specified reduce task count — the scheduling
+  /// parameter the paper optimizes.
+  int num_reduce_tasks = 1;
+  PartitionFn partition;  ///< defaults to HashPartition when null
+  Schema output_schema;
+  std::string output_name = "out";
+  /// Multiplier that converts physical output rows to logical output rows
+  /// (the β-extrapolation rule; see DESIGN.md §1).
+  double output_row_scale = 1.0;
+  /// True for Hive/Pig-style jobs: pay text-SerDe parse/serialize costs and
+  /// text-width-inflated intermediates (ClusterConfig::text_serde_*).
+  bool text_serde = false;
+};
+
+/// Physical + logical measurements of one executed job. All `*_logical`
+/// volumes are what the simulator clocks; physical fields exist for tests.
+struct JobMeasurement {
+  int64_t input_bytes_logical = 0;
+  int64_t input_bytes_physical = 0;
+  int64_t map_output_bytes_logical = 0;
+  int64_t map_output_records_physical = 0;
+  std::vector<int64_t> reduce_input_bytes_logical;   // per reduce task
+  std::vector<double> reduce_comparisons_logical;    // per reduce task
+  int64_t output_rows_physical = 0;
+  double output_rows_logical = 0;
+  int64_t output_bytes_logical = 0;
+
+  int64_t MaxReduceInputBytes() const;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_MAPREDUCE_JOB_H_

@@ -1,0 +1,134 @@
+#include "src/mapreduce/job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrtheta {
+
+namespace {
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+int HashPartition(int64_t key, int num_reduce_tasks) {
+  return static_cast<int>(Mix64(static_cast<uint64_t>(key)) %
+                          static_cast<uint64_t>(num_reduce_tasks));
+}
+
+void ReduceCollector::Emit(const std::vector<Value>& row) {
+  Status s = output_->AppendRow(row);
+  assert(s.ok());
+  (void)s;
+  ++rows_emitted_;
+}
+
+int64_t JobMeasurement::MaxReduceInputBytes() const {
+  int64_t mx = 0;
+  for (int64_t b : reduce_input_bytes_logical) mx = std::max(mx, b);
+  return mx;
+}
+
+StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
+  if (spec.inputs.empty()) {
+    return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
+  }
+  if (!spec.map || !spec.reduce) {
+    return Status::InvalidArgument("job '" + spec.name +
+                                   "' is missing map or reduce function");
+  }
+  if (spec.num_reduce_tasks < 1) {
+    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
+  }
+
+  PhysicalJobResult result;
+  result.output =
+      std::make_shared<Relation>(spec.output_name, spec.output_schema);
+  JobMeasurement& m = result.metrics;
+
+  // ---- Map phase ----
+  MapEmitter emitter;
+  for (int tag = 0; tag < static_cast<int>(spec.inputs.size()); ++tag) {
+    const Relation& rel = *spec.inputs[tag].relation;
+    m.input_bytes_logical += rel.logical_bytes();
+    m.input_bytes_physical += rel.physical_bytes();
+    for (int64_t row = 0; row < rel.num_rows(); ++row) {
+      spec.map(tag, rel, row, emitter);
+    }
+  }
+  m.map_output_records_physical =
+      static_cast<int64_t>(emitter.records().size());
+
+  // ---- Shuffle: partition by key, charge logical bytes per record ----
+  const int n = spec.num_reduce_tasks;
+  const PartitionFn& partition =
+      spec.partition ? spec.partition : PartitionFn(HashPartition);
+  std::vector<std::vector<MapOutputRecord>> task_records(n);
+  std::vector<double> task_bytes(n, 0.0);
+  double map_out_bytes = 0.0;
+  for (const MapOutputRecord& rec : emitter.records()) {
+    const int task = partition(rec.key, n);
+    if (task < 0 || task >= n) {
+      return Status::Internal("partitioner returned task out of range");
+    }
+    const double scaled_bytes =
+        static_cast<double>(rec.bytes) * spec.inputs[rec.tag].scale;
+    task_bytes[task] += scaled_bytes;
+    map_out_bytes += scaled_bytes;
+    task_records[task].push_back(rec);
+  }
+  m.map_output_bytes_logical = static_cast<int64_t>(map_out_bytes);
+  m.reduce_input_bytes_logical.resize(n);
+  for (int t = 0; t < n; ++t) {
+    m.reduce_input_bytes_logical[t] = static_cast<int64_t>(task_bytes[t]);
+  }
+
+  // ---- Reduce phase: per task, sort by key then group ----
+  const int num_tags = static_cast<int>(spec.inputs.size());
+  m.reduce_comparisons_logical.assign(n, 0.0);
+  for (int t = 0; t < n; ++t) {
+    auto& records = task_records[t];
+    std::sort(records.begin(), records.end(),
+              [](const MapOutputRecord& a, const MapOutputRecord& b) {
+                if (a.key != b.key) return a.key < b.key;
+                if (a.tag != b.tag) return a.tag < b.tag;
+                return a.row < b.row;
+              });
+    ReduceCollector collector(result.output.get());
+    size_t i = 0;
+    while (i < records.size()) {
+      size_t j = i;
+      while (j < records.size() && records[j].key == records[i].key) ++j;
+      std::vector<std::vector<const MapOutputRecord*>> by_tag(num_tags);
+      for (size_t k = i; k < j; ++k) {
+        by_tag[records[k].tag].push_back(&records[k]);
+      }
+      ReduceContext ctx;
+      ctx.key = records[i].key;
+      ctx.by_tag = &by_tag;
+      ctx.inputs = &spec.inputs;
+      spec.reduce(ctx, collector);
+      i = j;
+    }
+    m.reduce_comparisons_logical[t] = collector.comparisons();
+  }
+
+  // ---- Output accounting ----
+  m.output_rows_physical = result.output->num_rows();
+  m.output_rows_logical =
+      static_cast<double>(m.output_rows_physical) * spec.output_row_scale;
+  // Guard against llround overflow on extreme extrapolations.
+  const double capped_rows =
+      std::min(m.output_rows_logical, 4.0e18);
+  result.output->set_logical_rows(
+      static_cast<int64_t>(std::llround(capped_rows)));
+  m.output_bytes_logical = result.output->logical_bytes();
+  return result;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,29 @@
+#ifndef MRTHETA_MAPREDUCE_JOB_RUNNER_H_
+#define MRTHETA_MAPREDUCE_JOB_RUNNER_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/mapreduce/job.h"
+
+namespace mrtheta {
+
+/// Result of physically executing a job: the exact output relation (with
+/// logical cardinality attached) plus the measurements the simulator needs.
+struct PhysicalJobResult {
+  std::shared_ptr<Relation> output;
+  JobMeasurement metrics;
+};
+
+/// \brief Executes the Map, shuffle and Reduce phases of `spec` faithfully
+/// over the physical tuples, single-threaded and deterministic.
+///
+/// Semantics follow Hadoop: map over every input record, partition map
+/// output by key, sort each reduce task's records by key (ties broken by
+/// (tag, row) for stability), invoke reduce once per key group, concatenate
+/// reduce outputs in task order.
+StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_MAPREDUCE_JOB_RUNNER_H_

@@ -1,0 +1,31 @@
+#include "src/mapreduce/load_model.h"
+
+namespace mrtheta {
+
+SimTime LoadModel::PlainUpload(const ClusterConfig& cfg, int64_t bytes) const {
+  (void)cfg;
+  const double aggregate_rate =
+      ingest_mb_per_sec_per_node * num_data_nodes * kMiB;  // bytes/sec
+  return FromSeconds(static_cast<double>(bytes) / aggregate_rate);
+}
+
+SimTime LoadModel::HiveLoad(const ClusterConfig& cfg, int64_t bytes) const {
+  return static_cast<SimTime>(hive_overhead_factor *
+                              static_cast<double>(PlainUpload(cfg, bytes))) +
+         hive_fixed;
+}
+
+SimTime LoadModel::OurLoad(const ClusterConfig& cfg, int64_t bytes) const {
+  const SimTime plain = PlainUpload(cfg, bytes);
+  // Sampling scan reads a fraction of the data at the aggregate disk read
+  // rate; statistics/index construction costs a per-byte factor on top of
+  // the upload itself.
+  const double read_rate =
+      cfg.disk_read_mb_per_sec * num_data_nodes * kMiB;  // bytes/sec
+  const SimTime sampling = FromSeconds(
+      sampling_fraction * static_cast<double>(bytes) / read_rate);
+  return static_cast<SimTime>(index_factor * static_cast<double>(plain)) +
+         sampling + ours_fixed;
+}
+
+}  // namespace mrtheta

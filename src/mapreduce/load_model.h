@@ -1,0 +1,39 @@
+#ifndef MRTHETA_MAPREDUCE_LOAD_MODEL_H_
+#define MRTHETA_MAPREDUCE_LOAD_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/mapreduce/cluster_config.h"
+
+namespace mrtheta {
+
+/// \brief Data-loading time models behind Fig. 11.
+///
+/// Loading is not a MapReduce job (each DataNode ingests from local disk),
+/// so it gets its own small analytic model:
+///  - plain HDFS upload: parallel ingest across data nodes, replication
+///    pipelined over the network;
+///  - Hive load: plain upload plus SerDe/metastore overhead (per-volume
+///    factor + fixed cost);
+///  - our method: plain upload plus the sampling scan and the statistics +
+///    index construction the planner needs (Sec. 6.3: "a little more time
+///    consuming for the data uploading process", comparable to Hive at
+///    large volumes).
+struct LoadModel {
+  int num_data_nodes = 12;
+  double ingest_mb_per_sec_per_node = 11.5;  ///< effective local write rate
+  double hive_overhead_factor = 1.06;        ///< SerDe re-encode cost
+  SimTime hive_fixed = FromSeconds(45);      ///< metastore setup
+  double sampling_fraction = 0.05;           ///< our sampling scan
+  double index_factor = 1.09;                ///< stat/index build per byte
+  SimTime ours_fixed = FromSeconds(70);      ///< stats aggregation
+
+  SimTime PlainUpload(const ClusterConfig& cfg, int64_t bytes) const;
+  SimTime HiveLoad(const ClusterConfig& cfg, int64_t bytes) const;
+  SimTime OurLoad(const ClusterConfig& cfg, int64_t bytes) const;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_MAPREDUCE_LOAD_MODEL_H_

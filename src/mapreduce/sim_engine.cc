@@ -1,0 +1,192 @@
+#include "src/mapreduce/sim_engine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace mrtheta {
+
+namespace {
+
+enum class EventKind {
+  kJobRelease,
+  kJobStart,
+  kMapFinish,
+  kReduceReady,
+  kReduceFinish,
+};
+
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;  // FIFO tie-break for determinism
+  EventKind kind = EventKind::kJobRelease;
+  int job = 0;
+  int task = 0;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct ReadyTask {
+  SimTime ready_time = 0;
+  uint64_t seq = 0;
+  bool is_reduce = false;
+  int job = 0;
+  int task = 0;
+};
+
+struct JobState {
+  int maps_remaining = 0;
+  int reduces_remaining = 0;
+  int deps_remaining = 0;
+  bool released = false;
+  SimJobResult result;
+};
+
+}  // namespace
+
+StatusOr<SimReport> RunSimulation(const ClusterConfig& config,
+                                  const std::vector<SimJobSpec>& jobs) {
+  if (config.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  for (const auto& j : jobs) {
+    if (j.num_map_tasks < 1) {
+      return Status::InvalidArgument("job '" + j.name +
+                                     "' needs >= 1 map task");
+    }
+    if (j.reduces.empty()) {
+      return Status::InvalidArgument("job '" + j.name +
+                                     "' needs >= 1 reduce task");
+    }
+    for (int d : j.deps) {
+      if (d < 0 || d >= static_cast<int>(jobs.size())) {
+        return Status::InvalidArgument("job '" + j.name +
+                                       "' has dep out of range");
+      }
+    }
+  }
+
+  const int num_jobs = static_cast<int>(jobs.size());
+  std::vector<JobState> state(num_jobs);
+  std::vector<std::vector<int>> dependents(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    state[i].maps_remaining = jobs[i].num_map_tasks;
+    state[i].reduces_remaining = static_cast<int>(jobs[i].reduces.size());
+    state[i].deps_remaining = static_cast<int>(jobs[i].deps.size());
+    for (int d : jobs[i].deps) dependents[d].push_back(i);
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  uint64_t seq = 0;
+  // Ready queue: FIFO by (ready_time, seq).
+  auto ready_cmp = [](const ReadyTask& a, const ReadyTask& b) {
+    if (a.ready_time != b.ready_time) return a.ready_time > b.ready_time;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<ReadyTask, std::vector<ReadyTask>, decltype(ready_cmp)>
+      ready(ready_cmp);
+
+  int free_slots = config.num_workers;
+  SimTime makespan = 0;
+
+  for (int i = 0; i < num_jobs; ++i) {
+    if (state[i].deps_remaining == 0) {
+      events.push({0, seq++, EventKind::kJobRelease, i, 0});
+    }
+  }
+
+  auto dispatch = [&](SimTime now) {
+    while (free_slots > 0 && !ready.empty() &&
+           ready.top().ready_time <= now) {
+      const ReadyTask t = ready.top();
+      ready.pop();
+      --free_slots;
+      if (t.is_reduce) {
+        const SimTime dur = jobs[t.job].reduces[t.task].compute;
+        events.push(
+            {now + dur, seq++, EventKind::kReduceFinish, t.job, t.task});
+      } else {
+        events.push({now + jobs[t.job].map_task_duration, seq++,
+                     EventKind::kMapFinish, t.job, t.task});
+      }
+    }
+  };
+
+  int jobs_finished = 0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const SimTime now = ev.time;
+    JobState& js = state[ev.job];
+    switch (ev.kind) {
+      case EventKind::kJobRelease: {
+        js.released = true;
+        js.result.release = now;
+        events.push({now + jobs[ev.job].startup, seq++, EventKind::kJobStart,
+                     ev.job, 0});
+        break;
+      }
+      case EventKind::kJobStart: {
+        for (int t = 0; t < jobs[ev.job].num_map_tasks; ++t) {
+          ready.push({now, seq++, /*is_reduce=*/false, ev.job, t});
+        }
+        break;
+      }
+      case EventKind::kMapFinish: {
+        ++free_slots;
+        if (js.result.first_map_done < 0) js.result.first_map_done = now;
+        if (--js.maps_remaining == 0) {
+          js.result.maps_done = now;
+          // Shuffle overlap credit: copying could run during the map phase
+          // after the first wave's outputs appeared.
+          const SimTime overlap = now - js.result.first_map_done;
+          const auto& reduces = jobs[ev.job].reduces;
+          for (int r = 0; r < static_cast<int>(reduces.size()); ++r) {
+            const SimTime fetch =
+                FromSeconds(static_cast<double>(reduces[r].fetch_bytes) *
+                            config.SecPerByteNet()) +
+                reduces[r].fetch_overhead;
+            const SimTime after = std::max<SimTime>(0, fetch - overlap);
+            events.push({now + after, seq++, EventKind::kReduceReady, ev.job,
+                         r});
+          }
+        }
+        break;
+      }
+      case EventKind::kReduceReady: {
+        ready.push({now, seq++, /*is_reduce=*/true, ev.job, ev.task});
+        break;
+      }
+      case EventKind::kReduceFinish: {
+        ++free_slots;
+        if (--js.reduces_remaining == 0) {
+          const SimTime done = now + jobs[ev.job].cleanup;
+          js.result.finish = done;
+          makespan = std::max(makespan, done);
+          ++jobs_finished;
+          for (int dep : dependents[ev.job]) {
+            if (--state[dep].deps_remaining == 0) {
+              events.push({done, seq++, EventKind::kJobRelease, dep, 0});
+            }
+          }
+        }
+        break;
+      }
+    }
+    dispatch(now);
+  }
+
+  if (jobs_finished != num_jobs) {
+    return Status::FailedPrecondition(
+        "dependency cycle: not all jobs finished");
+  }
+
+  SimReport report;
+  report.makespan = makespan;
+  for (int i = 0; i < num_jobs; ++i) report.jobs.push_back(state[i].result);
+  return report;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,104 @@
+#include "src/relation/predicate.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mrtheta {
+
+const char* ThetaOpName(ThetaOp op) {
+  switch (op) {
+    case ThetaOp::kLt:
+      return "<";
+    case ThetaOp::kLe:
+      return "<=";
+    case ThetaOp::kEq:
+      return "=";
+    case ThetaOp::kGe:
+      return ">=";
+    case ThetaOp::kGt:
+      return ">";
+    case ThetaOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+ThetaOp FlipOp(ThetaOp op) {
+  switch (op) {
+    case ThetaOp::kLt:
+      return ThetaOp::kGt;
+    case ThetaOp::kLe:
+      return ThetaOp::kGe;
+    case ThetaOp::kEq:
+      return ThetaOp::kEq;
+    case ThetaOp::kGe:
+      return ThetaOp::kLe;
+    case ThetaOp::kGt:
+      return ThetaOp::kLt;
+    case ThetaOp::kNe:
+      return ThetaOp::kNe;
+  }
+  return op;
+}
+
+bool IsInequality(ThetaOp op) { return op != ThetaOp::kEq; }
+
+bool EvalTheta(const Value& lhs, ThetaOp op, const Value& rhs, double offset) {
+  int cmp;
+  if (lhs.is_numeric()) {
+    if (offset == 0.0 && lhs.type() == ValueType::kInt64 &&
+        rhs.type() == ValueType::kInt64) {
+      return EvalThetaInt(lhs.AsInt(), op, rhs.AsInt(), 0);
+    }
+    const double l = lhs.AsDouble() + offset;
+    const double r = rhs.AsDouble();
+    cmp = l < r ? -1 : (l > r ? 1 : 0);
+  } else {
+    assert(offset == 0.0 && "offset on string comparison");
+    cmp = lhs.Compare(rhs);
+  }
+  switch (op) {
+    case ThetaOp::kLt:
+      return cmp < 0;
+    case ThetaOp::kLe:
+      return cmp <= 0;
+    case ThetaOp::kEq:
+      return cmp == 0;
+    case ThetaOp::kGe:
+      return cmp >= 0;
+    case ThetaOp::kGt:
+      return cmp > 0;
+    case ThetaOp::kNe:
+      return cmp != 0;
+  }
+  return false;
+}
+
+JoinCondition JoinCondition::OrientedFor(int relation) const {
+  assert(relation == lhs.relation || relation == rhs.relation);
+  if (relation == lhs.relation) return *this;
+  // (lhs + offset) op rhs   ⇔   rhs flip(op) (lhs + offset)
+  //                         ⇔   (rhs + (-offset)) flip(op) lhs
+  JoinCondition out;
+  out.lhs = rhs;
+  out.rhs = lhs;
+  out.op = FlipOp(op);
+  out.offset = -offset;
+  out.id = id;
+  return out;
+}
+
+std::string JoinCondition::ToString() const {
+  char buf[128];
+  if (offset == 0.0) {
+    std::snprintf(buf, sizeof(buf), "R%d.c%d %s R%d.c%d", lhs.relation,
+                  lhs.column, ThetaOpName(op), rhs.relation, rhs.column);
+  } else {
+    std::snprintf(buf, sizeof(buf), "R%d.c%d%+g %s R%d.c%d", lhs.relation,
+                  lhs.column, offset, ThetaOpName(op), rhs.relation,
+                  rhs.column);
+  }
+  return buf;
+}
+
+}  // namespace mrtheta

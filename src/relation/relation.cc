@@ -1,0 +1,105 @@
+#include "src/relation/relation.h"
+
+#include <cassert>
+
+namespace mrtheta {
+
+Relation::Relation(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  cols_.reserve(schema_.num_columns());
+  for (const auto& c : schema_.columns()) {
+    switch (c.type) {
+      case ValueType::kInt64:
+        cols_.emplace_back(std::vector<int64_t>{});
+        break;
+      case ValueType::kDouble:
+        cols_.emplace_back(std::vector<double>{});
+        break;
+      case ValueType::kString:
+        cols_.emplace_back(std::vector<std::string>{});
+        break;
+    }
+  }
+}
+
+Status Relation::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_.num_columns()));
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    switch (schema_.column(c).type) {
+      case ValueType::kInt64:
+        std::get<std::vector<int64_t>>(cols_[c]).push_back(row[c].AsInt());
+        break;
+      case ValueType::kDouble:
+        std::get<std::vector<double>>(cols_[c]).push_back(row[c].AsDouble());
+        break;
+      case ValueType::kString:
+        std::get<std::vector<std::string>>(cols_[c]).push_back(
+            row[c].AsString());
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Relation::AppendIntRow(const std::vector<int64_t>& row) {
+  assert(static_cast<int>(row.size()) == schema_.num_columns());
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    std::get<std::vector<int64_t>>(cols_[c]).push_back(row[c]);
+  }
+  ++num_rows_;
+}
+
+Value Relation::Get(int64_t row, int col) const {
+  switch (schema_.column(col).type) {
+    case ValueType::kInt64:
+      return Value(GetInt(row, col));
+    case ValueType::kDouble:
+      return Value(std::get<std::vector<double>>(cols_[col])[row]);
+    case ValueType::kString:
+      return Value(GetString(row, col));
+  }
+  return Value();
+}
+
+double Relation::GetDouble(int64_t row, int col) const {
+  if (schema_.column(col).type == ValueType::kInt64) {
+    return static_cast<double>(GetInt(row, col));
+  }
+  return std::get<std::vector<double>>(cols_[col])[row];
+}
+
+Relation Relation::Slice(const std::vector<int64_t>& row_indices) const {
+  Relation out(name_, schema_);
+  for (int64_t r : row_indices) {
+    std::vector<Value> row;
+    row.reserve(schema_.num_columns());
+    for (int c = 0; c < schema_.num_columns(); ++c) row.push_back(Get(r, c));
+    Status s = out.AppendRow(row);
+    assert(s.ok());
+    (void)s;
+  }
+  return out;
+}
+
+std::string Relation::ToString(int64_t limit) const {
+  std::string out = name_ + "(" + schema_.ToString() + "), " +
+                    std::to_string(num_rows_) + " rows\n";
+  const int64_t n = std::min<int64_t>(limit, num_rows_);
+  for (int64_t r = 0; r < n; ++r) {
+    out += "  ";
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      if (c) out += " | ";
+      out += Get(r, c).ToString();
+    }
+    out += "\n";
+  }
+  if (n < num_rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,92 @@
+#ifndef MRTHETA_RELATION_RELATION_H_
+#define MRTHETA_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/schema.h"
+#include "src/relation/value.h"
+
+namespace mrtheta {
+
+/// \brief Columnar in-memory relation.
+///
+/// Two sizes coexist on purpose:
+///  - the *physical* row count: tuples actually materialized in memory and
+///    joined by the executors (laptop scale);
+///  - the *logical* row count: the on-cluster cardinality this relation
+///    represents in an experiment (e.g. "500 GB of call records").
+///
+/// Executors compute exact answers over physical rows; the simulator and the
+/// cost model consume logical sizes. By default logical == physical, so
+/// small programs need not care. Experiments call `set_logical_rows()` after
+/// generating a representative sample (see DESIGN.md §1).
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Logical (represented) cardinality; >= 0. Defaults to num_rows().
+  int64_t logical_rows() const {
+    return logical_rows_ >= 0 ? logical_rows_ : num_rows_;
+  }
+  void set_logical_rows(int64_t rows) { logical_rows_ = rows; }
+
+  /// Logical serialized size in bytes = logical_rows * avg_row_bytes.
+  int64_t logical_bytes() const {
+    return logical_rows() * schema_.avg_row_bytes();
+  }
+  /// Physical serialized size in bytes (what executors actually move).
+  int64_t physical_bytes() const {
+    return num_rows_ * schema_.avg_row_bytes();
+  }
+
+  /// Appends one row; the value count and types must match the schema
+  /// (checked in debug builds; Status on arity mismatch).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Typed fast-path appenders for generators (all-int64 schemas).
+  void AppendIntRow(const std::vector<int64_t>& row);
+
+  /// Cell accessors.
+  Value Get(int64_t row, int col) const;
+  int64_t GetInt(int64_t row, int col) const {
+    return std::get<std::vector<int64_t>>(cols_[col])[row];
+  }
+  double GetDouble(int64_t row, int col) const;
+  const std::string& GetString(int64_t row, int col) const {
+    return std::get<std::vector<std::string>>(cols_[col])[row];
+  }
+
+  /// Returns a relation with the same schema containing the given rows.
+  Relation Slice(const std::vector<int64_t>& row_indices) const;
+
+  /// Renders up to `limit` rows for debugging.
+  std::string ToString(int64_t limit = 10) const;
+
+ private:
+  using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
+                                  std::vector<std::string>>;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<ColumnData> cols_;
+  int64_t num_rows_ = 0;
+  int64_t logical_rows_ = -1;
+};
+
+/// Shared-ownership handle used across the planner/executor pipeline.
+using RelationPtr = std::shared_ptr<const Relation>;
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_RELATION_RELATION_H_

@@ -1,0 +1,37 @@
+#include "src/relation/schema.h"
+
+namespace mrtheta {
+
+namespace {
+// Per-record framing overhead (key length, delimiters) in the serialized
+// form; matches the flat text/sequence-file layout Hadoop jobs consume.
+constexpr int64_t kRecordOverheadBytes = 4;
+}  // namespace
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+StatusOr<int> Schema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+int64_t Schema::avg_row_bytes() const {
+  int64_t total = kRecordOverheadBytes;
+  for (const auto& c : columns_) total += c.avg_width;
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace mrtheta

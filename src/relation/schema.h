@@ -1,0 +1,57 @@
+#ifndef MRTHETA_RELATION_SCHEMA_H_
+#define MRTHETA_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relation/value.h"
+
+namespace mrtheta {
+
+/// Descriptor of one column: a name and a type. `avg_width` is the average
+/// serialized width in bytes used for I/O accounting (defaults: 8 for
+/// numerics, 16 for strings).
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  int avg_width = 8;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, ValueType t)
+      : name(std::move(n)),
+        type(t),
+        avg_width(t == ValueType::kString ? 16 : 8) {}
+  ColumnDef(std::string n, ValueType t, int width)
+      : name(std::move(n)), type(t), avg_width(width) {}
+};
+
+/// \brief Ordered list of columns; owns name→index resolution and row-width
+/// accounting used by the simulator's I/O model.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, or kNotFound.
+  StatusOr<int> FindColumn(const std::string& name) const;
+
+  /// Average serialized bytes per row (sum of column widths + per-record
+  /// framing overhead).
+  int64_t avg_row_bytes() const;
+
+  /// "name:type" comma-joined, for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_RELATION_SCHEMA_H_

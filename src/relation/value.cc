@@ -1,0 +1,52 @@
+#include "src/relation/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mrtheta {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  assert(is_numeric() == other.is_numeric() &&
+         "comparing string against numeric value");
+  if (is_numeric()) {
+    // Compare in the int64 domain when both sides are integers to avoid
+    // double rounding on large keys.
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      const int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const int c = AsString().compare(other.AsString());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return {};
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,69 @@
+#ifndef MRTHETA_RELATION_VALUE_H_
+#define MRTHETA_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mrtheta {
+
+/// Column data types supported by the relational substrate. The paper's
+/// workloads (mobile call records, TPC-H) only need integers, decimals and
+/// short strings.
+enum class ValueType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A single dynamically-typed cell value.
+///
+/// Value is a thin wrapper over std::variant with total-order comparison
+/// semantics: numeric types compare numerically across int64/double; strings
+/// compare lexicographically; comparing a string against a number is a
+/// programming error (checked by the query validator, asserted here).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kInt64;
+      case 1:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_numeric() const { return v_.index() <= 1; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return v_.index() == 0 ? static_cast<double>(std::get<int64_t>(v_))
+                           : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison: -1, 0, +1. Both values must be comparable
+  /// (numeric vs numeric, or string vs string).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  /// Renders the value for debugging and result printing.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_RELATION_VALUE_H_

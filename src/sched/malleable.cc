@@ -1,0 +1,220 @@
+#include "src/sched/malleable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace mrtheta {
+
+namespace {
+
+// Rigid job instance for the list scheduler.
+struct RigidJob {
+  int id = 0;
+  int slots = 1;
+  double duration = 0.0;
+  double release = 0.0;
+};
+
+// Greedy list scheduling with release times and backfilling: at every event
+// time, starts (in longest-processing-time order) every released job that
+// fits in the free slots. Returns per-job (start, finish).
+double ListSchedule(std::vector<RigidJob> jobs, int total_slots,
+                    std::vector<ScheduledJob>* out) {
+  std::sort(jobs.begin(), jobs.end(), [](const RigidJob& a, const RigidJob& b) {
+    if (a.release != b.release) return a.release < b.release;
+    if (a.duration != b.duration) return a.duration > b.duration;
+    return a.id < b.id;
+  });
+  struct Running {
+    double finish;
+    int slots;
+    bool operator>(const Running& other) const {
+      return finish > other.finish;
+    }
+  };
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+      running;
+  int free_slots = total_slots;
+  double now = 0.0;
+  double makespan = 0.0;
+  std::vector<bool> started(jobs.size(), false);
+  size_t remaining = jobs.size();
+  while (remaining > 0) {
+    // Start everything that fits now (LPT order among released jobs).
+    bool progress = false;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (started[i] || jobs[i].release > now) continue;
+      if (jobs[i].slots <= free_slots) {
+        started[i] = true;
+        --remaining;
+        free_slots -= jobs[i].slots;
+        const double finish = now + jobs[i].duration;
+        running.push({finish, jobs[i].slots});
+        makespan = std::max(makespan, finish);
+        (*out)[jobs[i].id].start = now;
+        (*out)[jobs[i].id].finish = finish;
+        progress = true;
+      }
+    }
+    if (remaining == 0) break;
+    // Advance time: to the next finish, or to the next release if nothing
+    // is running (or the next release comes first).
+    double next_release = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!started[i] && jobs[i].release > now) {
+        next_release = std::min(next_release, jobs[i].release);
+      }
+    }
+    if (!running.empty() &&
+        (running.top().finish <= next_release || !progress)) {
+      if (running.top().finish > now) {
+        now = running.top().finish;
+      }
+      while (!running.empty() && running.top().finish <= now) {
+        free_slots += running.top().slots;
+        running.pop();
+      }
+    } else if (next_release < std::numeric_limits<double>::infinity()) {
+      now = next_release;
+    } else if (!running.empty()) {
+      now = running.top().finish;
+    } else {
+      break;  // should not happen: jobs remain but nothing can progress
+    }
+  }
+  return makespan;
+}
+
+}  // namespace
+
+StatusOr<ScheduleResult> ScheduleMalleable(
+    const std::vector<MalleableJob>& jobs, int total_slots,
+    const MalleableOptions& options) {
+  if (total_slots < 1) {
+    return Status::InvalidArgument("total_slots must be >= 1");
+  }
+  const int n = static_cast<int>(jobs.size());
+  ScheduleResult result;
+  result.jobs.assign(n, {});
+  if (n == 0) return result;
+
+  // Topological order (Kahn) to honour dependencies.
+  std::vector<int> indeg(n, 0);
+  std::vector<std::vector<int>> dependents(n);
+  for (int i = 0; i < n; ++i) {
+    for (int d : jobs[i].deps) {
+      if (d < 0 || d >= n) {
+        return Status::InvalidArgument("dependency index out of range");
+      }
+      ++indeg[i];
+      dependents[d].push_back(i);
+    }
+    if (!jobs[i].time_for_slots) {
+      return Status::InvalidArgument("job missing time_for_slots");
+    }
+  }
+  std::vector<int> topo;
+  for (int i = 0; i < n; ++i) {
+    if (indeg[i] == 0) topo.push_back(i);
+  }
+  for (size_t head = 0; head < topo.size(); ++head) {
+    for (int d : dependents[topo[head]]) {
+      if (--indeg[d] == 0) topo.push_back(d);
+    }
+  }
+  if (static_cast<int>(topo.size()) != n) {
+    return Status::InvalidArgument("dependency cycle detected");
+  }
+
+  // Precompute per-job time tables and best allotments.
+  std::vector<std::vector<double>> time_tab(n);
+  std::vector<int> best_k(n, 1);
+  std::vector<double> best_t(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int kmax = std::max(1, std::min(total_slots, jobs[i].max_slots));
+    time_tab[i].resize(kmax + 1, 0.0);
+    double bt = std::numeric_limits<double>::infinity();
+    for (int k = 1; k <= kmax; ++k) {
+      time_tab[i][k] = jobs[i].time_for_slots(k);
+      if (time_tab[i][k] < bt) {
+        bt = time_tab[i][k];
+        best_k[i] = k;
+      }
+    }
+    best_t[i] = bt;
+  }
+
+  // Group jobs into dependency layers; schedule layer by layer with the
+  // allotment sweep. Releases within a layer come from dep finish times.
+  std::vector<int> layer(n, 0);
+  int max_layer = 0;
+  for (int i : topo) {
+    for (int d : jobs[i].deps) layer[i] = std::max(layer[i], layer[d] + 1);
+    max_layer = std::max(max_layer, layer[i]);
+  }
+
+  for (int l = 0; l <= max_layer; ++l) {
+    std::vector<int> members;
+    for (int i = 0; i < n; ++i) {
+      if (layer[i] == l) members.push_back(i);
+    }
+    if (members.empty()) continue;
+
+    double tau_min = 0.0, tau_sum = 0.0;
+    for (int i : members) {
+      tau_min = std::max(tau_min, best_t[i]);
+      tau_sum += best_t[i];
+    }
+    tau_min = std::max(tau_min, 1e-9);
+    tau_sum = std::max(tau_sum, tau_min);
+
+    double best_makespan = std::numeric_limits<double>::infinity();
+    std::vector<ScheduledJob> best_assign(n);
+    std::vector<int> best_slots(n, 1);
+
+    auto try_target = [&](double tau) {
+      std::vector<RigidJob> rigid;
+      std::vector<int> slots_of(n, 1);
+      for (int i : members) {
+        const int kmax = static_cast<int>(time_tab[i].size()) - 1;
+        int k_pick = best_k[i];
+        for (int k = 1; k <= kmax; ++k) {
+          if (time_tab[i][k] <= tau) {
+            k_pick = k;
+            break;
+          }
+        }
+        slots_of[i] = k_pick;
+        double release = 0.0;
+        for (int d : jobs[i].deps) {
+          release = std::max(release, result.jobs[d].finish);
+        }
+        rigid.push_back({i, k_pick, time_tab[i][k_pick], release});
+      }
+      std::vector<ScheduledJob> assign(n);
+      const double ms = ListSchedule(std::move(rigid), total_slots, &assign);
+      if (ms < best_makespan) {
+        best_makespan = ms;
+        best_assign = assign;
+        for (int i : members) best_slots[i] = slots_of[i];
+      }
+    };
+
+    for (double tau = tau_min; tau < tau_sum * (1.0 + options.epsilon);
+         tau *= (1.0 + options.epsilon)) {
+      try_target(tau);
+    }
+    try_target(tau_sum);
+
+    for (int i : members) {
+      result.jobs[i] = best_assign[i];
+      result.jobs[i].slots = best_slots[i];
+      result.makespan = std::max(result.makespan, result.jobs[i].finish);
+    }
+  }
+  return result;
+}
+
+}  // namespace mrtheta

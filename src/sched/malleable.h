@@ -1,0 +1,60 @@
+#ifndef MRTHETA_SCHED_MALLEABLE_H_
+#define MRTHETA_SCHED_MALLEABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+
+/// \brief One malleable job: its running time is a function of how many
+/// processing units (reduce tasks) it is allotted.
+///
+/// `time_for_slots(k)` must be defined for k in [1, max_slots]; it need not
+/// be monotone (the paper observes that more reducers is *not* always
+/// faster — Fig. 6).
+struct MalleableJob {
+  std::function<double(int)> time_for_slots;
+  int max_slots = 1;
+  /// Jobs that must finish before this one starts (merge dependencies).
+  std::vector<int> deps;
+};
+
+/// Placement decision for one job.
+struct ScheduledJob {
+  int slots = 1;       ///< chosen allotment (the job's RN)
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Complete schedule.
+struct ScheduleResult {
+  std::vector<ScheduledJob> jobs;
+  double makespan = 0.0;
+};
+
+/// Options for the allotment search.
+struct MalleableOptions {
+  /// Geometric step of the target-makespan sweep; the schedule found is
+  /// within ~(1+epsilon) of the best the underlying list scheduler can do
+  /// — the practical counterpart of the (1+ε) scheme of [19] the paper
+  /// adopts, still linear in |T|, kP and 1/ε.
+  double epsilon = 0.05;
+};
+
+/// \brief Schedules malleable jobs with dependencies on `total_slots`
+/// processing units, minimizing makespan.
+///
+/// Independent jobs within a dependency layer are scheduled by a
+/// target-driven allotment search: for a target τ each job takes the
+/// smallest allotment k with t_j(k) ≤ τ (or its best-k when none), then a
+/// FIFO list scheduler packs the rigid jobs; τ sweeps a geometric grid and
+/// the best realized makespan wins. Layers respect dependencies.
+StatusOr<ScheduleResult> ScheduleMalleable(
+    const std::vector<MalleableJob>& jobs, int total_slots,
+    const MalleableOptions& options = {});
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_SCHED_MALLEABLE_H_

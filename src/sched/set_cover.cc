@@ -1,0 +1,51 @@
+#include "src/sched/set_cover.h"
+
+#include <bit>
+#include <limits>
+
+namespace mrtheta {
+
+StatusOr<std::vector<int>> GreedyWeightedSetCover(
+    const std::vector<WeightedSet>& sets, uint32_t universe_mask) {
+  uint32_t all = 0;
+  for (const auto& s : sets) all |= s.mask;
+  if ((all & universe_mask) != universe_mask) {
+    return Status::FailedPrecondition(
+        "candidate sets cannot cover the universe (T not sufficient)");
+  }
+  std::vector<int> picked;
+  uint32_t covered = 0;
+  while ((covered & universe_mask) != universe_mask) {
+    int best = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < static_cast<int>(sets.size()); ++i) {
+      const uint32_t gain_mask = sets[i].mask & universe_mask & ~covered;
+      const int gain = std::popcount(gain_mask);
+      if (gain == 0) continue;
+      const double ratio = sets[i].weight / gain;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best < 0) {
+      return Status::Internal("greedy set cover stalled");
+    }
+    picked.push_back(best);
+    covered |= sets[best].mask;
+  }
+  return picked;
+}
+
+bool IsSufficient(const std::vector<WeightedSet>& sets,
+                  const std::vector<int>& selection,
+                  uint32_t universe_mask) {
+  uint32_t covered = 0;
+  for (int i : selection) {
+    if (i < 0 || i >= static_cast<int>(sets.size())) return false;
+    covered |= sets[i].mask;
+  }
+  return (covered & universe_mask) == universe_mask;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,34 @@
+#ifndef MRTHETA_SCHED_SET_COVER_H_
+#define MRTHETA_SCHED_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+
+/// One candidate set for the cover: a bitmask of covered elements and a
+/// weight (for us: a job candidate's condition set and its w(e')).
+struct WeightedSet {
+  uint32_t mask = 0;
+  double weight = 0.0;
+};
+
+/// \brief Greedy weighted set cover: repeatedly picks the set minimizing
+/// weight / newly-covered-elements. This is the classic ln(n)-approximation
+/// the paper adopts for selecting T_opt from G'_JP ("following the
+/// methodology presented in [14]", Feige's threshold).
+///
+/// Returns indices into `sets`. Fails when the union of all sets does not
+/// cover `universe_mask` (T would not be "sufficient", Definition 4).
+StatusOr<std::vector<int>> GreedyWeightedSetCover(
+    const std::vector<WeightedSet>& sets, uint32_t universe_mask);
+
+/// True iff the selected sets cover the universe (Definition 4 test).
+bool IsSufficient(const std::vector<WeightedSet>& sets,
+                  const std::vector<int>& selection, uint32_t universe_mask);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_SCHED_SET_COVER_H_

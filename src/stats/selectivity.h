@@ -1,0 +1,40 @@
+#ifndef MRTHETA_STATS_SELECTIVITY_H_
+#define MRTHETA_STATS_SELECTIVITY_H_
+
+#include <vector>
+
+#include "src/relation/predicate.h"
+#include "src/stats/table_stats.h"
+
+namespace mrtheta {
+
+/// \brief Selectivity estimation for theta predicates, driving the cost
+/// model's α/β output ratios (Sec. 4: "computed with the selectivity
+/// estimation").
+///
+/// Estimates P[(a + offset) θ b] for independent a ~ column A, b ~ column B
+/// from the columns' histograms:
+///  - `=`  : overlap-weighted 1/max(d_A, d_B) (classic System-R style);
+///  - `<>` : 1 − selectivity(=);
+///  - range ops: Σ over A-bins of binmass_A · P(B θ' midpoint+offset),
+///    integrated with intra-bin linear interpolation.
+double EstimateThetaSelectivity(const ColumnStats& a, const ColumnStats& b,
+                                ThetaOp op, double offset);
+
+/// Selectivity of a conjunction of conditions between two relations
+/// (independence assumption; clamped to [1e-12, 1]).
+double EstimateConjunctionSelectivity(
+    const std::vector<JoinCondition>& conditions,
+    const std::vector<const TableStats*>& per_relation_stats);
+
+/// Estimated output cardinality of the join of `relations` under
+/// `conditions` (cross product × conjunction selectivity).
+/// `per_relation_stats[i]` describes relation i; conditions refer to these
+/// indices.
+double EstimateJoinOutputRows(
+    const std::vector<const TableStats*>& per_relation_stats,
+    const std::vector<JoinCondition>& conditions);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_STATS_SELECTIVITY_H_

@@ -1,0 +1,74 @@
+#include "src/stats/table_stats.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace mrtheta {
+
+std::vector<int64_t> ReservoirSampleRows(int64_t num_rows, int64_t k,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> reservoir;
+  if (k <= 0) return reservoir;
+  reservoir.reserve(static_cast<size_t>(std::min(k, num_rows)));
+  for (int64_t i = 0; i < num_rows; ++i) {
+    if (i < k) {
+      reservoir.push_back(i);
+    } else {
+      const int64_t j = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(i) + 1));
+      if (j < k) reservoir[j] = i;
+    }
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return reservoir;
+}
+
+TableStats BuildTableStats(const Relation& rel, const StatsOptions& options) {
+  TableStats stats;
+  stats.logical_rows = rel.logical_rows();
+  stats.logical_bytes = rel.logical_bytes();
+  stats.avg_row_bytes = rel.schema().avg_row_bytes();
+
+  const std::vector<int64_t> rows =
+      ReservoirSampleRows(rel.num_rows(), options.sample_size, options.seed);
+
+  for (int c = 0; c < rel.schema().num_columns(); ++c) {
+    ColumnStats cs;
+    const ValueType type = rel.schema().column(c).type;
+    cs.numeric = type != ValueType::kString;
+    KmvSketch kmv;
+    if (cs.numeric) {
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (int64_t r : rows) {
+        const double v = rel.GetDouble(r, c);
+        values.push_back(v);
+        if (type == ValueType::kInt64) {
+          kmv.InsertInt(rel.GetInt(r, c));
+        } else {
+          kmv.InsertDouble(v);
+        }
+      }
+      cs.histogram = Histogram::Build(values, options.histogram_bins);
+      cs.min = cs.histogram.total_count() ? cs.histogram.min() : 0.0;
+      cs.max = cs.histogram.total_count() ? cs.histogram.max() : 0.0;
+    } else {
+      for (int64_t r : rows) kmv.InsertString(rel.GetString(r, c));
+    }
+    // Scale the sample's distinct estimate up to the logical cardinality:
+    // if the sample saw nearly all-distinct values, assume the column is
+    // key-like; otherwise keep the sample estimate (value-domain bound).
+    double d = kmv.Estimate();
+    const double n = static_cast<double>(rows.size());
+    if (n > 0 && d > 0.9 * n) {
+      d = d / n * static_cast<double>(stats.logical_rows);
+    }
+    cs.distinct = std::max(1.0, d);
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace mrtheta

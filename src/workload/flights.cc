@@ -1,0 +1,61 @@
+#include "src/workload/flights.h"
+
+#include <memory>
+
+#include "src/common/rng.h"
+
+namespace mrtheta {
+
+RelationPtr GenerateFlightLeg(int leg_index,
+                              const FlightLegOptions& options) {
+  Schema schema({{"no", ValueType::kInt64},
+                 {"dt", ValueType::kInt64},
+                 {"at", ValueType::kInt64}});
+  auto rel = std::make_shared<Relation>(
+      "FI_" + std::to_string(leg_index) + "_" +
+          std::to_string(leg_index + 1),
+      schema);
+  Rng rng(options.seed + static_cast<uint64_t>(leg_index) * 0x9e37);
+  const int64_t horizon = static_cast<int64_t>(options.num_days) * 24 * 60;
+  for (int64_t i = 0; i < options.physical_rows; ++i) {
+    const int64_t dt = rng.UniformInt(0, horizon - 1);
+    const int64_t at =
+        dt + rng.UniformInt(options.min_duration, options.max_duration);
+    rel->AppendIntRow({leg_index * 100000 + i, dt, at});
+  }
+  if (options.logical_rows > 0) rel->set_logical_rows(options.logical_rows);
+  return rel;
+}
+
+StatusOr<Query> BuildItineraryQuery(const std::vector<RelationPtr>& legs,
+                                    const std::vector<StayOver>& stays) {
+  if (legs.size() < 2) {
+    return Status::InvalidArgument("itinerary needs at least two legs");
+  }
+  if (stays.size() + 1 != legs.size()) {
+    return Status::InvalidArgument(
+        "need exactly one stay-over window per intermediate city");
+  }
+  Query q;
+  std::vector<int> idx;
+  idx.reserve(legs.size());
+  for (const RelationPtr& leg : legs) idx.push_back(q.AddRelation(leg));
+  for (size_t i = 0; i + 1 < legs.size(); ++i) {
+    // FI_i.at + stay.min < FI_{i+1}.dt
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(idx[i], "at", ThetaOp::kLt, idx[i + 1], "dt",
+                       static_cast<double>(stays[i].min_minutes))
+            .status());
+    // FI_{i+1}.dt < FI_i.at + stay.max  ⇔  (FI_i.at + stay.max) > FI_{i+1}.dt
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(idx[i], "at", ThetaOp::kGt, idx[i + 1], "dt",
+                       static_cast<double>(stays[i].max_minutes))
+            .status());
+  }
+  for (size_t i = 0; i < legs.size(); ++i) {
+    MRTHETA_RETURN_IF_ERROR(q.AddOutput(idx[i], "no"));
+  }
+  return q;
+}
+
+}  // namespace mrtheta

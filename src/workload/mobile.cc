@@ -1,0 +1,112 @@
+#include "src/workload/mobile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/rng.h"
+
+namespace mrtheta {
+
+namespace {
+
+// Samples a begin time (seconds in day) from the diurnal pattern: a
+// 24-hour-periodic intensity with a morning and an evening peak.
+int64_t SampleBeginTime(Rng& rng) {
+  // Rejection sampling against intensity(h) in [0, 1].
+  for (;;) {
+    const double h = rng.UniformDouble() * 24.0;
+    const double intensity =
+        0.15 +
+        0.55 * std::exp(-0.5 * std::pow((h - 11.0) / 3.0, 2.0)) +
+        0.45 * std::exp(-0.5 * std::pow((h - 19.5) / 2.5, 2.0));
+    if (rng.UniformDouble() < intensity) {
+      return static_cast<int64_t>(h * 3600.0);
+    }
+  }
+}
+
+}  // namespace
+
+RelationPtr GenerateMobileCalls(const MobileDataOptions& options) {
+  Schema schema({{"id", ValueType::kInt64},
+                 {"d", ValueType::kInt64},
+                 {"bt", ValueType::kInt64},
+                 {"l", ValueType::kInt64},
+                 {"bsc", ValueType::kInt64}});
+  auto rel = std::make_shared<Relation>("calls", schema);
+  Rng rng(options.seed);
+  for (int64_t i = 0; i < options.physical_rows; ++i) {
+    const int64_t user = static_cast<int64_t>(
+        rng.Zipf(static_cast<uint64_t>(options.num_users),
+                 options.user_skew));
+    const int64_t day =
+        rng.UniformInt(1, options.num_days);
+    const int64_t bt = SampleBeginTime(rng);
+    // Call lengths: log-normal-ish, mostly short.
+    const double len = std::exp(rng.Normal(4.0, 1.1));
+    const int64_t l =
+        std::clamp<int64_t>(static_cast<int64_t>(len), 1, 7200);
+    const int64_t bsc = static_cast<int64_t>(rng.Zipf(
+        static_cast<uint64_t>(options.num_stations), options.station_skew));
+    rel->AppendIntRow({user, day, bt, l, bsc});
+  }
+  if (options.logical_bytes > 0) {
+    rel->set_logical_rows(options.logical_bytes /
+                          schema.avg_row_bytes());
+  }
+  return rel;
+}
+
+RelationPtr GenerateMobileCallsInstance(const MobileDataOptions& options,
+                                        int instance) {
+  MobileDataOptions per_instance = options;
+  per_instance.seed =
+      options.seed + 0x9e3779b9ULL * static_cast<uint64_t>(instance + 1);
+  return GenerateMobileCalls(per_instance);
+}
+
+StatusOr<Query> BuildMobileQuery(int which,
+                                 const MobileDataOptions& options) {
+  if (which < 1 || which > 4) {
+    return Status::InvalidArgument("mobile query id must be 1..4");
+  }
+  Query q;
+  if (which <= 2) {
+    const int t1 = q.AddRelation(GenerateMobileCallsInstance(options, 0));
+    const int t2 = q.AddRelation(GenerateMobileCallsInstance(options, 1));
+    const int t3 = q.AddRelation(GenerateMobileCallsInstance(options, 2));
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t1, "bt", ThetaOp::kLe, t2, "bt").status());
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t1, "l", ThetaOp::kGe, t2, "l").status());
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t2, "bsc",
+                       which == 1 ? ThetaOp::kEq : ThetaOp::kNe, t3, "bsc")
+            .status());
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t2, "d", ThetaOp::kEq, t3, "d").status());
+    MRTHETA_RETURN_IF_ERROR(q.AddOutput(t3, "id"));
+  } else {
+    const int t1 = q.AddRelation(GenerateMobileCallsInstance(options, 0));
+    const int t2 = q.AddRelation(GenerateMobileCallsInstance(options, 1));
+    const int t3 = q.AddRelation(GenerateMobileCallsInstance(options, 2));
+    const int t4 = q.AddRelation(GenerateMobileCallsInstance(options, 3));
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t1, "d", ThetaOp::kLt, t2, "d").status());
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t2, "d", ThetaOp::kLt, t3, "d").status());
+    // t1.d + 3 > t3.d
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t1, "d", ThetaOp::kGt, t3, "d", /*offset=*/3.0)
+            .status());
+    MRTHETA_RETURN_IF_ERROR(
+        q.AddCondition(t1, "bsc",
+                       which == 3 ? ThetaOp::kEq : ThetaOp::kNe, t4, "bsc")
+            .status());
+    MRTHETA_RETURN_IF_ERROR(q.AddOutput(t1, "id"));
+  }
+  return q;
+}
+
+}  // namespace mrtheta

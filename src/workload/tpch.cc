@@ -1,0 +1,275 @@
+#include "src/workload/tpch.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/rng.h"
+
+namespace mrtheta {
+
+namespace {
+
+constexpr int64_t kDateMin = 0;      // 1992-01-01
+constexpr int64_t kDateMax = 2405;   // leaves room for ship/receipt lags
+
+std::shared_ptr<Relation> NewTable(const char* name,
+                                   std::vector<ColumnDef> cols) {
+  return std::make_shared<Relation>(name, Schema(std::move(cols)));
+}
+
+}  // namespace
+
+TpchData GenerateTpch(const TpchOptions& options) {
+  Rng rng(options.seed);
+  TpchData db;
+  const double sf = options.scale_factor;
+  const int64_t li_phys = options.physical_lineitem_rows;
+  const int64_t ord_phys = std::max<int64_t>(4, li_phys / 4);
+  const int64_t cust_phys = std::max<int64_t>(4, ord_phys / 10);
+  const int64_t supp_phys = std::max<int64_t>(4, li_phys / 600);
+  const int64_t part_phys = std::max<int64_t>(4, li_phys / 30);
+  const int64_t ps_phys = part_phys * 4;
+
+  // region
+  {
+    auto r = NewTable("region", {{"r_regionkey", ValueType::kInt64}});
+    for (int64_t k = 0; k < 5; ++k) r->AppendIntRow({k});
+    db.region = r;
+  }
+
+  // nation
+  {
+    auto r = NewTable("nation", {{"n_nationkey", ValueType::kInt64},
+                                 {"n_regionkey", ValueType::kInt64}});
+    for (int64_t k = 0; k < 25; ++k) r->AppendIntRow({k, k % 5});
+    db.nation = r;
+  }
+
+  // supplier
+  {
+    auto r = NewTable("supplier", {{"s_suppkey", ValueType::kInt64},
+                                   {"s_nationkey", ValueType::kInt64},
+                                   {"s_acctbal", ValueType::kInt64}});
+    for (int64_t k = 0; k < supp_phys; ++k) {
+      r->AppendIntRow({k, rng.UniformInt(0, 24),
+                       rng.UniformInt(-99999, 999999)});
+    }
+    r->set_logical_rows(static_cast<int64_t>(10000 * sf));
+    db.supplier = r;
+  }
+
+  // customer
+  {
+    auto r = NewTable("customer", {{"c_custkey", ValueType::kInt64},
+                                   {"c_nationkey", ValueType::kInt64},
+                                   {"c_acctbal", ValueType::kInt64}});
+    for (int64_t k = 0; k < cust_phys; ++k) {
+      r->AppendIntRow({k, rng.UniformInt(0, 24),
+                       rng.UniformInt(-99999, 999999)});
+    }
+    r->set_logical_rows(static_cast<int64_t>(150000 * sf));
+    db.customer = r;
+  }
+
+  // part
+  {
+    auto r = NewTable("part", {{"p_partkey", ValueType::kInt64},
+                               {"p_size", ValueType::kInt64},
+                               {"p_retailprice", ValueType::kInt64}});
+    for (int64_t k = 0; k < part_phys; ++k) {
+      r->AppendIntRow({k, rng.UniformInt(1, 50),
+                       90000 + (k % 200) * 100 + rng.UniformInt(0, 9999)});
+    }
+    r->set_logical_rows(static_cast<int64_t>(200000 * sf));
+    db.part = r;
+  }
+
+  // partsupp
+  {
+    auto r = NewTable("partsupp", {{"ps_partkey", ValueType::kInt64},
+                                   {"ps_suppkey", ValueType::kInt64},
+                                   {"ps_availqty", ValueType::kInt64},
+                                   {"ps_supplycost", ValueType::kInt64}});
+    for (int64_t k = 0; k < ps_phys; ++k) {
+      r->AppendIntRow({k / 4, rng.UniformInt(0, supp_phys - 1),
+                       rng.UniformInt(1, 9999), rng.UniformInt(100, 100000)});
+    }
+    r->set_logical_rows(static_cast<int64_t>(800000 * sf));
+    db.partsupp = r;
+  }
+
+  // orders
+  std::vector<int64_t> order_dates(ord_phys);
+  {
+    auto r = NewTable("orders", {{"o_orderkey", ValueType::kInt64},
+                                 {"o_custkey", ValueType::kInt64},
+                                 {"o_orderdate", ValueType::kInt64},
+                                 {"o_totalprice", ValueType::kInt64}});
+    for (int64_t k = 0; k < ord_phys; ++k) {
+      order_dates[k] = rng.UniformInt(kDateMin, kDateMax);
+      r->AppendIntRow({k, rng.UniformInt(0, cust_phys - 1), order_dates[k],
+                       rng.UniformInt(1000, 50000000)});
+    }
+    r->set_logical_rows(static_cast<int64_t>(1500000 * sf));
+    db.orders = r;
+  }
+
+  // lineitem: exactly 4 lines per order keeps FK structure intact. Each
+  // sample instance is an independent draw against the *same* orders.
+  const int instances = std::max(1, options.num_lineitem_instances);
+  for (int inst = 0; inst < instances; ++inst) {
+    Rng li_rng(options.seed + 0x51ed270bULL * (inst + 1));
+    auto r = NewTable(
+        "lineitem", {{"l_orderkey", ValueType::kInt64},
+                     {"l_partkey", ValueType::kInt64},
+                     {"l_suppkey", ValueType::kInt64},
+                     {"l_quantity", ValueType::kInt64},
+                     {"l_extendedprice", ValueType::kInt64},
+                     {"l_shipdate", ValueType::kInt64},
+                     {"l_commitdate", ValueType::kInt64},
+                     {"l_receiptdate", ValueType::kInt64}});
+    for (int64_t k = 0; k < li_phys; ++k) {
+      const int64_t okey = std::min(k / 4, ord_phys - 1);
+      const int64_t odate = order_dates[okey];
+      const int64_t ship = odate + li_rng.UniformInt(1, 121);
+      const int64_t commit = odate + li_rng.UniformInt(30, 90);
+      const int64_t receipt = ship + li_rng.UniformInt(1, 30);
+      r->AppendIntRow({okey, li_rng.UniformInt(0, part_phys - 1),
+                       li_rng.UniformInt(0, supp_phys - 1),
+                       li_rng.UniformInt(1, 50),
+                       li_rng.UniformInt(90000, 10000000), ship, commit,
+                       receipt});
+    }
+    r->set_logical_rows(static_cast<int64_t>(6000000 * sf));
+    db.lineitem_samples.push_back(r);
+  }
+  db.lineitem = db.lineitem_samples[0];
+  return db;
+}
+
+StatusOr<Query> BuildTpchQuery(int which, const TpchData& data) {
+  Query q;
+  switch (which) {
+    case 7: {
+      // Amended Q7: supplier/lineitem/orders/customer/nation, 8 conditions,
+      // inequality set {<=, >=} (Table 3).
+      const int s = q.AddRelation(data.supplier);
+      const int l = q.AddRelation(data.lineitem);
+      const int o = q.AddRelation(data.orders);
+      const int c = q.AddRelation(data.customer);
+      const int n = q.AddRelation(data.nation);
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(s, "s_suppkey", ThetaOp::kEq, l, "l_suppkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l, "l_orderkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(c, "c_custkey", ThetaOp::kEq, o, "o_custkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(s, "s_nationkey", ThetaOp::kEq, n, "n_nationkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(c, "c_nationkey", ThetaOp::kEq, n, "n_nationkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l, "l_shipdate", ThetaOp::kGe, o, "o_orderdate")
+              .status());
+      // l_receiptdate <= o_orderdate + 120
+      MRTHETA_RETURN_IF_ERROR(q.AddCondition(l, "l_receiptdate", ThetaOp::kLe,
+                                             o, "o_orderdate", -120.0)
+                                  .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(s, "s_acctbal", ThetaOp::kGe, c, "c_acctbal")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(q.AddOutput(l, "l_extendedprice"));
+      break;
+    }
+    case 17: {
+      // Amended Q17: lineitem x2, part; inequality set {<=}.
+      const int l1 = q.AddRelation(data.lineitem_samples[0]);
+      const int p = q.AddRelation(data.part);
+      const int l2 = q.AddRelation(data.lineitem_samples[1]);
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l1, "l_partkey", ThetaOp::kEq, p, "p_partkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l2, "l_partkey", ThetaOp::kEq, p, "p_partkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l1, "l_quantity", ThetaOp::kLe, l2, "l_quantity")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(q.AddCondition(l1, "l_extendedprice",
+                                             ThetaOp::kLe, l2,
+                                             "l_extendedprice")
+                                  .status());
+      MRTHETA_RETURN_IF_ERROR(q.AddOutput(l1, "l_extendedprice"));
+      break;
+    }
+    case 18: {
+      // Amended Q18: customer, orders, lineitem x2; inequality set {>=}.
+      const int c = q.AddRelation(data.customer);
+      const int o = q.AddRelation(data.orders);
+      const int l1 = q.AddRelation(data.lineitem_samples[0]);
+      const int l2 = q.AddRelation(data.lineitem_samples[1]);
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(c, "c_custkey", ThetaOp::kEq, o, "o_custkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l1, "l_orderkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l2, "l_orderkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l1, "l_quantity", ThetaOp::kGe, l2, "l_quantity")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(q.AddOutput(c, "c_custkey"));
+      break;
+    }
+    case 21: {
+      // Amended Q21: supplier, lineitem x3, orders, nation; 8 conditions,
+      // inequality set {>=, <>}.
+      const int s = q.AddRelation(data.supplier);
+      const int l1 = q.AddRelation(data.lineitem_samples[0]);
+      const int o = q.AddRelation(data.orders);
+      const int n = q.AddRelation(data.nation);
+      const int l2 = q.AddRelation(data.lineitem_samples[1]);
+      const int l3 = q.AddRelation(data.lineitem_samples[2]);
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(s, "s_suppkey", ThetaOp::kEq, l1, "l_suppkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l1, "l_orderkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(s, "s_nationkey", ThetaOp::kEq, n, "n_nationkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l2, "l_orderkey", ThetaOp::kEq, l1, "l_orderkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l2, "l_suppkey", ThetaOp::kNe, l1, "l_suppkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l3, "l_orderkey", ThetaOp::kEq, l1, "l_orderkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(
+          q.AddCondition(l3, "l_suppkey", ThetaOp::kNe, l1, "l_suppkey")
+              .status());
+      MRTHETA_RETURN_IF_ERROR(q.AddCondition(l3, "l_receiptdate",
+                                             ThetaOp::kGe, l1,
+                                             "l_commitdate")
+                                  .status());
+      MRTHETA_RETURN_IF_ERROR(q.AddOutput(s, "s_suppkey"));
+      break;
+    }
+    default:
+      return Status::InvalidArgument(
+          "supported TPC-H queries: 7, 17, 18, 21");
+  }
+  return q;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,279 @@
+// End-to-end tests: Query validation, Planner plan shapes, Executor
+// correctness against the oracle, and baseline-planner agreement.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/baseline_planners.h"
+#include "src/common/rng.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/calibration.h"
+#include "src/exec/naive_join.h"
+
+namespace mrtheta {
+namespace {
+
+RelationPtr MakeRel(int64_t rows, int64_t key_range, uint64_t seed,
+                    int64_t logical_rows = 0) {
+  auto rel = std::make_shared<Relation>(
+      "t", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    rel->AppendIntRow({static_cast<int64_t>(rng.Uniform(key_range)),
+                       static_cast<int64_t>(rng.Uniform(40))});
+  }
+  if (logical_rows > 0) rel->set_logical_rows(logical_rows);
+  return rel;
+}
+
+// A 3-relation chain query: R0.a <= R1.a, R1.b = R2.b.
+Query ChainQuery(const std::vector<RelationPtr>& rels) {
+  Query q;
+  const int r0 = q.AddRelation(rels[0]);
+  const int r1 = q.AddRelation(rels[1]);
+  const int r2 = q.AddRelation(rels[2]);
+  EXPECT_TRUE(q.AddCondition(r0, "a", ThetaOp::kLe, r1, "a").ok());
+  EXPECT_TRUE(q.AddCondition(r1, "b", ThetaOp::kEq, r2, "b").ok());
+  EXPECT_TRUE(q.AddOutput(r2, "a").ok());
+  return q;
+}
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cluster_ = std::make_unique<SimCluster>(cfg);
+    const auto calib = CalibrateCostModel(*cluster_);
+    ASSERT_TRUE(calib.ok());
+    params_ = calib->params;
+  }
+
+  std::unique_ptr<SimCluster> cluster_;
+  CostModelParams params_;
+};
+
+TEST(QueryTest, ValidatesStructure) {
+  Query q;
+  EXPECT_FALSE(q.Validate().ok());  // no relations
+  RelationPtr r = MakeRel(10, 10, 1);
+  q.AddRelation(r);
+  q.AddRelation(r);
+  EXPECT_FALSE(q.Validate().ok());  // no conditions
+  ASSERT_TRUE(q.AddCondition(0, "a", ThetaOp::kLt, 1, "a").ok());
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryTest, RejectsBadConditions) {
+  Query q;
+  RelationPtr r = MakeRel(10, 10, 2);
+  q.AddRelation(r);
+  q.AddRelation(r);
+  EXPECT_FALSE(q.AddCondition(0, "a", ThetaOp::kLt, 0, "a").ok());  // self
+  EXPECT_FALSE(q.AddCondition(0, "zz", ThetaOp::kLt, 1, "a").ok());
+  EXPECT_FALSE(q.AddCondition(0, "a", ThetaOp::kLt, 5, "a").ok());
+}
+
+TEST(QueryTest, RejectsDisconnectedGraph) {
+  Query q;
+  RelationPtr r = MakeRel(10, 10, 3);
+  for (int i = 0; i < 4; ++i) q.AddRelation(r);
+  ASSERT_TRUE(q.AddCondition(0, "a", ThetaOp::kLt, 1, "a").ok());
+  ASSERT_TRUE(q.AddCondition(2, "a", ThetaOp::kLt, 3, "a").ok());
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, ConditionMaskAndLookup) {
+  Query q;
+  RelationPtr r = MakeRel(10, 10, 4);
+  q.AddRelation(r);
+  q.AddRelation(r);
+  q.AddRelation(r);
+  ASSERT_TRUE(q.AddCondition(0, "a", ThetaOp::kLt, 1, "a").ok());
+  ASSERT_TRUE(q.AddCondition(1, "b", ThetaOp::kEq, 2, "b").ok());
+  EXPECT_EQ(q.AllConditionsMask(), 0b11u);
+  const auto conds = q.ConditionsById({1});
+  ASSERT_EQ(conds.size(), 1u);
+  EXPECT_EQ(conds[0].op, ThetaOp::kEq);
+}
+
+TEST(QueryTest, TypeMismatchRejected) {
+  auto strings = std::make_shared<Relation>(
+      "s", Schema({{"name", ValueType::kString}}));
+  Query q;
+  RelationPtr nums = MakeRel(10, 10, 5);
+  const int a = q.AddRelation(nums);
+  const int b = q.AddRelation(strings);
+  EXPECT_FALSE(q.AddCondition(a, "a", ThetaOp::kEq, b, "name").ok());
+}
+
+TEST_F(CoreTest, PlanCoversAllConditions) {
+  std::vector<RelationPtr> rels = {MakeRel(100, 20, 10), MakeRel(100, 20, 11),
+                                   MakeRel(100, 20, 12)};
+  const Query q = ChainQuery(rels);
+  Planner planner(cluster_.get(), params_);
+  const auto plan = planner.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  uint32_t covered = 0;
+  for (const PlanJob& job : plan->jobs) {
+    for (int t : job.thetas) covered |= 1u << t;
+  }
+  EXPECT_EQ(covered, q.AllConditionsMask());
+  EXPECT_GT(plan->est_makespan_sec, 0.0);
+  for (const PlanJob& job : plan->jobs) {
+    EXPECT_GE(job.num_reduce_tasks, 1);
+    EXPECT_LE(job.num_reduce_tasks, cluster_->config().num_workers);
+  }
+}
+
+TEST_F(CoreTest, ExecutorMatchesOracle) {
+  std::vector<RelationPtr> rels = {MakeRel(80, 15, 20), MakeRel(80, 15, 21),
+                                   MakeRel(80, 15, 22)};
+  const Query q = ChainQuery(rels);
+  Planner planner(cluster_.get(), params_);
+  const auto plan = planner.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  Executor executor(cluster_.get());
+  const auto result = executor.Execute(q, *plan);
+  ASSERT_TRUE(result.ok());
+
+  const auto oracle = NaiveMultiwayJoin(q.relations(), {0, 1, 2},
+                                        q.conditions());
+  ASSERT_TRUE(oracle.ok());
+  const Relation sorted_result = SortedByRows(*result->result_ids);
+  ASSERT_EQ(sorted_result.num_rows(), oracle->num_rows());
+  for (int64_t r = 0; r < oracle->num_rows(); ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(sorted_result.GetInt(r, c), oracle->GetInt(r, c));
+    }
+  }
+  EXPECT_GT(result->makespan, 0);
+  // Projection produced one column (R2.a) per result row.
+  ASSERT_NE(result->projected, nullptr);
+  EXPECT_EQ(result->projected->num_rows(), oracle->num_rows());
+  EXPECT_EQ(result->projected->schema().num_columns(), 1);
+}
+
+TEST_F(CoreTest, AllPlannersAgreeOnResults) {
+  std::vector<RelationPtr> rels = {MakeRel(70, 12, 30), MakeRel(70, 12, 31),
+                                   MakeRel(70, 12, 32)};
+  const Query q = ChainQuery(rels);
+  Executor executor(cluster_.get());
+  Planner planner(cluster_.get(), params_);
+
+  std::vector<StatusOr<QueryPlan>> plans;
+  plans.push_back(planner.Plan(q));
+  plans.push_back(PlanHiveStyle(q, *cluster_));
+  plans.push_back(PlanPigStyle(q, *cluster_));
+  plans.push_back(PlanYSmartStyle(q, *cluster_));
+
+  int64_t expected_rows = -1;
+  for (const auto& plan : plans) {
+    ASSERT_TRUE(plan.ok());
+    const auto result = executor.Execute(q, *plan);
+    ASSERT_TRUE(result.ok()) << plan->strategy;
+    if (expected_rows < 0) {
+      expected_rows = result->result_ids->num_rows();
+    } else {
+      EXPECT_EQ(result->result_ids->num_rows(), expected_rows)
+          << plan->strategy;
+    }
+  }
+  const auto oracle = NaiveMultiwayJoin(q.relations(), {0, 1, 2},
+                                        q.conditions());
+  EXPECT_EQ(expected_rows, oracle->num_rows());
+}
+
+TEST_F(CoreTest, BaselinePlansAreCascades) {
+  std::vector<RelationPtr> rels = {MakeRel(50, 10, 40), MakeRel(50, 10, 41),
+                                   MakeRel(50, 10, 42)};
+  const Query q = ChainQuery(rels);
+  const auto hive = PlanHiveStyle(q, *cluster_);
+  ASSERT_TRUE(hive.ok());
+  EXPECT_EQ(hive->jobs.size(), 2u);  // 3 relations -> 2 pairwise steps
+  // Second step consumes the first step's output.
+  EXPECT_FALSE(hive->jobs[1].inputs[0].is_base());
+  EXPECT_EQ(hive->jobs[1].inputs[0].job, 0);
+  // Hive always requests max reducers.
+  EXPECT_EQ(hive->jobs[0].num_reduce_tasks,
+            cluster_->config().num_workers);
+  EXPECT_TRUE(hive->jobs[0].text_serde);
+  // YSmart uses shared scans on repeated inputs but binary serde.
+  const auto ysmart = PlanYSmartStyle(q, *cluster_);
+  ASSERT_TRUE(ysmart.ok());
+  EXPECT_FALSE(ysmart->jobs[0].text_serde);
+}
+
+TEST_F(CoreTest, PigUsesSizeBasedReducers) {
+  std::vector<RelationPtr> rels = {
+      MakeRel(50, 10, 50, /*logical=*/40000000),   // ~1.1 GB logical
+      MakeRel(50, 10, 51, /*logical=*/40000000),
+      MakeRel(50, 10, 52, /*logical=*/40000000)};
+  const Query q = ChainQuery(rels);
+  const auto pig = PlanPigStyle(q, *cluster_);
+  ASSERT_TRUE(pig.ok());
+  // ~2.2 GB of input => a handful of reducers, far fewer than 96.
+  EXPECT_LT(pig->jobs[0].num_reduce_tasks, 16);
+  EXPECT_GE(pig->jobs[0].num_reduce_tasks, 2);
+}
+
+TEST_F(CoreTest, ScarceUnitsChangeThePlanOrTiming) {
+  std::vector<RelationPtr> rels = {
+      MakeRel(100, 20, 60, 40000000), MakeRel(100, 20, 61, 40000000),
+      MakeRel(100, 20, 62, 40000000)};
+  const Query q = ChainQuery(rels);
+
+  Planner wide(cluster_.get(), params_);
+  const auto wide_plan = wide.Plan(q);
+  ASSERT_TRUE(wide_plan.ok());
+
+  ClusterConfig narrow_cfg = cluster_->config();
+  narrow_cfg.num_workers = 8;
+  SimCluster narrow_cluster(narrow_cfg);
+  Planner narrow(&narrow_cluster, params_);
+  const auto narrow_plan = narrow.Plan(q);
+  ASSERT_TRUE(narrow_plan.ok());
+
+  for (const PlanJob& job : narrow_plan->jobs) {
+    EXPECT_LE(job.num_reduce_tasks, 8);
+  }
+  EXPECT_GE(narrow_plan->est_makespan_sec,
+            wide_plan->est_makespan_sec * 0.99);
+}
+
+TEST_F(CoreTest, ExecutorRejectsMalformedPlans) {
+  std::vector<RelationPtr> rels = {MakeRel(10, 5, 70), MakeRel(10, 5, 71),
+                                   MakeRel(10, 5, 72)};
+  const Query q = ChainQuery(rels);
+  Executor executor(cluster_.get());
+  QueryPlan empty;
+  EXPECT_FALSE(executor.Execute(q, empty).ok());
+
+  QueryPlan forward_ref;
+  PlanJob job;
+  job.kind = PlanJobKind::kMerge;
+  job.inputs = {PlanInput::Job(3), PlanInput::Job(4)};
+  forward_ref.jobs.push_back(job);
+  EXPECT_FALSE(executor.Execute(q, forward_ref).ok());
+}
+
+TEST_F(CoreTest, ResultSelectivityIsLogical) {
+  std::vector<RelationPtr> rels = {
+      MakeRel(80, 15, 80, 8000), MakeRel(80, 15, 81, 8000),
+      MakeRel(80, 15, 82, 8000)};
+  const Query q = ChainQuery(rels);
+  Planner planner(cluster_.get(), params_);
+  Executor executor(cluster_.get());
+  const auto result = executor.Execute(q, *planner.Plan(q));
+  ASSERT_TRUE(result.ok());
+  // selectivity = logical result rows / (8000^3); logical rows scale the
+  // physical count by 100 (β rule).
+  const double expected =
+      static_cast<double>(result->result_ids->num_rows()) * 100.0 /
+      (8000.0 * 8000.0 * 8000.0);
+  EXPECT_NEAR(result->result_selectivity, expected, expected * 0.01);
+}
+
+}  // namespace
+}  // namespace mrtheta

@@ -1,0 +1,245 @@
+// Tests for the cost model: prediction, calibration fidelity, kR choice.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cost/calibration.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/kr_chooser.h"
+#include "src/hilbert/hilbert.h"
+
+namespace mrtheta {
+namespace {
+
+TEST(PiecewiseLinearTest, InterpolatesAndExtrapolates) {
+  PiecewiseLinear f({1.0, 2.0, 4.0}, {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(f(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 15.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 30.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 10.0);   // clamped left
+  EXPECT_DOUBLE_EQ(f(8.0), 80.0);   // extrapolated right with last slope
+}
+
+TEST(PiecewiseLinearTest, SinglePoint) {
+  PiecewiseLinear f({2.0}, {5.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 5.0);
+}
+
+CostModelParams SimpleParams() {
+  CostModelParams p;
+  p.c1_read_sec_per_byte = 1e-8;
+  p.c1_write_sec_per_byte = 3e-8;
+  p.c2_net_sec_per_byte = 5e-9;
+  p.comparisons_per_sec = 1e9;
+  p.p_spill = PiecewiseLinear({1.0}, {1e-8});
+  p.q_conn = PiecewiseLinear({1.0, 64.0}, {0.01, 1.0});
+  return p;
+}
+
+JobProfile SimpleProfile() {
+  JobProfile prof;
+  prof.input_bytes = 10.0 * kGiB;
+  prof.alpha = 1.0;
+  prof.output_bytes = 1.0 * kGiB;
+  prof.num_reduce_tasks = 16;
+  return prof;
+}
+
+TEST(PredictJobTimeTest, BreakdownAddsUp) {
+  const CostBreakdown b = PredictJobTime(SimpleParams(), ClusterConfig{},
+                                         SimpleProfile(), 96);
+  EXPECT_GT(b.t_map_task, 0.0);
+  EXPECT_GT(b.jm, 0.0);
+  EXPECT_GT(b.t_reduce_task, 0.0);
+  EXPECT_NEAR(b.total, b.jm + b.copy_after_maps + b.jr, 1e-9);
+  EXPECT_EQ(b.map_waves, 2);  // 160 map tasks on 96 slots
+  EXPECT_EQ(b.reduce_waves, 1);
+}
+
+TEST(PredictJobTimeTest, StartupAddsConstant) {
+  CostModelParams p = SimpleParams();
+  const double base =
+      PredictJobTime(p, ClusterConfig{}, SimpleProfile(), 96).total;
+  p.job_startup_sec = 30.0;
+  const double with =
+      PredictJobTime(p, ClusterConfig{}, SimpleProfile(), 96).total;
+  EXPECT_NEAR(with - base, 30.0, 1e-9);
+}
+
+TEST(PredictJobTimeTest, MoreInputMeansMoreTime) {
+  JobProfile small = SimpleProfile();
+  JobProfile big = SimpleProfile();
+  big.input_bytes *= 4;
+  const auto params = SimpleParams();
+  EXPECT_LT(PredictJobTime(params, ClusterConfig{}, small, 96).total,
+            PredictJobTime(params, ClusterConfig{}, big, 96).total);
+}
+
+TEST(PredictJobTimeTest, FewerSlotsMeansMoreWaves) {
+  const auto params = SimpleParams();
+  const auto wide = PredictJobTime(params, ClusterConfig{}, SimpleProfile(),
+                                   96);
+  const auto narrow = PredictJobTime(params, ClusterConfig{},
+                                     SimpleProfile(), 16);
+  EXPECT_GT(narrow.map_waves, wide.map_waves);
+  EXPECT_GT(narrow.total, wide.total);
+}
+
+TEST(PredictJobTimeTest, SkewRaisesReduceTime) {
+  JobProfile skewed = SimpleProfile();
+  skewed.sigma_reduce_bytes = skewed.alpha * skewed.input_bytes /
+                              skewed.num_reduce_tasks;
+  const auto params = SimpleParams();
+  EXPECT_GT(
+      PredictJobTime(params, ClusterConfig{}, skewed, 96).t_reduce_task,
+      PredictJobTime(params, ClusterConfig{}, SimpleProfile(), 96)
+          .t_reduce_task);
+}
+
+// ---- Calibration: the fit must recover the simulator's ground truth ----
+
+TEST(CalibrationTest, RecoversDiskAndNetworkConstants) {
+  ClusterConfig cfg;
+  SimCluster cluster(cfg);
+  const auto report = CalibrateCostModel(cluster);
+  ASSERT_TRUE(report.ok());
+  const CostModelParams& p = report->params;
+  EXPECT_NEAR(p.c1_read_sec_per_byte, cfg.SecPerByteRead(),
+              0.2 * cfg.SecPerByteRead());
+  EXPECT_NEAR(p.c2_net_sec_per_byte, cfg.SecPerByteNet(),
+              0.3 * cfg.SecPerByteNet());
+  // c1_write absorbs the replication pipeline.
+  EXPECT_NEAR(p.c1_write_sec_per_byte, cfg.OutputWriteSecPerByte(),
+              0.3 * cfg.OutputWriteSecPerByte());
+  EXPECT_NEAR(p.job_startup_sec, cfg.job_startup_sec,
+              0.2 * cfg.job_startup_sec + 1.0);
+}
+
+TEST(CalibrationTest, FittedSpillMatchesGroundTruth) {
+  ClusterConfig cfg;
+  SimCluster cluster(cfg);
+  const auto report = CalibrateCostModel(cluster);
+  ASSERT_TRUE(report.ok());
+  // p(v) within 30% of the hidden SpillSecPerByte across probe range.
+  for (double v : {8.0 * kMiB, 128.0 * kMiB, 1024.0 * kMiB}) {
+    const double truth = cfg.SpillSecPerByte(v);
+    const double fitted = report->params.p_spill(v);
+    EXPECT_NEAR(fitted, truth, 0.3 * truth) << "at " << v;
+  }
+  // p grows with volume once spilling multi-pass kicks in (Fig. 7b).
+  EXPECT_GT(report->params.p_spill(2048.0 * kMiB),
+            report->params.p_spill(64.0 * kMiB));
+}
+
+TEST(CalibrationTest, FittedConnOverheadGrowsWithReducers) {
+  SimCluster cluster(ClusterConfig{});
+  const auto report = CalibrateCostModel(cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->params.q_conn(64.0), report->params.q_conn(4.0));
+  // Superlinear (the paper's "rapid growth of q"): q(64)/q(8) > 64/8.
+  EXPECT_GT(report->params.q_conn(64.0) / report->params.q_conn(8.0), 8.0);
+}
+
+TEST(CalibrationTest, ComparisonRateInfiniteWhenCpuNotCharged) {
+  SimCluster cluster(ClusterConfig{});  // charge_comparison_cpu = false
+  const auto report = CalibrateCostModel(cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(std::isinf(report->params.comparisons_per_sec));
+}
+
+TEST(CalibrationTest, ComparisonRateRecoveredWhenCharged) {
+  ClusterConfig cfg;
+  cfg.charge_comparison_cpu = true;
+  SimCluster cluster(cfg);
+  const auto report = CalibrateCostModel(cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->params.comparisons_per_sec, cfg.comparisons_per_sec,
+              0.3 * cfg.comparisons_per_sec);
+}
+
+TEST(CalibrationTest, PredictionMatchesSimulation) {
+  // Fig. 8's claim: the fitted model predicts simulated job times closely.
+  ClusterConfig cfg;
+  SimCluster cluster(cfg);
+  const auto report = CalibrateCostModel(cluster);
+  ASSERT_TRUE(report.ok());
+  for (double alpha : {0.2, 1.0, 3.0}) {
+    SyntheticJobSpec job;
+    job.input_bytes = 3.0 * kGiB;
+    job.alpha = alpha;
+    job.num_reduce_tasks = 16;
+    job.output_bytes = 0.5 * kGiB;
+    const auto sim = RunSyntheticJob(cluster, job);
+    ASSERT_TRUE(sim.ok());
+    const double simulated = ToSeconds(sim->finish - sim->release);
+    JobProfile profile;
+    profile.input_bytes = job.input_bytes;
+    profile.alpha = alpha;
+    profile.output_bytes = job.output_bytes;
+    profile.num_reduce_tasks = 16;
+    const double predicted =
+        PredictJobTime(report->params, cfg, profile, cfg.num_workers).total;
+    EXPECT_NEAR(predicted, simulated, 0.35 * simulated)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(CalibrationTest, RejectsOversizedProbe) {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;  // probe of 2 GiB needs 32 map slots
+  SimCluster cluster(cfg);
+  EXPECT_FALSE(CalibrateCostModel(cluster).ok());
+}
+
+// ---- kR choice ----
+
+TEST(KrChooserTest, DeltaSaturatesAtScale) {
+  // Eq. 10 with raw cardinalities: the workload term dominates and pushes
+  // kR to the cap (the documented reason the planner defaults to the
+  // cost-based chooser).
+  std::vector<double> cards = {1e8, 1e8, 1e8};
+  const KrChoice choice = ChooseKrByDelta(cards, 96, 0.4);
+  EXPECT_EQ(choice.kr, 96);
+}
+
+TEST(KrChooserTest, DeltaBalancesTinyRelations) {
+  // With tiny cardinalities the duplication term matters and kR stays low.
+  std::vector<double> cards = {4.0, 4.0};
+  const KrChoice choice = ChooseKrByDelta(cards, 96, 0.4);
+  EXPECT_LT(choice.kr, 96);
+}
+
+TEST(KrChooserTest, CostBasedFindsInteriorOptimum) {
+  // A synthetic profile where more reducers shrink per-task work but
+  // inflate duplication: the optimum is strictly between 1 and the cap.
+  CostModelParams params = SimpleParams();
+  ClusterConfig cfg;
+  auto profile_for = [](int k) {
+    JobProfile p;
+    p.input_bytes = 20.0 * kGiB;
+    p.alpha = ApproxDuplicationFactor(3, k);
+    p.output_bytes = kGiB;
+    p.num_reduce_tasks = k;
+    return p;
+  };
+  const KrChoice choice =
+      ChooseKrByCost(params, cfg, profile_for, 96, 96);
+  EXPECT_GT(choice.kr, 1);
+  EXPECT_LT(choice.kr, 96);
+}
+
+TEST(PowerFitTest, RecoversExactLaw) {
+  // y = 3 x^0.5
+  std::vector<double> xs = {1, 4, 9, 16, 100};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * std::sqrt(x));
+  const PowerFit fit = FitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.a, 3.0, 1e-6);
+  EXPECT_NEAR(fit.b, 0.5, 1e-6);
+  EXPECT_NEAR(fit(25.0), 15.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mrtheta

@@ -1,0 +1,530 @@
+// Correctness tests for the distributed join executors: every operator is
+// checked against the single-machine nested-loop oracle.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/exec/hilbert_join.h"
+#include "src/exec/merge_join.h"
+#include "src/exec/naive_join.h"
+#include "src/exec/pairwise_join.h"
+#include "src/mapreduce/job_runner.h"
+
+namespace mrtheta {
+namespace {
+
+RelationPtr MakeRel(const char* name, int64_t rows, int64_t key_range,
+                    uint64_t seed) {
+  auto rel = std::make_shared<Relation>(
+      name, Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    rel->AppendIntRow({static_cast<int64_t>(rng.Uniform(key_range)),
+                       static_cast<int64_t>(rng.Uniform(10))});
+  }
+  return rel;
+}
+
+bool SameRows(const Relation& a, const Relation& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  if (a.schema().num_columns() != b.schema().num_columns()) return false;
+  const Relation sa = SortedByRows(a);
+  const Relation sb = SortedByRows(b);
+  for (int64_t r = 0; r < sa.num_rows(); ++r) {
+    for (int c = 0; c < sa.schema().num_columns(); ++c) {
+      if (sa.GetInt(r, c) != sb.GetInt(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+// ---- JoinSide / helpers ----
+
+TEST(JoinSideTest, BaseAndIntermediateResolution) {
+  RelationPtr base = MakeRel("b", 10, 100, 1);
+  JoinSide side = JoinSide::ForBase(base, 3);
+  EXPECT_TRUE(side.Covers(3));
+  EXPECT_FALSE(side.Covers(0));
+  EXPECT_EQ(side.BaseRow(7, 3), 7);
+
+  auto inter = std::make_shared<Relation>(
+      "i", Schema({{"rid_1", ValueType::kInt64},
+                   {"rid_3", ValueType::kInt64}}));
+  inter->AppendIntRow({5, 9});
+  JoinSide is = JoinSide::ForIntermediate(inter, {1, 3});
+  EXPECT_EQ(is.BaseRow(0, 1), 5);
+  EXPECT_EQ(is.BaseRow(0, 3), 9);
+}
+
+TEST(JoinSideTest, ScaleFromLogicalRows) {
+  RelationPtr base = MakeRel("b", 100, 100, 2);
+  std::const_pointer_cast<Relation>(base)->set_logical_rows(5000);
+  JoinSide side = JoinSide::ForBase(base, 0);
+  EXPECT_DOUBLE_EQ(side.scale, 50.0);
+}
+
+TEST(IntermediateSchemaTest, WidthsAreMaterialized) {
+  RelationPtr a = MakeRel("a", 1, 10, 3);
+  RelationPtr b = MakeRel("b", 1, 10, 4);
+  Schema s = MakeIntermediateSchema({0, 1}, {a, b});
+  ASSERT_EQ(s.num_columns(), 2);
+  EXPECT_EQ(s.column(0).name, "rid_0");
+  EXPECT_EQ(s.column(0).avg_width, a->schema().avg_row_bytes());
+}
+
+TEST(EstimateDistinctTest, KeyLikeVsCategorical) {
+  auto keys = std::make_shared<Relation>(
+      "k", Schema({{"id", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 1000; ++i) keys->AppendIntRow({i});
+  keys->set_logical_rows(100000);
+  const ColumnDistinct kd = EstimateDistinct(*keys, 0);
+  EXPECT_NEAR(kd.physical, 1000.0, 1.0);
+  EXPECT_NEAR(kd.logical, 100000.0, 1.0);
+
+  RelationPtr cat = MakeRel("c", 1000, 20, 5);
+  std::const_pointer_cast<Relation>(cat)->set_logical_rows(100000);
+  const ColumnDistinct cd = EstimateDistinct(*cat, 0);
+  EXPECT_NEAR(cd.logical, 20.0, 1.0);
+}
+
+TEST(ProjectResultTest, ResolvesBaseValues) {
+  RelationPtr base = MakeRel("b", 5, 100, 6);
+  auto inter = std::make_shared<Relation>(
+      "i", Schema({{"rid_0", ValueType::kInt64}}));
+  inter->AppendIntRow({3});
+  inter->AppendIntRow({1});
+  const auto projected =
+      ProjectResult(*inter, {0}, {base}, {{0, 0}, {0, 1}});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_rows(), 2);
+  EXPECT_EQ(projected->GetInt(0, 0), base->GetInt(3, 0));
+  EXPECT_EQ(projected->GetInt(1, 1), base->GetInt(1, 1));
+}
+
+TEST(ProjectResultTest, RejectsUncoveredBase) {
+  RelationPtr base = MakeRel("b", 5, 100, 7);
+  auto inter = std::make_shared<Relation>(
+      "i", Schema({{"rid_0", ValueType::kInt64}}));
+  EXPECT_FALSE(ProjectResult(*inter, {0}, {base}, {{1, 0}}).ok());
+}
+
+// ---- Hilbert multi-way join: parameterized oracle checks ----
+
+struct HilbertCase {
+  const char* name;
+  int num_relations;
+  int rows;
+  int reduce_tasks;
+  std::vector<JoinCondition> conditions;
+};
+
+class HilbertJoinOracleTest : public ::testing::TestWithParam<HilbertCase> {};
+
+TEST_P(HilbertJoinOracleTest, MatchesNaiveJoin) {
+  const HilbertCase& tc = GetParam();
+  std::vector<RelationPtr> bases;
+  std::vector<int> indices;
+  MultiwayJoinJobSpec spec;
+  for (int i = 0; i < tc.num_relations; ++i) {
+    bases.push_back(MakeRel("r", tc.rows, 50, 100 + i));
+    indices.push_back(i);
+    spec.inputs.push_back(JoinSide::ForBase(bases.back(), i));
+  }
+  spec.base_relations = bases;
+  spec.conditions = tc.conditions;
+  spec.num_reduce_tasks = tc.reduce_tasks;
+
+  const auto oracle = NaiveMultiwayJoin(bases, indices, tc.conditions);
+  ASSERT_TRUE(oracle.ok());
+
+  HilbertJoinPlanInfo info;
+  const auto job = BuildHilbertJoinJob(spec, &info);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SameRows(*oracle, *result->output))
+      << tc.name << ": hilbert " << result->output->num_rows()
+      << " rows vs naive " << oracle->num_rows();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HilbertJoinOracleTest,
+    ::testing::Values(
+        HilbertCase{"band_lt", 2, 150, 8,
+                    {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}}},
+        HilbertCase{"band_le_offset", 2, 150, 8,
+                    {{{0, 0}, ThetaOp::kLe, {1, 0}, 5.0, 0}}},
+        HilbertCase{"not_equal", 2, 100, 4,
+                    {{{0, 1}, ThetaOp::kNe, {1, 1}, 0.0, 0}}},
+        HilbertCase{"pure_eq", 2, 200, 8,
+                    {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}}},
+        HilbertCase{"eq_plus_band", 2, 150, 16,
+                    {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                     {{0, 1}, ThetaOp::kGe, {1, 1}, 0.0, 1}}},
+        HilbertCase{"chain3_bands", 3, 60, 8,
+                    {{{0, 0}, ThetaOp::kLe, {1, 0}, 0.0, 0},
+                     {{1, 1}, ThetaOp::kGt, {2, 1}, 0.0, 1}}},
+        HilbertCase{"chain3_mixed", 3, 60, 16,
+                    {{{0, 0}, ThetaOp::kLe, {1, 0}, 0.0, 0},
+                     {{1, 0}, ThetaOp::kEq, {2, 0}, 0.0, 1},
+                     {{1, 1}, ThetaOp::kEq, {2, 1}, 0.0, 2}}},
+        HilbertCase{"cycle3", 3, 50, 8,
+                    {{{0, 0}, ThetaOp::kLe, {1, 0}, 0.0, 0},
+                     {{1, 1}, ThetaOp::kGe, {2, 1}, 0.0, 1},
+                     {{2, 0}, ThetaOp::kNe, {0, 0}, 0.0, 2}}},
+        HilbertCase{"chain4", 4, 30, 8,
+                    {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0},
+                     {{1, 0}, ThetaOp::kLt, {2, 0}, 0.0, 1},
+                     {{2, 1}, ThetaOp::kEq, {3, 1}, 0.0, 2}}},
+        HilbertCase{"star_eq", 3, 100, 12,
+                    {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                     {{0, 0}, ThetaOp::kEq, {2, 0}, 0.0, 1}}}),
+    [](const ::testing::TestParamInfo<HilbertCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(HilbertJoinTest, SingleReducerStillCorrect) {
+  RelationPtr a = MakeRel("a", 80, 20, 11);
+  RelationPtr b = MakeRel("b", 80, 20, 12);
+  MultiwayJoinJobSpec spec;
+  spec.inputs = {JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1)};
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kGe, {1, 0}, 0.0, 0}};
+  spec.num_reduce_tasks = 1;
+  const auto job = BuildHilbertJoinJob(spec);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions);
+  EXPECT_TRUE(SameRows(*oracle, *result->output));
+}
+
+TEST(HilbertJoinTest, RejectsUncoveredCondition) {
+  RelationPtr a = MakeRel("a", 10, 10, 13);
+  RelationPtr b = MakeRel("b", 10, 10, 14);
+  MultiwayJoinJobSpec spec;
+  spec.inputs = {JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1)};
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kLt, {5, 0}, 0.0, 0}};
+  EXPECT_FALSE(BuildHilbertJoinJob(spec).ok());
+}
+
+TEST(HilbertJoinTest, DuplicationShrinksWithEqualityFusion) {
+  // Same 3 relations, once with a fused equality pair, once all-band:
+  // fusion must emit fewer map records (smaller network volume).
+  std::vector<RelationPtr> bases;
+  for (int i = 0; i < 3; ++i) bases.push_back(MakeRel("r", 120, 40, 20 + i));
+  auto run = [&](std::vector<JoinCondition> conds) {
+    MultiwayJoinJobSpec spec;
+    for (int i = 0; i < 3; ++i) {
+      spec.inputs.push_back(JoinSide::ForBase(bases[i], i));
+    }
+    spec.base_relations = bases;
+    spec.conditions = std::move(conds);
+    spec.num_reduce_tasks = 32;
+    const auto job = BuildHilbertJoinJob(spec);
+    EXPECT_TRUE(job.ok());
+    return RunJobPhysically(*job)->metrics.map_output_records_physical;
+  };
+  const int64_t with_eq =
+      run({{{0, 0}, ThetaOp::kLe, {1, 0}, 0.0, 0},
+           {{1, 0}, ThetaOp::kEq, {2, 0}, 0.0, 1}});
+  const int64_t all_band =
+      run({{{0, 0}, ThetaOp::kLe, {1, 0}, 0.0, 0},
+           {{1, 0}, ThetaOp::kLe, {2, 0}, 0.0, 1}});
+  EXPECT_LT(with_eq, all_band);
+}
+
+TEST(DimensionGroupingTest, BandOnlyKeepsAllDims) {
+  const DimensionGrouping g = ComputeDimensionGrouping(
+      {{0}, {1}, {2}}, {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0},
+                        {{1, 0}, ThetaOp::kLt, {2, 0}, 0.0, 1}});
+  EXPECT_EQ(g.num_dims, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(g.key_of_input[i].relation, -1);
+}
+
+TEST(DimensionGroupingTest, EqualityPairFuses) {
+  const DimensionGrouping g = ComputeDimensionGrouping(
+      {{0}, {1}, {2}}, {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0},
+                        {{1, 0}, ThetaOp::kEq, {2, 0}, 0.0, 1}});
+  EXPECT_EQ(g.num_dims, 2);
+  EXPECT_EQ(g.dim_of_input[1], g.dim_of_input[2]);
+  EXPECT_NE(g.dim_of_input[0], g.dim_of_input[1]);
+  EXPECT_EQ(g.key_of_input[1].relation, 1);
+  EXPECT_EQ(g.key_of_input[2].relation, 2);
+}
+
+TEST(DimensionGroupingTest, OffsetEqualityDoesNotFuse) {
+  const DimensionGrouping g = ComputeDimensionGrouping(
+      {{0}, {1}}, {{{0, 0}, ThetaOp::kEq, {1, 0}, 3.0, 0}});
+  EXPECT_EQ(g.num_dims, 2);
+}
+
+TEST(DimensionGroupingTest, StarOnSameKeyFusesAll) {
+  const DimensionGrouping g = ComputeDimensionGrouping(
+      {{0}, {1}, {2}}, {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                        {{1, 0}, ThetaOp::kEq, {2, 0}, 0.0, 1}});
+  EXPECT_EQ(g.num_dims, 1);
+}
+
+TEST(DimensionGroupingTest, LargestClassWins) {
+  // orderkey class {1,2,3} and custkey class {0,1}: input 1 goes to the
+  // larger class; 0 stays alone.
+  const DimensionGrouping g = ComputeDimensionGrouping(
+      {{0}, {1}, {2}, {3}},
+      {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+       {{1, 1}, ThetaOp::kEq, {2, 1}, 0.0, 1},
+       {{1, 1}, ThetaOp::kEq, {3, 1}, 0.0, 2}});
+  EXPECT_EQ(g.num_dims, 2);
+  EXPECT_EQ(g.dim_of_input[1], g.dim_of_input[2]);
+  EXPECT_EQ(g.dim_of_input[1], g.dim_of_input[3]);
+  EXPECT_NE(g.dim_of_input[0], g.dim_of_input[1]);
+}
+
+// ---- Pairwise joins ----
+
+TEST(OneBucketThetaTest, MatchesNaive) {
+  RelationPtr a = MakeRel("a", 120, 30, 31);
+  RelationPtr b = MakeRel("b", 90, 30, 32);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kGt, {1, 0}, 0.0, 0},
+                     {{0, 1}, ThetaOp::kNe, {1, 1}, 0.0, 1}};
+  spec.num_reduce_tasks = 12;
+  const auto job = BuildOneBucketThetaJob(spec);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions);
+  EXPECT_TRUE(SameRows(*oracle, *result->output));
+}
+
+TEST(OneBucketThetaTest, EveryPairMeetsExactlyOnce) {
+  // With a tautological condition the output is the full cross product,
+  // each pair exactly once.
+  RelationPtr a = MakeRel("a", 40, 10, 33);
+  RelationPtr b = MakeRel("b", 30, 10, 34);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kGe, {1, 0}, 1000.0, 0}};  // always
+  spec.num_reduce_tasks = 7;
+  const auto job = BuildOneBucketThetaJob(spec);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output->num_rows(), 40 * 30);
+}
+
+// Every theta operator through 1-Bucket-Theta, against the oracle.
+class OneBucketOpTest : public ::testing::TestWithParam<ThetaOp> {};
+
+TEST_P(OneBucketOpTest, MatchesNaiveForOp) {
+  RelationPtr a = MakeRel("a", 90, 25, 61);
+  RelationPtr b = MakeRel("b", 70, 25, 62);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, GetParam(), {1, 0}, 0.0, 0}};
+  spec.num_reduce_tasks = 9;
+  const auto job = BuildOneBucketThetaJob(spec);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions);
+  EXPECT_TRUE(SameRows(*oracle, *result->output));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OneBucketOpTest,
+    ::testing::Values(ThetaOp::kLt, ThetaOp::kLe, ThetaOp::kEq,
+                      ThetaOp::kGe, ThetaOp::kGt, ThetaOp::kNe),
+    [](const ::testing::TestParamInfo<ThetaOp>& param_info) {
+      switch (param_info.param) {
+        case ThetaOp::kLt: return "lt";
+        case ThetaOp::kLe: return "le";
+        case ThetaOp::kEq: return "eq";
+        case ThetaOp::kGe: return "ge";
+        case ThetaOp::kGt: return "gt";
+        case ThetaOp::kNe: return "ne";
+      }
+      return "unknown";
+    });
+
+TEST(EquiJoinTest, StringKeys) {
+  auto make_named = [](const char* name, int rows, uint64_t seed) {
+    auto rel = std::make_shared<Relation>(
+        name, Schema({{"city", ValueType::kString},
+                      {"v", ValueType::kInt64}}));
+    Rng rng(seed);
+    const char* cities[] = {"hk", "sz", "bj", "sh", "gz"};
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Value> row = {Value(std::string(cities[rng.Uniform(5)])),
+                                Value(rng.UniformInt(0, 9))};
+      EXPECT_TRUE(rel->AppendRow(row).ok());
+    }
+    return rel;
+  };
+  RelationPtr a = make_named("a", 60, 71);
+  RelationPtr b = make_named("b", 50, 72);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+  spec.num_reduce_tasks = 4;
+  const auto job = BuildEquiJoinJob(spec);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions);
+  EXPECT_TRUE(SameRows(*oracle, *result->output));
+}
+
+TEST(ChooseBucketGridTest, ShapesFollowCardinalities) {
+  // |L| >> |R|: replicate R across many row-bands.
+  const BucketGrid g = ChooseBucketGrid(1e6, 1e3, 16);
+  EXPECT_GT(g.rows, g.cols);
+  EXPECT_LE(g.rows * g.cols, 16);
+  const BucketGrid sq = ChooseBucketGrid(1e5, 1e5, 16);
+  EXPECT_EQ(sq.rows, sq.cols);
+}
+
+TEST(EquiJoinTest, MatchesNaiveWithResidual) {
+  RelationPtr a = MakeRel("a", 200, 25, 35);
+  RelationPtr b = MakeRel("b", 150, 25, 36);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                     {{0, 1}, ThetaOp::kLe, {1, 1}, 0.0, 1}};
+  spec.num_reduce_tasks = 8;
+  const auto job = BuildEquiJoinJob(spec);
+  ASSERT_TRUE(job.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions);
+  EXPECT_TRUE(SameRows(*oracle, *result->output));
+}
+
+TEST(EquiJoinTest, RequiresOffsetFreeEquality) {
+  RelationPtr a = MakeRel("a", 10, 10, 37);
+  RelationPtr b = MakeRel("b", 10, 10, 38);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}};
+  EXPECT_FALSE(BuildEquiJoinJob(spec).ok());
+  spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 2.0, 0}};
+  EXPECT_FALSE(BuildEquiJoinJob(spec).ok());
+}
+
+TEST(PairwiseTest, RejectsConditionNotConnectingSides) {
+  RelationPtr a = MakeRel("a", 10, 10, 39);
+  RelationPtr b = MakeRel("b", 10, 10, 40);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kLt, {0, 1}, 0.0, 0}};
+  EXPECT_FALSE(BuildOneBucketThetaJob(spec).ok());
+}
+
+// ---- Merge ----
+
+TEST(MergeJoinTest, RecombinesPartialResults) {
+  // Join a-b and b-c separately, merge on shared b rids; compare with the
+  // 3-way oracle.
+  RelationPtr a = MakeRel("a", 60, 15, 41);
+  RelationPtr b = MakeRel("b", 60, 15, 42);
+  RelationPtr c = MakeRel("c", 60, 15, 43);
+  const std::vector<RelationPtr> bases = {a, b, c};
+  JoinCondition ab{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0};
+  JoinCondition bc{{1, 1}, ThetaOp::kLe, {2, 1}, 0.0, 1};
+
+  auto run_pair = [&](JoinSide l, JoinSide r, JoinCondition cond) {
+    PairwiseJoinJobSpec spec;
+    spec.left = l;
+    spec.right = r;
+    spec.base_relations = bases;
+    spec.conditions = {cond};
+    spec.num_reduce_tasks = 4;
+    const auto job = cond.op == ThetaOp::kEq ? BuildEquiJoinJob(spec)
+                                             : BuildOneBucketThetaJob(spec);
+    EXPECT_TRUE(job.ok());
+    return RunJobPhysically(*job)->output;
+  };
+  auto ab_out = run_pair(JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1),
+                         ab);
+  auto bc_out = run_pair(JoinSide::ForBase(b, 1), JoinSide::ForBase(c, 2),
+                         bc);
+
+  MergeJobSpec merge;
+  merge.left = JoinSide::ForIntermediate(ab_out, {0, 1});
+  merge.right = JoinSide::ForIntermediate(bc_out, {1, 2});
+  merge.base_relations = bases;
+  merge.num_reduce_tasks = 4;
+  const auto job = BuildMergeJob(merge);
+  ASSERT_TRUE(job.ok());
+  const auto merged = RunJobPhysically(*job);
+  ASSERT_TRUE(merged.ok());
+
+  const auto oracle = NaiveMultiwayJoin(bases, {0, 1, 2}, {ab, bc});
+  EXPECT_TRUE(SameRows(*oracle, *merged->output));
+}
+
+TEST(MergeJoinTest, RequiresSharedBase) {
+  RelationPtr a = MakeRel("a", 5, 5, 44);
+  auto left = std::make_shared<Relation>(
+      "l", Schema({{"rid_0", ValueType::kInt64}}));
+  auto right = std::make_shared<Relation>(
+      "r", Schema({{"rid_1", ValueType::kInt64}}));
+  MergeJobSpec spec;
+  spec.left = JoinSide::ForIntermediate(left, {0});
+  spec.right = JoinSide::ForIntermediate(right, {1});
+  spec.base_relations = {a, a};
+  EXPECT_FALSE(BuildMergeJob(spec).ok());
+}
+
+TEST(SharedBasesTest, Intersection) {
+  auto rel = std::make_shared<Relation>(
+      "x", Schema({{"rid_0", ValueType::kInt64}}));
+  JoinSide a = JoinSide::ForIntermediate(rel, {0, 1, 2});
+  JoinSide b = JoinSide::ForIntermediate(rel, {2, 3, 0});
+  EXPECT_EQ(SharedBases(a, b), (std::vector<int>{0, 2}));
+}
+
+// ---- Naive oracle sanity ----
+
+TEST(NaiveJoinTest, SmallHandComputedCase) {
+  auto a = std::make_shared<Relation>("a",
+                                      Schema({{"x", ValueType::kInt64}}));
+  auto b = std::make_shared<Relation>("b",
+                                      Schema({{"x", ValueType::kInt64}}));
+  a->AppendIntRow({1});
+  a->AppendIntRow({5});
+  b->AppendIntRow({3});
+  b->AppendIntRow({7});
+  // a.x < b.x: (1,3), (1,7), (5,7) -> 3 rows.
+  const auto out = NaiveMultiwayJoin(
+      {a, b}, {0, 1}, {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3);
+}
+
+TEST(NaiveJoinTest, RequiresTwoRelations) {
+  auto a = std::make_shared<Relation>("a",
+                                      Schema({{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(NaiveMultiwayJoin({a}, {0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace mrtheta

@@ -1,0 +1,250 @@
+// Tests for the join graph and Algorithm 2 (join-path graph construction
+// with Lemma 1/2 pruning), including the paper's Fig. 1 example.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/join_path_graph.h"
+
+namespace mrtheta {
+namespace {
+
+// The paper's Fig. 1 join graph: 5 relations, 6 conditions.
+//   θ1:(R1,R2) θ2:(R2,R3) θ3:(R1,R3) θ4:(R3,R4) θ5:(R4,R5) θ6:(R5,R3)
+// (0-indexed here: θ0..θ5 over R0..R4.)
+JoinGraph Fig1Graph() {
+  JoinGraph g(5);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 2).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 3).ok());
+  EXPECT_TRUE(g.AddEdge(3, 4, 4).ok());
+  EXPECT_TRUE(g.AddEdge(4, 2, 5).ok());
+  return g;
+}
+
+CandidateCostFn UnitCost() {
+  return [](const std::vector<int>& thetas, const std::vector<int>&) {
+    CandidateCost c;
+    c.weight = static_cast<double>(thetas.size());
+    c.schedule_slots = 1;
+    return c;
+  };
+}
+
+TEST(JoinGraphTest, BasicAccessors) {
+  JoinGraph g = Fig1Graph();
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.Degree(2), 4);
+  EXPECT_EQ(g.Degree(0), 2);
+}
+
+TEST(JoinGraphTest, RejectsBadEdges) {
+  JoinGraph g(3);
+  EXPECT_FALSE(g.AddEdge(0, 0, 0).ok());
+  EXPECT_FALSE(g.AddEdge(0, 5, 0).ok());
+  EXPECT_FALSE(g.AddEdge(-1, 1, 0).ok());
+}
+
+TEST(JoinGraphTest, ParallelEdgesAllowed) {
+  JoinGraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0).ok());
+  EXPECT_TRUE(g.AddEdge(0, 1, 1).ok());
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(0), 2);
+}
+
+TEST(JoinGraphTest, Connectivity) {
+  JoinGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  EXPECT_FALSE(g.IsConnected());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1).ok());
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(JoinGraphTest, Fig1HasEulerianCircuit) {
+  // The paper notes Fig. 1's graph admits an Eulerian circuit: all degrees
+  // are even (R1:2, R2:2, R3:4, R4:2, R5:2).
+  JoinGraph g = Fig1Graph();
+  EXPECT_TRUE(g.HasEulerianTrail());
+  EXPECT_TRUE(g.HasEulerianCircuit());
+}
+
+TEST(JoinGraphTest, PathGraphHasTrailNotCircuit) {
+  JoinGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1).ok());
+  EXPECT_TRUE(g.HasEulerianTrail());
+  EXPECT_FALSE(g.HasEulerianCircuit());
+}
+
+TEST(JoinGraphTest, FourOddVerticesHaveNoTrail) {
+  JoinGraph g(4);
+  // Star plus an extra edge: degrees 3,1,1,1 -> 4 odd.
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 2).ok());
+  EXPECT_FALSE(g.HasEulerianTrail());
+}
+
+TEST(JoinPathGraphTest, SingleEdge) {
+  JoinGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  const auto cands = BuildJoinPathGraph(g, UnitCost());
+  ASSERT_TRUE(cands.ok());
+  ASSERT_EQ(cands->size(), 1u);
+  EXPECT_EQ((*cands)[0].theta_mask, 1u);
+  EXPECT_EQ((*cands)[0].relations, (std::vector<int>{0, 1}));
+}
+
+TEST(JoinPathGraphTest, TriangleEnumeratesAllTrails) {
+  JoinGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 2).ok());
+  JoinPathGraphOptions opts;
+  opts.enable_pruning = false;
+  const auto cands = BuildJoinPathGraph(g, UnitCost(), opts);
+  ASSERT_TRUE(cands.ok());
+  // Distinct trail edge-sets in a triangle: 3 singles, 3 pairs, 1 full.
+  std::set<uint32_t> masks;
+  for (const auto& c : *cands) masks.insert(c.theta_mask);
+  EXPECT_EQ(masks.size(), 7u);
+}
+
+TEST(JoinPathGraphTest, Fig1ContainsThePaperPath) {
+  // The Fig. 1 matrix lists {3,4,6,5,2} (1-indexed) as a no-edge-repeating
+  // path between R1 and R2 — 0-indexed mask over θ {2,3,5,4,1}.
+  JoinPathGraphOptions opts;
+  opts.enable_pruning = false;
+  JoinGraph g = Fig1Graph();
+  const auto cands = BuildJoinPathGraph(g, UnitCost(), opts);
+  ASSERT_TRUE(cands.ok());
+  const uint32_t want = (1u << 2) | (1u << 3) | (1u << 5) | (1u << 4) |
+                        (1u << 1);
+  bool found = false;
+  for (const auto& c : *cands) {
+    if (c.theta_mask == want) {
+      found = true;
+      // That trail visits all five relations.
+      EXPECT_EQ(c.relations.size(), 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JoinPathGraphTest, Fig1HasFullCoverCandidate) {
+  // An Eulerian circuit exists, so some candidate covers all six θ.
+  JoinPathGraphOptions opts;
+  opts.enable_pruning = false;
+  const auto cands = BuildJoinPathGraph(Fig1Graph(), UnitCost(), opts);
+  ASSERT_TRUE(cands.ok());
+  bool found = false;
+  for (const auto& c : *cands) found |= c.theta_mask == 0x3fu;
+  EXPECT_TRUE(found);
+}
+
+TEST(JoinPathGraphTest, CandidatesSortedByWeight) {
+  const auto cands = BuildJoinPathGraph(Fig1Graph(), UnitCost());
+  ASSERT_TRUE(cands.ok());
+  for (size_t i = 1; i < cands->size(); ++i) {
+    EXPECT_LE((*cands)[i - 1].weight, (*cands)[i].weight);
+  }
+}
+
+TEST(JoinPathGraphTest, Lemma1PrunesSubstitutableCandidates) {
+  // Cost grows super-linearly in conditions => multi-edge candidates are
+  // substitutable by their single-edge parts and must be pruned.
+  CandidateCostFn expensive = [](const std::vector<int>& thetas,
+                                 const std::vector<int>&) {
+    CandidateCost c;
+    const double n = static_cast<double>(thetas.size());
+    c.weight = n * n * 10.0;
+    c.schedule_slots = static_cast<int>(n);
+    return c;
+  };
+  JoinPathGraphStats stats;
+  const auto cands =
+      BuildJoinPathGraph(Fig1Graph(), expensive, {}, &stats);
+  ASSERT_TRUE(cands.ok());
+  EXPECT_GT(stats.pruned_by_lemma1, 0);
+  // Only the 6 single-condition candidates survive.
+  EXPECT_EQ(cands->size(), 6u);
+}
+
+TEST(JoinPathGraphTest, Lemma2PrunesSupersets) {
+  CandidateCostFn expensive = [](const std::vector<int>& thetas,
+                                 const std::vector<int>&) {
+    CandidateCost c;
+    const double n = static_cast<double>(thetas.size());
+    c.weight = n * n * 10.0;
+    c.schedule_slots = static_cast<int>(n);
+    return c;
+  };
+  JoinPathGraphStats stats;
+  ASSERT_TRUE(BuildJoinPathGraph(Fig1Graph(), expensive, {}, &stats).ok());
+  // Once a 2-hop trail is pruned, its 3-hop supersets are dropped without
+  // cost evaluation.
+  EXPECT_GT(stats.pruned_by_lemma2, 0);
+}
+
+TEST(JoinPathGraphTest, PruningNeverDropsCoverage) {
+  // Whatever the cost function, the union of surviving candidates must
+  // still cover all conditions (single edges are only pruned if covered).
+  JoinPathGraphStats stats;
+  const auto cands = BuildJoinPathGraph(
+      Fig1Graph(),
+      [](const std::vector<int>& thetas, const std::vector<int>&) {
+        CandidateCost c;
+        c.weight = 100.0 / thetas.size();  // cheaper when bigger
+        c.schedule_slots = 1;
+        return c;
+      },
+      {}, &stats);
+  ASSERT_TRUE(cands.ok());
+  uint32_t covered = 0;
+  for (const auto& c : *cands) covered |= c.theta_mask;
+  EXPECT_EQ(covered, 0x3fu);
+}
+
+TEST(JoinPathGraphTest, MaxHopsLimitsTrailLength) {
+  JoinPathGraphOptions opts;
+  opts.max_hops = 1;
+  opts.enable_pruning = false;
+  const auto cands = BuildJoinPathGraph(Fig1Graph(), UnitCost(), opts);
+  ASSERT_TRUE(cands.ok());
+  EXPECT_EQ(cands->size(), 6u);
+  for (const auto& c : *cands) EXPECT_EQ(c.num_conditions(), 1);
+}
+
+TEST(JoinPathGraphTest, ValidatesInput) {
+  JoinGraph empty(3);
+  EXPECT_FALSE(BuildJoinPathGraph(empty, UnitCost()).ok());
+  JoinGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  EXPECT_FALSE(BuildJoinPathGraph(g, nullptr).ok());
+}
+
+TEST(JoinPathGraphTest, RelationsInTrailVisitOrder) {
+  JoinGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1).ok());
+  JoinPathGraphOptions opts;
+  opts.enable_pruning = false;
+  const auto cands = BuildJoinPathGraph(g, UnitCost(), opts);
+  ASSERT_TRUE(cands.ok());
+  for (const auto& c : *cands) {
+    if (c.theta_mask == 0x3u) {
+      // Trail 0-1-2 (or reverse): relations are distinct and in order.
+      EXPECT_EQ(c.relations.size(), 3u);
+      std::set<int> uniq(c.relations.begin(), c.relations.end());
+      EXPECT_EQ(uniq.size(), 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrtheta

@@ -1,0 +1,342 @@
+// Tests for the MapReduce substrate: physical job execution, the
+// discrete-event engine, the timing model and the load models.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/mapreduce/load_model.h"
+#include "src/mapreduce/sim_cluster.h"
+
+namespace mrtheta {
+namespace {
+
+RelationPtr MakeInts(int64_t rows, int64_t logical_rows = 0) {
+  auto rel = std::make_shared<Relation>(
+      "t", Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  for (int64_t i = 0; i < rows; ++i) rel->AppendIntRow({i % 10, i});
+  if (logical_rows > 0) rel->set_logical_rows(logical_rows);
+  return rel;
+}
+
+// A group-count job: key = k, reduce emits (key, count).
+MapReduceJobSpec CountJob(RelationPtr rel, int reducers) {
+  MapReduceJobSpec spec;
+  spec.name = "count";
+  spec.inputs.push_back({rel, 1.0});
+  spec.num_reduce_tasks = reducers;
+  spec.output_schema = Schema({{"key", ValueType::kInt64},
+                               {"count", ValueType::kInt64}});
+  spec.map = [](int tag, const Relation& r, int64_t row, MapEmitter& out) {
+    out.Emit(r.GetInt(row, 0), tag, row, row, 16);
+  };
+  spec.reduce = [](const ReduceContext& ctx, ReduceCollector& out) {
+    out.Emit({Value(ctx.key),
+              Value(static_cast<int64_t>(ctx.records(0).size()))});
+  };
+  return spec;
+}
+
+TEST(JobRunnerTest, GroupCountIsExact) {
+  const auto result = RunJobPhysically(CountJob(MakeInts(1000), 4));
+  ASSERT_TRUE(result.ok());
+  const Relation& out = *result->output;
+  ASSERT_EQ(out.num_rows(), 10);
+  int64_t total = 0;
+  for (int64_t r = 0; r < out.num_rows(); ++r) total += out.GetInt(r, 1);
+  EXPECT_EQ(total, 1000);
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.GetInt(r, 1), 100);
+  }
+}
+
+TEST(JobRunnerTest, KeysArriveSortedWithinTask) {
+  auto rel = MakeInts(100);
+  MapReduceJobSpec spec = CountJob(rel, 1);
+  std::vector<int64_t> seen;
+  spec.reduce = [&seen](const ReduceContext& ctx, ReduceCollector& out) {
+    seen.push_back(ctx.key);
+    out.Emit({Value(ctx.key), Value(int64_t{0})});
+  };
+  ASSERT_TRUE(RunJobPhysically(spec).ok());
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(JobRunnerTest, MetricsScaleWithLogicalVolume) {
+  // 100 physical rows representing 10000 logical rows: shuffle volume
+  // scales by 100x.
+  auto rel = MakeInts(100, 10000);
+  MapReduceJobSpec spec = CountJob(rel, 2);
+  spec.inputs[0].scale = 100.0;
+  const auto result = RunJobPhysically(spec);
+  ASSERT_TRUE(result.ok());
+  const JobMeasurement& m = result->metrics;
+  EXPECT_EQ(m.input_bytes_logical, rel->logical_bytes());
+  EXPECT_EQ(m.map_output_records_physical, 100);
+  EXPECT_EQ(m.map_output_bytes_logical, 100 * 16 * 100);
+  int64_t reduce_total = 0;
+  for (int64_t b : m.reduce_input_bytes_logical) reduce_total += b;
+  EXPECT_EQ(reduce_total, m.map_output_bytes_logical);
+}
+
+TEST(JobRunnerTest, OutputRowScale) {
+  MapReduceJobSpec spec = CountJob(MakeInts(100), 1);
+  spec.output_row_scale = 7.0;
+  const auto result = RunJobPhysically(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.output_rows_physical, 10);
+  EXPECT_EQ(result->metrics.output_rows_logical, 70.0);
+  EXPECT_EQ(result->output->logical_rows(), 70);
+}
+
+TEST(JobRunnerTest, ValidatesSpec) {
+  MapReduceJobSpec empty;
+  EXPECT_FALSE(RunJobPhysically(empty).ok());
+  MapReduceJobSpec no_reduce = CountJob(MakeInts(10), 1);
+  no_reduce.reduce = nullptr;
+  EXPECT_FALSE(RunJobPhysically(no_reduce).ok());
+  MapReduceJobSpec bad_n = CountJob(MakeInts(10), 0);
+  EXPECT_FALSE(RunJobPhysically(bad_n).ok());
+}
+
+TEST(JobRunnerTest, CustomPartitioner) {
+  MapReduceJobSpec spec = CountJob(MakeInts(100), 2);
+  spec.partition = [](int64_t key, int n) {
+    return static_cast<int>(key % n);
+  };
+  const auto result = RunJobPhysically(spec);
+  ASSERT_TRUE(result.ok());
+  // Keys 0,2,4,6,8 -> task 0; 1,3,5,7,9 -> task 1: both get 5*100*16 bytes.
+  EXPECT_EQ(result->metrics.reduce_input_bytes_logical[0],
+            result->metrics.reduce_input_bytes_logical[1]);
+}
+
+TEST(HashPartitionTest, InRangeAndSpreads) {
+  std::vector<int> hits(16, 0);
+  for (int64_t k = 0; k < 1600; ++k) {
+    const int t = HashPartition(k, 16);
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 16);
+    hits[t]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 50);
+}
+
+// ---- Discrete-event engine ----
+
+ClusterConfig TestConfig(int workers) {
+  ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.job_startup_sec = 0.0;
+  return cfg;
+}
+
+SimJobSpec SimpleJob(int maps, double map_sec, int reduces,
+                     double reduce_sec) {
+  SimJobSpec job;
+  job.num_map_tasks = maps;
+  job.map_task_duration = FromSeconds(map_sec);
+  for (int i = 0; i < reduces; ++i) {
+    SimReduceTask t;
+    t.compute = FromSeconds(reduce_sec);
+    job.reduces.push_back(t);
+  }
+  return job;
+}
+
+TEST(SimEngineTest, SingleWaveTiming) {
+  // 4 maps on 8 slots: one wave. No fetch. 2 reduces in parallel.
+  const auto report =
+      RunSimulation(TestConfig(8), {SimpleJob(4, 10.0, 2, 5.0)});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(ToSeconds(report->jobs[0].maps_done), 10.0);
+  EXPECT_EQ(ToSeconds(report->makespan), 15.0);
+}
+
+TEST(SimEngineTest, MapWavesEmergeFromSlotLimit) {
+  // 10 maps on 4 slots: ceil(10/4)=3 waves.
+  const auto report =
+      RunSimulation(TestConfig(4), {SimpleJob(10, 10.0, 1, 0.0)});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(ToSeconds(report->jobs[0].maps_done), 30.0);
+}
+
+TEST(SimEngineTest, StartupDelaysMaps) {
+  SimJobSpec job = SimpleJob(1, 5.0, 1, 1.0);
+  job.startup = FromSeconds(20.0);
+  const auto report = RunSimulation(TestConfig(4), {job});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(ToSeconds(report->jobs[0].maps_done), 25.0);
+}
+
+TEST(SimEngineTest, FetchOverlapsMapWaves) {
+  // Eq. 6 case analysis: with several map waves, copying overlaps all but
+  // the tail; with one wave nothing overlaps.
+  ClusterConfig cfg = TestConfig(1);  // 4 maps => 4 sequential waves
+  SimJobSpec job = SimpleJob(4, 10.0, 1, 0.0);
+  job.reduces[0].fetch_bytes = static_cast<int64_t>(
+      20.0 * cfg.network_mb_per_sec * kMiB);  // 20s of copying
+  const auto report = RunSimulation(cfg, {job});
+  ASSERT_TRUE(report.ok());
+  // Map span 40s, overlap window 30s => 20s fetch has 0 tail after wave
+  // overlap larger than fetch? overlap = 40-10 = 30 >= 20 -> ready at 40.
+  EXPECT_EQ(ToSeconds(report->jobs[0].finish), 40.0);
+
+  // One wave: overlap = 0, the full 20s fetch trails the map phase.
+  ClusterConfig wide = TestConfig(8);
+  const auto report2 = RunSimulation(wide, {job});
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(ToSeconds(report2->jobs[0].finish), 30.0);
+}
+
+TEST(SimEngineTest, DependenciesSequence) {
+  SimJobSpec a = SimpleJob(2, 10.0, 1, 5.0);
+  SimJobSpec b = SimpleJob(2, 10.0, 1, 5.0);
+  b.deps = {0};
+  const auto report = RunSimulation(TestConfig(8), {a, b});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(ToSeconds(report->jobs[0].finish), 15.0);
+  EXPECT_EQ(ToSeconds(report->jobs[1].release), 15.0);
+  EXPECT_EQ(ToSeconds(report->makespan), 30.0);
+}
+
+TEST(SimEngineTest, IndependentJobsCompeteForSlots) {
+  // Two jobs of 4 maps each on 4 slots: serial-ish FIFO => ~2x single.
+  SimJobSpec a = SimpleJob(4, 10.0, 1, 0.0);
+  const auto solo = RunSimulation(TestConfig(4), {a});
+  const auto both = RunSimulation(TestConfig(4), {a, a});
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(both.ok());
+  EXPECT_GE(both->makespan, 2 * solo->jobs[0].maps_done);
+}
+
+TEST(SimEngineTest, RejectsCyclesAndBadSpecs) {
+  SimJobSpec a = SimpleJob(1, 1.0, 1, 1.0);
+  SimJobSpec b = a;
+  a.deps = {1};
+  b.deps = {0};
+  EXPECT_FALSE(RunSimulation(TestConfig(2), {a, b}).ok());
+  SimJobSpec no_reduce = SimpleJob(1, 1.0, 0, 0.0);
+  EXPECT_FALSE(RunSimulation(TestConfig(2), {no_reduce}).ok());
+  SimJobSpec bad_dep = SimpleJob(1, 1.0, 1, 1.0);
+  bad_dep.deps = {5};
+  EXPECT_FALSE(RunSimulation(TestConfig(2), {bad_dep}).ok());
+}
+
+TEST(SimEngineTest, SkewedReducerDominates) {
+  SimJobSpec job = SimpleJob(1, 1.0, 4, 1.0);
+  job.reduces[3].compute = FromSeconds(50.0);
+  const auto report = RunSimulation(TestConfig(8), {job});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(ToSeconds(report->makespan), 51.0);
+}
+
+// ---- SimCluster glue ----
+
+TEST(SimClusterTest, NumMapTasks) {
+  SimCluster cluster(ClusterConfig{});
+  EXPECT_EQ(cluster.NumMapTasks(1), 1);
+  EXPECT_EQ(cluster.NumMapTasks(64 * kMiB), 1);
+  EXPECT_EQ(cluster.NumMapTasks(64 * kMiB + 1), 2);
+  EXPECT_EQ(cluster.NumMapTasks(kGiB), 16);
+}
+
+TEST(SimClusterTest, BuildSimJobReflectsVolumes) {
+  SimCluster cluster(ClusterConfig{});
+  MapReduceJobSpec spec;
+  spec.name = "x";
+  spec.num_reduce_tasks = 4;
+  JobMeasurement m;
+  m.input_bytes_logical = kGiB;
+  m.map_output_bytes_logical = kGiB / 2;
+  m.reduce_input_bytes_logical = {kGiB / 8, kGiB / 8, kGiB / 8, kGiB / 8};
+  m.reduce_comparisons_logical = {0, 0, 0, 0};
+  m.output_bytes_logical = kGiB / 4;
+  const SimJobSpec sim = cluster.BuildSimJob(spec, m);
+  EXPECT_EQ(sim.num_map_tasks, 16);
+  EXPECT_EQ(sim.reduces.size(), 4u);
+  EXPECT_GT(sim.map_task_duration, 0);
+  EXPECT_GT(sim.reduces[0].compute, 0);
+  EXPECT_EQ(sim.reduces[0].fetch_bytes, kGiB / 8);
+  EXPECT_EQ(ToSeconds(sim.startup), cluster.config().job_startup_sec);
+}
+
+TEST(SimClusterTest, TextSerdeCostsMore) {
+  SimCluster cluster(ClusterConfig{});
+  MapReduceJobSpec spec;
+  spec.num_reduce_tasks = 2;
+  JobMeasurement m;
+  m.input_bytes_logical = kGiB;
+  m.map_output_bytes_logical = kGiB;
+  m.reduce_input_bytes_logical = {kGiB / 2, kGiB / 2};
+  m.output_bytes_logical = kGiB;
+  const SimJobSpec binary = cluster.BuildSimJob(spec, m);
+  spec.text_serde = true;
+  const SimJobSpec text = cluster.BuildSimJob(spec, m);
+  EXPECT_GT(text.map_task_duration, binary.map_task_duration);
+  EXPECT_GT(text.reduces[0].compute, binary.reduces[0].compute);
+  EXPECT_GT(text.reduces[0].fetch_bytes, binary.reduces[0].fetch_bytes);
+}
+
+TEST(SimClusterTest, ComparisonCpuChargedOnlyWhenEnabled) {
+  ClusterConfig cfg;
+  SimCluster off(cfg);
+  cfg.charge_comparison_cpu = true;
+  SimCluster on(cfg);
+  MapReduceJobSpec spec;
+  spec.num_reduce_tasks = 1;
+  JobMeasurement m;
+  m.input_bytes_logical = kMiB;
+  m.map_output_bytes_logical = kMiB;
+  m.reduce_input_bytes_logical = {kMiB};
+  m.reduce_comparisons_logical = {1e9};
+  const SimTime without = off.BuildSimJob(spec, m).reduces[0].compute;
+  const SimTime with = on.BuildSimJob(spec, m).reduces[0].compute;
+  EXPECT_GT(with, without);
+}
+
+TEST(SimClusterTest, RunJobEndToEnd) {
+  SimCluster cluster(ClusterConfig{});
+  auto rel = MakeInts(1000, 4000000);  // represents ~100 MB
+  const auto result = cluster.RunJob(CountJob(rel, 8));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output->num_rows(), 10);
+  EXPECT_GT(result->duration, 0);
+  EXPECT_GE(result->timing.finish, result->timing.maps_done);
+}
+
+// ---- Load model (Fig. 11) ----
+
+TEST(LoadModelTest, OrderingMatchesThePaper) {
+  // Ours >= Hive >= plain upload, converging in ratio at large volumes.
+  LoadModel model;
+  ClusterConfig cfg;
+  for (int64_t gb : {1, 10, 100, 500}) {
+    const int64_t bytes = gb * kGiB;
+    const SimTime plain = model.PlainUpload(cfg, bytes);
+    const SimTime hive = model.HiveLoad(cfg, bytes);
+    const SimTime ours = model.OurLoad(cfg, bytes);
+    EXPECT_LT(plain, hive) << gb;
+    EXPECT_LT(hive, ours) << gb;
+  }
+  // Relative overhead of ours vs hive shrinks with volume.
+  const double small_ratio =
+      static_cast<double>(model.OurLoad(cfg, kGiB)) /
+      static_cast<double>(model.HiveLoad(cfg, kGiB));
+  const double big_ratio =
+      static_cast<double>(model.OurLoad(cfg, 500 * kGiB)) /
+      static_cast<double>(model.HiveLoad(cfg, 500 * kGiB));
+  EXPECT_LT(big_ratio, small_ratio);
+}
+
+TEST(LoadModelTest, ScalesLinearly) {
+  LoadModel model;
+  ClusterConfig cfg;
+  const SimTime one = model.PlainUpload(cfg, 10 * kGiB);
+  const SimTime ten = model.PlainUpload(cfg, 100 * kGiB);
+  EXPECT_NEAR(static_cast<double>(ten) / one, 10.0, 0.01);
+}
+
+}  // namespace
+}  // namespace mrtheta

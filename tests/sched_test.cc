@@ -1,0 +1,185 @@
+// Tests for T selection (greedy weighted set cover) and the malleable
+// scheduler.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/sched/malleable.h"
+#include "src/sched/set_cover.h"
+
+namespace mrtheta {
+namespace {
+
+TEST(SetCoverTest, PicksObviousCover) {
+  std::vector<WeightedSet> sets = {
+      {0b0011, 1.0},
+      {0b1100, 1.0},
+      {0b1111, 10.0},
+  };
+  const auto cover = GreedyWeightedSetCover(sets, 0b1111);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->size(), 2u);
+  EXPECT_TRUE(IsSufficient(sets, *cover, 0b1111));
+}
+
+TEST(SetCoverTest, PrefersCheapPerElement) {
+  std::vector<WeightedSet> sets = {
+      {0b1111, 4.5},  // 1.125 per element
+      {0b0001, 1.0},
+      {0b0010, 1.0},
+      {0b0100, 1.0},
+      {0b1000, 1.0},
+  };
+  const auto cover = GreedyWeightedSetCover(sets, 0b1111);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->size(), 4u);  // singles at 1.0/element beat 1.125
+}
+
+TEST(SetCoverTest, OverlapAllowed) {
+  // The paper: covers need not be disjoint (Sec. 5.2).
+  std::vector<WeightedSet> sets = {{0b0111, 1.0}, {0b1110, 1.0}};
+  const auto cover = GreedyWeightedSetCover(sets, 0b1111);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->size(), 2u);
+}
+
+TEST(SetCoverTest, FailsWhenInsufficient) {
+  std::vector<WeightedSet> sets = {{0b0011, 1.0}};
+  EXPECT_FALSE(GreedyWeightedSetCover(sets, 0b0111).ok());
+}
+
+TEST(SetCoverTest, IsSufficientValidatesIndices) {
+  std::vector<WeightedSet> sets = {{0b0011, 1.0}};
+  EXPECT_FALSE(IsSufficient(sets, {5}, 0b0011));
+  EXPECT_TRUE(IsSufficient(sets, {0}, 0b0011));
+}
+
+MalleableJob FixedJob(double seconds) {
+  MalleableJob j;
+  j.time_for_slots = [seconds](int) { return seconds; };
+  j.max_slots = 1;
+  return j;
+}
+
+// A perfectly parallelizable job: work / k.
+MalleableJob ScalableJob(double work, int max_slots) {
+  MalleableJob j;
+  j.time_for_slots = [work](int k) { return work / k; };
+  j.max_slots = max_slots;
+  return j;
+}
+
+TEST(MalleableTest, EmptyIsTrivial) {
+  const auto result = ScheduleMalleable({}, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->makespan, 0.0);
+}
+
+TEST(MalleableTest, SingleJobGetsGoodAllotment) {
+  const auto result = ScheduleMalleable({ScalableJob(100.0, 16)}, 16);
+  ASSERT_TRUE(result.ok());
+  // Best possible: 100/16 = 6.25s.
+  EXPECT_NEAR(result->makespan, 100.0 / 16, 1e-6);
+  EXPECT_EQ(result->jobs[0].slots, 16);
+}
+
+TEST(MalleableTest, ParallelJobsShareSlots) {
+  std::vector<MalleableJob> jobs = {ScalableJob(100.0, 8),
+                                    ScalableJob(100.0, 8)};
+  const auto result = ScheduleMalleable(jobs, 8);
+  ASSERT_TRUE(result.ok());
+  // Optimum: 4 slots each -> 25s. Allow the (1+eps) sweep some slack.
+  EXPECT_LE(result->makespan, 26.5);
+  EXPECT_GE(result->makespan, 25.0 - 1e-9);
+}
+
+TEST(MalleableTest, RespectsDependencies) {
+  std::vector<MalleableJob> jobs = {FixedJob(10.0), FixedJob(5.0)};
+  jobs[1].deps = {0};
+  const auto result = ScheduleMalleable(jobs, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->jobs[1].start, result->jobs[0].finish - 1e-9);
+  EXPECT_NEAR(result->makespan, 15.0, 1e-6);
+}
+
+TEST(MalleableTest, DiamondDependencies) {
+  // a -> {b, c} -> d
+  std::vector<MalleableJob> jobs = {FixedJob(5.0), FixedJob(10.0),
+                                    FixedJob(10.0), FixedJob(5.0)};
+  jobs[1].deps = {0};
+  jobs[2].deps = {0};
+  jobs[3].deps = {1, 2};
+  const auto result = ScheduleMalleable(jobs, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan, 20.0, 1e-6);  // b and c run in parallel
+}
+
+TEST(MalleableTest, DetectsCycle) {
+  std::vector<MalleableJob> jobs = {FixedJob(1.0), FixedJob(1.0)};
+  jobs[0].deps = {1};
+  jobs[1].deps = {0};
+  EXPECT_FALSE(ScheduleMalleable(jobs, 4).ok());
+}
+
+TEST(MalleableTest, RejectsBadInput) {
+  EXPECT_FALSE(ScheduleMalleable({FixedJob(1.0)}, 0).ok());
+  std::vector<MalleableJob> bad = {MalleableJob{}};
+  EXPECT_FALSE(ScheduleMalleable(bad, 4).ok());
+  std::vector<MalleableJob> out_of_range = {FixedJob(1.0)};
+  out_of_range[0].deps = {3};
+  EXPECT_FALSE(ScheduleMalleable(out_of_range, 4).ok());
+}
+
+TEST(MalleableTest, SlotCapacityNeverExceeded) {
+  // 5 jobs needing 3 slots each on 8 slots: at most 2 run concurrently.
+  std::vector<MalleableJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    MalleableJob j;
+    j.time_for_slots = [](int k) { return k >= 3 ? 10.0 : 30.0; };
+    j.max_slots = 3;
+    jobs.push_back(j);
+  }
+  const auto result = ScheduleMalleable(jobs, 8);
+  ASSERT_TRUE(result.ok());
+  // Check pairwise concurrency * slots <= 8 at every start point.
+  for (const auto& a : result->jobs) {
+    int used = 0;
+    for (const auto& b : result->jobs) {
+      if (b.start <= a.start && a.start < b.finish) used += b.slots;
+    }
+    EXPECT_LE(used, 8);
+  }
+}
+
+TEST(MalleableTest, NonMonotoneTimeFunction) {
+  // More reducers is not always faster (Fig. 6): optimum at k=4.
+  MalleableJob j;
+  j.time_for_slots = [](int k) {
+    return 100.0 / k + 2.0 * k;  // min at k=~7
+  };
+  j.max_slots = 32;
+  const auto result = ScheduleMalleable({j}, 32);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->jobs[0].slots, 2);
+  EXPECT_LT(result->jobs[0].slots, 16);
+  EXPECT_LE(result->makespan, 30.0);
+}
+
+TEST(MalleableTest, ScarcityForcesSmallerAllotments) {
+  // The kP-aware behaviour the paper tests at kP<=64: with fewer units the
+  // scheduler picks smaller allotments rather than serializing.
+  std::vector<MalleableJob> jobs = {ScalableJob(120.0, 96),
+                                    ScalableJob(120.0, 96),
+                                    ScalableJob(120.0, 96)};
+  const auto wide = ScheduleMalleable(jobs, 96);
+  const auto narrow = ScheduleMalleable(jobs, 24);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_LT(wide->makespan, narrow->makespan);
+  // Narrow schedule should still beat naive serialization (3 * 120/24).
+  EXPECT_LT(narrow->makespan, 3 * (120.0 / 24) + 1e-6);
+}
+
+}  // namespace
+}  // namespace mrtheta
