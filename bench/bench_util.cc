@@ -59,6 +59,35 @@ StatusOr<SystemResult> RunSystem(const std::string& system,
   return out;
 }
 
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<KernelBenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const KernelBenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"label\": \"%s\", \"kernel\": \"%s\", "
+                 "\"left_rows\": %lld, \"right_rows\": %lld, "
+                 "\"wall_ns\": %lld, \"tuples_per_sec\": %.1f, "
+                 "\"output_pairs\": %lld}%s\n",
+                 r.label.c_str(), r.kernel.c_str(),
+                 static_cast<long long>(r.left_rows),
+                 static_cast<long long>(r.right_rows),
+                 static_cast<long long>(r.wall_ns), r.tuples_per_sec,
+                 static_cast<long long>(r.output_pairs),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  const bool write_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_error) {
+    return Status::Internal("failed writing " + path);
+  }
+  return Status::OK();
+}
+
 std::vector<SystemResult> RunAllSystems(const Query& query, Harness& harness,
                                         uint64_t seed) {
   std::vector<SystemResult> results;

@@ -40,6 +40,22 @@ StatusOr<SystemResult> RunSystem(const std::string& system,
                                  const Query& query, Harness& harness,
                                  uint64_t seed = 42);
 
+/// One machine-readable benchmark measurement. Serialized into the
+/// BENCH_*.json files that track the perf trajectory across PRs.
+struct KernelBenchRecord {
+  std::string label;       ///< benchmark case, e.g. "lt_20000x20000"
+  std::string kernel;      ///< JoinKernelName of the measured path
+  int64_t left_rows = 0;
+  int64_t right_rows = 0;
+  int64_t wall_ns = 0;
+  double tuples_per_sec = 0.0;  ///< input tuples processed per second
+  int64_t output_pairs = 0;
+};
+
+/// Writes `records` to `path` as a JSON array (overwrites the file).
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<KernelBenchRecord>& records);
+
 }  // namespace mrtheta::bench
 
 #endif  // MRTHETA_BENCH_BENCH_UTIL_H_

@@ -43,6 +43,9 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
 
   ExecutionResult result;
   std::vector<SimJobSpec> sim_jobs;
+  const KernelPolicy policy = options_.enable_specialized_kernels
+                                  ? KernelPolicy::kAuto
+                                  : KernelPolicy::kGenericOnly;
 
   for (size_t i = 0; i < plan.jobs.size(); ++i) {
     const PlanJob& pj = plan.jobs[i];
@@ -67,6 +70,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
         mw.conditions = query.ConditionsById(pj.thetas);
         mw.num_reduce_tasks = pj.num_reduce_tasks;
         mw.seed = seed + i * 7919;
+        mw.kernel_policy = policy;
         spec = BuildHilbertJoinJob(mw);
         break;
       }
@@ -83,6 +87,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
         pw.conditions = query.ConditionsById(pj.thetas);
         pw.num_reduce_tasks = pj.num_reduce_tasks;
         pw.seed = seed + i * 7919;
+        pw.kernel_policy = policy;
         spec = pj.kind == PlanJobKind::kEquiJoin ? BuildEquiJoinJob(pw)
                                                  : BuildOneBucketThetaJob(pw);
         break;
@@ -97,6 +102,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
         mg.right = sides[1];
         mg.base_relations = query.relations();
         mg.num_reduce_tasks = pj.num_reduce_tasks;
+        mg.kernel_policy = policy;
         spec = BuildMergeJob(mg);
         break;
       }
@@ -111,6 +117,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
     exec.name = spec->name;
     exec.kind = pj.kind;
     exec.reduce_tasks = spec->num_reduce_tasks;
+    exec.kernel = spec->kernel;
     exec.metrics = phys->metrics;
     exec.output = phys->output;
     // Covered bases = union of the inputs' coverage.

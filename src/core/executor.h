@@ -16,6 +16,11 @@ struct JobExecution {
   std::string name;
   PlanJobKind kind = PlanJobKind::kHilbertJoin;
   int reduce_tasks = 1;
+  /// Reduce-side join kernel the job was eligible to run ("sort-theta"
+  /// when a condition qualified for the sort-based path, else "generic").
+  /// Reduce groups below the kSortKernelMinPairs gate still use the
+  /// generic loop.
+  std::string kernel = "generic";
   JobMeasurement metrics;
   SimJobResult timing;
   std::shared_ptr<Relation> output;
@@ -38,20 +43,35 @@ struct ExecutionResult {
   double result_selectivity = 0.0;
 };
 
+/// Knobs controlling how plan jobs are lowered to physical kernels.
+struct ExecutorOptions {
+  /// When false, every join job runs the generic nested-loop kernel
+  /// regardless of condition shape — the differential baseline for the
+  /// specialized sort-based paths. Results must be identical either way.
+  bool enable_specialized_kernels = true;
+};
+
 /// \brief Executes a QueryPlan: runs every plan job physically on the
 /// simulated cluster (exact answers over physical tuples), then replays the
 /// whole job DAG through the discrete-event engine to obtain the simulated
 /// makespan under the cluster's kP processing units.
+///
+/// Kernel selection (see docs/EXECUTOR.md): for each job the executor asks
+/// the builder for the specialized columnar kernel whenever a join
+/// condition qualifies (ChooseSortDriver), falling back to the generic
+/// per-pair path otherwise.
 class Executor {
  public:
   /// `cluster` must outlive the executor.
-  explicit Executor(const SimCluster* cluster) : cluster_(cluster) {}
+  explicit Executor(const SimCluster* cluster, ExecutorOptions options = {})
+      : cluster_(cluster), options_(options) {}
 
   StatusOr<ExecutionResult> Execute(const Query& query, const QueryPlan& plan,
                                     uint64_t seed = 42) const;
 
  private:
   const SimCluster* cluster_;
+  ExecutorOptions options_;
 };
 
 }  // namespace mrtheta

@@ -7,6 +7,9 @@
 #include <set>
 #include <tuple>
 
+#include "src/exec/theta_kernels.h"
+#include "src/relation/column_view.h"
+
 namespace mrtheta {
 
 DimensionGrouping ComputeDimensionGrouping(
@@ -17,14 +20,18 @@ DimensionGrouping ComputeDimensionGrouping(
   g.dim_of_input.assign(n, -1);
   g.key_of_input.assign(n, ColumnRef{-1, -1});
 
+  // Precomputed base -> covering input map (replaces the O(inputs x bases)
+  // scan per condition endpoint).
+  int max_base = -1;
+  for (const std::vector<int>& bases : input_bases) {
+    for (int base : bases) max_base = std::max(max_base, base);
+  }
+  std::vector<int> covering(max_base + 1, -1);
+  for (int i = 0; i < n; ++i) {
+    for (int base : input_bases[i]) covering[base] = i;
+  }
   auto input_covering = [&](int base) {
-    for (int i = 0; i < n; ++i) {
-      if (std::find(input_bases[i].begin(), input_bases[i].end(), base) !=
-          input_bases[i].end()) {
-        return i;
-      }
-    }
-    return -1;
+    return base >= 0 && base <= max_base ? covering[base] : -1;
   };
 
   // Endpoints of offset-free equality conditions, interned for union-find.
@@ -102,6 +109,28 @@ DimensionGrouping ComputeDimensionGrouping(
 
 namespace {
 
+// One join condition bound to the job's inputs: type dispatch, covering
+// input positions and rid resolution fixed once at build time.
+struct HilbertBoundCondition {
+  JoinCondition cond;
+  CompiledPredicate pred;
+  int lhs_input = 0;  // input position covering the lhs / rhs endpoint
+  int rhs_input = 0;
+  const int64_t* lhs_rid = nullptr;  // input row -> base row (null = identity)
+  const int64_t* rhs_rid = nullptr;
+
+  int64_t LhsBaseRow(int64_t row) const {
+    return lhs_rid != nullptr ? lhs_rid[row] : row;
+  }
+  int64_t RhsBaseRow(int64_t row) const {
+    return rhs_rid != nullptr ? rhs_rid[row] : row;
+  }
+  // `lrow` / `rrow` are rows of the covering inputs.
+  bool Eval(int64_t lrow, int64_t rrow) const {
+    return pred.Eval(LhsBaseRow(lrow), RhsBaseRow(rrow));
+  }
+};
+
 // Shared state captured by the map and reduce closures.
 struct HilbertJobState {
   HilbertCurve curve;
@@ -116,8 +145,9 @@ struct HilbertJobState {
   std::vector<int> dim_representative;  // dim -> lowest input index
   // conditions_at_depth[j] = conditions decidable once inputs 0..j are
   // assigned (and not before).
-  std::vector<std::vector<JoinCondition>> conditions_at_depth;
+  std::vector<std::vector<HilbertBoundCondition>> conditions_at_depth;
   uint64_t seed = 0;
+  bool use_sorted_candidates = true;
 
   // Grid slice of one tuple along its input's dimension: hash of the
   // equality key for fused dimensions, random-global-ID position otherwise.
@@ -173,7 +203,7 @@ class ComponentJoiner {
   // of `column` of the base relation covered by that input.
   struct SortedCandidates {
     bool active = false;
-    JoinCondition cond;       // the range condition driving the sort
+    const HilbertBoundCondition* bc = nullptr;  // range condition, in state_
     bool current_is_lhs = false;
     std::vector<std::pair<double, const MapOutputRecord*>> entries;
   };
@@ -181,29 +211,39 @@ class ComponentJoiner {
   void PrepareSortedCandidates() {
     const int num_inputs = static_cast<int>(state_.inputs.size());
     sorted_.resize(num_inputs);
+    if (!state_.use_sorted_candidates) return;
     for (int d = 1; d < num_inputs; ++d) {
       // Pick the first numeric non-<> condition at this depth whose other
       // endpoint is bound earlier; it prunes by value range.
-      for (const JoinCondition& cond : state_.conditions_at_depth[d]) {
-        if (cond.op == ThetaOp::kNe) continue;
-        const bool cur_is_lhs =
-            state_.inputs[d].Covers(cond.lhs.relation);
-        const ColumnRef cur_ref = cur_is_lhs ? cond.lhs : cond.rhs;
+      for (const HilbertBoundCondition& bc : state_.conditions_at_depth[d]) {
+        if (bc.cond.op == ThetaOp::kNe) continue;
+        if (bc.lhs_input == bc.rhs_input) continue;
+        const bool cur_is_lhs = bc.lhs_input == d;
+        const ColumnRef cur_ref = cur_is_lhs ? bc.cond.lhs : bc.cond.rhs;
         const Relation& base = *state_.base_relations[cur_ref.relation];
-        if (base.schema().column(cur_ref.column).type ==
-            ValueType::kString) {
-          continue;
-        }
+        const ValueType cur_type =
+            base.schema().column(cur_ref.column).type;
+        if (cur_type == ValueType::kString) continue;
         SortedCandidates sc;
         sc.active = true;
-        sc.cond = cond;
+        sc.bc = &bc;
         sc.current_is_lhs = cur_is_lhs;
         sc.entries.reserve(ctx_.records(d).size());
-        for (const MapOutputRecord* rec : ctx_.records(d)) {
-          const int64_t base_row =
-              state_.inputs[d].BaseRow(rec->row, cur_ref.relation);
-          sc.entries.emplace_back(base.GetDouble(base_row, cur_ref.column),
-                                  rec);
+        const int64_t* rid = cur_is_lhs ? bc.lhs_rid : bc.rhs_rid;
+        // Typed columnar extraction: the variant dispatch happens once per
+        // (depth, column), not once per record.
+        auto fill = [&](const auto& view) {
+          for (const MapOutputRecord* rec : ctx_.records(d)) {
+            const int64_t base_row =
+                rid != nullptr ? rid[rec->row] : rec->row;
+            sc.entries.emplace_back(static_cast<double>(view[base_row]),
+                                    rec);
+          }
+        };
+        if (cur_type == ValueType::kInt64) {
+          fill(ColumnView<int64_t>::Of(base, cur_ref.column));
+        } else {
+          fill(ColumnView<double>::Of(base, cur_ref.column));
         }
         std::sort(sc.entries.begin(), sc.entries.end(),
                   [](const auto& a, const auto& b) {
@@ -219,14 +259,18 @@ class ComponentJoiner {
   // bound prefix. Condition form: (lhs + offset) op rhs.
   std::pair<size_t, size_t> RangeFor(int depth) {
     const SortedCandidates& sc = sorted_[depth];
-    const JoinCondition& cond = sc.cond;
+    const JoinCondition& cond = sc.bc->cond;
     const ColumnRef other_ref = sc.current_is_lhs ? cond.rhs : cond.lhs;
-    const int other_pos = InputCovering(other_ref.relation);
+    const int other_pos =
+        sc.current_is_lhs ? sc.bc->rhs_input : sc.bc->lhs_input;
+    const int64_t* other_rid =
+        sc.current_is_lhs ? sc.bc->rhs_rid : sc.bc->lhs_rid;
     const Relation& other_base = *state_.base_relations[other_ref.relation];
-    const double other_val = other_base.GetDouble(
-        state_.inputs[other_pos].BaseRow(rows_[other_pos],
-                                         other_ref.relation),
-        other_ref.column);
+    const int64_t other_base_row = other_rid != nullptr
+                                       ? other_rid[rows_[other_pos]]
+                                       : rows_[other_pos];
+    const double other_val =
+        other_base.GetDouble(other_base_row, other_ref.column);
     const auto& e = sc.entries;
     auto lower = [&](double v) {
       return static_cast<size_t>(
@@ -302,8 +346,9 @@ class ComponentJoiner {
       rows_[depth] = rec->row;
       slices_[depth] = static_cast<uint32_t>(rec->rec_id);
       bool pass = true;
-      for (const JoinCondition& cond : state_.conditions_at_depth[depth]) {
-        if (!EvalAssigned(cond)) {
+      for (const HilbertBoundCondition& bc :
+           state_.conditions_at_depth[depth]) {
+        if (!bc.Eval(rows_[bc.lhs_input], rows_[bc.rhs_input])) {
           pass = false;
           break;
         }
@@ -316,14 +361,6 @@ class ComponentJoiner {
       if (!OwnsCell()) continue;
       EmitRow();
     }
-  }
-
-  bool EvalAssigned(const JoinCondition& cond) const {
-    const int pl = InputCovering(cond.lhs.relation);
-    const int pr = InputCovering(cond.rhs.relation);
-    return EvalConditionBetween(cond, state_.base_relations,
-                                state_.inputs[pl], rows_[pl],
-                                state_.inputs[pr], rows_[pr]);
   }
 
   int InputCovering(int base) const {
@@ -431,7 +468,8 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
       {},
       {},
       {},
-      spec.seed});
+      spec.seed,
+      spec.kernel_policy == KernelPolicy::kAuto});
 
   const int kr = static_cast<int>(std::min<uint64_t>(
       static_cast<uint64_t>(spec.num_reduce_tasks), curve->num_cells()));
@@ -459,17 +497,48 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   }
   state->output_bases.assign(base_set.begin(), base_set.end());
 
-  // Bucket conditions by the deepest input they touch.
+  // Bucket conditions by the deepest input they touch, binding type
+  // dispatch and row resolution once per condition.
   state->conditions_at_depth.resize(num_inputs);
   for (const JoinCondition& cond : spec.conditions) {
+    HilbertBoundCondition bc;
+    bc.cond = cond;
+    bc.pred = CompiledPredicate::Compile(
+        cond, *spec.base_relations[cond.lhs.relation],
+        *spec.base_relations[cond.rhs.relation]);
     int depth = 0;
     for (int i = 0; i < num_inputs; ++i) {
-      if (spec.inputs[i].Covers(cond.lhs.relation) ||
-          spec.inputs[i].Covers(cond.rhs.relation)) {
-        depth = std::max(depth, i);
+      if (spec.inputs[i].Covers(cond.lhs.relation)) bc.lhs_input = i;
+      if (spec.inputs[i].Covers(cond.rhs.relation)) bc.rhs_input = i;
+    }
+    depth = std::max(bc.lhs_input, bc.rhs_input);
+    bc.lhs_rid = RidColumnFor(spec.inputs[bc.lhs_input], cond.lhs.relation);
+    bc.rhs_rid = RidColumnFor(spec.inputs[bc.rhs_input], cond.rhs.relation);
+    state->conditions_at_depth[depth].push_back(bc);
+  }
+
+  // The job is only a sort-theta job when some depth can actually activate
+  // a sorted candidate list (same qualification PrepareSortedCandidates
+  // applies: numeric, non-<>, endpoints on distinct inputs, one bound
+  // earlier); otherwise report the generic backtracking loop.
+  if (state->use_sorted_candidates) {
+    bool any_sorted = false;
+    for (int d = 1; d < num_inputs && !any_sorted; ++d) {
+      for (const HilbertBoundCondition& bc : state->conditions_at_depth[d]) {
+        if (bc.cond.op == ThetaOp::kNe) continue;
+        if (bc.lhs_input == bc.rhs_input) continue;
+        const ColumnRef cur = bc.lhs_input == d ? bc.cond.lhs : bc.cond.rhs;
+        if (spec.base_relations[cur.relation]
+                ->schema()
+                .column(cur.column)
+                .type == ValueType::kString) {
+          continue;
+        }
+        any_sorted = true;
+        break;
       }
     }
-    state->conditions_at_depth[depth].push_back(cond);
+    state->use_sorted_candidates = any_sorted;
   }
 
   MapReduceJobSpec job;
@@ -484,6 +553,9 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   job.output_schema =
       MakeIntermediateSchema(state->output_bases, spec.base_relations);
   job.output_name = spec.name + ".out";
+  job.kernel = JoinKernelName(state->use_sorted_candidates
+                                  ? JoinKernel::kSortTheta
+                                  : JoinKernel::kGeneric);
   // β-extrapolation (the paper's Eq. 5 output model): results scale
   // linearly with the represented data volume. See DESIGN.md §1.
   double row_scale = 1.0;

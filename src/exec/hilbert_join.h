@@ -7,6 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/exec/join_side.h"
+#include "src/exec/theta_kernels.h"
 #include "src/hilbert/hilbert.h"
 #include "src/mapreduce/job.h"
 
@@ -30,6 +31,10 @@ struct MultiwayJoinJobSpec {
   /// total grid bits (the coverage walk is O(2^bits)).
   int cells_per_segment = 64;
   int max_grid_bits = 18;
+  /// Reduce-side kernel selection: kAuto enables the per-depth sorted
+  /// candidate range scans; kGenericOnly forces the plain backtracking
+  /// loop (differential baselines).
+  KernelPolicy kernel_policy = KernelPolicy::kAuto;
 };
 
 /// \brief Equality-aware dimension grouping of a multi-way join's inputs.

@@ -57,64 +57,16 @@ Schema MakeIntermediateSchema(
   return Schema(std::move(cols));
 }
 
-bool EvalConditionBetween(const JoinCondition& cond,
-                          const std::vector<RelationPtr>& base_relations,
-                          const JoinSide& side_a, int64_t row_a,
-                          const JoinSide& side_b, int64_t row_b) {
-  const JoinSide* lhs_side = nullptr;
-  const JoinSide* rhs_side = nullptr;
-  int64_t lhs_row = 0, rhs_row = 0;
-  if (side_a.Covers(cond.lhs.relation)) {
-    lhs_side = &side_a;
-    lhs_row = row_a;
-  } else {
-    assert(side_b.Covers(cond.lhs.relation));
-    lhs_side = &side_b;
-    lhs_row = row_b;
+const int64_t* RidColumnFor(const JoinSide& side, int base) {
+  if (side.is_base) {
+    assert(base == side.bases[0]);
+    return nullptr;
   }
-  if (side_a.Covers(cond.rhs.relation)) {
-    rhs_side = &side_a;
-    rhs_row = row_a;
-  } else {
-    assert(side_b.Covers(cond.rhs.relation));
-    rhs_side = &side_b;
-    rhs_row = row_b;
-  }
-  const Relation& lrel = *base_relations[cond.lhs.relation];
-  const Relation& rrel = *base_relations[cond.rhs.relation];
-  const int64_t lbase = lhs_side->BaseRow(lhs_row, cond.lhs.relation);
-  const int64_t rbase = rhs_side->BaseRow(rhs_row, cond.rhs.relation);
-  const ValueType lt = lrel.schema().column(cond.lhs.column).type;
-  const ValueType rt = rrel.schema().column(cond.rhs.column).type;
-  // Fast paths: this is the innermost loop of every reducer.
-  if (lt == ValueType::kInt64 && rt == ValueType::kInt64) {
-    const int64_t off = static_cast<int64_t>(cond.offset);
-    if (static_cast<double>(off) == cond.offset) {
-      return EvalThetaInt(lrel.GetInt(lbase, cond.lhs.column), cond.op,
-                          rrel.GetInt(rbase, cond.rhs.column), off);
-    }
-  }
-  if (lt != ValueType::kString && rt != ValueType::kString) {
-    const double l = lrel.GetDouble(lbase, cond.lhs.column) + cond.offset;
-    const double r = rrel.GetDouble(rbase, cond.rhs.column);
-    switch (cond.op) {
-      case ThetaOp::kLt:
-        return l < r;
-      case ThetaOp::kLe:
-        return l <= r;
-      case ThetaOp::kEq:
-        return l == r;
-      case ThetaOp::kGe:
-        return l >= r;
-      case ThetaOp::kGt:
-        return l > r;
-      case ThetaOp::kNe:
-        return l != r;
-    }
-  }
-  const Value lv = lrel.Get(lbase, cond.lhs.column);
-  const Value rv = rrel.Get(rbase, cond.rhs.column);
-  return EvalTheta(lv, cond.op, rv, cond.offset);
+  const auto it = std::find(side.bases.begin(), side.bases.end(), base);
+  assert(it != side.bases.end());
+  return side.data
+      ->TryColumn<int64_t>(static_cast<int>(it - side.bases.begin()))
+      ->data();
 }
 
 StatusOr<Relation> ProjectResult(

@@ -45,12 +45,12 @@ struct JoinSide {
 Schema MakeIntermediateSchema(const std::vector<int>& bases,
                               const std::vector<RelationPtr>& base_relations);
 
-/// Evaluates `cond` (expressed over query base indices) for the pair
-/// (side_a row_a, side_b row_b). Exactly one side must cover each endpoint.
-bool EvalConditionBetween(const JoinCondition& cond,
-                          const std::vector<RelationPtr>& base_relations,
-                          const JoinSide& side_a, int64_t row_a,
-                          const JoinSide& side_b, int64_t row_b);
+/// Raw pointer into `side`'s rid column for base `base` (nullptr when the
+/// side is that base relation itself: rid == row). The side must cover
+/// `base`. Join kernels use this to resolve side rows to base rows without
+/// the per-call search of JoinSide::BaseRow; `side.data` must outlive the
+/// pointer.
+const int64_t* RidColumnFor(const JoinSide& side, int base);
 
 /// Projects an intermediate result to output columns: for each
 /// (base, column) pair, emits the referenced base value. The intermediate

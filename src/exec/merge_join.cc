@@ -1,8 +1,11 @@
 #include "src/exec/merge_join.h"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <set>
+
+#include "src/exec/theta_kernels.h"
 
 namespace mrtheta {
 
@@ -21,25 +24,92 @@ struct MergeState {
   JoinSide left;
   JoinSide right;
   std::vector<int> shared;
+  // Columnar rid views of the shared bases, one per side (aligned with
+  // `shared`); resolved once per job instead of once per record.
+  std::vector<const int64_t*> left_rids;
+  std::vector<const int64_t*> right_rids;
   std::vector<int> output_bases;
   int64_t left_bytes = 0;
   int64_t right_bytes = 0;
+  KernelPolicy kernel_policy = KernelPolicy::kAuto;
 
-  uint64_t KeyOf(const JoinSide& side, int64_t row) const {
+  int64_t LeftRid(size_t k, int64_t row) const {
+    return left_rids[k] != nullptr ? left_rids[k][row] : row;
+  }
+  int64_t RightRid(size_t k, int64_t row) const {
+    return right_rids[k] != nullptr ? right_rids[k][row] : row;
+  }
+
+  uint64_t KeyOf(int tag, int64_t row) const {
     uint64_t h = 0x517cc1b727220a95ULL;
-    for (int base : shared) {
-      h = MixHash(h, static_cast<uint64_t>(side.BaseRow(row, base)));
+    for (size_t k = 0; k < shared.size(); ++k) {
+      h = MixHash(h, static_cast<uint64_t>(tag == 0 ? LeftRid(k, row)
+                                                    : RightRid(k, row)));
     }
     return h;
   }
 
   bool RidsMatch(int64_t lrow, int64_t rrow) const {
-    for (int base : shared) {
-      if (left.BaseRow(lrow, base) != right.BaseRow(rrow, base)) {
-        return false;
-      }
+    for (size_t k = 0; k < shared.size(); ++k) {
+      if (LeftRid(k, lrow) != RightRid(k, rrow)) return false;
     }
     return true;
+  }
+
+  // Remaining shared rids after the sort-merge key (index 0).
+  bool TailRidsMatch(int64_t lrow, int64_t rrow) const {
+    for (size_t k = 1; k < shared.size(); ++k) {
+      if (LeftRid(k, lrow) != RightRid(k, rrow)) return false;
+    }
+    return true;
+  }
+
+  void EmitPair(int64_t lrow, int64_t rrow, ReduceCollector& out) const {
+    std::vector<Value> row;
+    row.reserve(output_bases.size());
+    for (int base : output_bases) {
+      if (left.Covers(base)) {
+        row.push_back(Value(left.BaseRow(lrow, base)));
+      } else {
+        row.push_back(Value(right.BaseRow(rrow, base)));
+      }
+    }
+    out.Emit(row);
+  }
+
+  void JoinGroup(const std::vector<const MapOutputRecord*>& lrecs,
+                 const std::vector<const MapOutputRecord*>& rrecs,
+                 ReduceCollector& out) const {
+    const int64_t pairs = static_cast<int64_t>(lrecs.size()) *
+                          static_cast<int64_t>(rrecs.size());
+    if (kernel_policy == KernelPolicy::kAuto && pairs >= kSortKernelMinPairs) {
+      // Hash-key collisions made this group large: sort-merge on the first
+      // shared rid, verify the rest per candidate.
+      std::vector<std::pair<int64_t, int32_t>> l, r;
+      l.reserve(lrecs.size());
+      r.reserve(rrecs.size());
+      for (size_t i = 0; i < lrecs.size(); ++i) {
+        l.emplace_back(LeftRid(0, lrecs[i]->row), static_cast<int32_t>(i));
+      }
+      for (size_t i = 0; i < rrecs.size(); ++i) {
+        r.emplace_back(RightRid(0, rrecs[i]->row), static_cast<int32_t>(i));
+      }
+      SortedThetaScan(l, ThetaOp::kEq, r,
+                      [&](int32_t lpos, int32_t rpos) {
+                        const int64_t lrow = lrecs[lpos]->row;
+                        const int64_t rrow = rrecs[rpos]->row;
+                        if (TailRidsMatch(lrow, rrow)) {
+                          EmitPair(lrow, rrow, out);
+                        }
+                      });
+      return;
+    }
+    for (const MapOutputRecord* lrec : lrecs) {
+      for (const MapOutputRecord* rrec : rrecs) {
+        if (!RidsMatch(lrec->row, rrec->row)) continue;
+        EmitPair(lrec->row, rrec->row, out);
+      }
+    }
   }
 };
 
@@ -52,10 +122,15 @@ StatusOr<MapReduceJobSpec> BuildMergeJob(const MergeJobSpec& spec) {
   auto state = std::make_shared<MergeState>();
   state->left = spec.left;
   state->right = spec.right;
+  state->kernel_policy = spec.kernel_policy;
   state->shared = SharedBases(spec.left, spec.right);
   if (state->shared.empty()) {
     return Status::FailedPrecondition(
         "merge requires the sides to share at least one relation");
+  }
+  for (int base : state->shared) {
+    state->left_rids.push_back(RidColumnFor(spec.left, base));
+    state->right_rids.push_back(RidColumnFor(spec.right, base));
   }
   std::set<int> bases(spec.left.bases.begin(), spec.left.bases.end());
   bases.insert(spec.right.bases.begin(), spec.right.bases.end());
@@ -78,11 +153,14 @@ StatusOr<MapReduceJobSpec> BuildMergeJob(const MergeJobSpec& spec) {
   // both sides, so use the max (the dominating side's scale).
   job.output_row_scale = std::max(spec.left.scale, spec.right.scale);
 
+  job.kernel = JoinKernelName(spec.kernel_policy == KernelPolicy::kAuto
+                                  ? JoinKernel::kSortTheta
+                                  : JoinKernel::kGeneric);
+
   job.map = [state](int tag, const Relation& rel, int64_t row,
                     MapEmitter& out) {
     (void)rel;
-    const JoinSide& side = tag == 0 ? state->left : state->right;
-    out.Emit(static_cast<int64_t>(state->KeyOf(side, row)), tag, row, row,
+    out.Emit(static_cast<int64_t>(state->KeyOf(tag, row)), tag, row, row,
              tag == 0 ? state->left_bytes : state->right_bytes);
   };
   job.reduce = [state](const ReduceContext& ctx, ReduceCollector& out) {
@@ -90,21 +168,7 @@ StatusOr<MapReduceJobSpec> BuildMergeJob(const MergeJobSpec& spec) {
     const auto& rrecs = ctx.records(1);
     out.AddComparisons(static_cast<double>(lrecs.size()) *
                        static_cast<double>(rrecs.size()));
-    for (const MapOutputRecord* l : lrecs) {
-      for (const MapOutputRecord* r : rrecs) {
-        if (!state->RidsMatch(l->row, r->row)) continue;
-        std::vector<Value> row;
-        row.reserve(state->output_bases.size());
-        for (int base : state->output_bases) {
-          if (state->left.Covers(base)) {
-            row.push_back(Value(state->left.BaseRow(l->row, base)));
-          } else {
-            row.push_back(Value(state->right.BaseRow(r->row, base)));
-          }
-        }
-        out.Emit(row);
-      }
-    }
+    state->JoinGroup(lrecs, rrecs, out);
   };
   return job;
 }

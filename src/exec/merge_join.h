@@ -6,6 +6,7 @@
 
 #include "src/common/status.h"
 #include "src/exec/join_side.h"
+#include "src/exec/theta_kernels.h"
 #include "src/mapreduce/job.h"
 
 namespace mrtheta {
@@ -20,6 +21,8 @@ struct MergeJobSpec {
   JoinSide right;  ///< an intermediate result
   std::vector<RelationPtr> base_relations;
   int num_reduce_tasks = 1;
+  /// kAuto: sort-merge on the first shared rid for oversized hash groups.
+  KernelPolicy kernel_policy = KernelPolicy::kAuto;
 };
 
 /// Builds the merge MRJ: shuffle key = hash of the shared relations' rids;

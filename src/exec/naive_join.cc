@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/exec/join_side.h"
+#include "src/relation/column_view.h"
 
 namespace mrtheta {
 
@@ -17,9 +18,15 @@ StatusOr<Relation> NaiveMultiwayJoin(
   std::vector<int> sorted_bases = base_indices;
   std::sort(sorted_bases.begin(), sorted_bases.end());
 
-  // Conditions checkable once the first (j+1) relations are bound.
+  // Conditions checkable once the first (j+1) relations are bound, with
+  // type dispatch resolved once per condition instead of once per pair.
   const int m = static_cast<int>(sorted_bases.size());
-  std::vector<std::vector<JoinCondition>> at_depth(m);
+  struct BoundCondition {
+    CompiledPredicate pred;
+    int lhs_pos;  // depth of the input binding the lhs / rhs endpoint
+    int rhs_pos;
+  };
+  std::vector<std::vector<BoundCondition>> at_depth(m);
   auto pos_of = [&](int base) {
     for (int i = 0; i < m; ++i) {
       if (sorted_bases[i] == base) return i;
@@ -33,24 +40,22 @@ StatusOr<Relation> NaiveMultiwayJoin(
       return Status::InvalidArgument("condition " + cond.ToString() +
                                      " references a relation not joined");
     }
-    at_depth[std::max(pl, pr)].push_back(cond);
+    at_depth[std::max(pl, pr)].push_back(
+        {CompiledPredicate::Compile(cond, *base_relations[cond.lhs.relation],
+                                    *base_relations[cond.rhs.relation]),
+         pl, pr});
   }
 
   Relation result("naive.out",
                   MakeIntermediateSchema(sorted_bases, base_relations));
-  std::vector<int64_t> rows(m, 0);
 
   // Depth-first nested loops with early pruning.
   std::vector<int64_t> assignment(m);
   auto check = [&](int depth) {
-    for (const JoinCondition& cond : at_depth[depth]) {
-      const Relation& lrel = *base_relations[cond.lhs.relation];
-      const Relation& rrel = *base_relations[cond.rhs.relation];
-      const Value lv =
-          lrel.Get(assignment[pos_of(cond.lhs.relation)], cond.lhs.column);
-      const Value rv =
-          rrel.Get(assignment[pos_of(cond.rhs.relation)], cond.rhs.column);
-      if (!EvalTheta(lv, cond.op, rv, cond.offset)) return false;
+    for (const BoundCondition& bc : at_depth[depth]) {
+      if (!bc.pred.Eval(assignment[bc.lhs_pos], assignment[bc.rhs_pos])) {
+        return false;
+      }
     }
     return true;
   };
@@ -80,7 +85,6 @@ StatusOr<Relation> NaiveMultiwayJoin(
       ++depth;
     }
   }
-  (void)rows;
   return SortedByRows(result);
 }
 
@@ -88,10 +92,15 @@ Relation SortedByRows(const Relation& rel) {
   std::vector<int64_t> order(rel.num_rows());
   std::iota(order.begin(), order.end(), 0);
   const int cols = rel.schema().num_columns();
+  std::vector<ColumnView<int64_t>> views;
+  views.reserve(cols);
+  for (int c = 0; c < cols; ++c) {
+    views.push_back(ColumnView<int64_t>::Of(rel, c));
+  }
   std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
     for (int c = 0; c < cols; ++c) {
-      const int64_t va = rel.GetInt(a, c);
-      const int64_t vb = rel.GetInt(b, c);
+      const int64_t va = views[c][a];
+      const int64_t vb = views[c][b];
       if (va != vb) return va < vb;
     }
     return false;

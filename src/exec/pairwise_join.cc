@@ -13,20 +13,48 @@ namespace {
 
 // State shared by both pairwise variants.
 struct PairwiseState {
+  // One condition, oriented so its lhs endpoint is covered by the left
+  // side, with type dispatch and row resolution bound once per job.
+  struct BoundCondition {
+    JoinCondition cond;
+    CompiledPredicate pred;
+    const int64_t* lhs_rid = nullptr;  // left row -> lhs base row
+    const int64_t* rhs_rid = nullptr;  // right row -> rhs base row
+
+    int64_t LhsBaseRow(int64_t lrow) const {
+      return lhs_rid != nullptr ? lhs_rid[lrow] : lrow;
+    }
+    int64_t RhsBaseRow(int64_t rrow) const {
+      return rhs_rid != nullptr ? rhs_rid[rrow] : rrow;
+    }
+    bool Eval(int64_t lrow, int64_t rrow) const {
+      return pred.Eval(LhsBaseRow(lrow), RhsBaseRow(rrow));
+    }
+  };
+
   JoinSide left;
   JoinSide right;
   std::vector<RelationPtr> base_relations;
-  std::vector<JoinCondition> conditions;
+  std::vector<BoundCondition> bound;
+  /// Index into `bound` of the sort-kernel driver, -1 => generic loop.
+  int sort_driver = -1;
   std::vector<int> output_bases;
   int64_t left_bytes = 0;
   int64_t right_bytes = 0;
 
   bool Matches(int64_t lrow, int64_t rrow) const {
-    for (const JoinCondition& cond : conditions) {
-      if (!EvalConditionBetween(cond, base_relations, left, lrow, right,
-                                rrow)) {
-        return false;
-      }
+    for (const BoundCondition& bc : bound) {
+      if (!bc.Eval(lrow, rrow)) return false;
+    }
+    return true;
+  }
+
+  // All conditions except the sort driver (already enforced by the kernel's
+  // key ranges).
+  bool MatchesResidual(int64_t lrow, int64_t rrow) const {
+    for (int i = 0; i < static_cast<int>(bound.size()); ++i) {
+      if (i == sort_driver) continue;
+      if (!bound[i].Eval(lrow, rrow)) return false;
     }
     return true;
   }
@@ -42,6 +70,46 @@ struct PairwiseState {
       }
     }
     out.Emit(row);
+  }
+
+  // Joins one reduce group, dispatching between the sort-based kernel and
+  // the generic nested loop. AddComparisons charging is kernel-independent:
+  // the simulated cluster's CPU model prices the |L|x|R| work a real
+  // reducer would do, not this process's wall clock.
+  void JoinGroup(const std::vector<const MapOutputRecord*>& lrecs,
+                 const std::vector<const MapOutputRecord*>& rrecs,
+                 ReduceCollector& out) const {
+    const int64_t pairs = static_cast<int64_t>(lrecs.size()) *
+                          static_cast<int64_t>(rrecs.size());
+    if (sort_driver >= 0 && pairs >= kSortKernelMinPairs) {
+      const BoundCondition& drv = bound[sort_driver];
+      std::vector<int64_t> lrows, rrows;
+      lrows.reserve(lrecs.size());
+      rrows.reserve(rrecs.size());
+      for (const MapOutputRecord* l : lrecs) {
+        lrows.push_back(drv.LhsBaseRow(l->row));
+      }
+      for (const MapOutputRecord* r : rrecs) {
+        rrows.push_back(drv.RhsBaseRow(r->row));
+      }
+      SortJoinRowSets(drv.cond, *base_relations[drv.cond.lhs.relation],
+                      lrows, *base_relations[drv.cond.rhs.relation], rrows,
+                      [&](int32_t lpos, int32_t rpos) {
+                        const int64_t lrow = lrecs[lpos]->row;
+                        const int64_t rrow = rrecs[rpos]->row;
+                        if (MatchesResidual(lrow, rrow)) {
+                          EmitPair(lrow, rrow, out);
+                        }
+                      });
+      return;
+    }
+    for (const MapOutputRecord* l : lrecs) {
+      for (const MapOutputRecord* r : rrecs) {
+        if (Matches(l->row, r->row)) {
+          EmitPair(l->row, r->row, out);
+        }
+      }
+    }
   }
 };
 
@@ -61,7 +129,26 @@ StatusOr<std::shared_ptr<PairwiseState>> MakeState(
   state->left = spec.left;
   state->right = spec.right;
   state->base_relations = spec.base_relations;
-  state->conditions = spec.conditions;
+  std::vector<JoinCondition> oriented;
+  oriented.reserve(spec.conditions.size());
+  for (const JoinCondition& cond : spec.conditions) {
+    const JoinCondition oc =
+        spec.left.Covers(cond.lhs.relation) ? cond
+                                            : cond.OrientedFor(
+                                                  cond.rhs.relation);
+    PairwiseState::BoundCondition bc;
+    bc.cond = oc;
+    bc.pred = CompiledPredicate::Compile(
+        oc, *spec.base_relations[oc.lhs.relation],
+        *spec.base_relations[oc.rhs.relation]);
+    bc.lhs_rid = RidColumnFor(spec.left, oc.lhs.relation);
+    bc.rhs_rid = RidColumnFor(spec.right, oc.rhs.relation);
+    state->bound.push_back(bc);
+    oriented.push_back(oc);
+  }
+  if (spec.kernel_policy == KernelPolicy::kAuto) {
+    state->sort_driver = ChooseSortDriver(oriented, spec.base_relations);
+  }
   std::set<int> bases(spec.left.bases.begin(), spec.left.bases.end());
   bases.insert(spec.right.bases.begin(), spec.right.bases.end());
   state->output_bases.assign(bases.begin(), bases.end());
@@ -84,6 +171,9 @@ MapReduceJobSpec MakeJobShell(const PairwiseJoinJobSpec& spec,
   // *linearly* with the represented data volume; the physical sample fixes
   // the output/input ratio β. See DESIGN.md §1.
   job.output_row_scale = std::max(spec.left.scale, spec.right.scale);
+  job.kernel = JoinKernelName(state.sort_driver >= 0
+                                  ? JoinKernel::kSortTheta
+                                  : JoinKernel::kGeneric);
   return job;
 }
 
@@ -131,14 +221,8 @@ StatusOr<MapReduceJobSpec> BuildEquiJoinJob(const PairwiseJoinJobSpec& spec) {
     out.AddComparisons(static_cast<double>(lrecs.size()) *
                        static_cast<double>(rrecs.size()) *
                        std::max(state->left.scale, state->right.scale));
-    for (const MapOutputRecord* l : lrecs) {
-      for (const MapOutputRecord* r : rrecs) {
-        // Conditions re-checked in full: hash groups may contain collisions.
-        if (state->Matches(l->row, r->row)) {
-          state->EmitPair(l->row, r->row, out);
-        }
-      }
-    }
+    // Conditions re-checked in full: hash groups may contain collisions.
+    state->JoinGroup(lrecs, rrecs, out);
   };
   return job;
 }
@@ -218,13 +302,7 @@ StatusOr<MapReduceJobSpec> BuildOneBucketThetaJob(
     out.AddComparisons(static_cast<double>(lrecs.size()) *
                        static_cast<double>(rrecs.size()) *
                        std::max(state->left.scale, state->right.scale));
-    for (const MapOutputRecord* l : lrecs) {
-      for (const MapOutputRecord* r : rrecs) {
-        if (state->Matches(l->row, r->row)) {
-          state->EmitPair(l->row, r->row, out);
-        }
-      }
-    }
+    state->JoinGroup(lrecs, rrecs, out);
   };
   return job;
 }

@@ -6,6 +6,7 @@
 
 #include "src/common/status.h"
 #include "src/exec/join_side.h"
+#include "src/exec/theta_kernels.h"
 #include "src/mapreduce/job.h"
 
 namespace mrtheta {
@@ -21,6 +22,9 @@ struct PairwiseJoinJobSpec {
   std::vector<JoinCondition> conditions;
   int num_reduce_tasks = 1;
   uint64_t seed = 42;
+  /// Reduce-side kernel selection (kAuto: sort-based when a condition
+  /// qualifies, see ChooseSortDriver).
+  KernelPolicy kernel_policy = KernelPolicy::kAuto;
 };
 
 /// \brief Repartition equi-join: requires at least one `=` condition whose

@@ -115,6 +115,11 @@ struct MapReduceJobSpec {
   /// True for Hive/Pig-style jobs: pay text-SerDe parse/serialize costs and
   /// text-width-inflated intermediates (ClusterConfig::text_serde_*).
   bool text_serde = false;
+  /// Reduce-side join kernel this job is *eligible* to run (see
+  /// JoinKernelName in src/exec/theta_kernels.h) — observability only.
+  /// Qualifying reduce groups use it; groups below kSortKernelMinPairs
+  /// candidate pairs always take the generic nested loop.
+  std::string kernel = "generic";
 };
 
 /// Physical + logical measurements of one executed job. All `*_logical`

@@ -75,14 +75,17 @@ double Relation::GetDouble(int64_t row, int col) const {
 
 Relation Relation::Slice(const std::vector<int64_t>& row_indices) const {
   Relation out(name_, schema_);
-  for (int64_t r : row_indices) {
-    std::vector<Value> row;
-    row.reserve(schema_.num_columns());
-    for (int c = 0; c < schema_.num_columns(); ++c) row.push_back(Get(r, c));
-    Status s = out.AppendRow(row);
-    assert(s.ok());
-    (void)s;
+  // Column-at-a-time gather: no per-cell Value boxing.
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    std::visit(
+        [&](const auto& src) {
+          auto& dst = std::get<std::decay_t<decltype(src)>>(out.cols_[c]);
+          dst.reserve(row_indices.size());
+          for (int64_t r : row_indices) dst.push_back(src[r]);
+        },
+        cols_[c]);
   }
+  out.num_rows_ = static_cast<int64_t>(row_indices.size());
   return out;
 }
 

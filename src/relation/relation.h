@@ -67,6 +67,15 @@ class Relation {
     return std::get<std::vector<std::string>>(cols_[col])[row];
   }
 
+  /// Raw columnar access: the backing vector of column `col` when its
+  /// storage type is T, nullptr otherwise. The pointer stays valid for the
+  /// relation's lifetime (columns are never reallocated after reads begin,
+  /// but callers must not hold it across appends).
+  template <typename T>
+  const std::vector<T>* TryColumn(int col) const {
+    return std::get_if<std::vector<T>>(&cols_[col]);
+  }
+
   /// Returns a relation with the same schema containing the given rows.
   Relation Slice(const std::vector<int64_t>& row_indices) const;
 

@@ -1,7 +1,10 @@
 // Correctness tests for the distributed join executors: every operator is
 // checked against the single-machine nested-loop oracle.
 
+#include <algorithm>
 #include <memory>
+#include <numeric>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -10,7 +13,9 @@
 #include "src/exec/merge_join.h"
 #include "src/exec/naive_join.h"
 #include "src/exec/pairwise_join.h"
+#include "src/exec/theta_kernels.h"
 #include "src/mapreduce/job_runner.h"
+#include "src/relation/column_view.h"
 
 namespace mrtheta {
 namespace {
@@ -500,6 +505,208 @@ TEST(SharedBasesTest, Intersection) {
   JoinSide a = JoinSide::ForIntermediate(rel, {0, 1, 2});
   JoinSide b = JoinSide::ForIntermediate(rel, {2, 3, 0});
   EXPECT_EQ(SharedBases(a, b), (std::vector<int>{0, 2}));
+}
+
+// ---- Sort-based kernels: randomized differential vs nested-loop oracle ----
+
+// One-column relation of the given type; a small domain makes duplicate
+// keys the common case.
+RelationPtr MakeTypedRel(ValueType type, int64_t rows, int64_t domain,
+                         uint64_t seed) {
+  auto rel =
+      std::make_shared<Relation>("t", Schema({{"k", type}}));
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row;
+    switch (type) {
+      case ValueType::kInt64:
+        row.push_back(Value(rng.UniformInt(-domain, domain)));
+        break;
+      case ValueType::kDouble:
+        // Half-integral values: exercises exact ties across the domain.
+        row.push_back(
+            Value(static_cast<double>(rng.UniformInt(-domain, domain)) * 0.5));
+        break;
+      case ValueType::kString:
+        row.push_back(Value("s" + std::to_string(rng.Uniform(domain + 1))));
+        break;
+    }
+    EXPECT_TRUE(rel->AppendRow(row).ok());
+  }
+  return rel;
+}
+
+// All (lrow, rrow) pairs satisfying cond, via the boxed per-pair reference
+// path (Relation::Get + EvalTheta) — deliberately independent of the
+// compiled/sort-based code under test.
+std::vector<std::pair<int64_t, int64_t>> NestedLoopReference(
+    const JoinCondition& cond, const Relation& lrel, const Relation& rrel) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (int64_t l = 0; l < lrel.num_rows(); ++l) {
+    for (int64_t r = 0; r < rrel.num_rows(); ++r) {
+      if (EvalTheta(lrel.Get(l, cond.lhs.column), cond.op,
+                    rrel.Get(r, cond.rhs.column), cond.offset)) {
+        out.emplace_back(l, r);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(KernelDifferentialTest, SortAndCompiledKernelsMatchNaiveReference) {
+  constexpr ThetaOp kOps[] = {ThetaOp::kLt, ThetaOp::kLe, ThetaOp::kEq,
+                              ThetaOp::kGe, ThetaOp::kGt, ThetaOp::kNe};
+  // Type pairings: all three ValueTypes plus the mixed-numeric domain.
+  const std::pair<ValueType, ValueType> kTypes[] = {
+      {ValueType::kInt64, ValueType::kInt64},
+      {ValueType::kDouble, ValueType::kDouble},
+      {ValueType::kString, ValueType::kString},
+      {ValueType::kInt64, ValueType::kDouble},
+  };
+  int cases = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(9000 + seed);
+    for (const auto& [ltype, rtype] : kTypes) {
+      const ThetaOp op = kOps[rng.Uniform(6)];
+      // Row counts include empty sides; domains stay tiny so duplicate
+      // keys and all-equal columns occur regularly.
+      const int64_t lrows = rng.Uniform(40);
+      const int64_t rrows = rng.Uniform(40);
+      const int64_t domain = 1 + static_cast<int64_t>(rng.Uniform(12));
+      double offset = 0.0;
+      const bool strings = ltype == ValueType::kString;
+      if (!strings && rng.Bernoulli(0.5)) {
+        offset = static_cast<double>(rng.UniformInt(-3, 3));
+        if (rng.Bernoulli(0.3)) offset += 0.5;
+      }
+      RelationPtr lrel = MakeTypedRel(ltype, lrows, domain, 100 + seed * 7);
+      RelationPtr rrel = MakeTypedRel(rtype, rrows, domain, 200 + seed * 13);
+      JoinCondition cond{{0, 0}, op, {1, 0}, offset, 0};
+
+      const auto expected = NestedLoopReference(cond, *lrel, *rrel);
+
+      // Compiled predicate: per-pair differential.
+      const CompiledPredicate pred =
+          CompiledPredicate::Compile(cond, *lrel, *rrel);
+      std::vector<std::pair<int64_t, int64_t>> compiled;
+      for (int64_t l = 0; l < lrel->num_rows(); ++l) {
+        for (int64_t r = 0; r < rrel->num_rows(); ++r) {
+          if (pred.Eval(l, r)) compiled.emplace_back(l, r);
+        }
+      }
+      EXPECT_EQ(compiled, expected)
+          << "compiled predicate diverged: " << cond.ToString() << " "
+          << ValueTypeName(ltype) << "/" << ValueTypeName(rtype)
+          << " seed=" << seed;
+
+      // Sort-based kernel over the full row sets.
+      std::vector<int64_t> lidx(lrel->num_rows()), ridx(rrel->num_rows());
+      std::iota(lidx.begin(), lidx.end(), 0);
+      std::iota(ridx.begin(), ridx.end(), 0);
+      std::vector<std::pair<int64_t, int64_t>> sorted_pairs;
+      const bool applied = SortJoinRowSets(
+          cond, *lrel, lidx, *rrel, ridx,
+          [&](int32_t lpos, int32_t rpos) {
+            sorted_pairs.emplace_back(lidx[lpos], ridx[rpos]);
+          });
+      ASSERT_TRUE(applied) << cond.ToString();
+      std::sort(sorted_pairs.begin(), sorted_pairs.end());
+      EXPECT_EQ(sorted_pairs, expected)
+          << "sort kernel diverged: " << cond.ToString() << " "
+          << ValueTypeName(ltype) << "/" << ValueTypeName(rtype)
+          << " seed=" << seed << " lrows=" << lrows << " rrows=" << rrows;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 100);
+}
+
+TEST(KernelDifferentialTest, OneBucketJobMatchesOracleUnderBothPolicies) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(7100 + seed);
+    const ThetaOp op = static_cast<ThetaOp>(rng.Uniform(6));
+    RelationPtr a = MakeRel("a", 60 + rng.Uniform(80), 25, 300 + seed);
+    RelationPtr b = MakeRel("b", 60 + rng.Uniform(80), 25, 400 + seed);
+    PairwiseJoinJobSpec spec;
+    spec.left = JoinSide::ForBase(a, 0);
+    spec.right = JoinSide::ForBase(b, 1);
+    spec.base_relations = {a, b};
+    spec.conditions = {{{0, 0}, op, {1, 0}, 0.0, 0}};
+    if (rng.Bernoulli(0.5)) {
+      spec.conditions.push_back({{0, 1}, ThetaOp::kLe, {1, 1}, 1.0, 1});
+    }
+    spec.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(8));
+
+    const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions);
+    ASSERT_TRUE(oracle.ok());
+    for (KernelPolicy policy :
+         {KernelPolicy::kAuto, KernelPolicy::kGenericOnly}) {
+      spec.kernel_policy = policy;
+      const auto job = BuildOneBucketThetaJob(spec);
+      ASSERT_TRUE(job.ok());
+      const auto result = RunJobPhysically(*job);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(SameRows(*oracle, *result->output))
+          << "seed=" << seed << " op=" << ThetaOpName(op)
+          << " kernel=" << job->kernel;
+    }
+  }
+}
+
+TEST(KernelSelectionTest, BuildersReportChosenKernel) {
+  RelationPtr a = MakeRel("a", 10, 10, 81);
+  RelationPtr b = MakeRel("b", 10, 10, 82);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}};
+  EXPECT_EQ(BuildOneBucketThetaJob(spec)->kernel, "sort-theta");
+
+  spec.kernel_policy = KernelPolicy::kGenericOnly;
+  EXPECT_EQ(BuildOneBucketThetaJob(spec)->kernel, "generic");
+
+  // `<>` alone cannot drive the sort kernel: candidates are ~ the full
+  // cross product.
+  spec.kernel_policy = KernelPolicy::kAuto;
+  spec.conditions = {{{0, 0}, ThetaOp::kNe, {1, 0}, 0.0, 0}};
+  EXPECT_EQ(BuildOneBucketThetaJob(spec)->kernel, "generic");
+}
+
+TEST(KernelSelectionTest, HilbertReportsEligibilityNotPolicy) {
+  RelationPtr a = MakeRel("a", 10, 10, 85);
+  RelationPtr b = MakeRel("b", 10, 10, 86);
+  MultiwayJoinJobSpec spec;
+  spec.inputs = {JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1)};
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}};
+  EXPECT_EQ(BuildHilbertJoinJob(spec)->kernel, "sort-theta");
+
+  // <> cannot drive a sorted candidate list at any depth.
+  spec.conditions = {{{0, 0}, ThetaOp::kNe, {1, 0}, 0.0, 0}};
+  EXPECT_EQ(BuildHilbertJoinJob(spec)->kernel, "generic");
+
+  spec.conditions = {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}};
+  spec.kernel_policy = KernelPolicy::kGenericOnly;
+  EXPECT_EQ(BuildHilbertJoinJob(spec)->kernel, "generic");
+}
+
+TEST(ChooseSortDriverTest, PrefersInequalityOverEquality) {
+  RelationPtr a = MakeRel("a", 5, 5, 83);
+  RelationPtr b = MakeRel("b", 5, 5, 84);
+  const std::vector<JoinCondition> conds = {
+      {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+      {{0, 1}, ThetaOp::kLt, {1, 1}, 0.0, 1},
+  };
+  EXPECT_EQ(ChooseSortDriver(conds, {a, b}), 1);
+  const std::vector<JoinCondition> eq_only = {
+      {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+  };
+  EXPECT_EQ(ChooseSortDriver(eq_only, {a, b}), 0);
+  const std::vector<JoinCondition> ne_only = {
+      {{0, 0}, ThetaOp::kNe, {1, 0}, 0.0, 0},
+  };
+  EXPECT_EQ(ChooseSortDriver(ne_only, {a, b}), -1);
 }
 
 // ---- Naive oracle sanity ----
