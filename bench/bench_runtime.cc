@@ -1,0 +1,202 @@
+// Measured (not simulated) end-to-end scaling of the in-process runtime:
+// executes full query plans on the TPC-H, flights and mobile workloads at
+// 1/2/4/8 threads and reports wall-clock speedup over the single-threaded
+// reference runner, plus a sweep of the sort-kernel min-pairs gate.
+//
+// The simulated makespan and the physical result rows are recorded as
+// correctness anchors: both must be identical at every thread count (the
+// runtime's determinism contract, see docs/RUNTIME.md). The process aborts
+// if they are not.
+//
+// Usage: bench_runtime [output.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baseline_planners.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/exec/theta_kernels.h"
+#include "src/workload/flights.h"
+#include "src/workload/mobile.h"
+#include "src/workload/tpch.h"
+
+namespace mrtheta::bench {
+namespace {
+
+constexpr int kThreadSteps[] = {1, 2, 4, 8};
+
+struct PlannedQuery {
+  std::string workload;
+  std::string name;
+  Query query;
+  QueryPlan plan;
+};
+
+void RunScalingCurve(const PlannedQuery& pq, Harness& harness,
+                     std::vector<RuntimeBenchRecord>& records) {
+  double base_wall = 0.0;
+  SimTime base_makespan = 0;
+  int64_t base_rows = -1;
+  for (int threads : kThreadSteps) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    Executor executor(&harness.cluster, options);
+    const auto result = executor.Execute(pq.query, pq.plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s/%s failed at %d threads: %s\n",
+                   pq.workload.c_str(), pq.name.c_str(), threads,
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    // Physical execution only — excludes the thread-count-invariant
+    // simulation replay and final projection.
+    const double wall = result->measured_seconds;
+    if (threads == 1) {
+      base_wall = wall;
+      base_makespan = result->makespan;
+      base_rows = result->result_ids->num_rows();
+    } else if (result->makespan != base_makespan ||
+               result->result_ids->num_rows() != base_rows) {
+      std::fprintf(stderr,
+                   "%s/%s: determinism violation at %d threads "
+                   "(makespan %lld vs %lld, rows %lld vs %lld)\n",
+                   pq.workload.c_str(), pq.name.c_str(), threads,
+                   static_cast<long long>(result->makespan),
+                   static_cast<long long>(base_makespan),
+                   static_cast<long long>(result->result_ids->num_rows()),
+                   static_cast<long long>(base_rows));
+      std::exit(1);
+    }
+    RuntimeBenchRecord rec;
+    rec.workload = pq.workload;
+    rec.query = pq.name;
+    rec.threads = threads;
+    rec.hardware_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    rec.jobs = static_cast<int>(pq.plan.jobs.size());
+    rec.wall_seconds = wall;
+    rec.speedup_vs_1t = wall > 0.0 ? base_wall / wall : 1.0;
+    rec.sim_makespan_seconds = ToSeconds(result->makespan);
+    rec.result_rows_physical = result->result_ids->num_rows();
+    rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    records.push_back(rec);
+    std::printf("  %-8s %-10s threads=%d  wall=%7.3fs  speedup=%5.2fx  "
+                "rows=%lld\n",
+                pq.workload.c_str(), pq.name.c_str(), threads, wall,
+                rec.speedup_vs_1t,
+                static_cast<long long>(rec.result_rows_physical));
+    std::fflush(stdout);
+  }
+}
+
+// Sweeps the sort-kernel min-pairs gate (satellite knob of
+// ExecutorOptions) over a pairwise-join cascade, where the gate decides
+// per reduce group between the sort kernel and the nested loop.
+void RunGateSweep(const Query& query, const QueryPlan& plan,
+                  Harness& harness,
+                  std::vector<RuntimeBenchRecord>& records) {
+  const int threads = kThreadSteps[std::size(kThreadSteps) - 1];
+  for (int64_t gate :
+       {int64_t{1}, int64_t{64}, kSortKernelMinPairs, int64_t{4096},
+        int64_t{1} << 62}) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.sort_kernel_min_pairs = gate;
+    Executor executor(&harness.cluster, options);
+    const auto result = executor.Execute(query, plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "gate sweep failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    const double wall = result->measured_seconds;
+    RuntimeBenchRecord rec;
+    rec.workload = "gate-sweep";
+    rec.query = "tpch_q17_hive";
+    rec.threads = threads;
+    rec.hardware_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    rec.jobs = static_cast<int>(plan.jobs.size());
+    rec.wall_seconds = wall;
+    rec.sim_makespan_seconds = ToSeconds(result->makespan);
+    rec.result_rows_physical = result->result_ids->num_rows();
+    rec.sort_kernel_min_pairs = gate;
+    records.push_back(rec);
+    std::printf("  gate-sweep min_pairs=%-12lld wall=%7.3fs  rows=%lld\n",
+                static_cast<long long>(gate), wall,
+                static_cast<long long>(rec.result_rows_physical));
+    std::fflush(stdout);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+  Harness harness(96);
+  std::vector<RuntimeBenchRecord> records;
+
+  // ---- TPC-H Q17 at the 20k lineitem scale (multi-way self-join) ----
+  TpchOptions tpch_options;
+  tpch_options.scale_factor = 100;
+  tpch_options.physical_lineitem_rows = 20000;
+  const TpchData db = GenerateTpch(tpch_options);
+  const auto q17 = BuildTpchQuery(17, db);
+  if (!q17.ok()) {
+    std::fprintf(stderr, "tpch q17: %s\n", q17.status().ToString().c_str());
+    return 1;
+  }
+  Planner planner(&harness.cluster, harness.params);
+  const auto q17_plan = planner.Plan(*q17);
+  if (!q17_plan.ok()) return 1;
+  RunScalingCurve({"tpch", "q17_20k", *q17, *q17_plan}, harness, records);
+
+  // ---- Flights itinerary chain (3 legs) ----
+  FlightLegOptions leg_options;
+  leg_options.physical_rows = 2000;
+  std::vector<RelationPtr> legs;
+  for (int i = 0; i < 3; ++i) legs.push_back(GenerateFlightLeg(i, leg_options));
+  const auto flights =
+      BuildItineraryQuery(legs, {StayOver{}, StayOver{}});
+  if (!flights.ok()) return 1;
+  const auto flights_plan = planner.Plan(*flights);
+  if (!flights_plan.ok()) return 1;
+  RunScalingCurve({"flights", "chain3_2k", *flights, *flights_plan}, harness,
+                  records);
+
+  // ---- Mobile Q1 (concurrent calls at the same station) ----
+  MobileDataOptions mobile_options;
+  mobile_options.physical_rows = 4000;
+  mobile_options.logical_bytes = 2 * kGiB;
+  const auto mobile = BuildMobileQuery(1, mobile_options);
+  if (!mobile.ok()) return 1;
+  const auto mobile_plan = planner.Plan(*mobile);
+  if (!mobile_plan.ok()) return 1;
+  RunScalingCurve({"mobile", "q1_4k", *mobile, *mobile_plan}, harness,
+                  records);
+
+  // ---- Sort-kernel gate sweep over the Q17 pairwise cascade ----
+  const auto q17_hive = PlanHiveStyle(*q17, harness.cluster);
+  if (!q17_hive.ok()) {
+    std::fprintf(stderr, "hive-style q17 plan failed (gate sweep): %s\n",
+                 q17_hive.status().ToString().c_str());
+    return 1;
+  }
+  RunGateSweep(*q17, *q17_hive, harness, records);
+
+  const Status status = WriteRuntimeBenchJson(out_path, records);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records)\n", out_path.c_str(), records.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace mrtheta::bench
+
+int main(int argc, char** argv) { return mrtheta::bench::Main(argc, argv); }

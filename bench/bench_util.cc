@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -59,26 +60,19 @@ StatusOr<SystemResult> RunSystem(const std::string& system,
   return out;
 }
 
-Status WriteBenchJson(const std::string& path,
-                      const std::vector<KernelBenchRecord>& records) {
+namespace {
+
+// Writes a JSON array of pre-formatted object lines (no trailing commas).
+Status WriteJsonArray(const std::string& path,
+                      const std::vector<std::string>& lines) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::Internal("cannot open " + path + " for writing");
   }
   std::fprintf(f, "[\n");
-  for (size_t i = 0; i < records.size(); ++i) {
-    const KernelBenchRecord& r = records[i];
-    std::fprintf(f,
-                 "  {\"label\": \"%s\", \"kernel\": \"%s\", "
-                 "\"left_rows\": %lld, \"right_rows\": %lld, "
-                 "\"wall_ns\": %lld, \"tuples_per_sec\": %.1f, "
-                 "\"output_pairs\": %lld}%s\n",
-                 r.label.c_str(), r.kernel.c_str(),
-                 static_cast<long long>(r.left_rows),
-                 static_cast<long long>(r.right_rows),
-                 static_cast<long long>(r.wall_ns), r.tuples_per_sec,
-                 static_cast<long long>(r.output_pairs),
-                 i + 1 < records.size() ? "," : "");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", lines[i].c_str(),
+                 i + 1 < lines.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   const bool write_error = std::ferror(f) != 0;
@@ -86,6 +80,57 @@ Status WriteBenchJson(const std::string& path,
     return Status::Internal("failed writing " + path);
   }
   return Status::OK();
+}
+
+std::string FormatLine(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<KernelBenchRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const KernelBenchRecord& r : records) {
+    lines.push_back(FormatLine(
+        "{\"label\": \"%s\", \"kernel\": \"%s\", "
+        "\"left_rows\": %lld, \"right_rows\": %lld, "
+        "\"wall_ns\": %lld, \"tuples_per_sec\": %.1f, "
+        "\"output_pairs\": %lld}",
+        r.label.c_str(), r.kernel.c_str(),
+        static_cast<long long>(r.left_rows),
+        static_cast<long long>(r.right_rows),
+        static_cast<long long>(r.wall_ns), r.tuples_per_sec,
+        static_cast<long long>(r.output_pairs)));
+  }
+  return WriteJsonArray(path, lines);
+}
+
+Status WriteRuntimeBenchJson(const std::string& path,
+                             const std::vector<RuntimeBenchRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const RuntimeBenchRecord& r : records) {
+    lines.push_back(FormatLine(
+        "{\"workload\": \"%s\", \"query\": \"%s\", "
+        "\"threads\": %d, \"hardware_threads\": %d, "
+        "\"jobs\": %d, \"wall_seconds\": %.6f, "
+        "\"speedup_vs_1t\": %.3f, "
+        "\"sim_makespan_seconds\": %.3f, "
+        "\"result_rows_physical\": %lld, "
+        "\"sort_kernel_min_pairs\": %lld}",
+        r.workload.c_str(), r.query.c_str(), r.threads, r.hardware_threads,
+        r.jobs, r.wall_seconds, r.speedup_vs_1t, r.sim_makespan_seconds,
+        static_cast<long long>(r.result_rows_physical),
+        static_cast<long long>(r.sort_kernel_min_pairs)));
+  }
+  return WriteJsonArray(path, lines);
 }
 
 std::vector<SystemResult> RunAllSystems(const Query& query, Harness& harness,

@@ -56,6 +56,27 @@ struct KernelBenchRecord {
 Status WriteBenchJson(const std::string& path,
                       const std::vector<KernelBenchRecord>& records);
 
+/// One measured end-to-end run of a whole query plan on the in-process
+/// runtime (bench_runtime / BENCH_runtime.json): wall-clock scaling across
+/// thread counts, with the thread-count-invariant simulated makespan and
+/// result cardinality as correctness anchors.
+struct RuntimeBenchRecord {
+  std::string workload;     ///< "tpch", "flights", "mobile", "gate-sweep"
+  std::string query;        ///< e.g. "q17_20k"
+  int threads = 1;          ///< ExecutorOptions::num_threads
+  int hardware_threads = 0; ///< std::thread::hardware_concurrency()
+  int jobs = 0;             ///< plan jobs executed
+  double wall_seconds = 0.0;
+  double speedup_vs_1t = 1.0;
+  double sim_makespan_seconds = 0.0;  ///< identical at every thread count
+  int64_t result_rows_physical = 0;
+  int64_t sort_kernel_min_pairs = 0;  ///< gate in force for this run
+};
+
+/// Writes `records` to `path` as a JSON array (overwrites the file).
+Status WriteRuntimeBenchJson(const std::string& path,
+                             const std::vector<RuntimeBenchRecord>& records);
+
 }  // namespace mrtheta::bench
 
 #endif  // MRTHETA_BENCH_BENCH_UTIL_H_

@@ -3,6 +3,8 @@
 // plan the optimizer picks plus its per-job simulated timeline.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/core/executor.h"
 #include "src/core/planner.h"
@@ -11,7 +13,19 @@
 
 using namespace mrtheta;  // NOLINT: example brevity
 
-int main() {
+// Usage: tpch_demo [--threads N]  (N = in-process runtime threads)
+int main(int argc, char** argv) {
+  int num_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      num_threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
+      if (num_threads < 1) {
+        std::fprintf(stderr, "usage: %s [--threads N]  (N >= 1)\n", argv[0]);
+        return 2;
+      }
+    }
+  }
+
   SimCluster cluster{ClusterConfig{}};
   const auto calib = CalibrateCostModel(cluster);
   if (!calib.ok()) return 1;
@@ -34,27 +48,31 @@ int main() {
   if (!plan.ok()) return 1;
   std::printf("%s\n", plan->ToString().c_str());
 
-  Executor executor(&cluster);
+  ExecutorOptions exec_options;
+  exec_options.num_threads = num_threads;
+  Executor executor(&cluster, exec_options);
   const auto result = executor.Execute(*query, *plan);
   if (!result.ok()) {
     std::printf("execute: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("per-job simulated timeline:\n");
+  std::printf("per-job timeline (simulated cluster + measured local):\n");
   for (const JobExecution& job : result->jobs) {
     std::printf("  %-14s kind=%-12s RN=%-3d in=%9s shuffle=%9s "
-                "[%.1fs .. %.1fs]\n",
+                "[%.1fs .. %.1fs] local=%.3fs\n",
                 job.name.c_str(), PlanJobKindName(job.kind),
                 job.reduce_tasks,
                 FormatBytes(job.metrics.input_bytes_logical).c_str(),
                 FormatBytes(job.metrics.map_output_bytes_logical).c_str(),
                 ToSeconds(job.timing.release),
-                ToSeconds(job.timing.finish));
+                ToSeconds(job.timing.finish), job.wall_seconds);
   }
   std::printf("\nresult rows (physical sample): %lld, selectivity %.3g\n",
               static_cast<long long>(result->result_ids->num_rows()),
               result->result_selectivity);
-  std::printf("simulated makespan: %s\n",
+  std::printf("makespan: measured %.3fs on %d thread(s) / simulated %s "
+              "on the modeled cluster\n",
+              result->measured_seconds, num_threads,
               FormatSimTime(result->makespan).c_str());
   return 0;
 }

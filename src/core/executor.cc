@@ -1,11 +1,15 @@
 #include "src/core/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "src/exec/hilbert_join.h"
 #include "src/exec/merge_join.h"
 #include "src/exec/pairwise_join.h"
+#include "src/runtime/dag_scheduler.h"
+#include "src/runtime/parallel_job_runner.h"
+#include "src/runtime/thread_pool.h"
 
 namespace mrtheta {
 
@@ -31,6 +35,12 @@ StatusOr<JoinSide> ResolveInput(const Query& query,
                                    done[input.job].covered_bases);
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 StatusOr<ExecutionResult> Executor::Execute(const Query& query,
@@ -40,14 +50,42 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
   if (plan.jobs.empty()) {
     return Status::InvalidArgument("plan has no jobs");
   }
+  const int num_jobs = static_cast<int>(plan.jobs.size());
+
+  // Dependency edges: plan jobs reference earlier jobs' outputs. A forward
+  // or out-of-range reference is the "not topological" error the body would
+  // otherwise hit racily.
+  std::vector<std::vector<int>> deps(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    for (const PlanInput& in : plan.jobs[i].inputs) {
+      if (in.is_base()) continue;
+      if (in.job < 0 || in.job >= i) {
+        return Status::InvalidArgument(
+            "plan input references a job that has not run (plans must be in "
+            "topological order)");
+      }
+      deps[i].push_back(in.job);
+    }
+  }
 
   ExecutionResult result;
-  std::vector<SimJobSpec> sim_jobs;
+  result.jobs.resize(num_jobs);
+  std::vector<SimJobSpec> sim_jobs(num_jobs);
   const KernelPolicy policy = options_.enable_specialized_kernels
                                   ? KernelPolicy::kAuto
                                   : KernelPolicy::kGenericOnly;
+  // Thread budget: the pool owns num_threads - 1 workers; each in-flight
+  // DAG job adds one coordinating thread that spends its time claiming
+  // tasks inside ParallelFor (caller participation — the property that
+  // makes nested fan-out deadlock-free). Sustained compute threads are
+  // therefore ~num_threads; the worst case (every job simultaneously in
+  // its sequential shuffle merge) is transient. See docs/RUNTIME.md.
+  const int num_threads = std::max(1, options_.num_threads);
+  ThreadPool pool(num_threads);
 
-  for (size_t i = 0; i < plan.jobs.size(); ++i) {
+  // Runs plan job `i`; deps are complete when the DAG scheduler calls this,
+  // and it writes only slot `i` of result.jobs / sim_jobs.
+  auto run_job = [&](int i) -> Status {
     const PlanJob& pj = plan.jobs[i];
     // Resolve inputs.
     std::vector<JoinSide> sides;
@@ -88,6 +126,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
         pw.num_reduce_tasks = pj.num_reduce_tasks;
         pw.seed = seed + i * 7919;
         pw.kernel_policy = policy;
+        pw.sort_kernel_min_pairs = options_.sort_kernel_min_pairs;
         spec = pj.kind == PlanJobKind::kEquiJoin ? BuildEquiJoinJob(pw)
                                                  : BuildOneBucketThetaJob(pw);
         break;
@@ -103,6 +142,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
         mg.base_relations = query.relations();
         mg.num_reduce_tasks = pj.num_reduce_tasks;
         mg.kernel_policy = policy;
+        mg.sort_kernel_min_pairs = options_.sort_kernel_min_pairs;
         spec = BuildMergeJob(mg);
         break;
       }
@@ -110,15 +150,19 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
     if (!spec.ok()) return spec.status();
     spec->text_serde = pj.text_serde;
 
-    StatusOr<PhysicalJobResult> phys = RunJobPhysically(*spec);
+    const auto job_start = std::chrono::steady_clock::now();
+    StatusOr<PhysicalJobResult> phys =
+        num_threads > 1 ? RunJobParallel(*spec, pool)
+                        : RunJobPhysically(*spec);
     if (!phys.ok()) return phys.status();
 
-    JobExecution exec;
+    JobExecution& exec = result.jobs[i];
     exec.name = spec->name;
     exec.kind = pj.kind;
     exec.reduce_tasks = spec->num_reduce_tasks;
     exec.kernel = spec->kernel;
     exec.metrics = phys->metrics;
+    exec.wall_seconds = SecondsSince(job_start);
     exec.output = phys->output;
     // Covered bases = union of the inputs' coverage.
     std::set<int> bases;
@@ -138,7 +182,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
 
     // The final job writes the query's *projection*, not materialized
     // intermediate rows — every compared system benefits identically.
-    if (i + 1 == plan.jobs.size() && !query.outputs().empty()) {
+    if (i + 1 == num_jobs && !query.outputs().empty()) {
       int64_t projected_width = 4;  // record framing
       for (const OutputColumn& out : query.outputs()) {
         projected_width += query.relations()[out.base]
@@ -152,16 +196,29 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
                    9.0e18));
     }
 
-    sim_jobs.push_back(
-        cluster_->BuildSimJob(*spec, exec.metrics, dep_jobs));
-    result.jobs.push_back(std::move(exec));
+    sim_jobs[i] = cluster_->BuildSimJob(*spec, exec.metrics, dep_jobs);
+    return Status::OK();
+  };
+
+  const auto plan_start = std::chrono::steady_clock::now();
+  if (num_threads == 1) {
+    // Sequential reference path: plan order, byte-identical to the
+    // pre-runtime executor.
+    for (int i = 0; i < num_jobs; ++i) {
+      MRTHETA_RETURN_IF_ERROR(run_job(i));
+    }
+  } else {
+    // Jobs with disjoint deps overlap; map/reduce tasks within each job
+    // share the pool.
+    MRTHETA_RETURN_IF_ERROR(RunDag(deps, num_threads, run_job));
   }
+  result.measured_seconds = SecondsSince(plan_start);
 
   // Replay the DAG through the discrete-event engine.
   StatusOr<SimReport> report = RunSimulation(cluster_->config(), sim_jobs);
   if (!report.ok()) return report.status();
   result.makespan = report->makespan;
-  for (size_t i = 0; i < result.jobs.size(); ++i) {
+  for (int i = 0; i < num_jobs; ++i) {
     result.jobs[i].timing = report->jobs[i];
   }
 

@@ -7,6 +7,7 @@
 #include "src/common/status.h"
 #include "src/core/plan.h"
 #include "src/core/query.h"
+#include "src/exec/theta_kernels.h"
 #include "src/mapreduce/sim_cluster.h"
 
 namespace mrtheta {
@@ -18,11 +19,15 @@ struct JobExecution {
   int reduce_tasks = 1;
   /// Reduce-side join kernel the job was eligible to run ("sort-theta"
   /// when a condition qualified for the sort-based path, else "generic").
-  /// Reduce groups below the kSortKernelMinPairs gate still use the
+  /// Reduce groups below the sort-kernel min-pairs gate still use the
   /// generic loop.
   std::string kernel = "generic";
   JobMeasurement metrics;
   SimJobResult timing;
+  /// Measured wall-clock seconds this process spent physically executing
+  /// the job (map + shuffle + reduce on the runtime's threads) — unrelated
+  /// to the *simulated* `timing`, which models the paper's cluster.
+  double wall_seconds = 0.0;
   std::shared_ptr<Relation> output;
   std::vector<int> covered_bases;
 };
@@ -33,6 +38,10 @@ struct ExecutionResult {
   /// Simulated wall-clock makespan of the full plan (slot competition,
   /// dependencies and merge steps included).
   SimTime makespan = 0;
+  /// Measured wall-clock seconds for physically executing the whole plan
+  /// (jobs with disjoint deps overlap when ExecutorOptions::num_threads
+  /// > 1). Excludes the discrete-event replay and final projection.
+  double measured_seconds = 0.0;
   /// The final intermediate (one rid column per covered base).
   std::shared_ptr<Relation> result_ids;
   std::vector<int> covered_bases;
@@ -43,18 +52,30 @@ struct ExecutionResult {
   double result_selectivity = 0.0;
 };
 
-/// Knobs controlling how plan jobs are lowered to physical kernels.
+/// Knobs controlling how plan jobs are lowered to physical kernels and
+/// scheduled onto the in-process runtime.
 struct ExecutorOptions {
   /// When false, every join job runs the generic nested-loop kernel
   /// regardless of condition shape — the differential baseline for the
   /// specialized sort-based paths. Results must be identical either way.
   bool enable_specialized_kernels = true;
+  /// Per-reduce-group gate for the sort-based kernels: groups with fewer
+  /// candidate pairs run the generic nested loop (sorting tiny groups
+  /// costs more than it saves). Exposed here so benches can sweep it.
+  int64_t sort_kernel_min_pairs = kSortKernelMinPairs;
+  /// Threads of the in-process runtime (src/runtime). 1 = the sequential
+  /// reference path (RunJobPhysically, jobs in plan order); > 1 fans map
+  /// and reduce tasks over a thread pool and overlaps plan jobs with
+  /// disjoint dependencies via the DAG scheduler. Results — output rows,
+  /// row order, measurements, simulated makespan — are identical at every
+  /// thread count (see docs/RUNTIME.md).
+  int num_threads = 1;
 };
 
-/// \brief Executes a QueryPlan: runs every plan job physically on the
-/// simulated cluster (exact answers over physical tuples), then replays the
-/// whole job DAG through the discrete-event engine to obtain the simulated
-/// makespan under the cluster's kP processing units.
+/// \brief Executes a QueryPlan: runs every plan job physically (exact
+/// answers over physical tuples) on the in-process runtime, then replays
+/// the whole job DAG through the discrete-event engine to obtain the
+/// simulated makespan under the cluster's kP processing units.
 ///
 /// Kernel selection (see docs/EXECUTOR.md): for each job the executor asks
 /// the builder for the specialized columnar kernel whenever a join

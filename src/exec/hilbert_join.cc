@@ -564,6 +564,21 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   }
   job.output_row_scale = row_scale;
 
+  // Emitter capacity hint: a tuple in slice s is emitted once per segment
+  // covering s along its dimension, so the expected emits per row is the
+  // mean coverage — Σ_seg c(R_i) / side (uniform-slice approximation).
+  job.map_emits_per_row.reserve(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) {
+    const int dim = grouping.dim_of_input[i];
+    int64_t total_coverage = 0;
+    for (int seg = 0; seg < state->coverage->num_segments(); ++seg) {
+      total_coverage += state->coverage->CoverageCount(seg, dim);
+    }
+    job.map_emits_per_row.push_back(
+        static_cast<double>(total_coverage) /
+        static_cast<double>(state->curve.side()));
+  }
+
   job.map = [state](int tag, const Relation& rel, int64_t row,
                     MapEmitter& out) {
     (void)rel;

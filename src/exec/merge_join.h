@@ -23,6 +23,9 @@ struct MergeJobSpec {
   int num_reduce_tasks = 1;
   /// kAuto: sort-merge on the first shared rid for oversized hash groups.
   KernelPolicy kernel_policy = KernelPolicy::kAuto;
+  /// Hash groups with fewer candidate pairs than this use the plain nested
+  /// loop (see PairwiseJoinJobSpec::sort_kernel_min_pairs).
+  int64_t sort_kernel_min_pairs = kSortKernelMinPairs;
 };
 
 /// Builds the merge MRJ: shuffle key = hash of the shared relations' rids;

@@ -38,6 +38,7 @@ struct PairwiseState {
   std::vector<BoundCondition> bound;
   /// Index into `bound` of the sort-kernel driver, -1 => generic loop.
   int sort_driver = -1;
+  int64_t sort_kernel_min_pairs = kSortKernelMinPairs;
   std::vector<int> output_bases;
   int64_t left_bytes = 0;
   int64_t right_bytes = 0;
@@ -81,7 +82,7 @@ struct PairwiseState {
                  ReduceCollector& out) const {
     const int64_t pairs = static_cast<int64_t>(lrecs.size()) *
                           static_cast<int64_t>(rrecs.size());
-    if (sort_driver >= 0 && pairs >= kSortKernelMinPairs) {
+    if (sort_driver >= 0 && pairs >= sort_kernel_min_pairs) {
       const BoundCondition& drv = bound[sort_driver];
       std::vector<int64_t> lrows, rrows;
       lrows.reserve(lrecs.size());
@@ -129,6 +130,7 @@ StatusOr<std::shared_ptr<PairwiseState>> MakeState(
   state->left = spec.left;
   state->right = spec.right;
   state->base_relations = spec.base_relations;
+  state->sort_kernel_min_pairs = spec.sort_kernel_min_pairs;
   std::vector<JoinCondition> oriented;
   oriented.reserve(spec.conditions.size());
   for (const JoinCondition& cond : spec.conditions) {
@@ -174,6 +176,9 @@ MapReduceJobSpec MakeJobShell(const PairwiseJoinJobSpec& spec,
   job.kernel = JoinKernelName(state.sort_driver >= 0
                                   ? JoinKernel::kSortTheta
                                   : JoinKernel::kGeneric);
+  // Emitter capacity hint: one record per row unless the variant overrides
+  // it with its replication factors (1-Bucket-Theta's bands).
+  job.map_emits_per_row = {1.0, 1.0};
   return job;
 }
 
@@ -270,6 +275,10 @@ StatusOr<MapReduceJobSpec> BuildOneBucketThetaJob(
 
   MapReduceJobSpec job = MakeJobShell(spec, *state);
   job.num_reduce_tasks = grid.rows * grid.cols;
+  // Left rows replicate across a row band (cols emits), right rows down a
+  // column band (rows emits).
+  job.map_emits_per_row = {static_cast<double>(grid.cols),
+                           static_cast<double>(grid.rows)};
   job.partition = [](int64_t key, int n) {
     return static_cast<int>(key % n);
   };

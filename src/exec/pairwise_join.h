@@ -25,6 +25,11 @@ struct PairwiseJoinJobSpec {
   /// Reduce-side kernel selection (kAuto: sort-based when a condition
   /// qualifies, see ChooseSortDriver).
   KernelPolicy kernel_policy = KernelPolicy::kAuto;
+  /// Reduce groups with fewer candidate pairs than this run the generic
+  /// nested loop even when a sort driver exists (sorting tiny groups costs
+  /// more than it saves). Threaded from ExecutorOptions so benches can
+  /// sweep it.
+  int64_t sort_kernel_min_pairs = kSortKernelMinPairs;
 };
 
 /// \brief Repartition equi-join: requires at least one `=` condition whose

@@ -51,9 +51,11 @@ SortKeyDomain ClassifySortKey(const JoinCondition& cond,
 int ChooseSortDriver(const std::vector<JoinCondition>& conditions,
                      const std::vector<RelationPtr>& base_relations);
 
-/// Below this many candidate pairs the generic nested loop is used even
-/// when a sort driver exists: sorting tiny reduce groups costs more than it
-/// saves.
+/// Default for the per-job sort-kernel gate: below this many candidate
+/// pairs the generic nested loop is used even when a sort driver exists
+/// (sorting tiny reduce groups costs more than it saves). The effective
+/// value is per-job — `sort_kernel_min_pairs` on the pairwise/merge job
+/// specs, fed from ExecutorOptions so benches can sweep it.
 inline constexpr int64_t kSortKernelMinPairs = 256;
 
 /// \brief Emits every (left pos, right pos) pair whose keys satisfy `op`,

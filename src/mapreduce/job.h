@@ -30,6 +30,12 @@ class MapEmitter {
     records_.push_back({key, tag, row, rec_id, bytes});
   }
 
+  /// Capacity hint: grows the record buffer to hold at least `records`
+  /// entries up front. Runners call this with the builder's per-row emit
+  /// estimate (MapReduceJobSpec::map_emits_per_row) times the input size,
+  /// cutting the log(n) reallocation-and-copy passes of a large shuffle.
+  void Reserve(size_t records) { records_.reserve(records); }
+
   std::vector<MapOutputRecord>& records() { return records_; }
 
  private:
@@ -117,9 +123,20 @@ struct MapReduceJobSpec {
   bool text_serde = false;
   /// Reduce-side join kernel this job is *eligible* to run (see
   /// JoinKernelName in src/exec/theta_kernels.h) — observability only.
-  /// Qualifying reduce groups use it; groups below kSortKernelMinPairs
-  /// candidate pairs always take the generic nested loop.
+  /// Qualifying reduce groups use it; groups below the job's
+  /// sort-kernel min-pairs gate always take the generic nested loop.
   std::string kernel = "generic";
+  /// Expected Emit calls per input row, one entry per input (empty = 1.0
+  /// for every input). Builders fill this from their replication factors so
+  /// runners can pre-size MapEmitter buffers; a hint only — correctness
+  /// never depends on it.
+  std::vector<double> map_emits_per_row;
+
+  double EmitsPerRow(int tag) const {
+    return tag < static_cast<int>(map_emits_per_row.size())
+               ? map_emits_per_row[tag]
+               : 1.0;
+  }
 };
 
 /// Physical + logical measurements of one executed job. All `*_logical`

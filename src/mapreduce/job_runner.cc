@@ -34,6 +34,34 @@ int64_t JobMeasurement::MaxReduceInputBytes() const {
   return mx;
 }
 
+double RunReduceTask(const MapReduceJobSpec& spec,
+                     std::vector<MapOutputRecord>& records, Relation* output) {
+  const int num_tags = static_cast<int>(spec.inputs.size());
+  std::sort(records.begin(), records.end(),
+            [](const MapOutputRecord& a, const MapOutputRecord& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.tag != b.tag) return a.tag < b.tag;
+              return a.row < b.row;
+            });
+  ReduceCollector collector(output);
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t j = i;
+    while (j < records.size() && records[j].key == records[i].key) ++j;
+    std::vector<std::vector<const MapOutputRecord*>> by_tag(num_tags);
+    for (size_t k = i; k < j; ++k) {
+      by_tag[records[k].tag].push_back(&records[k]);
+    }
+    ReduceContext ctx;
+    ctx.key = records[i].key;
+    ctx.by_tag = &by_tag;
+    ctx.inputs = &spec.inputs;
+    spec.reduce(ctx, collector);
+    i = j;
+  }
+  return collector.comparisons();
+}
+
 StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
   if (spec.inputs.empty()) {
     return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
@@ -53,6 +81,15 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
 
   // ---- Map phase ----
   MapEmitter emitter;
+  {
+    double expected_records = 0.0;
+    for (int tag = 0; tag < static_cast<int>(spec.inputs.size()); ++tag) {
+      expected_records +=
+          static_cast<double>(spec.inputs[tag].relation->num_rows()) *
+          spec.EmitsPerRow(tag);
+    }
+    emitter.Reserve(static_cast<size_t>(expected_records));
+  }
   for (int tag = 0; tag < static_cast<int>(spec.inputs.size()); ++tag) {
     const Relation& rel = *spec.inputs[tag].relation;
     m.input_bytes_logical += rel.logical_bytes();
@@ -89,33 +126,10 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
   }
 
   // ---- Reduce phase: per task, sort by key then group ----
-  const int num_tags = static_cast<int>(spec.inputs.size());
   m.reduce_comparisons_logical.assign(n, 0.0);
   for (int t = 0; t < n; ++t) {
-    auto& records = task_records[t];
-    std::sort(records.begin(), records.end(),
-              [](const MapOutputRecord& a, const MapOutputRecord& b) {
-                if (a.key != b.key) return a.key < b.key;
-                if (a.tag != b.tag) return a.tag < b.tag;
-                return a.row < b.row;
-              });
-    ReduceCollector collector(result.output.get());
-    size_t i = 0;
-    while (i < records.size()) {
-      size_t j = i;
-      while (j < records.size() && records[j].key == records[i].key) ++j;
-      std::vector<std::vector<const MapOutputRecord*>> by_tag(num_tags);
-      for (size_t k = i; k < j; ++k) {
-        by_tag[records[k].tag].push_back(&records[k]);
-      }
-      ReduceContext ctx;
-      ctx.key = records[i].key;
-      ctx.by_tag = &by_tag;
-      ctx.inputs = &spec.inputs;
-      spec.reduce(ctx, collector);
-      i = j;
-    }
-    m.reduce_comparisons_logical[t] = collector.comparisons();
+    m.reduce_comparisons_logical[t] =
+        RunReduceTask(spec, task_records[t], result.output.get());
   }
 
   // ---- Output accounting ----

@@ -24,6 +24,16 @@ struct PhysicalJobResult {
 /// reduce outputs in task order.
 StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec);
 
+/// \brief Runs one reduce task: sorts `records` in place by (key, tag,
+/// row), groups by key, invokes spec.reduce per group into `output`, and
+/// returns the task's charged comparisons.
+///
+/// Shared by the sequential runner and the parallel runner
+/// (src/runtime/parallel_job_runner.cc) — one implementation is what keeps
+/// their outputs byte-identical (docs/RUNTIME.md determinism contract).
+double RunReduceTask(const MapReduceJobSpec& spec,
+                     std::vector<MapOutputRecord>& records, Relation* output);
+
 }  // namespace mrtheta
 
 #endif  // MRTHETA_MAPREDUCE_JOB_RUNNER_H_

@@ -54,6 +54,37 @@ void Relation::AppendIntRow(const std::vector<int64_t>& row) {
   ++num_rows_;
 }
 
+Status Relation::AppendRows(const Relation& other) {
+  if (other.schema_.num_columns() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "AppendRows arity mismatch: " +
+        std::to_string(other.schema_.num_columns()) + " vs " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (other.schema_.column(c).type != schema_.column(c).type) {
+      return Status::InvalidArgument("AppendRows type mismatch in column " +
+                                     std::to_string(c));
+    }
+  }
+  // Column-at-a-time bulk append: no per-cell Value boxing. Self-append
+  // would read a vector while inserting into it (UB); double via a copy.
+  if (&other == this) {
+    const Relation copy = other;
+    return AppendRows(copy);
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    std::visit(
+        [&](const auto& src) {
+          auto& dst = std::get<std::decay_t<decltype(src)>>(cols_[c]);
+          dst.insert(dst.end(), src.begin(), src.end());
+        },
+        other.cols_[c]);
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
 Value Relation::Get(int64_t row, int col) const {
   switch (schema_.column(col).type) {
     case ValueType::kInt64:

@@ -57,6 +57,10 @@ class Relation {
   /// Typed fast-path appenders for generators (all-int64 schemas).
   void AppendIntRow(const std::vector<int64_t>& row);
 
+  /// Appends every row of `other` (column-at-a-time, no Value boxing).
+  /// Column count and types must match this relation's schema.
+  Status AppendRows(const Relation& other);
+
   /// Cell accessors.
   Value Get(int64_t row, int col) const;
   int64_t GetInt(int64_t row, int col) const {

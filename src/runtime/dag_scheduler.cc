@@ -1,0 +1,139 @@
+#include "src/runtime/dag_scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+
+namespace mrtheta {
+
+namespace {
+
+/// Shared scheduler state; all fields are guarded by `mu`.
+struct DagState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> pending_deps;            // unfinished deps per node
+  std::vector<std::vector<int>> dependents;  // node -> nodes waiting on it
+  // Min-heap of runnable nodes: lowest index starts first.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  int remaining = 0;   // nodes not yet finished
+  int running = 0;     // bodies currently executing
+  bool aborted = false;
+  int error_node = -1;
+  Status error;
+};
+
+void WorkerLoop(DagState& state, const std::function<Status(int)>& body) {
+  std::unique_lock<std::mutex> lock(state.mu);
+  for (;;) {
+    // Wake when there is work, when everything finished, on abort, or when
+    // the dag is stuck (nothing ready, nothing running, nodes remaining —
+    // a dependency cycle, surfaced by RunDag via `remaining != 0`).
+    state.cv.wait(lock, [&] {
+      return !state.ready.empty() || state.remaining == 0 || state.aborted ||
+             state.running == 0;
+    });
+    if (state.ready.empty() || state.aborted) return;
+    const int node = state.ready.top();
+    state.ready.pop();
+    ++state.running;
+    lock.unlock();
+
+    const Status status = body(node);
+
+    lock.lock();
+    --state.running;
+    --state.remaining;
+    if (!status.ok()) {
+      // Keep the lowest-index failure so racing independent failures
+      // produce a deterministic result.
+      if (state.error_node < 0 || node < state.error_node) {
+        state.error_node = node;
+        state.error = status;
+      }
+      state.aborted = true;
+    } else {
+      for (int dep : state.dependents[node]) {
+        if (--state.pending_deps[dep] == 0) state.ready.push(dep);
+      }
+    }
+    // Unconditional: finishing a node can unblock work, completion, abort
+    // drain, or stuck-dag detection; bodies are heavyweight so the extra
+    // wake-ups are free.
+    state.cv.notify_all();
+  }
+}
+
+}  // namespace
+
+Status RunDag(const std::vector<std::vector<int>>& deps, int max_concurrency,
+              const std::function<Status(int)>& body) {
+  const int n = static_cast<int>(deps.size());
+  if (n == 0) return Status::OK();
+
+  DagState state;
+  state.pending_deps.assign(n, 0);
+  state.dependents.resize(n);
+  state.remaining = n;
+  for (int i = 0; i < n; ++i) {
+    for (int d : deps[i]) {
+      if (d < 0 || d >= n) {
+        return Status::InvalidArgument(
+            "dag node " + std::to_string(i) + " depends on out-of-range node " +
+            std::to_string(d));
+      }
+      if (d == i) {
+        return Status::FailedPrecondition(
+            "dag node " + std::to_string(i) + " depends on itself");
+      }
+      ++state.pending_deps[i];
+      state.dependents[d].push_back(i);
+    }
+  }
+  int initially_ready = 0;
+  for (int i = 0; i < n; ++i) {
+    if (state.pending_deps[i] == 0) {
+      state.ready.push(i);
+      ++initially_ready;
+    }
+  }
+  if (initially_ready == 0) {
+    return Status::FailedPrecondition("dag has no dependency-free node");
+  }
+
+  const int threads = std::max(1, std::min(max_concurrency, n));
+  if (threads == 1) {
+    // Sequential fast path: pop lowest-index ready nodes in order.
+    while (!state.ready.empty()) {
+      const int node = state.ready.top();
+      state.ready.pop();
+      MRTHETA_RETURN_IF_ERROR(body(node));
+      --state.remaining;
+      for (int dep : state.dependents[node]) {
+        if (--state.pending_deps[dep] == 0) state.ready.push(dep);
+      }
+    }
+    if (state.remaining != 0) {
+      return Status::FailedPrecondition("dag contains a dependency cycle");
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] { WorkerLoop(state, body); });
+  }
+  for (std::thread& t : workers) t.join();
+
+  if (state.error_node >= 0) return state.error;
+  if (state.remaining != 0) {
+    return Status::FailedPrecondition("dag contains a dependency cycle");
+  }
+  return Status::OK();
+}
+
+}  // namespace mrtheta

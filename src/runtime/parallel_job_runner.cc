@@ -1,0 +1,177 @@
+#include "src/runtime/parallel_job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace mrtheta {
+
+namespace {
+
+/// One contiguous map split: rows [begin, end) of input `tag`.
+struct MapSplit {
+  int tag = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  // Per-split map output, produced in the split's row order.
+  MapEmitter emitter;
+  // Reduce task of each emitted record (precomputed in parallel).
+  std::vector<int> target;
+  bool partition_error = false;
+};
+
+/// Splits every input into contiguous row ranges in (tag, range) order, so
+/// concatenating split outputs reproduces the sequential emit order.
+std::vector<MapSplit> PlanMapSplits(const MapReduceJobSpec& spec,
+                                    const ThreadPool& pool,
+                                    const ParallelRunnerOptions& options) {
+  std::vector<MapSplit> splits;
+  const int64_t target_splits = std::max<int64_t>(
+      1, static_cast<int64_t>(pool.num_threads()) * options.splits_per_thread);
+  for (int tag = 0; tag < static_cast<int>(spec.inputs.size()); ++tag) {
+    const int64_t rows = spec.inputs[tag].relation->num_rows();
+    if (rows == 0) continue;
+    const int64_t chunk = std::max(
+        options.min_split_rows, (rows + target_splits - 1) / target_splits);
+    for (int64_t begin = 0; begin < rows; begin += chunk) {
+      MapSplit split;
+      split.tag = tag;
+      split.begin = begin;
+      split.end = std::min(rows, begin + chunk);
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+}  // namespace
+
+StatusOr<PhysicalJobResult> RunJobParallel(
+    const MapReduceJobSpec& spec, ThreadPool& pool,
+    const ParallelRunnerOptions& options) {
+  if (spec.inputs.empty()) {
+    return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
+  }
+  if (!spec.map || !spec.reduce) {
+    return Status::InvalidArgument("job '" + spec.name +
+                                   "' is missing map or reduce function");
+  }
+  if (spec.num_reduce_tasks < 1) {
+    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
+  }
+
+  PhysicalJobResult result;
+  result.output =
+      std::make_shared<Relation>(spec.output_name, spec.output_schema);
+  JobMeasurement& m = result.metrics;
+
+  const int n = spec.num_reduce_tasks;
+  const PartitionFn& partition =
+      spec.partition ? spec.partition : PartitionFn(HashPartition);
+
+  // ---- Map phase: splits fan out over the pool ----
+  for (const JobInput& input : spec.inputs) {
+    m.input_bytes_logical += input.relation->logical_bytes();
+    m.input_bytes_physical += input.relation->physical_bytes();
+  }
+  std::vector<MapSplit> splits = PlanMapSplits(spec, pool, options);
+  pool.ParallelFor(
+      static_cast<int64_t>(splits.size()), [&](int64_t s) {
+        MapSplit& split = splits[s];
+        const Relation& rel = *spec.inputs[split.tag].relation;
+        split.emitter.Reserve(static_cast<size_t>(
+            static_cast<double>(split.end - split.begin) *
+            spec.EmitsPerRow(split.tag)));
+        for (int64_t row = split.begin; row < split.end; ++row) {
+          spec.map(split.tag, rel, row, split.emitter);
+        }
+        // Precompute each record's reduce task here, off the sequential
+        // merge path. Partitioners are pure functions of (key, n).
+        const std::vector<MapOutputRecord>& records = split.emitter.records();
+        split.target.reserve(records.size());
+        for (const MapOutputRecord& rec : records) {
+          const int task = partition(rec.key, n);
+          if (task < 0 || task >= n) split.partition_error = true;
+          split.target.push_back(task);
+        }
+      });
+  for (MapSplit& split : splits) {
+    if (split.partition_error) {
+      return Status::Internal("partitioner returned task out of range");
+    }
+    m.map_output_records_physical +=
+        static_cast<int64_t>(split.emitter.records().size());
+  }
+
+  // ---- Shuffle merge: sequential walk in split order ----
+  // Byte accounting uses floating-point accumulation, so this walk visits
+  // records in exactly the sequential runner's order; the per-record work
+  // (two additions, one push) is trivial next to map/reduce compute.
+  std::vector<std::vector<MapOutputRecord>> task_records(n);
+  {
+    std::vector<int64_t> task_counts(n, 0);
+    for (const MapSplit& split : splits) {
+      for (int task : split.target) ++task_counts[task];
+    }
+    for (int t = 0; t < n; ++t) {
+      task_records[t].reserve(static_cast<size_t>(task_counts[t]));
+    }
+  }
+  std::vector<double> task_bytes(n, 0.0);
+  double map_out_bytes = 0.0;
+  for (MapSplit& split : splits) {
+    const double scale = spec.inputs[split.tag].scale;
+    const std::vector<MapOutputRecord>& records = split.emitter.records();
+    for (size_t k = 0; k < records.size(); ++k) {
+      const int task = split.target[k];
+      const double scaled_bytes =
+          static_cast<double>(records[k].bytes) * scale;
+      task_bytes[task] += scaled_bytes;
+      map_out_bytes += scaled_bytes;
+      task_records[task].push_back(records[k]);
+    }
+    // The split's records are merged; release its buffers eagerly.
+    std::vector<MapOutputRecord>().swap(split.emitter.records());
+    std::vector<int>().swap(split.target);
+  }
+  m.map_output_bytes_logical = static_cast<int64_t>(map_out_bytes);
+  m.reduce_input_bytes_logical.resize(n);
+  for (int t = 0; t < n; ++t) {
+    m.reduce_input_bytes_logical[t] = static_cast<int64_t>(task_bytes[t]);
+  }
+
+  // ---- Reduce phase: tasks fan out, each with a private output ----
+  // RunReduceTask is the same sort+group+reduce loop the sequential runner
+  // uses — sharing it is what keeps the runners byte-identical.
+  m.reduce_comparisons_logical.assign(n, 0.0);
+  std::vector<Relation> task_outputs;
+  task_outputs.reserve(n);
+  for (int t = 0; t < n; ++t) {
+    task_outputs.emplace_back(spec.output_name, spec.output_schema);
+  }
+  pool.ParallelFor(n, [&](int64_t t) {
+    m.reduce_comparisons_logical[t] =
+        RunReduceTask(spec, task_records[t], &task_outputs[t]);
+    std::vector<MapOutputRecord>().swap(task_records[t]);
+  });
+
+  // Concatenate task outputs in task order — the sequential runner appends
+  // reduce output to one relation in exactly this order.
+  for (Relation& task_output : task_outputs) {
+    MRTHETA_RETURN_IF_ERROR(result.output->AppendRows(task_output));
+  }
+
+  // ---- Output accounting (identical to the sequential runner) ----
+  m.output_rows_physical = result.output->num_rows();
+  m.output_rows_logical =
+      static_cast<double>(m.output_rows_physical) * spec.output_row_scale;
+  const double capped_rows = std::min(m.output_rows_logical, 4.0e18);
+  result.output->set_logical_rows(
+      static_cast<int64_t>(std::llround(capped_rows)));
+  m.output_bytes_logical = result.output->logical_bytes();
+  return result;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,47 @@
+#ifndef MRTHETA_RUNTIME_PARALLEL_JOB_RUNNER_H_
+#define MRTHETA_RUNTIME_PARALLEL_JOB_RUNNER_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/mapreduce/job_runner.h"
+#include "src/runtime/thread_pool.h"
+
+namespace mrtheta {
+
+/// Task-granularity knobs for ParallelJobRunner. The defaults keep per-task
+/// overhead negligible while giving the pool enough splits to balance.
+struct ParallelRunnerOptions {
+  /// Map splits never go below this many input rows (tiny splits cost more
+  /// in scheduling than they recover in balance).
+  int64_t min_split_rows = 1024;
+  /// Target number of map splits per pool thread per input.
+  int splits_per_thread = 4;
+};
+
+/// \brief Multi-threaded, deterministic executor for one MapReduceJobSpec.
+///
+/// Mirrors the phases of RunJobPhysically (src/mapreduce/job_runner.cc) but
+/// fans them out over a ThreadPool:
+///  - map tasks over contiguous input-row splits, each with a private
+///    MapEmitter, merged in (input, split) order — reproducing the exact
+///    record order of the sequential runner;
+///  - a hash-partitioned shuffle into per-reduce-task buckets (partition
+///    ids precomputed by the map tasks; the merge walk itself is sequential
+///    so the floating-point byte accounting accumulates in the sequential
+///    runner's order);
+///  - reduce tasks running concurrently, each collecting into a private
+///    output relation; task outputs are concatenated in task order.
+///
+/// Determinism contract (tested by tests/runtime_test.cc): for any spec and
+/// any pool size, the output relation (including row order) and every
+/// JobMeasurement field are identical to RunJobPhysically's. Map and reduce
+/// closures must therefore be pure readers of their captured state — true
+/// for every builder in src/exec (state structs are immutable after build).
+StatusOr<PhysicalJobResult> RunJobParallel(
+    const MapReduceJobSpec& spec, ThreadPool& pool,
+    const ParallelRunnerOptions& options = {});
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_RUNTIME_PARALLEL_JOB_RUNNER_H_

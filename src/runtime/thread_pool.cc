@@ -1,0 +1,110 @@
+#include "src/runtime/thread_pool.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace mrtheta {
+
+/// One ParallelFor invocation: an index dispenser plus completion tracking.
+/// Lives on the heap (shared_ptr) so workers can outlast the batch's removal
+/// from the active deque without dangling.
+struct ThreadPool::Batch {
+  int64_t total = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+  std::atomic<int64_t> next{0};
+
+  // Completion is tracked under `mu` (not an atomic) so that finishing the
+  // last task, the notify, and the caller's wake-up form a clean
+  // happens-before chain: every task's writes are visible to the caller
+  // when Wait() returns.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t done = 0;
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainBatch(Batch& batch) {
+  int64_t ran = 0;
+  for (;;) {
+    const int64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.total) break;
+    (*batch.fn)(i);
+    ++ran;
+  }
+  if (ran > 0) {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    batch.done += ran;
+    if (batch.done == batch.total) batch.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !active_.empty(); });
+      if (active_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch = active_.front();
+      if (batch->next.load(std::memory_order_relaxed) >= batch->total) {
+        // Exhausted (its last tasks may still be running elsewhere): retire
+        // it from the deque and look for the next batch.
+        active_.pop_front();
+        continue;
+      }
+    }
+    DrainBatch(*batch);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t num_tasks,
+                             const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  if (num_threads_ == 1 || num_tasks == 1) {
+    for (int64_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->total = num_tasks;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  DrainBatch(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock, [&] { return batch->done == batch->total; });
+  }
+  // Retire the exhausted batch ourselves — workers may be busy elsewhere
+  // and must not find stale entries piling up.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (*it == batch) {
+      active_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace mrtheta

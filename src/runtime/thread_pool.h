@@ -1,0 +1,63 @@
+#ifndef MRTHETA_RUNTIME_THREAD_POOL_H_
+#define MRTHETA_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrtheta {
+
+/// \brief Fixed-size thread pool built around a blocking parallel-for.
+///
+/// The pool owns `num_threads - 1` worker threads; the thread calling
+/// ParallelFor always participates in executing tasks, so a pool of size 1
+/// degenerates to a plain inline loop and a ParallelFor issued from inside
+/// another ParallelFor's task can never deadlock (the caller makes progress
+/// by itself even when every worker is busy elsewhere).
+///
+/// Determinism contract: ParallelFor runs `fn(i)` exactly once for every
+/// i in [0, num_tasks). Which thread runs which index — and in which order —
+/// is unspecified, so callers must make each task write only to its own
+/// per-index slot; under that discipline results are independent of
+/// scheduling. All task side effects happen-before ParallelFor returns.
+class ThreadPool {
+ public:
+  /// `num_threads` >= 1: total threads that may execute tasks, including
+  /// the caller of ParallelFor.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(0) .. fn(num_tasks - 1), distributing indices over the pool's
+  /// threads plus the calling thread; returns once every call finished.
+  /// Concurrent ParallelFor calls from different threads are allowed and
+  /// share the workers.
+  void ParallelFor(int64_t num_tasks, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+  /// Claims and runs tasks of `batch` until none are left to claim.
+  static void DrainBatch(Batch& batch);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> active_;  // guarded by mu_
+  bool stop_ = false;                          // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_RUNTIME_THREAD_POOL_H_

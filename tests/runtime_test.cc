@@ -1,0 +1,430 @@
+// Tests for the in-process multi-threaded runtime (src/runtime): the
+// thread pool, the DAG scheduler, and — most importantly — the determinism
+// contract of ParallelJobRunner: for every join operator and every thread
+// count, output rows (including order) and all JobMeasurement metrics must
+// be bit-identical to the single-threaded reference RunJobPhysically.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/baseline_planners.h"
+#include "src/common/rng.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/calibration.h"
+#include "src/exec/hilbert_join.h"
+#include "src/exec/merge_join.h"
+#include "src/exec/naive_join.h"
+#include "src/exec/pairwise_join.h"
+#include "src/mapreduce/job_runner.h"
+#include "src/runtime/dag_scheduler.h"
+#include "src/runtime/parallel_job_runner.h"
+#include "src/runtime/thread_pool.h"
+
+namespace mrtheta {
+namespace {
+
+// ---- ThreadPool ----
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kTasks = 2000;
+    std::vector<int> hits(kTasks, 0);
+    pool.ParallelFor(kTasks, [&](int64_t i) { ++hits[i]; });
+    for (int64_t i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(hits[i], 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndSingleBatches) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(17, [&](int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 17);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareThePool) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  auto burst = [&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(31, [&](int64_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  };
+  std::thread a(burst), b(burst);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 20 * 31);
+}
+
+// ---- DagScheduler ----
+
+TEST(DagSchedulerTest, EveryNodeRunsAfterItsDeps) {
+  // Diamond with a tail: 0 -> {1, 2} -> 3 -> 4, plus the isolated 5.
+  const std::vector<std::vector<int>> deps = {{}, {0}, {0}, {1, 2}, {3}, {}};
+  for (int threads : {1, 2, 4}) {
+    std::mutex mu;
+    std::vector<bool> finished(deps.size(), false);
+    const Status status = RunDag(deps, threads, [&](int node) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (int d : deps[node]) {
+        EXPECT_TRUE(finished[d])
+            << "node " << node << " ran before dep " << d;
+      }
+      finished[node] = true;
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    for (size_t i = 0; i < deps.size(); ++i) EXPECT_TRUE(finished[i]);
+  }
+}
+
+TEST(DagSchedulerTest, SequentialOrderIsLowestIndexFirst) {
+  const std::vector<std::vector<int>> deps = {{}, {}, {0}, {}, {2}};
+  std::vector<int> order;
+  ASSERT_TRUE(RunDag(deps, 1, [&](int node) {
+                order.push_back(node);
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DagSchedulerTest, ReportsLowestIndexFailureAndStopsScheduling) {
+  // 0 and 1 are independent and both fail; 2 depends on 1 and must not run.
+  const std::vector<std::vector<int>> deps = {{}, {}, {1}};
+  for (int threads : {1, 2, 4}) {
+    std::atomic<bool> ran2{false};
+    const Status status = RunDag(deps, threads, [&](int node) -> Status {
+      if (node == 2) {
+        ran2 = true;
+        return Status::OK();
+      }
+      return Status::Internal("node " + std::to_string(node) + " failed");
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "node 0 failed") << "threads=" << threads;
+    EXPECT_FALSE(ran2.load());
+  }
+}
+
+TEST(DagSchedulerTest, RejectsCyclesAndBadDeps) {
+  auto noop = [](int) { return Status::OK(); };
+  EXPECT_FALSE(RunDag({{1}, {0}}, 2, noop).ok());          // 2-cycle
+  EXPECT_FALSE(RunDag({{}, {1}}, 2, noop).ok());           // self-dep
+  EXPECT_FALSE(RunDag({{7}}, 2, noop).ok());               // out of range
+  EXPECT_FALSE(RunDag({{}, {2}, {1}}, 2, noop).ok());      // cycle + root
+  EXPECT_TRUE(RunDag({}, 2, noop).ok());                   // empty dag
+}
+
+// ---- ParallelJobRunner differential suite ----
+
+RelationPtr MakeRel(const char* name, int64_t rows, int64_t key_range,
+                    uint64_t seed) {
+  auto rel = std::make_shared<Relation>(
+      name, Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    rel->AppendIntRow({static_cast<int64_t>(rng.Uniform(key_range)),
+                       static_cast<int64_t>(rng.Uniform(10))});
+  }
+  return rel;
+}
+
+// Order-sensitive equality: the runtime's contract is identical rows in
+// identical order, strictly stronger than the row-set equality the
+// operator tests use.
+::testing::AssertionResult IdenticalRelations(const Relation& a,
+                                              const Relation& b) {
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.num_rows() << " vs " << b.num_rows();
+  }
+  if (a.schema().num_columns() != b.schema().num_columns()) {
+    return ::testing::AssertionFailure() << "column count differs";
+  }
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.schema().num_columns(); ++c) {
+      if (a.Get(r, c).ToString() != b.Get(r, c).ToString()) {
+        return ::testing::AssertionFailure()
+               << "cell (" << r << ", " << c << "): "
+               << a.Get(r, c).ToString() << " vs " << b.Get(r, c).ToString();
+      }
+    }
+  }
+  if (a.logical_rows() != b.logical_rows()) {
+    return ::testing::AssertionFailure()
+           << "logical rows " << a.logical_rows() << " vs "
+           << b.logical_rows();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Exact equality on every JobMeasurement field; doubles must match to the
+// bit (same values accumulated in the same order).
+::testing::AssertionResult IdenticalMetrics(const JobMeasurement& a,
+                                            const JobMeasurement& b) {
+  if (a.input_bytes_logical != b.input_bytes_logical ||
+      a.input_bytes_physical != b.input_bytes_physical) {
+    return ::testing::AssertionFailure() << "input bytes differ";
+  }
+  if (a.map_output_bytes_logical != b.map_output_bytes_logical) {
+    return ::testing::AssertionFailure()
+           << "map output bytes " << a.map_output_bytes_logical << " vs "
+           << b.map_output_bytes_logical;
+  }
+  if (a.map_output_records_physical != b.map_output_records_physical) {
+    return ::testing::AssertionFailure() << "map output records differ";
+  }
+  if (a.reduce_input_bytes_logical != b.reduce_input_bytes_logical) {
+    return ::testing::AssertionFailure() << "reduce input bytes differ";
+  }
+  if (a.reduce_comparisons_logical != b.reduce_comparisons_logical) {
+    return ::testing::AssertionFailure() << "reduce comparisons differ";
+  }
+  if (a.output_rows_physical != b.output_rows_physical ||
+      a.output_rows_logical != b.output_rows_logical ||
+      a.output_bytes_logical != b.output_bytes_logical) {
+    return ::testing::AssertionFailure() << "output accounting differs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Runs `spec` through the sequential reference and through the parallel
+// runner at several pool sizes; every run must match the reference exactly.
+// Small splits force multi-split merges even on the tests' tiny inputs.
+void ExpectParallelMatchesSequential(const MapReduceJobSpec& spec,
+                                     const std::string& label) {
+  const StatusOr<PhysicalJobResult> reference = RunJobPhysically(spec);
+  ASSERT_TRUE(reference.ok()) << label << ": " << reference.status().ToString();
+  ParallelRunnerOptions options;
+  options.min_split_rows = 16;
+  options.splits_per_thread = 3;
+  for (int threads : {1, 2, 3, 4, 8}) {
+    ThreadPool pool(threads);
+    const StatusOr<PhysicalJobResult> parallel =
+        RunJobParallel(spec, pool, options);
+    ASSERT_TRUE(parallel.ok())
+        << label << " threads=" << threads << ": "
+        << parallel.status().ToString();
+    EXPECT_TRUE(IdenticalRelations(*reference->output, *parallel->output))
+        << label << " threads=" << threads;
+    EXPECT_TRUE(IdenticalMetrics(reference->metrics, parallel->metrics))
+        << label << " threads=" << threads;
+  }
+}
+
+TEST(ParallelRunnerDifferentialTest, HilbertMultiwayJoin) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(5000 + seed);
+    const int num_rels = 2 + static_cast<int>(rng.Uniform(2));
+    std::vector<RelationPtr> bases;
+    MultiwayJoinJobSpec spec;
+    for (int i = 0; i < num_rels; ++i) {
+      bases.push_back(
+          MakeRel("r", 40 + rng.Uniform(80), 25, 500 + seed * 17 + i));
+      spec.inputs.push_back(JoinSide::ForBase(bases.back(), i));
+    }
+    spec.base_relations = bases;
+    for (int i = 0; i + 1 < num_rels; ++i) {
+      spec.conditions.push_back(
+          {{i, static_cast<int>(rng.Uniform(2))},
+           static_cast<ThetaOp>(rng.Uniform(6)),
+           {i + 1, static_cast<int>(rng.Uniform(2))},
+           0.0,
+           i});
+    }
+    spec.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(16));
+    spec.seed = 900 + seed;
+    const auto job = BuildHilbertJoinJob(spec);
+    ASSERT_TRUE(job.ok());
+    ExpectParallelMatchesSequential(*job,
+                                    "hilbert seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelRunnerDifferentialTest, EquiJoin) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(6000 + seed);
+    RelationPtr a = MakeRel("a", 80 + rng.Uniform(120), 25, 600 + seed);
+    RelationPtr b = MakeRel("b", 80 + rng.Uniform(120), 25, 700 + seed);
+    PairwiseJoinJobSpec spec;
+    spec.left = JoinSide::ForBase(a, 0);
+    spec.right = JoinSide::ForBase(b, 1);
+    spec.base_relations = {a, b};
+    spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+    if (rng.Bernoulli(0.5)) {
+      spec.conditions.push_back({{0, 1}, ThetaOp::kLe, {1, 1}, 0.0, 1});
+    }
+    spec.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(8));
+    const auto job = BuildEquiJoinJob(spec);
+    ASSERT_TRUE(job.ok());
+    ExpectParallelMatchesSequential(*job, "equi seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelRunnerDifferentialTest, OneBucketTheta) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(7000 + seed);
+    RelationPtr a = MakeRel("a", 60 + rng.Uniform(100), 25, 800 + seed);
+    RelationPtr b = MakeRel("b", 60 + rng.Uniform(100), 25, 900 + seed);
+    PairwiseJoinJobSpec spec;
+    spec.left = JoinSide::ForBase(a, 0);
+    spec.right = JoinSide::ForBase(b, 1);
+    spec.base_relations = {a, b};
+    spec.conditions = {
+        {{0, 0}, static_cast<ThetaOp>(rng.Uniform(6)), {1, 0}, 0.0, 0}};
+    spec.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(12));
+    spec.seed = 40 + seed;
+    const auto job = BuildOneBucketThetaJob(spec);
+    ASSERT_TRUE(job.ok());
+    ExpectParallelMatchesSequential(*job,
+                                    "1bucket seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ParallelRunnerDifferentialTest, MergeJoin) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RelationPtr a = MakeRel("a", 70, 15, 1000 + seed);
+    RelationPtr b = MakeRel("b", 70, 15, 1100 + seed);
+    RelationPtr c = MakeRel("c", 70, 15, 1200 + seed);
+    const std::vector<RelationPtr> bases = {a, b, c};
+    auto run_pair = [&](JoinSide l, JoinSide r, JoinCondition cond) {
+      PairwiseJoinJobSpec spec;
+      spec.left = l;
+      spec.right = r;
+      spec.base_relations = bases;
+      spec.conditions = {cond};
+      spec.num_reduce_tasks = 4;
+      const auto job = cond.op == ThetaOp::kEq
+                           ? BuildEquiJoinJob(spec)
+                           : BuildOneBucketThetaJob(spec);
+      EXPECT_TRUE(job.ok());
+      return RunJobPhysically(*job)->output;
+    };
+    auto ab = run_pair(JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1),
+                       {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0});
+    auto bc = run_pair(JoinSide::ForBase(b, 1), JoinSide::ForBase(c, 2),
+                       {{1, 1}, ThetaOp::kLe, {2, 1}, 0.0, 1});
+    MergeJobSpec merge;
+    merge.left = JoinSide::ForIntermediate(ab, {0, 1});
+    merge.right = JoinSide::ForIntermediate(bc, {1, 2});
+    merge.base_relations = bases;
+    merge.num_reduce_tasks = 4;
+    const auto job = BuildMergeJob(merge);
+    ASSERT_TRUE(job.ok());
+    ExpectParallelMatchesSequential(*job, "merge seed=" + std::to_string(seed));
+  }
+}
+
+// ---- Executor-level parity ----
+
+class RuntimeExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<SimCluster>(ClusterConfig{});
+    const auto calib = CalibrateCostModel(*cluster_);
+    ASSERT_TRUE(calib.ok());
+    params_ = calib->params;
+  }
+
+  Query ChainQuery() {
+    Query q;
+    std::vector<RelationPtr> rels = {MakeRel("r0", 90, 20, 1300),
+                                     MakeRel("r1", 90, 20, 1301),
+                                     MakeRel("r2", 90, 20, 1302)};
+    for (const RelationPtr& r : rels) q.AddRelation(r);
+    EXPECT_TRUE(q.AddCondition(0, "a", ThetaOp::kLe, 1, "a").ok());
+    EXPECT_TRUE(q.AddCondition(1, "b", ThetaOp::kEq, 2, "b").ok());
+    EXPECT_TRUE(q.AddOutput(2, "a").ok());
+    return q;
+  }
+
+  std::unique_ptr<SimCluster> cluster_;
+  CostModelParams params_;
+};
+
+TEST_F(RuntimeExecutorTest, ParallelPlanExecutionMatchesSequential) {
+  const Query q = ChainQuery();
+  // "ours" gives a single-MRJ plan; hive-style gives a cascade whose
+  // merge-free prefix jobs have disjoint deps — the DAG-overlap case.
+  Planner planner(cluster_.get(), params_);
+  std::vector<StatusOr<QueryPlan>> plans = {planner.Plan(q),
+                                            PlanHiveStyle(q, *cluster_)};
+  for (const auto& plan : plans) {
+    ASSERT_TRUE(plan.ok());
+    Executor sequential(cluster_.get());
+    const auto ref = sequential.Execute(q, *plan);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    for (int threads : {2, 4, 8}) {
+      ExecutorOptions options;
+      options.num_threads = threads;
+      Executor executor(cluster_.get(), options);
+      const auto result = executor.Execute(q, *plan);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      // Simulated accounting must be byte-identical: same makespan, same
+      // per-job metrics, same outputs in the same order.
+      EXPECT_EQ(result->makespan, ref->makespan) << "threads=" << threads;
+      EXPECT_GT(result->measured_seconds, 0.0);
+      ASSERT_EQ(result->jobs.size(), ref->jobs.size());
+      for (size_t j = 0; j < ref->jobs.size(); ++j) {
+        EXPECT_TRUE(IdenticalMetrics(ref->jobs[j].metrics,
+                                     result->jobs[j].metrics))
+            << "job " << j << " threads=" << threads;
+        EXPECT_GE(result->jobs[j].wall_seconds, 0.0);
+      }
+      EXPECT_TRUE(
+          IdenticalRelations(*ref->result_ids, *result->result_ids))
+          << "threads=" << threads;
+      ASSERT_NE(result->projected, nullptr);
+      EXPECT_TRUE(IdenticalRelations(*ref->projected, *result->projected));
+    }
+  }
+}
+
+TEST_F(RuntimeExecutorTest, SortKernelGateSweepPreservesResults) {
+  const Query q = ChainQuery();
+  Planner planner(cluster_.get(), params_);
+  const auto plan = PlanHiveStyle(q, *cluster_);  // pairwise jobs use the gate
+  ASSERT_TRUE(plan.ok());
+  Executor reference(cluster_.get());
+  const auto ref = reference.Execute(q, *plan);
+  ASSERT_TRUE(ref.ok());
+  for (int64_t gate : {int64_t{1}, int64_t{64}, int64_t{1} << 40}) {
+    ExecutorOptions options;
+    options.sort_kernel_min_pairs = gate;
+    options.num_threads = 2;
+    Executor executor(cluster_.get(), options);
+    const auto result = executor.Execute(q, *plan);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->makespan, ref->makespan) << "gate=" << gate;
+    const Relation sorted_ref = SortedByRows(*ref->result_ids);
+    const Relation sorted_got = SortedByRows(*result->result_ids);
+    EXPECT_TRUE(IdenticalRelations(sorted_ref, sorted_got)) << "gate=" << gate;
+  }
+}
+
+}  // namespace
+}  // namespace mrtheta
