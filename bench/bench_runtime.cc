@@ -136,6 +136,12 @@ void RunGateSweep(const Query& query, const QueryPlan& plan,
 
 int Main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "warning: this host reports a single hardware thread; the "
+                 "scaling curves below will be flat (threads time-slice one "
+                 "core). hardware_threads is recorded in every record.\n");
+  }
   Harness harness(96);
   std::vector<RuntimeBenchRecord> records;
 

@@ -133,6 +133,29 @@ Status WriteRuntimeBenchJson(const std::string& path,
   return WriteJsonArray(path, lines);
 }
 
+Status WriteSkewBenchJson(const std::string& path,
+                          const std::vector<SkewBenchRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const SkewBenchRecord& r : records) {
+    lines.push_back(FormatLine(
+        "{\"workload\": \"%s\", \"query\": \"%s\", \"mode\": \"%s\", "
+        "\"zipf_exponent\": %.2f, \"reduce_tasks\": %d, "
+        "\"residual_tasks\": %d, \"heavy_tasks\": %d, "
+        "\"heavy_groups\": %d, \"max_reduce_input_bytes\": %lld, "
+        "\"mean_reduce_input_bytes\": %.1f, \"max_mean_ratio\": %.3f, "
+        "\"result_rows_physical\": %lld, "
+        "\"sim_makespan_seconds\": %.3f, \"wall_seconds\": %.6f}",
+        r.workload.c_str(), r.query.c_str(), r.mode.c_str(),
+        r.zipf_exponent, r.reduce_tasks, r.residual_tasks, r.heavy_tasks,
+        r.heavy_groups, static_cast<long long>(r.max_reduce_input_bytes),
+        r.mean_reduce_input_bytes, r.max_mean_ratio,
+        static_cast<long long>(r.result_rows_physical),
+        r.sim_makespan_seconds, r.wall_seconds));
+  }
+  return WriteJsonArray(path, lines);
+}
+
 std::vector<SystemResult> RunAllSystems(const Query& query, Harness& harness,
                                         uint64_t seed) {
   std::vector<SystemResult> results;

@@ -77,6 +77,31 @@ struct RuntimeBenchRecord {
 Status WriteRuntimeBenchJson(const std::string& path,
                              const std::vector<RuntimeBenchRecord>& records);
 
+/// One skew-handling measurement (bench_skew / BENCH_skew.json): the
+/// reducer-input balance of a join with skew handling off vs on. All
+/// volume fields are deterministic simulated quantities; only
+/// wall_seconds varies across runners.
+struct SkewBenchRecord {
+  std::string workload;   ///< "mobile"
+  std::string query;      ///< e.g. "station_pair_8k"
+  std::string mode;       ///< "off" | "on"
+  double zipf_exponent = 0.0;
+  int reduce_tasks = 0;
+  int residual_tasks = 0;     ///< Hilbert segments
+  int heavy_tasks = 0;        ///< tasks in heavy-value grids
+  int heavy_groups = 0;       ///< detected heavy values with a grid
+  int64_t max_reduce_input_bytes = 0;
+  double mean_reduce_input_bytes = 0.0;
+  double max_mean_ratio = 1.0;
+  int64_t result_rows_physical = 0;   ///< identical across modes
+  double sim_makespan_seconds = 0.0;  ///< 0 for single-job records
+  double wall_seconds = 0.0;          ///< measured; exempt from the CI gate
+};
+
+/// Writes `records` to `path` as a JSON array (overwrites the file).
+Status WriteSkewBenchJson(const std::string& path,
+                          const std::vector<SkewBenchRecord>& records);
+
 }  // namespace mrtheta::bench
 
 #endif  // MRTHETA_BENCH_BENCH_UTIL_H_

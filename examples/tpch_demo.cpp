@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "src/core/executor.h"
 #include "src/core/planner.h"
@@ -24,6 +25,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+  if (num_threads > 1 && std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "warning: this host reports a single hardware thread; "
+                 "--threads %d will time-slice one core and the measured "
+                 "makespan will not improve\n",
+                 num_threads);
   }
 
   SimCluster cluster{ClusterConfig{}};

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Compares CI-produced BENCH_*.json files against the committed baselines in
+bench/baselines/ and fails on regressions in *simulated* (deterministic)
+metrics. Measured wall-clock fields are exempt — runners vary; the
+simulated quantities (discrete-event makespans, logical byte volumes,
+result cardinalities) are bit-reproducible across machines, so a drift
+there is a real behavioural change.
+
+Policy per metric kind:
+  exact      -- must be identical (result rows, output pairs): any change
+                fails until the baseline is deliberately regenerated.
+  simulated  -- numeric, direction-aware: fails when the current value is
+                worse than baseline by more than --tolerance (default 25%).
+                Improvements pass (regenerate the baseline to lock them in).
+  (everything else -- measured/informational: ignored.)
+
+Exit status: 0 = pass, 1 = regression or structural mismatch.
+
+Usage:
+  scripts/check_bench.py --current-dir build [--baseline-dir bench/baselines]
+                         [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Per-file comparison spec: record key fields, exact fields, and simulated
+# fields with their "worse" direction (+1 = larger is worse, -1 = smaller
+# is worse).
+SPECS = {
+    "BENCH_kernels.json": {
+        "key": ["label", "kernel"],
+        "exact": ["left_rows", "right_rows", "output_pairs"],
+        "simulated": {},  # wall_ns / tuples_per_sec are measured -> exempt
+    },
+    "BENCH_runtime.json": {
+        "key": ["workload", "query", "threads", "sort_kernel_min_pairs"],
+        "exact": ["jobs", "result_rows_physical"],
+        "simulated": {"sim_makespan_seconds": +1},
+        # wall_seconds / speedup_vs_1t / hardware_threads are measured.
+    },
+    "BENCH_skew.json": {
+        "key": ["workload", "query", "mode"],
+        "exact": ["result_rows_physical"],
+        "simulated": {
+            "max_mean_ratio": +1,
+            "sim_makespan_seconds": +1,
+        },
+        # wall_seconds is measured; task-split fields are informational.
+    },
+}
+
+
+def load_records(path, key_fields):
+    with open(path) as f:
+        records = json.load(f)
+    table = {}
+    for record in records:
+        key = tuple(record.get(k) for k in key_fields)
+        if key in table:
+            raise SystemExit(f"{path}: duplicate record key {key}")
+        table[key] = record
+    return table
+
+
+def compare_file(name, baseline_path, current_path, tolerance):
+    """Returns a list of failure strings for one benchmark file."""
+    spec = SPECS[name]
+    failures = []
+    baseline = load_records(baseline_path, spec["key"])
+    current = load_records(current_path, spec["key"])
+
+    for key, base_rec in baseline.items():
+        cur_rec = current.get(key)
+        if cur_rec is None:
+            failures.append(f"{name}: record {key} disappeared")
+            continue
+        for field in spec["exact"]:
+            if base_rec.get(field) != cur_rec.get(field):
+                failures.append(
+                    f"{name}: {key} {field} changed "
+                    f"{base_rec.get(field)} -> {cur_rec.get(field)} "
+                    f"(exact field; regenerate baselines if intentional)")
+        for field, worse_dir in spec["simulated"].items():
+            base_val = base_rec.get(field)
+            cur_val = cur_rec.get(field)
+            if base_val is None or cur_val is None:
+                continue
+            if base_val == 0:
+                continue
+            delta = (cur_val - base_val) / abs(base_val) * worse_dir
+            if delta > tolerance:
+                failures.append(
+                    f"{name}: {key} {field} regressed "
+                    f"{base_val} -> {cur_val} "
+                    f"({delta * 100.0:+.1f}% worse, tolerance "
+                    f"{tolerance * 100.0:.0f}%)")
+    new_keys = set(current) - set(baseline)
+    if new_keys:
+        print(f"note: {name}: {len(new_keys)} new record(s) not in the "
+              f"baseline (gate ignores them): {sorted(new_keys)}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="build")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression in simulated "
+                             "metrics (default 0.25)")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for name in sorted(SPECS):
+        baseline_path = os.path.join(args.baseline_dir, name)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"note: no baseline for {name}; skipping "
+                  f"(commit {current_path} to {args.baseline_dir} to arm "
+                  f"the gate)")
+            continue
+        if not os.path.exists(current_path):
+            failures.append(
+                f"{name}: baseline exists but CI produced no {current_path}")
+            continue
+        file_failures = compare_file(name, baseline_path, current_path,
+                                     args.tolerance)
+        checked += 1
+        status = "FAIL" if file_failures else "ok"
+        print(f"{name}: {status}")
+        failures.extend(file_failures)
+
+    if failures:
+        print(f"\nbenchmark-regression gate FAILED "
+              f"({len(failures)} finding(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark-regression gate passed ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
 
     // Build the MapReduce job.
     StatusOr<MapReduceJobSpec> spec = Status::Internal("unset");
+    HilbertJoinPlanInfo hilbert_info;
     switch (pj.kind) {
       case PlanJobKind::kHilbertJoin: {
         MultiwayJoinJobSpec mw;
@@ -109,7 +110,15 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
         mw.num_reduce_tasks = pj.num_reduce_tasks;
         mw.seed = seed + i * 7919;
         mw.kernel_policy = policy;
-        spec = BuildHilbertJoinJob(mw);
+        // kAuto defers to the planner's per-job skew flag; the builder
+        // only ever sees on/off.
+        const bool skew_on =
+            options_.skew_handling == SkewHandling::kForce ||
+            (options_.skew_handling == SkewHandling::kAuto &&
+             pj.skew_handling);
+        mw.skew_handling =
+            skew_on ? SkewHandling::kForce : SkewHandling::kOff;
+        spec = BuildHilbertJoinJob(mw, &hilbert_info);
         break;
       }
       case PlanJobKind::kEquiJoin:
@@ -163,6 +172,12 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
     exec.kernel = spec->kernel;
     exec.metrics = phys->metrics;
     exec.wall_seconds = SecondsSince(job_start);
+    if (pj.kind == PlanJobKind::kHilbertJoin) {
+      exec.skew_residual_tasks = hilbert_info.skew.residual_tasks;
+      exec.skew_heavy_tasks = hilbert_info.skew.heavy_tasks;
+      exec.skew_heavy_groups =
+          static_cast<int>(hilbert_info.skew.groups.size());
+    }
     exec.output = phys->output;
     // Covered bases = union of the inputs' coverage.
     std::set<int> bases;

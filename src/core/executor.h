@@ -9,6 +9,7 @@
 #include "src/core/query.h"
 #include "src/exec/theta_kernels.h"
 #include "src/mapreduce/sim_cluster.h"
+#include "src/sched/skew_assigner.h"
 
 namespace mrtheta {
 
@@ -28,6 +29,13 @@ struct JobExecution {
   /// the job (map + shuffle + reduce on the runtime's threads) — unrelated
   /// to the *simulated* `timing`, which models the paper's cluster.
   double wall_seconds = 0.0;
+  /// Heavy/residual reducer decomposition of a Hilbert join
+  /// (docs/SKEW.md): residual curve segments, tasks in heavy-value grids,
+  /// and the number of grids. heavy == 0 when skew handling was off or
+  /// found nothing to split; all zero for non-Hilbert jobs.
+  int skew_residual_tasks = 0;
+  int skew_heavy_tasks = 0;
+  int skew_heavy_groups = 0;
   std::shared_ptr<Relation> output;
   std::vector<int> covered_bases;
 };
@@ -70,6 +78,13 @@ struct ExecutorOptions {
   /// row order, measurements, simulated makespan — are identical at every
   /// thread count (see docs/RUNTIME.md).
   int num_threads = 1;
+  /// Skew handling for Hilbert join jobs (docs/SKEW.md). kAuto (default)
+  /// splits heavy-hitter regions only for jobs the planner flagged
+  /// (PlanJob::skew_handling); kForce runs detection on every Hilbert job;
+  /// kOff keeps the paper's pure curve-segment assignment. The join result
+  /// (as a multiset of rows) is identical in all modes; per-reducer input
+  /// sizes, and hence the simulated makespan, are not.
+  SkewHandling skew_handling = SkewHandling::kAuto;
 };
 
 /// \brief Executes a QueryPlan: runs every plan job physically (exact

@@ -36,10 +36,10 @@ std::string QueryPlan::ToString() const {
       ths += std::to_string(t);
     }
     std::snprintf(buf, sizeof(buf),
-                  "  J%zu %s in=[%s] θ=[%s] RN=%d est=%.1fs @[%.1f,%.1f]\n",
+                  "  J%zu %s in=[%s] θ=[%s] RN=%d%s est=%.1fs @[%.1f,%.1f]\n",
                   i, PlanJobKindName(j.kind), ins.c_str(), ths.c_str(),
-                  j.num_reduce_tasks, j.est_seconds, j.est_start,
-                  j.est_finish);
+                  j.num_reduce_tasks, j.skew_handling ? " skew" : "",
+                  j.est_seconds, j.est_start, j.est_finish);
     out += buf;
   }
   return out;

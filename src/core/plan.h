@@ -43,6 +43,11 @@ struct PlanJob {
   int64_t scan_discount_bytes = 0;
   /// Hive/Pig-style jobs pay text-SerDe costs (see ClusterConfig).
   bool text_serde = false;
+  /// Planner-detected join-key skew: when true (and the executor allows
+  /// it), the job builder splits heavy-hitter regions across dedicated
+  /// reducer grids (docs/SKEW.md). Set for Hilbert jobs whose equality
+  /// columns show a heavy top value in the collected statistics.
+  bool skew_handling = false;
   /// Cost-model estimates (seconds) and schedule placement.
   double est_seconds = 0.0;
   double est_start = 0.0;

@@ -232,6 +232,29 @@ StatusOr<QueryPlan> Planner::BuildPlanFromSelection(
     job.name = "join-" + std::to_string(plan.jobs.size());
     for (int r : cand.relations) job.inputs.push_back(PlanInput::Base(r));
     job.thetas = cand.thetas;
+    // Skew flag (docs/SKEW.md): a Hilbert job hashes offset-free equality
+    // keys into shared grid slices, so a heavy top value in either
+    // endpoint column concentrates load on the reducers covering its
+    // slice. A column is skewed when its top value is both non-trivial in
+    // absolute terms and far above the column's uniform share 1/distinct
+    // (a uniform low-cardinality column has a large top frequency but no
+    // hitter to split). The executor's skew_handling option decides
+    // whether the builder acts on the flag.
+    if (job.kind == PlanJobKind::kHilbertJoin) {
+      auto skewed = [&](const ColumnRef& ref) {
+        const ColumnStats& cs = stats[ref.relation].column(ref.column);
+        return cs.top_frequency > options_.skew_top_frequency &&
+               cs.top_frequency * std::max(1.0, cs.distinct) > 3.0;
+      };
+      for (int t : cand.thetas) {
+        const JoinCondition& c = query.conditions()[t];
+        if (c.op != ThetaOp::kEq || c.offset != 0.0) continue;
+        if (skewed(c.lhs) || skewed(c.rhs)) {
+          job.skew_handling = true;
+          break;
+        }
+      }
+    }
     plan.jobs.push_back(job);
 
     NodeInfo ni;

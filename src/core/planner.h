@@ -30,6 +30,10 @@ struct PlannerOptions {
   /// Assumed relative imbalance of Hilbert-partitioned reduce inputs
   /// (drives the σ of the 3σ rule; Hilbert balances well by Theorem 2).
   double hilbert_sigma_frac = 0.08;
+  /// A Hilbert job is flagged for skew handling when an offset-free
+  /// equality column's sampled top-value frequency exceeds this (a uniform
+  /// column sits at ~1/distinct; Zipfian ones are orders above).
+  double skew_top_frequency = 0.02;
   /// Statistics collection options.
   StatsOptions stats;
 };

@@ -6,9 +6,11 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 
 #include "src/exec/theta_kernels.h"
 #include "src/relation/column_view.h"
+#include "src/stats/table_stats.h"
 
 namespace mrtheta {
 
@@ -134,31 +136,46 @@ struct HilbertBoundCondition {
 // Shared state captured by the map and reduce closures.
 struct HilbertJobState {
   HilbertCurve curve;
-  std::shared_ptr<const SegmentCoverage> coverage;
-  DimensionGrouping grouping;
-  std::vector<int64_t> logical_rows;   // per input
-  std::vector<int64_t> record_bytes;   // per input
-  std::vector<double> scales;          // per input
-  std::vector<RelationPtr> base_relations;
-  std::vector<JoinSide> inputs;
-  std::vector<int> output_bases;
-  std::vector<int> dim_representative;  // dim -> lowest input index
+  std::shared_ptr<const SegmentCoverage> coverage = nullptr;
+  DimensionGrouping grouping = {};
+  std::vector<int64_t> logical_rows = {};   // per input
+  std::vector<int64_t> record_bytes = {};   // per input
+  std::vector<double> scales = {};          // per input
+  std::vector<RelationPtr> base_relations = {};
+  std::vector<JoinSide> inputs = {};
+  std::vector<int> output_bases = {};
+  std::vector<int> dim_representative = {};  // dim -> lowest input index
   // conditions_at_depth[j] = conditions decidable once inputs 0..j are
   // assigned (and not before).
-  std::vector<std::vector<HilbertBoundCondition>> conditions_at_depth;
+  std::vector<std::vector<HilbertBoundCondition>> conditions_at_depth = {};
   uint64_t seed = 0;
   bool use_sorted_candidates = true;
+  // ---- Skew handling (docs/SKEW.md) ----
+  // Reduce tasks [0, residual_tasks) are Hilbert curve segments; tasks
+  // [residual_tasks, residual_tasks + Σ group sizes) are per-heavy-value
+  // grids that absorb the skewed slices of `skew_dim`.
+  int residual_tasks = 0;
+  int skew_dim = -1;
+  std::vector<HeavyGroup> heavy_groups = {};
+  // heavy_strides[g][axis]: grid stride of the group's task layout.
+  std::vector<std::vector<int>> heavy_strides = {};
+  std::unordered_map<uint64_t, int> heavy_index = {};  // key hash -> group
+
+  // Hash of the tuple's fused-dimension join key (requires
+  // key_of_input[tag] to be set).
+  uint64_t FusedKeyHash(int tag, int64_t row) const {
+    const ColumnRef key = grouping.key_of_input[tag];
+    const Relation& base = *base_relations[key.relation];
+    const int64_t base_row = inputs[tag].BaseRow(row, key.relation);
+    return HashValue(base.Get(base_row, key.column));
+  }
 
   // Grid slice of one tuple along its input's dimension: hash of the
   // equality key for fused dimensions, random-global-ID position otherwise.
   uint32_t SliceOfInput(int tag, int64_t row) const {
     const uint64_t side = curve.side();
-    const ColumnRef key = grouping.key_of_input[tag];
-    if (key.relation >= 0) {
-      const Relation& base = *base_relations[key.relation];
-      const int64_t base_row = inputs[tag].BaseRow(row, key.relation);
-      return static_cast<uint32_t>(
-          HashValue(base.Get(base_row, key.column)) % side);
+    if (grouping.key_of_input[tag].relation >= 0) {
+      return static_cast<uint32_t>(FusedKeyHash(tag, row) % side);
     }
     const uint64_t gid =
         MixHash(seed + static_cast<uint64_t>(tag) * 0x9e37u,
@@ -166,6 +183,28 @@ struct HilbertJobState {
         static_cast<uint64_t>(logical_rows[tag]);
     return static_cast<uint32_t>(gid * side /
                                  static_cast<uint64_t>(logical_rows[tag]));
+  }
+
+  // Emits the tuple to its share of heavy group `g`: the tuple is split
+  // along its own axis (deterministic bucket of its row id) and broadcast
+  // across every other axis, so each combination of the group's sub-matrix
+  // materializes in exactly one grid task.
+  void EmitToGroup(int g, int tag, int64_t row, uint32_t slice,
+                   MapEmitter& out) const {
+    const HeavyGroup& group = heavy_groups[g];
+    const int share = group.shares[tag];
+    const int bucket =
+        share == 1
+            ? 0
+            : static_cast<int>(
+                  MixHash(seed + 0x5c3bu + static_cast<uint64_t>(tag) * 0x9e37u,
+                          static_cast<uint64_t>(row)) %
+                  static_cast<uint64_t>(share));
+    const std::vector<int>& stride = heavy_strides[g];
+    for (int t = 0; t < group.num_tasks; ++t) {
+      if ((t / stride[tag]) % share != bucket) continue;
+      out.Emit(group.first_task + t, tag, row, slice, record_bytes[tag]);
+    }
   }
 };
 
@@ -177,7 +216,13 @@ class ComponentJoiner {
  public:
   ComponentJoiner(const HilbertJobState& state, const ReduceContext& ctx,
                   ReduceCollector& out)
-      : state_(state), ctx_(ctx), out_(out) {
+      : state_(state),
+        ctx_(ctx),
+        out_(out),
+        // Heavy-grid tasks own every combination they can assemble (the
+        // map-side split/broadcast already made combinations unique), so
+        // the curve ownership check is skipped there.
+        heavy_(ctx.key >= static_cast<int64_t>(state.residual_tasks)) {
     const int dims = static_cast<int>(state_.inputs.size());
     rows_.resize(dims);
     slices_.resize(dims);
@@ -358,7 +403,7 @@ class ComponentJoiner {
         Recurse(depth + 1);
         continue;
       }
-      if (!OwnsCell()) continue;
+      if (!heavy_ && !OwnsCell()) continue;
       EmitRow();
     }
   }
@@ -410,6 +455,7 @@ class ComponentJoiner {
   const HilbertJobState& state_;
   const ReduceContext& ctx_;
   ReduceCollector& out_;
+  const bool heavy_;
   std::vector<int64_t> rows_;
   std::vector<uint32_t> slices_;
   std::vector<double> depth_checks_;
@@ -449,34 +495,153 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   DimensionGrouping grouping =
       ComputeDimensionGrouping(input_bases, spec.conditions);
 
+  // ---- Skew detection and heavy/residual task split (docs/SKEW.md) ----
+  // Fused dimensions hash the join key, so a heavy-hitter key collapses a
+  // large fraction of its inputs into one slice; every segment covering
+  // that slice inherits the whole pile no matter how the curve is cut. The
+  // detector finds such keys per fused dimension; the assigner carves
+  // per-key reducer grids out of the task budget for the worst dimension.
+  std::vector<double> input_volume(num_inputs, 0.0);
+  for (int i = 0; i < num_inputs; ++i) {
+    const JoinSide& side = spec.inputs[i];
+    input_volume[i] = static_cast<double>(side.data->num_rows()) *
+                      static_cast<double>(side.data->schema().avg_row_bytes()) *
+                      side.scale;
+  }
+  SkewAssignment skew;
+  skew.residual_tasks = spec.num_reduce_tasks;
+  int skew_dim = -1;
+  // Per heavy value: per-input key frequency (1.0 for non-fused inputs),
+  // for the map_emits_per_row hint below.
+  std::map<uint64_t, std::vector<double>> heavy_freq;
+  if (spec.skew_handling != SkewHandling::kOff &&
+      spec.num_reduce_tasks >= 4) {
+    double best_signal = 0.0;
+    std::vector<SkewCandidate> best_candidates;
+    std::map<uint64_t, std::vector<double>> best_freq;
+    for (int d = 0; d < grouping.num_dims; ++d) {
+      std::vector<int> dim_inputs;
+      for (int i = 0; i < num_inputs; ++i) {
+        if (grouping.dim_of_input[i] == d &&
+            grouping.key_of_input[i].relation >= 0) {
+          dim_inputs.push_back(i);
+        }
+      }
+      if (dim_inputs.size() < 2) continue;
+      // Sampled key-hash frequencies per covering input (ordered map:
+      // candidate order must be deterministic).
+      std::map<uint64_t, std::vector<double>> freq;
+      for (size_t k = 0; k < dim_inputs.size(); ++k) {
+        const int i = dim_inputs[k];
+        const JoinSide& side = spec.inputs[i];
+        const ColumnRef key = grouping.key_of_input[i];
+        const Relation& base = *spec.base_relations[key.relation];
+        FrequencySketch sketch(spec.skew_detect.sketch_capacity);
+        for (int64_t r : ReservoirSampleRows(
+                 side.data->num_rows(), spec.skew_detect.sample_size,
+                 spec.skew_detect.seed + static_cast<uint64_t>(i))) {
+          sketch.Add(HashValue(
+              base.Get(side.BaseRow(r, key.relation), key.column)));
+        }
+        if (sketch.total() == 0) continue;
+        const double total = static_cast<double>(sketch.total());
+        for (const FrequencySketch::Entry& e : sketch.Entries()) {
+          const double f = static_cast<double>(e.count) / total;
+          if (f < spec.skew_detect.min_frequency) break;  // sorted desc
+          // Space-Saving only vouches for count - error occurrences; a
+          // key-like column's long distinct tail must not seed candidates.
+          if (static_cast<double>(e.count - e.error) / total <
+              spec.skew_detect.min_frequency) {
+            continue;
+          }
+          auto [it, inserted] = freq.try_emplace(
+              e.key, std::vector<double>(dim_inputs.size(), 0.0));
+          it->second[k] = f;
+        }
+      }
+      std::vector<SkewCandidate> candidates;
+      std::map<uint64_t, std::vector<double>> candidate_freq;
+      double signal = 0.0;
+      for (const auto& [hash, fractions] : freq) {
+        SkewCandidate c;
+        c.key_hash = hash;
+        c.axis_bytes = input_volume;  // non-fused axes span everything
+        std::vector<double> per_input(num_inputs, 1.0);
+        for (size_t k = 0; k < dim_inputs.size(); ++k) {
+          const int i = dim_inputs[k];
+          c.axis_bytes[i] = fractions[k] * input_volume[i];
+          c.skew_dim_bytes += c.axis_bytes[i];
+          per_input[i] = fractions[k];
+        }
+        signal = std::max(signal, c.skew_dim_bytes);
+        candidate_freq.emplace(hash, std::move(per_input));
+        candidates.push_back(std::move(c));
+      }
+      if (signal > best_signal) {
+        best_signal = signal;
+        best_candidates = std::move(candidates);
+        best_freq = std::move(candidate_freq);
+        skew_dim = d;
+      }
+    }
+    if (skew_dim >= 0) {
+      double total_volume = 0.0;
+      for (double v : input_volume) total_volume += v;
+      skew = PlanSkewAssignment(std::move(best_candidates), total_volume,
+                                spec.num_reduce_tasks, spec.skew_assign);
+      if (skew.enabled()) {
+        heavy_freq = std::move(best_freq);
+      } else {
+        skew_dim = -1;
+      }
+    }
+  }
+
   const int dims = grouping.num_dims;
-  const int order = ChooseGridOrder(dims, spec.num_reduce_tasks,
+  const int order = ChooseGridOrder(dims, skew.residual_tasks,
                                     spec.cells_per_segment,
                                     spec.max_grid_bits);
   StatusOr<HilbertCurve> curve = HilbertCurve::Create(dims, order);
   if (!curve.ok()) return curve.status();
 
   auto state = std::make_shared<HilbertJobState>(HilbertJobState{
-      *curve,
-      nullptr,
-      grouping,
-      {},
-      {},
-      {},
-      spec.base_relations,
-      spec.inputs,
-      {},
-      {},
-      {},
-      spec.seed,
-      spec.kernel_policy == KernelPolicy::kAuto});
+      .curve = *curve,
+      .grouping = grouping,
+      .base_relations = spec.base_relations,
+      .inputs = spec.inputs,
+      .seed = spec.seed,
+      .use_sorted_candidates = spec.kernel_policy == KernelPolicy::kAuto});
 
   const int kr = static_cast<int>(std::min<uint64_t>(
-      static_cast<uint64_t>(spec.num_reduce_tasks), curve->num_cells()));
+      static_cast<uint64_t>(skew.residual_tasks), curve->num_cells()));
   StatusOr<SegmentCoverage> coverage = SegmentCoverage::Build(*curve, kr);
   if (!coverage.ok()) return coverage.status();
   state->coverage =
       std::make_shared<const SegmentCoverage>(*std::move(coverage));
+
+  // Heavy grids live after the (possibly cell-clamped) residual segments.
+  skew.residual_tasks = kr;
+  {
+    int next_task = kr;
+    for (HeavyGroup& g : skew.groups) {
+      g.first_task = next_task;
+      next_task += g.num_tasks;
+    }
+  }
+  state->residual_tasks = kr;
+  state->skew_dim = skew_dim;
+  state->heavy_groups = skew.groups;
+  state->heavy_strides.reserve(skew.groups.size());
+  for (size_t g = 0; g < skew.groups.size(); ++g) {
+    const std::vector<int>& shares = skew.groups[g].shares;
+    std::vector<int> stride(shares.size(), 1);
+    for (int i = static_cast<int>(shares.size()) - 2; i >= 0; --i) {
+      stride[i] = stride[i + 1] * shares[i + 1];
+    }
+    state->heavy_strides.push_back(std::move(stride));
+    state->heavy_index.emplace(skew.groups[g].key_hash,
+                               static_cast<int>(g));
+  }
 
   for (const JoinSide& side : spec.inputs) {
     state->logical_rows.push_back(
@@ -546,7 +711,7 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   for (const JoinSide& side : spec.inputs) {
     job.inputs.push_back({side.data, side.scale});
   }
-  job.num_reduce_tasks = kr;
+  job.num_reduce_tasks = kr + skew.heavy_tasks;
   job.partition = [](int64_t key, int n) {
     return static_cast<int>(key % n);
   };
@@ -566,7 +731,9 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
 
   // Emitter capacity hint: a tuple in slice s is emitted once per segment
   // covering s along its dimension, so the expected emits per row is the
-  // mean coverage — Σ_seg c(R_i) / side (uniform-slice approximation).
+  // mean coverage — Σ_seg c(R_i) / side (uniform-slice approximation) —
+  // plus the expected heavy-grid fan-out (a tuple reaches
+  // num_tasks / shares[i] tasks of each group it participates in).
   job.map_emits_per_row.reserve(num_inputs);
   for (int i = 0; i < num_inputs; ++i) {
     const int dim = grouping.dim_of_input[i];
@@ -574,16 +741,49 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
     for (int seg = 0; seg < state->coverage->num_segments(); ++seg) {
       total_coverage += state->coverage->CoverageCount(seg, dim);
     }
-    job.map_emits_per_row.push_back(
-        static_cast<double>(total_coverage) /
-        static_cast<double>(state->curve.side()));
+    double emits = static_cast<double>(total_coverage) /
+                   static_cast<double>(state->curve.side());
+    for (const HeavyGroup& g : skew.groups) {
+      const auto it = heavy_freq.find(g.key_hash);
+      const double participation =
+          it != heavy_freq.end() ? it->second[i] : 1.0;
+      emits += participation *
+               static_cast<double>(g.num_tasks / g.shares[i]);
+    }
+    job.map_emits_per_row.push_back(emits);
   }
 
   job.map = [state](int tag, const Relation& rel, int64_t row,
                     MapEmitter& out) {
     (void)rel;
-    const uint32_t slice = state->SliceOfInput(tag, row);
     const int dim = state->grouping.dim_of_input[tag];
+    uint32_t slice;
+    if (state->grouping.key_of_input[tag].relation >= 0) {
+      // Fused input: one key fetch + hash serves both the slice and the
+      // heavy lookup.
+      const uint64_t hash = state->FusedKeyHash(tag, row);
+      slice = static_cast<uint32_t>(hash % state->curve.side());
+      if (dim == state->skew_dim && !state->heavy_groups.empty()) {
+        // Heavy tuples leave the residual matrix entirely: their only
+        // join partners on this dimension share the key, and those all
+        // meet inside the value's grid.
+        const auto it = state->heavy_index.find(hash);
+        if (it != state->heavy_index.end()) {
+          state->EmitToGroup(it->second, tag, row, slice, out);
+          return;
+        }
+      }
+    } else {
+      slice = state->SliceOfInput(tag, row);
+    }
+    if (dim != state->skew_dim && !state->heavy_groups.empty()) {
+      // The heavy regions span this dimension end to end, so every tuple
+      // participates in every grid (split along its own axis).
+      for (int g = 0; g < static_cast<int>(state->heavy_groups.size());
+           ++g) {
+        state->EmitToGroup(g, tag, row, slice, out);
+      }
+    }
     for (int seg : state->coverage->SegmentsForSlice(dim, slice)) {
       out.Emit(seg, tag, row, slice, state->record_bytes[tag]);
     }
@@ -596,10 +796,12 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
 
   if (info != nullptr) {
     info->grid_order = order;
-    info->effective_reduce_tasks = kr;
+    info->effective_reduce_tasks = kr + skew.heavy_tasks;
     info->coverage = state->coverage;
     info->grouping = state->grouping;
     info->output_bases = state->output_bases;
+    info->skew = skew;
+    info->skew_dim = skew_dim;
   }
   return job;
 }

@@ -10,6 +10,8 @@
 #include "src/exec/theta_kernels.h"
 #include "src/hilbert/hilbert.h"
 #include "src/mapreduce/job.h"
+#include "src/sched/skew_assigner.h"
+#include "src/stats/heavy_hitters.h"
 
 namespace mrtheta {
 
@@ -35,6 +37,21 @@ struct MultiwayJoinJobSpec {
   /// candidate range scans; kGenericOnly forces the plain backtracking
   /// loop (differential baselines).
   KernelPolicy kernel_policy = KernelPolicy::kAuto;
+  /// Skew handling (docs/SKEW.md): kOff keeps the pure Hilbert assignment;
+  /// kAuto / kForce both run heavy-hitter detection here (the per-plan-job
+  /// distinction is applied by the executor before this spec is built) and
+  /// carve per-heavy-value reducer grids out of the task budget. The join
+  /// result is identical either way; only the reducer decomposition (and
+  /// hence per-task input sizes) changes.
+  SkewHandling skew_handling = SkewHandling::kOff;
+  /// Sampling/sketch knobs for the heavy-hitter detector. The candidate
+  /// floor is higher than the detector's general default: a key below 2%
+  /// frequency cannot dominate a reducer at realistic task budgets, and
+  /// splitting quasi-uniform keys (e.g. a day column's 1/61 shares) costs
+  /// broadcast volume for no balance win.
+  HeavyHitterOptions skew_detect = {.min_frequency = 0.02};
+  /// Task-budget split knobs for the heavy/residual decomposition.
+  SkewAssignerOptions skew_assign;
 };
 
 /// \brief Equality-aware dimension grouping of a multi-way join's inputs.
@@ -63,12 +80,18 @@ DimensionGrouping ComputeDimensionGrouping(
 /// Planning artifacts exposed for tests, benches and the plan explorer.
 struct HilbertJoinPlanInfo {
   int grid_order = 0;
+  /// Total reduce tasks: residual Hilbert segments + heavy-value grids.
   int effective_reduce_tasks = 0;
   std::shared_ptr<const SegmentCoverage> coverage;
   DimensionGrouping grouping;
   /// Query base indices covered by the job output, ascending — the column
   /// order of the output intermediate.
   std::vector<int> output_bases;
+  /// The heavy/residual reducer decomposition (groups empty when skew
+  /// handling is off or nothing qualified as heavy).
+  SkewAssignment skew;
+  /// Hyper-cube dimension whose join-key skew the groups absorb, or -1.
+  int skew_dim = -1;
 };
 
 /// \brief Builds the (key,value) mapping of Algorithm 1:

@@ -1,0 +1,161 @@
+#include "src/sched/skew_assigner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrtheta {
+
+const char* SkewHandlingName(SkewHandling handling) {
+  switch (handling) {
+    case SkewHandling::kOff:
+      return "off";
+    case SkewHandling::kAuto:
+      return "auto";
+    case SkewHandling::kForce:
+      return "force";
+  }
+  return "?";
+}
+
+namespace {
+
+double GroupTaskBytes(const SkewCandidate& c, const std::vector<int>& shares) {
+  double bytes = 0.0;
+  for (size_t i = 0; i < c.axis_bytes.size(); ++i) {
+    bytes += c.axis_bytes[i] / static_cast<double>(shares[i]);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+SkewAssignment PlanSkewAssignment(std::vector<SkewCandidate> candidates,
+                                  double total_input_bytes, int task_budget,
+                                  const SkewAssignerOptions& options) {
+  SkewAssignment assignment;
+  assignment.residual_tasks = std::max(1, task_budget);
+  if (task_budget < 4 || candidates.empty() || total_input_bytes <= 0.0) {
+    return assignment;
+  }
+  const double mean_task_bytes =
+      total_input_bytes / static_cast<double>(task_budget);
+
+  // Heavy values: skew-dimension volume above threshold x the mean task
+  // input; descending, capped. Ties break by key_hash for determinism.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SkewCandidate& a, const SkewCandidate& b) {
+              if (a.skew_dim_bytes != b.skew_dim_bytes) {
+                return a.skew_dim_bytes > b.skew_dim_bytes;
+              }
+              return a.key_hash < b.key_hash;
+            });
+  std::vector<SkewCandidate> heavy;
+  for (const SkewCandidate& c : candidates) {
+    if (c.skew_dim_bytes <= options.heavy_threshold * mean_task_bytes) break;
+    if (static_cast<int>(heavy.size()) >= options.max_heavy_values) break;
+    heavy.push_back(c);
+  }
+  const int heavy_budget = std::min(
+      task_budget - 1,
+      static_cast<int>(options.max_heavy_task_frac *
+                       static_cast<double>(task_budget)));
+  if (heavy.empty() || heavy_budget < 1) return assignment;
+  if (static_cast<int>(heavy.size()) > heavy_budget) {
+    heavy.resize(static_cast<size_t>(heavy_budget));
+  }
+
+  // Every heavy value starts as a single task; grids then grow greedily:
+  // the group with the largest per-task input gets the axis increment that
+  // lowers its cost the most, while the whole heavy region fits the budget.
+  std::vector<HeavyGroup> groups(heavy.size());
+  double heavy_dim_bytes = 0.0;
+  int heavy_tasks = 0;
+  for (size_t g = 0; g < heavy.size(); ++g) {
+    groups[g].key_hash = heavy[g].key_hash;
+    groups[g].shares.assign(heavy[g].axis_bytes.size(), 1);
+    groups[g].num_tasks = 1;
+    groups[g].est_task_bytes = GroupTaskBytes(heavy[g], groups[g].shares);
+    heavy_dim_bytes += heavy[g].skew_dim_bytes;
+    heavy_tasks += 1;
+  }
+  std::vector<size_t> order(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) order[g] = g;
+  for (;;) {
+    // Residual per-task mean once the heavy region is carved out — the
+    // balance target the grids grow toward.
+    const double residual_mean =
+        std::max(0.0, total_input_bytes - heavy_dim_bytes) /
+        static_cast<double>(std::max(1, task_budget - heavy_tasks));
+    // Worst group first; when its next increment does not fit the budget
+    // any more, fall through to the next-worst that can still grow (small
+    // groups only need +1 task while large grids take whole-row jumps).
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (groups[a].est_task_bytes != groups[b].est_task_bytes) {
+        return groups[a].est_task_bytes > groups[b].est_task_bytes;
+      }
+      return a < b;
+    });
+    bool grew = false;
+    for (size_t idx : order) {
+      if (groups[idx].est_task_bytes <= residual_mean) break;  // all balanced
+      // Cheapest growth: bump the axis whose split lowers per-task bytes
+      // the most. Growing axis i multiplies the task count by
+      // (shares[i]+1)/shares[i].
+      HeavyGroup& grow = groups[idx];
+      const SkewCandidate& cand = heavy[idx];
+      int best_axis = -1;
+      double best_gain = 0.0;
+      int best_new_tasks = 0;
+      for (size_t i = 0; i < grow.shares.size(); ++i) {
+        const int new_tasks =
+            grow.num_tasks / grow.shares[i] * (grow.shares[i] + 1);
+        if (heavy_tasks - grow.num_tasks + new_tasks > heavy_budget) continue;
+        const double gain =
+            cand.axis_bytes[i] / static_cast<double>(grow.shares[i]) -
+            cand.axis_bytes[i] / static_cast<double>(grow.shares[i] + 1);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_axis = static_cast<int>(i);
+          best_new_tasks = new_tasks;
+        }
+      }
+      if (best_axis < 0) continue;  // this group no longer fits; try next
+      heavy_tasks += best_new_tasks - grow.num_tasks;
+      grow.shares[best_axis] += 1;
+      grow.num_tasks = best_new_tasks;
+      grow.est_task_bytes = GroupTaskBytes(cand, grow.shares);
+      grew = true;
+      break;
+    }
+    if (!grew) break;
+  }
+
+  assignment.residual_tasks = std::max(1, task_budget - heavy_tasks);
+  assignment.heavy_tasks = heavy_tasks;
+  int next_task = assignment.residual_tasks;
+  for (HeavyGroup& g : groups) {
+    g.first_task = next_task;
+    next_task += g.num_tasks;
+  }
+  assignment.groups = std::move(groups);
+  return assignment;
+}
+
+ReduceBalance ComputeReduceBalance(std::span<const int64_t> task_bytes) {
+  ReduceBalance balance;
+  if (task_bytes.empty()) return balance;
+  int64_t total = 0;
+  int64_t max = 0;
+  for (int64_t b : task_bytes) {
+    total += b;
+    max = std::max(max, b);
+  }
+  balance.max_bytes = static_cast<double>(max);
+  balance.mean_bytes = static_cast<double>(total) /
+                       static_cast<double>(task_bytes.size());
+  balance.ratio =
+      balance.mean_bytes > 0.0 ? balance.max_bytes / balance.mean_bytes : 1.0;
+  return balance;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,96 @@
+#ifndef MRTHETA_SCHED_SKEW_ASSIGNER_H_
+#define MRTHETA_SCHED_SKEW_ASSIGNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mrtheta {
+
+/// How join-job builders treat skew handling (threaded from
+/// ExecutorOptions / PlanJob down to BuildHilbertJoinJob; see docs/SKEW.md).
+enum class SkewHandling {
+  kOff,    ///< never split heavy hitters (the paper's original assignment)
+  kAuto,   ///< honor the planner's per-job skew flag
+  kForce,  ///< always run detection, split whatever it finds
+};
+
+const char* SkewHandlingName(SkewHandling handling);
+
+/// One heavy join-key value candidate handed to the assigner.
+struct SkewCandidate {
+  /// Hash of the join-key value (HashValue of the cell).
+  uint64_t key_hash = 0;
+  /// Per join input: logical bytes this input contributes to the value's
+  /// heavy sub-matrix. Inputs of the skewed dimension contribute
+  /// frequency * input volume; every other input contributes its full
+  /// volume (the heavy region spans those dimensions end to end).
+  std::vector<double> axis_bytes;
+  /// Bytes on the skewed dimension only — the overload signal: all of this
+  /// lands in one hash slice, hence (replicated) on every reducer covering
+  /// that slice, no matter how fine the Hilbert grid is.
+  double skew_dim_bytes = 0.0;
+};
+
+/// Placement of one heavy value: its sub-matrix (one axis per join input)
+/// is cut into a SharesSkew-style grid of prod(shares) reduce tasks; axis i
+/// is split shares[i] ways and broadcast across the other axes, so each
+/// task receives axis_bytes[i] / shares[i] from input i.
+struct HeavyGroup {
+  uint64_t key_hash = 0;
+  /// Absolute reduce-task id of the group's first task (assigned by the
+  /// job builder once the residual segment count is final).
+  int first_task = 0;
+  std::vector<int> shares;      ///< per input, >= 1
+  int num_tasks = 1;            ///< prod(shares)
+  double est_task_bytes = 0.0;  ///< estimated input bytes per grid task
+};
+
+/// Complete reducer assignment: Hilbert segments for the residual matrix
+/// plus one grid of tasks per heavy value.
+struct SkewAssignment {
+  int residual_tasks = 0;
+  int heavy_tasks = 0;
+  std::vector<HeavyGroup> groups;
+
+  bool enabled() const { return !groups.empty(); }
+};
+
+/// Assigner knobs.
+struct SkewAssignerOptions {
+  /// A value is heavy when its skew-dimension bytes exceed this multiple of
+  /// the mean per-task input (total bytes / task budget).
+  double heavy_threshold = 1.0;
+  /// At most this fraction of the task budget goes to heavy groups.
+  double max_heavy_task_frac = 0.6;
+  /// At most this many values get dedicated groups.
+  int max_heavy_values = 16;
+};
+
+/// \brief Splits the reduce-task budget between the residual Hilbert
+/// partition and per-heavy-value grids.
+///
+/// Values whose skew-dimension volume exceeds heavy_threshold times the
+/// mean per-task input get a dedicated grid; the grids grow greedily — the
+/// group with the largest estimated per-task input gets its cheapest axis
+/// increment — until every group is under the residual per-task mean or
+/// the heavy budget (max_heavy_task_frac of the total) is exhausted.
+/// Deterministic for given inputs. Groups are ordered by descending
+/// skew-dimension bytes (ties by key_hash).
+SkewAssignment PlanSkewAssignment(std::vector<SkewCandidate> candidates,
+                                  double total_input_bytes, int task_budget,
+                                  const SkewAssignerOptions& options = {});
+
+/// Balance summary of per-reduce-task input volumes (bench_skew's metric).
+struct ReduceBalance {
+  double max_bytes = 0.0;
+  double mean_bytes = 0.0;
+  /// max / mean; 1.0 for a perfectly balanced (or empty) assignment.
+  double ratio = 1.0;
+};
+
+ReduceBalance ComputeReduceBalance(std::span<const int64_t> task_bytes);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_SCHED_SKEW_ASSIGNER_H_

@@ -1,0 +1,110 @@
+#include "src/stats/heavy_hitters.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <unordered_map>
+
+#include "src/stats/table_stats.h"
+
+namespace mrtheta {
+
+FrequencySketch::FrequencySketch(int capacity)
+    : capacity_(std::max(1, capacity)) {
+  entries_.reserve(static_cast<size_t>(capacity_));
+}
+
+void FrequencySketch::Add(uint64_t key, int64_t weight) {
+  total_ += weight;
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.count += weight;
+      return;
+    }
+  }
+  if (static_cast<int>(entries_.size()) < capacity_) {
+    entries_.push_back({key, weight, 0});
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error.
+  Entry* min_entry = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.count < min_entry->count) min_entry = &e;
+  }
+  min_entry->key = key;
+  min_entry->error = min_entry->count;
+  min_entry->count += weight;
+}
+
+std::vector<FrequencySketch::Entry> FrequencySketch::Entries() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return sorted;
+}
+
+namespace {
+
+// Canonical 64-bit sketch key of a cell value.
+uint64_t SketchKey(const Relation& rel, int64_t row, int column,
+                   ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return static_cast<uint64_t>(rel.GetInt(row, column));
+    case ValueType::kDouble:
+      return std::bit_cast<uint64_t>(rel.GetDouble(row, column));
+    case ValueType::kString:
+      return std::hash<std::string>{}(rel.GetString(row, column));
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<HeavyHitter> DetectHeavyHitters(const Relation& rel, int column,
+                                            const HeavyHitterOptions& options) {
+  if (rel.num_rows() == 0 || options.sample_size <= 0) return {};
+  return DetectHeavyHittersInSample(
+      rel, column,
+      ReservoirSampleRows(rel.num_rows(), options.sample_size, options.seed),
+      options);
+}
+
+std::vector<HeavyHitter> DetectHeavyHittersInSample(
+    const Relation& rel, int column, std::span<const int64_t> sample,
+    const HeavyHitterOptions& options) {
+  std::vector<HeavyHitter> hitters;
+  if (sample.empty()) return hitters;
+  const ValueType type = rel.schema().column(column).type;
+
+  FrequencySketch sketch(options.sketch_capacity);
+  std::unordered_map<uint64_t, int64_t> first_row;
+  first_row.reserve(sample.size());
+  for (int64_t r : sample) {
+    const uint64_t key = SketchKey(rel, r, column, type);
+    sketch.Add(key);
+    first_row.try_emplace(key, r);
+  }
+
+  const double n = static_cast<double>(sketch.total());
+  for (const FrequencySketch::Entry& e : sketch.Entries()) {
+    if (static_cast<int>(hitters.size()) >= options.top_k) break;
+    const double freq = static_cast<double>(e.count) / n;
+    if (freq < options.min_frequency) break;  // entries are sorted descending
+    // Space-Saving only guarantees count - error occurrences; a long tail
+    // of distinct values inflates `count` through inherited eviction
+    // counts. Values the sketch cannot vouch for are not heavy hitters.
+    const double guaranteed = static_cast<double>(e.count - e.error) / n;
+    if (guaranteed < options.min_frequency) continue;
+    HeavyHitter hh;
+    hh.value = rel.Get(first_row.at(e.key), column);
+    hh.sample_count = e.count;
+    hh.frequency = freq;
+    hitters.push_back(std::move(hh));
+  }
+  return hitters;
+}
+
+}  // namespace mrtheta

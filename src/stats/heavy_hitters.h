@@ -1,0 +1,88 @@
+#ifndef MRTHETA_STATS_HEAVY_HITTERS_H_
+#define MRTHETA_STATS_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/relation/relation.h"
+
+namespace mrtheta {
+
+/// \brief Space-Saving top-k frequency sketch over 64-bit keys (Metwally,
+/// Agrawal, El Abbadi — "Efficient computation of frequent and top-k
+/// elements in data streams").
+///
+/// Tracks at most `capacity` counters; when a new key arrives at a full
+/// sketch it evicts the minimum counter and inherits its count as the new
+/// entry's error bound. For any key with true count > total/capacity the
+/// sketch is guaranteed to hold it, which is all heavy-hitter detection
+/// needs: a value that matters for reducer balance has frequency far above
+/// 1/capacity.
+class FrequencySketch {
+ public:
+  explicit FrequencySketch(int capacity = 64);
+
+  /// Observes `key` `weight` more times.
+  void Add(uint64_t key, int64_t weight = 1);
+
+  /// One tracked key. `count` overestimates the true count by at most
+  /// `error` (the count inherited from the evicted minimum).
+  struct Entry {
+    uint64_t key = 0;
+    int64_t count = 0;
+    int64_t error = 0;
+  };
+
+  /// Tracked entries, descending by count (ties broken by key for
+  /// determinism).
+  std::vector<Entry> Entries() const;
+
+  /// Total weight observed (across all keys, tracked or not).
+  int64_t total() const { return total_; }
+
+ private:
+  int capacity_;
+  int64_t total_ = 0;
+  std::vector<Entry> entries_;  // unordered; scanned on eviction
+};
+
+/// One detected heavy hitter of a column.
+struct HeavyHitter {
+  Value value;
+  int64_t sample_count = 0;
+  /// Estimated fraction of the column's rows carrying `value`.
+  double frequency = 0.0;
+};
+
+/// Detector knobs.
+struct HeavyHitterOptions {
+  /// Rows sampled from the relation (reservoir; the whole relation when it
+  /// has fewer rows).
+  int64_t sample_size = 4096;
+  /// Space-Saving counters kept while scanning the sample.
+  int sketch_capacity = 128;
+  /// Report at most this many values.
+  int top_k = 16;
+  /// Report only values with estimated frequency >= this.
+  double min_frequency = 0.005;
+  uint64_t seed = 0x5eed;
+};
+
+/// \brief Detects heavy hitters of `rel`'s column `column` by reservoir-
+/// sampling rows and feeding a Space-Saving sketch. Deterministic for a
+/// given (relation, options) pair. Results are sorted by descending
+/// frequency (ties by value order of first appearance in the sketch scan).
+std::vector<HeavyHitter> DetectHeavyHitters(
+    const Relation& rel, int column, const HeavyHitterOptions& options = {});
+
+/// Same detector over an already-drawn row sample (callers that sample
+/// once for several statistics — BuildTableStats — avoid re-walking the
+/// relation). `options.sample_size`/`seed` are ignored.
+std::vector<HeavyHitter> DetectHeavyHittersInSample(
+    const Relation& rel, int column, std::span<const int64_t> sample_rows,
+    const HeavyHitterOptions& options = {});
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_STATS_HEAVY_HITTERS_H_

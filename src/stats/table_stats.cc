@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/rng.h"
+#include "src/stats/heavy_hitters.h"
 
 namespace mrtheta {
 
@@ -66,6 +67,12 @@ TableStats BuildTableStats(const Relation& rel, const StatsOptions& options) {
       d = d / n * static_cast<double>(stats.logical_rows);
     }
     cs.distinct = std::max(1.0, d);
+    HeavyHitterOptions hh_options;
+    hh_options.top_k = 1;
+    hh_options.min_frequency = 0.0;
+    const std::vector<HeavyHitter> top =
+        DetectHeavyHittersInSample(rel, c, rows, hh_options);
+    cs.top_frequency = top.empty() ? 0.0 : top[0].frequency;
     stats.columns.push_back(std::move(cs));
   }
   return stats;

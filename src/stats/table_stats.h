@@ -15,6 +15,11 @@ struct ColumnStats {
   double min = 0.0;
   double max = 0.0;
   double distinct = 0.0;  ///< KMV estimate of distinct values.
+  /// Estimated frequency of the single most common value (Space-Saving
+  /// sketch over the sample). Drives the planner's skew-handling decision
+  /// (docs/SKEW.md): a uniform column has top_frequency ≈ 1/distinct, a
+  /// Zipfian one is orders of magnitude above it.
+  double top_frequency = 0.0;
   bool numeric = true;
   Histogram histogram;    ///< Empty for string columns.
 };

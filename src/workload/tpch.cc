@@ -128,14 +128,22 @@ TpchData GenerateTpch(const TpchOptions& options) {
                      {"l_shipdate", ValueType::kInt64},
                      {"l_commitdate", ValueType::kInt64},
                      {"l_receiptdate", ValueType::kInt64}});
+    // Part/supplier popularity: uniform per spec, Zipfian when the skew
+    // knob is set (heavy-hitter workloads for docs/SKEW.md).
+    const double key_skew = options.lineitem_key_skew;
+    auto draw_key = [&li_rng, key_skew](int64_t n) {
+      return key_skew > 0.0
+                 ? static_cast<int64_t>(
+                       li_rng.Zipf(static_cast<uint64_t>(n), key_skew))
+                 : li_rng.UniformInt(0, n - 1);
+    };
     for (int64_t k = 0; k < li_phys; ++k) {
       const int64_t okey = std::min(k / 4, ord_phys - 1);
       const int64_t odate = order_dates[okey];
       const int64_t ship = odate + li_rng.UniformInt(1, 121);
       const int64_t commit = odate + li_rng.UniformInt(30, 90);
       const int64_t receipt = ship + li_rng.UniformInt(1, 30);
-      r->AppendIntRow({okey, li_rng.UniformInt(0, part_phys - 1),
-                       li_rng.UniformInt(0, supp_phys - 1),
+      r->AppendIntRow({okey, draw_key(part_phys), draw_key(supp_phys),
                        li_rng.UniformInt(1, 50),
                        li_rng.UniformInt(90000, 10000000), ship, commit,
                        receipt});

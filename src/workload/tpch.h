@@ -22,6 +22,11 @@ struct TpchOptions {
   /// Independent physical samples of lineitem for self-join aliases
   /// (Q17/Q18/Q21); see GenerateMobileCallsInstance's rationale.
   int num_lineitem_instances = 3;
+  /// Zipf exponent of lineitem's part/supplier popularity (0 = the spec's
+  /// uniform draw). Real catalogs sell a few parts constantly and the long
+  /// tail rarely; raising this makes l_partkey/l_suppkey heavy-hitter
+  /// columns for the skew-handling benchmarks (docs/SKEW.md).
+  double lineitem_key_skew = 0.0;
   uint64_t seed = 19920101;
 };
 

@@ -272,6 +272,34 @@ TEST(FlightsTest, ItineraryQueryShape) {
   }
 }
 
+TEST(TpchGenTest, LineitemKeySkewKnob) {
+  TpchOptions uniform;
+  uniform.physical_lineitem_rows = 8000;
+  TpchOptions skewed = uniform;
+  skewed.lineitem_key_skew = 1.2;
+  const TpchData u = GenerateTpch(uniform);
+  const TpchData s = GenerateTpch(skewed);
+  auto top_partkey_freq = [](const Relation& lineitem) {
+    std::map<int64_t, int64_t> counts;
+    for (int64_t r = 0; r < lineitem.num_rows(); ++r) {
+      counts[lineitem.GetInt(r, 1)]++;  // l_partkey
+    }
+    int64_t top = 0;
+    for (const auto& [k, c] : counts) top = std::max(top, c);
+    return static_cast<double>(top) /
+           static_cast<double>(lineitem.num_rows());
+  };
+  // Uniform draw: no part dominates. Zipf(1.2): the top part carries a
+  // double-digit share — the heavy hitter the skew subsystem must absorb.
+  EXPECT_LT(top_partkey_freq(*u.lineitem), 0.02);
+  EXPECT_GT(top_partkey_freq(*s.lineitem), 0.10);
+  // The knob must not perturb the FK structure.
+  for (int64_t r = 0; r < s.lineitem->num_rows(); ++r) {
+    ASSERT_LT(s.lineitem->GetInt(r, 1), s.part->num_rows());
+    ASSERT_LT(s.lineitem->GetInt(r, 2), s.supplier->num_rows());
+  }
+}
+
 TEST(FlightsTest, ItineraryValidatesArguments) {
   FlightLegOptions opts;
   opts.physical_rows = 10;
