@@ -1,15 +1,21 @@
 // Measured (not simulated) end-to-end scaling of the in-process runtime:
 // executes full query plans on the TPC-H, flights and mobile workloads at
 // 1/2/4/8 threads and reports wall-clock speedup over the single-threaded
-// reference runner, plus a sweep of the sort-kernel min-pairs gate.
+// reference runner, plus a sweep of the sort-kernel min-pairs gate and the
+// session-reuse figure (cold single-shot vs warm engine caches).
 //
 // The simulated makespan and the physical result rows are recorded as
 // correctness anchors: both must be identical at every thread count (the
 // runtime's determinism contract, see docs/RUNTIME.md). The process aborts
 // if they are not.
 //
+// The whole bench drives ONE ThetaEngine session (docs/API.md): plans come
+// from the engine's cached calibration/statistics, executions run on the
+// engine's shared pool with per-call executor overrides.
+//
 // Usage: bench_runtime [output.json]
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,9 +23,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/api/theta_engine.h"
 #include "src/baselines/baseline_planners.h"
-#include "src/core/executor.h"
-#include "src/core/planner.h"
+#include "src/common/flags.h"
 #include "src/exec/theta_kernels.h"
 #include "src/workload/flights.h"
 #include "src/workload/mobile.h"
@@ -29,6 +35,7 @@ namespace mrtheta::bench {
 namespace {
 
 constexpr int kThreadSteps[] = {1, 2, 4, 8};
+constexpr int kMaxThreads = 8;
 
 struct PlannedQuery {
   std::string workload;
@@ -37,16 +44,16 @@ struct PlannedQuery {
   QueryPlan plan;
 };
 
-void RunScalingCurve(const PlannedQuery& pq, Harness& harness,
+void RunScalingCurve(const PlannedQuery& pq, ThetaEngine& engine,
                      std::vector<RuntimeBenchRecord>& records) {
   double base_wall = 0.0;
   SimTime base_makespan = 0;
   int64_t base_rows = -1;
   for (int threads : kThreadSteps) {
-    ExecutorOptions options;
+    ExecutorOptions options = engine.options().executor;
     options.num_threads = threads;
-    Executor executor(&harness.cluster, options);
-    const auto result = executor.Execute(pq.query, pq.plan);
+    const auto result = engine.ExecutePlan(pq.query, pq.plan, options,
+                                           engine.options().execution_seed);
     if (!result.ok()) {
       std::fprintf(stderr, "%s/%s failed at %d threads: %s\n",
                    pq.workload.c_str(), pq.name.c_str(), threads,
@@ -55,20 +62,20 @@ void RunScalingCurve(const PlannedQuery& pq, Harness& harness,
     }
     // Physical execution only — excludes the thread-count-invariant
     // simulation replay and final projection.
-    const double wall = result->measured_seconds;
+    const double wall = result->measured_seconds();
     if (threads == 1) {
       base_wall = wall;
-      base_makespan = result->makespan;
-      base_rows = result->result_ids->num_rows();
-    } else if (result->makespan != base_makespan ||
-               result->result_ids->num_rows() != base_rows) {
+      base_makespan = result->makespan();
+      base_rows = result->num_rows();
+    } else if (result->makespan() != base_makespan ||
+               result->num_rows() != base_rows) {
       std::fprintf(stderr,
                    "%s/%s: determinism violation at %d threads "
                    "(makespan %lld vs %lld, rows %lld vs %lld)\n",
                    pq.workload.c_str(), pq.name.c_str(), threads,
-                   static_cast<long long>(result->makespan),
+                   static_cast<long long>(result->makespan()),
                    static_cast<long long>(base_makespan),
-                   static_cast<long long>(result->result_ids->num_rows()),
+                   static_cast<long long>(result->num_rows()),
                    static_cast<long long>(base_rows));
       std::exit(1);
     }
@@ -81,8 +88,8 @@ void RunScalingCurve(const PlannedQuery& pq, Harness& harness,
     rec.jobs = static_cast<int>(pq.plan.jobs.size());
     rec.wall_seconds = wall;
     rec.speedup_vs_1t = wall > 0.0 ? base_wall / wall : 1.0;
-    rec.sim_makespan_seconds = ToSeconds(result->makespan);
-    rec.result_rows_physical = result->result_ids->num_rows();
+    rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
     records.push_back(rec);
     std::printf("  %-8s %-10s threads=%d  wall=%7.3fs  speedup=%5.2fx  "
@@ -94,37 +101,89 @@ void RunScalingCurve(const PlannedQuery& pq, Harness& harness,
   }
 }
 
+// Session-reuse figure (docs/API.md): latency of the very first query on a
+// cold engine (pays calibration + statistics + planning, i.e. the legacy
+// single-shot pipeline) vs the same query again with warm session caches.
+// Must run before anything else touches the engine. Both records carry
+// identical deterministic fields — only wall_seconds (measured; exempt
+// from the CI gate) differs.
+void RunEngineReuse(ThetaEngine& engine,
+                    std::vector<RuntimeBenchRecord>& records) {
+  MobileDataOptions options;
+  options.physical_rows = 1500;
+  options.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, options);
+  if (!query.ok()) std::exit(1);
+
+  double cold_wall = 0.0;
+  for (const char* phase : {"cold", "warm"}) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = engine.Execute(*query);
+    const double wall = SecondsSince(start);
+    if (!result.ok()) {
+      std::fprintf(stderr, "engine_reuse %s failed: %s\n", phase,
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    RuntimeBenchRecord rec;
+    rec.workload = "engine_reuse";
+    rec.query = phase;
+    rec.threads = engine.options().executor.num_threads;
+    rec.hardware_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    rec.jobs = static_cast<int>(result->jobs().size());
+    rec.wall_seconds = wall;  // whole call: plan + execute (+ calibration)
+    if (cold_wall == 0.0) cold_wall = wall;
+    rec.speedup_vs_1t = wall > 0.0 ? cold_wall / wall : 1.0;
+    rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.result_rows_physical = result->num_rows();
+    rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    records.push_back(rec);
+    std::printf("  %-8s %-10s threads=%d  wall=%7.3fs  speedup=%5.2fx  "
+                "rows=%lld\n",
+                rec.workload.c_str(), phase, rec.threads, wall,
+                rec.speedup_vs_1t,
+                static_cast<long long>(rec.result_rows_physical));
+    std::fflush(stdout);
+  }
+  const EngineMetrics metrics = engine.metrics();
+  if (metrics.calibrations != 1) {
+    std::fprintf(stderr, "engine_reuse: expected 1 calibration, got %lld\n",
+                 static_cast<long long>(metrics.calibrations));
+    std::exit(1);
+  }
+}
+
 // Sweeps the sort-kernel min-pairs gate (satellite knob of
 // ExecutorOptions) over a pairwise-join cascade, where the gate decides
 // per reduce group between the sort kernel and the nested loop.
 void RunGateSweep(const Query& query, const QueryPlan& plan,
-                  Harness& harness,
+                  ThetaEngine& engine,
                   std::vector<RuntimeBenchRecord>& records) {
-  const int threads = kThreadSteps[std::size(kThreadSteps) - 1];
   for (int64_t gate :
        {int64_t{1}, int64_t{64}, kSortKernelMinPairs, int64_t{4096},
         int64_t{1} << 62}) {
-    ExecutorOptions options;
-    options.num_threads = threads;
+    ExecutorOptions options = engine.options().executor;
+    options.num_threads = kMaxThreads;
     options.sort_kernel_min_pairs = gate;
-    Executor executor(&harness.cluster, options);
-    const auto result = executor.Execute(query, plan);
+    const auto result = engine.ExecutePlan(query, plan, options,
+                                           engine.options().execution_seed);
     if (!result.ok()) {
       std::fprintf(stderr, "gate sweep failed: %s\n",
                    result.status().ToString().c_str());
       std::exit(1);
     }
-    const double wall = result->measured_seconds;
+    const double wall = result->measured_seconds();
     RuntimeBenchRecord rec;
     rec.workload = "gate-sweep";
     rec.query = "tpch_q17_hive";
-    rec.threads = threads;
+    rec.threads = kMaxThreads;
     rec.hardware_threads =
         static_cast<int>(std::thread::hardware_concurrency());
     rec.jobs = static_cast<int>(plan.jobs.size());
     rec.wall_seconds = wall;
-    rec.sim_makespan_seconds = ToSeconds(result->makespan);
-    rec.result_rows_physical = result->result_ids->num_rows();
+    rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = gate;
     records.push_back(rec);
     std::printf("  gate-sweep min_pairs=%-12lld wall=%7.3fs  rows=%lld\n",
@@ -135,15 +194,32 @@ void RunGateSweep(const Query& query, const QueryPlan& plan,
 }
 
 int Main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+  const StatusOr<CommonFlags> flags =
+      ParseCommonFlags(argc, argv, /*allow_threads=*/false);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [output.json]\n",
+                 flags.status().ToString().c_str(), argv[0]);
+    return 2;
+  }
+  const std::string out_path =
+      flags->output_path.empty() ? "BENCH_runtime.json" : flags->output_path;
   if (std::thread::hardware_concurrency() <= 1) {
     std::fprintf(stderr,
                  "warning: this host reports a single hardware thread; the "
                  "scaling curves below will be flat (threads time-slice one "
                  "core). hardware_threads is recorded in every record.\n");
   }
-  Harness harness(96);
+
+  // The one session of this bench. The pool is sized for the widest step;
+  // per-call overrides select the effective thread count.
+  EngineOptions engine_options;
+  engine_options.executor.num_threads = kMaxThreads;
+  ThetaEngine engine(engine_options);
   std::vector<RuntimeBenchRecord> records;
+
+  // ---- Session reuse: cold single-shot vs warm caches (must be first,
+  // while the engine is still cold) ----
+  RunEngineReuse(engine, records);
 
   // ---- TPC-H Q17 at the 20k lineitem scale (multi-way self-join) ----
   TpchOptions tpch_options;
@@ -155,10 +231,9 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "tpch q17: %s\n", q17.status().ToString().c_str());
     return 1;
   }
-  Planner planner(&harness.cluster, harness.params);
-  const auto q17_plan = planner.Plan(*q17);
+  const auto q17_plan = engine.PlanQuery(*q17);
   if (!q17_plan.ok()) return 1;
-  RunScalingCurve({"tpch", "q17_20k", *q17, *q17_plan}, harness, records);
+  RunScalingCurve({"tpch", "q17_20k", *q17, *q17_plan}, engine, records);
 
   // ---- Flights itinerary chain (3 legs) ----
   FlightLegOptions leg_options;
@@ -168,9 +243,9 @@ int Main(int argc, char** argv) {
   const auto flights =
       BuildItineraryQuery(legs, {StayOver{}, StayOver{}});
   if (!flights.ok()) return 1;
-  const auto flights_plan = planner.Plan(*flights);
+  const auto flights_plan = engine.PlanQuery(*flights);
   if (!flights_plan.ok()) return 1;
-  RunScalingCurve({"flights", "chain3_2k", *flights, *flights_plan}, harness,
+  RunScalingCurve({"flights", "chain3_2k", *flights, *flights_plan}, engine,
                   records);
 
   // ---- Mobile Q1 (concurrent calls at the same station) ----
@@ -179,19 +254,19 @@ int Main(int argc, char** argv) {
   mobile_options.logical_bytes = 2 * kGiB;
   const auto mobile = BuildMobileQuery(1, mobile_options);
   if (!mobile.ok()) return 1;
-  const auto mobile_plan = planner.Plan(*mobile);
+  const auto mobile_plan = engine.PlanQuery(*mobile);
   if (!mobile_plan.ok()) return 1;
-  RunScalingCurve({"mobile", "q1_4k", *mobile, *mobile_plan}, harness,
+  RunScalingCurve({"mobile", "q1_4k", *mobile, *mobile_plan}, engine,
                   records);
 
   // ---- Sort-kernel gate sweep over the Q17 pairwise cascade ----
-  const auto q17_hive = PlanHiveStyle(*q17, harness.cluster);
+  const auto q17_hive = PlanHiveStyle(*q17, engine.cluster());
   if (!q17_hive.ok()) {
     std::fprintf(stderr, "hive-style q17 plan failed (gate sweep): %s\n",
                  q17_hive.status().ToString().c_str());
     return 1;
   }
-  RunGateSweep(*q17, *q17_hive, harness, records);
+  RunGateSweep(*q17, *q17_hive, engine, records);
 
   const Status status = WriteRuntimeBenchJson(out_path, records);
   if (!status.ok()) {

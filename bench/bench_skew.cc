@@ -29,8 +29,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/core/executor.h"
-#include "src/core/planner.h"
+#include "src/api/theta_engine.h"
+#include "src/common/flags.h"
 #include "src/exec/hilbert_join.h"
 #include "src/mapreduce/job_runner.h"
 #include "src/sched/skew_assigner.h"
@@ -47,12 +47,6 @@ constexpr int kPairReduceTasks = 32;
 // <= 1.5 with skew handling on and must demonstrate >= 3.0 without it.
 constexpr double kMaxRatioOn = 1.5;
 constexpr double kMinRatioOff = 3.0;
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 // Mobile pair join: t1.bsc = t2.bsc AND t1.bt <= t2.bt over two
 // independent samples of the Zipf-skewed call table.
@@ -134,22 +128,22 @@ SkewBenchRecord PairRecord(SkewHandling skew_handling, uint64_t* fingerprint) {
   return rec;
 }
 
-// Plan-level: a whole query via planner + executor, skew off vs on. One
-// record per mode with the balance of the plan's (first) Hilbert join and
-// the simulated makespan of the whole plan.
+// Plan-level: a whole query through the ThetaEngine session, skew off vs
+// on. One record per mode with the balance of the plan's (first) Hilbert
+// join and the simulated makespan of the whole plan.
 void RunPlanLevel(const Query& query, const std::string& name,
-                  Harness& harness, std::vector<SkewBenchRecord>& records) {
-  Planner planner(&harness.cluster, harness.params);
-  const auto plan = planner.Plan(query);
+                  ThetaEngine& engine,
+                  std::vector<SkewBenchRecord>& records) {
+  const auto plan = engine.PlanQuery(query);
   if (!plan.ok()) std::exit(1);
 
   int64_t base_rows = -1;
   for (const SkewHandling mode : {SkewHandling::kOff, SkewHandling::kAuto}) {
-    ExecutorOptions exec_options;
+    ExecutorOptions exec_options = engine.options().executor;
     exec_options.skew_handling = mode;
-    Executor executor(&harness.cluster, exec_options);
     const auto start = std::chrono::steady_clock::now();
-    const auto result = executor.Execute(query, *plan);
+    const auto result = engine.ExecutePlan(query, *plan, exec_options,
+                                           engine.options().execution_seed);
     if (!result.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
                    result.status().ToString().c_str());
@@ -160,7 +154,7 @@ void RunPlanLevel(const Query& query, const std::string& name,
     rec.query = name.substr(name.find('/') + 1);
     rec.mode = mode == SkewHandling::kOff ? "off" : "on";
     rec.zipf_exponent = kZipfExponent;
-    for (const JobExecution& job : result->jobs) {
+    for (const JobExecution& job : result->jobs()) {
       if (job.kind != PlanJobKind::kHilbertJoin) continue;
       const ReduceBalance balance =
           ComputeReduceBalance(job.metrics.reduce_input_bytes_logical);
@@ -173,8 +167,8 @@ void RunPlanLevel(const Query& query, const std::string& name,
       rec.max_mean_ratio = balance.ratio;
       break;
     }
-    rec.result_rows_physical = result->result_ids->num_rows();
-    rec.sim_makespan_seconds = ToSeconds(result->makespan);
+    rec.result_rows_physical = result->num_rows();
+    rec.sim_makespan_seconds = result->simulated_seconds();
     rec.wall_seconds = SecondsSince(start);
     std::printf("  %-18s %-4s tasks=%2d (resid=%2d heavy=%2d/%d groups)  "
                 "max/mean=%5.2f  sim=%7.1fs  rows=%lld\n",
@@ -198,7 +192,15 @@ void RunPlanLevel(const Query& query, const std::string& name,
 }
 
 int Main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_skew.json";
+  const StatusOr<CommonFlags> flags =
+      ParseCommonFlags(argc, argv, /*allow_threads=*/false);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [output.json]\n",
+                 flags.status().ToString().c_str(), argv[0]);
+    return 2;
+  }
+  const std::string out_path =
+      flags->output_path.empty() ? "BENCH_skew.json" : flags->output_path;
   if (std::thread::hardware_concurrency() <= 1) {
     std::fprintf(stderr,
                  "warning: this host reports a single hardware thread; "
@@ -231,8 +233,9 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  // ---- Plan-level: mobile Q1 and a Zipf-skewed TPC-H Q17 ----
-  Harness harness(96);
+  // ---- Plan-level: mobile Q1 and a Zipf-skewed TPC-H Q17, through one
+  // ThetaEngine session ----
+  ThetaEngine engine;
   {
     MobileDataOptions options;
     options.physical_rows = 4000;
@@ -240,7 +243,7 @@ int Main(int argc, char** argv) {
     options.station_skew = kZipfExponent;
     const auto query = BuildMobileQuery(1, options);
     if (!query.ok()) std::exit(1);
-    RunPlanLevel(*query, "mobile/q1_4k_2gb", harness, records);
+    RunPlanLevel(*query, "mobile/q1_4k_2gb", engine, records);
   }
   {
     // Q17 chains l1.partkey = p.partkey = l2.partkey: all three inputs
@@ -253,7 +256,7 @@ int Main(int argc, char** argv) {
     const TpchData db = GenerateTpch(options);
     const auto query = BuildTpchQuery(17, db);
     if (!query.ok()) std::exit(1);
-    RunPlanLevel(*query, "tpch/q17_4k_skewed", harness, records);
+    RunPlanLevel(*query, "tpch/q17_4k_skewed", engine, records);
   }
 
   const Status status = WriteSkewBenchJson(out_path, records);

@@ -5,26 +5,26 @@
 #include <cstdlib>
 
 #include "src/baselines/baseline_planners.h"
-#include "src/cost/calibration.h"
 
 namespace mrtheta::bench {
 
 namespace {
 
-ClusterConfig ConfigFor(int kp) {
-  ClusterConfig cfg;
-  cfg.num_workers = kp;
-  return cfg;
+EngineOptions OptionsFor(int kp, int num_threads) {
+  EngineOptions options;
+  options.cluster.num_workers = kp;
+  options.executor.num_threads = num_threads;
+  // Calibration probes need one free map wave; the engine runs them on a
+  // 96-wide calibration cluster (the model parameters are kP-independent).
+  options.calibration_workers = 96;
+  return options;
 }
 
 }  // namespace
 
-Harness::Harness(int kp) : cluster(ConfigFor(kp)) {
-  // Calibration probes need one free map wave; run them on a 96-wide
-  // calibration cluster (the model parameters are kP-independent).
-  SimCluster calibration_cluster{ConfigFor(96)};
-  StatusOr<CalibrationReport> report =
-      CalibrateCostModel(calibration_cluster);
+Harness::Harness(int kp, int num_threads)
+    : engine(OptionsFor(kp, num_threads)), cluster(engine.cluster()) {
+  StatusOr<CalibrationReport> report = engine.Calibration();
   if (!report.ok()) {
     std::fprintf(stderr, "calibration failed: %s\n",
                  report.status().ToString().c_str());
@@ -38,8 +38,7 @@ StatusOr<SystemResult> RunSystem(const std::string& system,
                                  uint64_t seed) {
   StatusOr<QueryPlan> plan = Status::Internal("unknown system");
   if (system == "ours") {
-    Planner planner(&harness.cluster, harness.params);
-    plan = planner.Plan(query);
+    plan = harness.engine.PlanQuery(query);
   } else if (system == "ysmart") {
     plan = PlanYSmartStyle(query, harness.cluster);
   } else if (system == "hive") {
@@ -48,15 +47,15 @@ StatusOr<SystemResult> RunSystem(const std::string& system,
     plan = PlanPigStyle(query, harness.cluster);
   }
   if (!plan.ok()) return plan.status();
-  Executor executor(&harness.cluster);
-  StatusOr<ExecutionResult> result = executor.Execute(query, *plan, seed);
+  StatusOr<QueryResult> result = harness.engine.ExecutePlan(
+      query, *plan, harness.engine.options().executor, seed);
   if (!result.ok()) return result.status();
   SystemResult out;
   out.system = system;
-  out.seconds = ToSeconds(result->makespan);
+  out.seconds = result->simulated_seconds();
   out.jobs = static_cast<int>(plan->jobs.size());
-  out.result_rows_physical = result->result_ids->num_rows();
-  out.result_selectivity = result->result_selectivity;
+  out.result_rows_physical = result->num_rows();
+  out.result_selectivity = result->selectivity();
   return out;
 }
 

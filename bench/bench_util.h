@@ -1,10 +1,12 @@
 #ifndef MRTHETA_BENCH_BENCH_UTIL_H_
 #define MRTHETA_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "src/api/theta_engine.h"
 #include "src/core/executor.h"
 #include "src/core/planner.h"
 #include "src/cost/cost_model.h"
@@ -12,14 +14,24 @@
 
 namespace mrtheta::bench {
 
-/// Builds a cluster with kP processing units and a calibrated cost model.
+/// One ThetaEngine session on a kP-unit cluster, calibrated eagerly.
 /// Exits the process on failure (benches are top-level harnesses).
+/// `cluster` and `params` are legacy views into the engine for the figure
+/// benches that probe planner/cost-model internals directly.
 struct Harness {
-  SimCluster cluster;
+  ThetaEngine engine;
+  const SimCluster& cluster;
   CostModelParams params;
 
-  explicit Harness(int kp);
+  explicit Harness(int kp, int num_threads = 1);
 };
+
+/// Elapsed wall-clock seconds since `start` (bench timing boilerplate).
+inline double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// Simulated seconds for one (query, planner) pair. Planner name in
 /// {"ours", "ysmart", "hive", "pig"}.

@@ -1,20 +1,17 @@
 // The paper's motivating scenario (Sec. 2.2): find all travel plans along
 // a city sequence where each stay-over falls inside a time window — a
-// chain theta-join with band predicates, evaluated in ONE MapReduce job.
+// chain theta-join with band predicates, evaluated in ONE MapReduce job
+// through the ThetaEngine session API.
 
 #include <cstdio>
 
-#include "src/core/executor.h"
-#include "src/core/planner.h"
-#include "src/cost/calibration.h"
+#include "src/api/theta_engine.h"
 #include "src/workload/flights.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
 int main() {
-  SimCluster cluster{ClusterConfig{}};
-  const auto calib = CalibrateCostModel(cluster);
-  if (!calib.ok()) return 1;
+  ThetaEngine engine;
 
   // Itinerary over four cities = three flight-leg tables, each
   // representing ~4 GB of flight records.
@@ -34,27 +31,25 @@ int main() {
   }
   std::printf("%s\n\n", query->ToString().c_str());
 
-  Planner planner(&cluster, calib->params);
-  const auto plan = planner.Plan(*query);
+  const auto plan = engine.PlanQuery(*query);
   if (!plan.ok()) return 1;
   std::printf("%s\n", plan->ToString().c_str());
 
-  Executor executor(&cluster);
-  const auto result = executor.Execute(*query, *plan);
+  const auto result = engine.ExecutePlan(*query, *plan);
   if (!result.ok()) {
     std::printf("execute: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("valid travel plans (physical sample): %lld\n",
-              static_cast<long long>(result->result_ids->num_rows()));
+              static_cast<long long>(result->num_rows()));
   std::printf("simulated makespan: %s\n",
-              FormatSimTime(result->makespan).c_str());
+              FormatSimTime(result->makespan()).c_str());
   // Show a few itineraries: flight numbers per leg.
-  const int64_t show = std::min<int64_t>(5, result->projected->num_rows());
+  const int64_t show = std::min<int64_t>(5, result->rows().num_rows());
   for (int64_t r = 0; r < show; ++r) {
     std::printf("  plan %lld:", static_cast<long long>(r));
-    for (int c = 0; c < result->projected->schema().num_columns(); ++c) {
-      std::printf(" %s", result->projected->Get(r, c).ToString().c_str());
+    for (int c = 0; c < result->num_columns(); ++c) {
+      std::printf(" %s", result->Get(r, c).ToString().c_str());
     }
     std::printf("\n");
   }

@@ -1,25 +1,22 @@
 // Mobile-network analytics: the paper's four benchmark queries over the
 // call-record data set, comparing our planner with the three baselines on
-// one volume — a miniature of the Fig. 9 experiment.
+// one volume — a miniature of the Fig. 9 experiment. One ThetaEngine
+// session plans and executes all four queries (and the baseline plans),
+// amortizing calibration across them.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
+#include "src/api/theta_engine.h"
 #include "src/baselines/baseline_planners.h"
 #include "src/common/table_printer.h"
-#include "src/core/executor.h"
-#include "src/core/planner.h"
-#include "src/cost/calibration.h"
 #include "src/workload/mobile.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
 int main() {
-  SimCluster cluster{ClusterConfig{}};
-  const auto calib = CalibrateCostModel(cluster);
-  if (!calib.ok()) return 1;
-  Planner planner(&cluster, calib->params);
-  Executor executor(&cluster);
+  ThetaEngine engine;
 
   TablePrinter table({"query", "ours (s)", "ysmart (s)", "hive (s)",
                       "pig (s)", "result rows", "plan"});
@@ -38,23 +35,23 @@ int main() {
         std::printf("plan failed: %s\n", plan.status().ToString().c_str());
         std::exit(1);
       }
-      const auto result = executor.Execute(*query, *plan);
+      const auto result = engine.ExecutePlan(*query, *plan);
       if (!result.ok()) {
         std::printf("execute failed: %s\n",
                     result.status().ToString().c_str());
         std::exit(1);
       }
-      seconds.push_back(ToSeconds(result->makespan));
-      rows = result->result_ids->num_rows();
+      seconds.push_back(result->simulated_seconds());
+      rows = result->num_rows();
       if (strategy.empty()) {
         strategy = plan->strategy + "/" +
                    std::to_string(plan->jobs.size()) + "job";
       }
     };
-    run(planner.Plan(*query));
-    run(PlanYSmartStyle(*query, cluster));
-    run(PlanHiveStyle(*query, cluster));
-    run(PlanPigStyle(*query, cluster));
+    run(engine.PlanQuery(*query));
+    run(PlanYSmartStyle(*query, engine.cluster()));
+    run(PlanHiveStyle(*query, engine.cluster()));
+    run(PlanPigStyle(*query, engine.cluster()));
 
     table.AddRow({"Q" + std::to_string(qid),
                   TablePrinter::Num(seconds[0], 1),

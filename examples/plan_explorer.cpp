@@ -1,14 +1,13 @@
-// Plan explorer: builds the paper's Fig. 1 join graph, prints the pruned
-// join-path graph G'_JP (Algorithm 2) with weights and schedules, and the
-// greedy set-cover selection of T — the planner's internals made visible.
+// Plan explorer: builds the paper's Fig. 1 join graph with the fluent
+// QueryBuilder, prints the pruned join-path graph G'_JP (Algorithm 2) with
+// weights and schedules, and the greedy set-cover selection of T — the
+// planner's internals made visible through ThetaEngine::Explain.
 
 #include <cstdio>
 #include <memory>
 
+#include "src/api/theta_engine.h"
 #include "src/common/rng.h"
-#include "src/core/planner.h"
-#include "src/cost/calibration.h"
-#include "src/sched/set_cover.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
@@ -28,53 +27,52 @@ RelationPtr MakeRel(const char* name, int64_t logical_mb, uint64_t seed) {
 }  // namespace
 
 int main() {
-  SimCluster cluster{ClusterConfig{}};
-  const auto calib = CalibrateCostModel(cluster);
-  if (!calib.ok()) return 1;
+  ThetaEngine engine;
 
-  // Fig. 1's G_J over R0..R4 (0-indexed):
-  //   θ0:(R0,R1) θ1:(R1,R2) θ2:(R0,R2) θ3:(R2,R3) θ4:(R3,R4) θ5:(R4,R2)
-  Query q;
-  std::vector<int> r;
+  // Fig. 1's G_J over r0..r4:
+  //   θ0:(r0,r1) θ1:(r1,r2) θ2:(r0,r2) θ3:(r2,r3) θ4:(r3,r4) θ5:(r4,r2)
+  QueryBuilder builder;
   for (int i = 0; i < 5; ++i) {
-    r.push_back(q.AddRelation(MakeRel("R", 512 * (i + 1), 7 + i)));
+    builder.From("r" + std::to_string(i),
+                 MakeRel("R", 512 * (i + 1), 7 + i));
   }
-  auto add = [&](int a, int b, ThetaOp op) {
-    const auto id = q.AddCondition(r[a], "a", op, r[b], "a");
-    if (!id.ok()) std::abort();
-  };
-  add(0, 1, ThetaOp::kLe);
-  add(1, 2, ThetaOp::kEq);
-  add(0, 2, ThetaOp::kGt);
-  add(2, 3, ThetaOp::kEq);
-  add(3, 4, ThetaOp::kLt);
-  add(4, 2, ThetaOp::kGe);
-  (void)q.AddOutput(r[0], "a");
+  builder.Where(Col("r0.a") <= Col("r1.a"))
+      .Where(Col("r1.a") == Col("r2.a"))
+      .Where(Col("r0.a") > Col("r2.a"))
+      .Where(Col("r2.a") == Col("r3.a"))
+      .Where(Col("r3.a") < Col("r4.a"))
+      .Where(Col("r4.a") >= Col("r2.a"))
+      .Select("r0.a");
+  const auto query = builder.Build();
+  if (!query.ok()) {
+    std::printf("query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
 
-  const auto graph = q.BuildJoinGraph();
+  const auto graph = query->BuildJoinGraph();
   std::printf("G_J: %s\n", graph->ToString().c_str());
   std::printf("Eulerian circuit exists: %s (all degrees even, as in Fig. 1)\n\n",
               graph->HasEulerianCircuit() ? "yes" : "no");
 
-  Planner planner(&cluster, calib->params);
-  const auto plan = planner.Plan(q);
-  if (!plan.ok()) {
-    std::printf("plan: %s\n", plan.status().ToString().c_str());
+  const auto report = engine.Explain(*query);
+  if (!report.ok()) {
+    std::printf("plan: %s\n", report.status().ToString().c_str());
     return 1;
   }
+  const QueryPlan& plan = report->plan;
 
   std::printf("G'_JP after Lemma 1/2 pruning: %d trails enumerated, "
               "%d pruned by L1, %d by L2, %d candidates kept\n\n",
-              plan->gjp_stats.trails_enumerated,
-              plan->gjp_stats.pruned_by_lemma1,
-              plan->gjp_stats.pruned_by_lemma2, plan->gjp_stats.reported);
-  const size_t show = std::min<size_t>(12, plan->candidates.size());
+              plan.gjp_stats.trails_enumerated,
+              plan.gjp_stats.pruned_by_lemma1,
+              plan.gjp_stats.pruned_by_lemma2, plan.gjp_stats.reported);
+  const size_t show = std::min<size_t>(12, plan.candidates.size());
   for (size_t i = 0; i < show; ++i) {
-    std::printf("  e'%zu: %s\n", i, plan->candidates[i].ToString().c_str());
+    std::printf("  e'%zu: %s\n", i, plan.candidates[i].ToString().c_str());
   }
-  if (plan->candidates.size() > show) {
-    std::printf("  ... (%zu more)\n", plan->candidates.size() - show);
+  if (plan.candidates.size() > show) {
+    std::printf("  ... (%zu more)\n", plan.candidates.size() - show);
   }
-  std::printf("\nchosen plan:\n%s", plan->ToString().c_str());
+  std::printf("\nchosen plan:\n%s", plan.ToString().c_str());
   return 0;
 }

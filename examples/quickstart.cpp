@@ -1,98 +1,93 @@
-// Quickstart: plan and execute a 3-way theta-join on the simulated cluster.
-//
-// Builds two tiny relations, joins them with inequality conditions through
-// the full pipeline (statistics -> cost calibration -> join-path graph ->
-// set cover -> malleable schedule -> Hilbert-partitioned MapReduce jobs),
-// and prints the result plus the simulated execution report.
+// Quickstart: plan and execute a multi-way theta-join with the session
+// API. One ThetaEngine owns the simulated cluster, the cost-model
+// calibration, per-relation statistics and the runtime thread pool; the
+// fluent QueryBuilder expresses the paper's Q1 ("concurrent calls at the
+// same base station") without index juggling.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <memory>
 
+#include "src/api/theta_engine.h"
 #include "src/baselines/baseline_planners.h"
-#include "src/common/rng.h"
-#include "src/core/executor.h"
-#include "src/core/planner.h"
-#include "src/cost/calibration.h"
+#include "src/common/flags.h"
 #include "src/workload/mobile.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
 // Usage: quickstart [--threads N]  (N = in-process runtime threads)
 int main(int argc, char** argv) {
-  int num_threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      num_threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
-      if (num_threads < 1) {
-        std::fprintf(stderr, "usage: %s [--threads N]  (N >= 1)\n", argv[0]);
-        return 2;
-      }
-    }
+  const StatusOr<CommonFlags> flags = ParseCommonFlags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [--threads N]  (N >= 1)\n",
+                 flags.status().ToString().c_str(), argv[0]);
+    return 2;
   }
 
-  // 1. A simulated 96-unit cluster (Table 1 parameters).
-  SimCluster cluster(ClusterConfig{});
-  std::printf("cluster: %s\n", cluster.config().ToString().c_str());
+  // 1. One engine per session: a simulated 96-unit cluster (Table 1
+  // parameters); calibration (Sec. 6.2) runs lazily on the first query.
+  EngineOptions options;
+  options.executor.num_threads = flags->num_threads;
+  ThetaEngine engine(options);
+  std::printf("cluster: %s\n", engine.cluster().config().ToString().c_str());
 
-  // 2. Calibrate the cost model from observed sample jobs (Sec. 6.2).
-  StatusOr<CalibrationReport> calib = CalibrateCostModel(cluster);
-  if (!calib.ok()) {
-    std::printf("calibration failed: %s\n",
-                calib.status().ToString().c_str());
-    return 1;
-  }
-
-  // 3. Data: mobile-call samples, each alias representing 2 GB of records.
+  // 2. Data: mobile-call samples, each alias representing 2 GB of records.
   MobileDataOptions data_options;
   data_options.physical_rows = 1500;
   data_options.logical_bytes = 2 * kGiB;
 
-  // 4. Query Q1: concurrent calls at the same base station.
-  StatusOr<Query> query = BuildMobileQuery(1, data_options);
-  if (!query.ok()) return 1;
-  std::printf("%s\n", query->ToString().c_str());
-
-  // 5. Plan: decompose into MRJs, pick T_opt, schedule on kP units.
-  Planner planner(&cluster, calib->params);
-  StatusOr<QueryPlan> plan = planner.Plan(*query);
-  if (!plan.ok()) {
-    std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+  // 3. Query Q1, fluently: concurrent calls at the same base station.
+  QueryBuilder builder;
+  builder.From("t1", GenerateMobileCallsInstance(data_options, 0))
+      .From("t2", GenerateMobileCallsInstance(data_options, 1))
+      .From("t3", GenerateMobileCallsInstance(data_options, 2))
+      .Where(Col("t1.bt") <= Col("t2.bt"))
+      .Where(Col("t1.l") >= Col("t2.l"))
+      .Where(Col("t2.bsc") == Col("t3.bsc"))
+      .Where(Col("t2.d") == Col("t3.d"))
+      .Select("t3.id");
+  const StatusOr<Query> query = builder.Build();
+  if (!query.ok()) {
+    std::printf("query: %s\n", query.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", plan->ToString().c_str());
+  std::printf("%s\n", query->ToString().c_str());
 
-  // 6. Execute on the in-process runtime: exact answers + simulated
+  // 4. Explain: statistics -> join-path graph -> set cover -> malleable
+  // schedule, all behind one call.
+  const StatusOr<PlanReport> report = engine.Explain(*query);
+  if (!report.ok()) {
+    std::printf("planning failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->plan.ToString().c_str());
+
+  // 5. Execute on the in-process runtime: exact answers + simulated
   // makespan; measured wall-clock shrinks with --threads, the simulated
   // figures do not change.
-  ExecutorOptions exec_options;
-  exec_options.num_threads = num_threads;
-  Executor executor(&cluster, exec_options);
-  StatusOr<ExecutionResult> result = executor.Execute(*query, *plan);
+  const StatusOr<QueryResult> result = engine.ExecutePlan(*query,
+                                                          report->plan);
   if (!result.ok()) {
     std::printf("execution failed: %s\n",
                 result.status().ToString().c_str());
     return 1;
   }
   std::printf("result rows (physical): %lld, selectivity: %.6g\n",
-              static_cast<long long>(result->result_ids->num_rows()),
-              result->result_selectivity);
+              static_cast<long long>(result->num_rows()),
+              result->selectivity());
   std::printf("makespan: measured %.3fs on %d thread(s) / simulated %s "
               "on the modeled cluster\n",
-              result->measured_seconds, num_threads,
-              FormatSimTime(result->makespan).c_str());
+              result->measured_seconds(), flags->num_threads,
+              FormatSimTime(result->makespan()).c_str());
 
-  // 7. Compare against the Hive-style baseline on the same cluster.
-  StatusOr<QueryPlan> hive = PlanHiveStyle(*query, cluster);
+  // 6. Compare against the Hive-style baseline on the same session.
+  const StatusOr<QueryPlan> hive = PlanHiveStyle(*query, engine.cluster());
   if (hive.ok()) {
-    StatusOr<ExecutionResult> hive_result =
-        executor.Execute(*query, *hive);
+    const StatusOr<QueryResult> hive_result =
+        engine.ExecutePlan(*query, *hive);
     if (hive_result.ok()) {
       std::printf("hive-style makespan: %s (%.2fx ours)\n",
-                  FormatSimTime(hive_result->makespan).c_str(),
-                  static_cast<double>(hive_result->makespan) /
-                      static_cast<double>(result->makespan));
+                  FormatSimTime(hive_result->makespan()).c_str(),
+                  static_cast<double>(hive_result->makespan()) /
+                      static_cast<double>(result->makespan()));
     } else {
       std::printf("hive-style execution failed: %s\n",
                   hive_result.status().ToString().c_str());

@@ -1,42 +1,29 @@
 // TPC-H demo: generate the TPC-H-lite database, run the amended Q17
-// (small-quantity parts, a lineitem self-join through part) and show the
-// plan the optimizer picks plus its per-job simulated timeline.
+// (small-quantity parts, a lineitem self-join through part) through one
+// ThetaEngine session and show the plan the optimizer picks plus its
+// per-job simulated timeline.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <thread>
 
-#include "src/core/executor.h"
-#include "src/core/planner.h"
-#include "src/cost/calibration.h"
+#include "src/api/theta_engine.h"
+#include "src/common/flags.h"
 #include "src/workload/tpch.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
 // Usage: tpch_demo [--threads N]  (N = in-process runtime threads)
 int main(int argc, char** argv) {
-  int num_threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      num_threads = i + 1 < argc ? std::atoi(argv[i + 1]) : 0;
-      if (num_threads < 1) {
-        std::fprintf(stderr, "usage: %s [--threads N]  (N >= 1)\n", argv[0]);
-        return 2;
-      }
-    }
+  const StatusOr<CommonFlags> flags = ParseCommonFlags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [--threads N]  (N >= 1)\n",
+                 flags.status().ToString().c_str(), argv[0]);
+    return 2;
   }
-  if (num_threads > 1 && std::thread::hardware_concurrency() <= 1) {
-    std::fprintf(stderr,
-                 "warning: this host reports a single hardware thread; "
-                 "--threads %d will time-slice one core and the measured "
-                 "makespan will not improve\n",
-                 num_threads);
-  }
+  WarnIfSingleHardwareThread(flags->num_threads);
 
-  SimCluster cluster{ClusterConfig{}};
-  const auto calib = CalibrateCostModel(cluster);
-  if (!calib.ok()) return 1;
+  EngineOptions engine_options;
+  engine_options.executor.num_threads = flags->num_threads;
+  ThetaEngine engine(engine_options);
 
   TpchOptions options;
   options.scale_factor = 100;  // represents ~100 GB
@@ -51,21 +38,17 @@ int main(int argc, char** argv) {
   if (!query.ok()) return 1;
   std::printf("%s\n\n", query->ToString().c_str());
 
-  Planner planner(&cluster, calib->params);
-  const auto plan = planner.Plan(*query);
+  const auto plan = engine.PlanQuery(*query);
   if (!plan.ok()) return 1;
   std::printf("%s\n", plan->ToString().c_str());
 
-  ExecutorOptions exec_options;
-  exec_options.num_threads = num_threads;
-  Executor executor(&cluster, exec_options);
-  const auto result = executor.Execute(*query, *plan);
+  const auto result = engine.ExecutePlan(*query, *plan);
   if (!result.ok()) {
     std::printf("execute: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("per-job timeline (simulated cluster + measured local):\n");
-  for (const JobExecution& job : result->jobs) {
+  for (const JobExecution& job : result->jobs()) {
     std::printf("  %-14s kind=%-12s RN=%-3d in=%9s shuffle=%9s "
                 "[%.1fs .. %.1fs] local=%.3fs\n",
                 job.name.c_str(), PlanJobKindName(job.kind),
@@ -76,11 +59,11 @@ int main(int argc, char** argv) {
                 ToSeconds(job.timing.finish), job.wall_seconds);
   }
   std::printf("\nresult rows (physical sample): %lld, selectivity %.3g\n",
-              static_cast<long long>(result->result_ids->num_rows()),
-              result->result_selectivity);
+              static_cast<long long>(result->num_rows()),
+              result->selectivity());
   std::printf("makespan: measured %.3fs on %d thread(s) / simulated %s "
               "on the modeled cluster\n",
-              result->measured_seconds, num_threads,
-              FormatSimTime(result->makespan).c_str());
+              result->measured_seconds(), flags->num_threads,
+              FormatSimTime(result->makespan()).c_str());
   return 0;
 }

@@ -1,0 +1,51 @@
+#include "src/api/engine_options.h"
+
+namespace mrtheta {
+
+Status EngineOptions::Validate() const {
+  if (cluster.num_workers < 1) {
+    return Status::InvalidArgument("cluster.num_workers must be >= 1");
+  }
+  if (cluster.block_size < 1) {
+    return Status::InvalidArgument("cluster.block_size must be >= 1");
+  }
+  if (calibration_workers < 0) {
+    return Status::InvalidArgument("calibration_workers must be >= 0");
+  }
+  if (executor.num_threads < 1) {
+    return Status::InvalidArgument("executor.num_threads must be >= 1");
+  }
+  if (executor.sort_kernel_min_pairs < 0) {
+    return Status::InvalidArgument(
+        "executor.sort_kernel_min_pairs must be >= 0");
+  }
+  if (planner.lambda < 0.0 || planner.lambda > 1.0) {
+    return Status::InvalidArgument("planner.lambda must be in [0, 1]");
+  }
+  if (planner.max_reduce_tasks < 0) {
+    return Status::InvalidArgument("planner.max_reduce_tasks must be >= 0");
+  }
+  if (planner.stats.sample_size < 1) {
+    return Status::InvalidArgument("planner.stats.sample_size must be >= 1");
+  }
+  if (planner.stats.histogram_bins < 1) {
+    return Status::InvalidArgument(
+        "planner.stats.histogram_bins must be >= 1");
+  }
+  if (calibration.probe_input_bytes < 1) {
+    return Status::InvalidArgument(
+        "calibration.probe_input_bytes must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::string EngineOptions::ToString() const {
+  std::string out = "EngineOptions{" + cluster.ToString();
+  out += ", threads=" + std::to_string(executor.num_threads);
+  out += ", seed=" + std::to_string(execution_seed);
+  out += ", calibration_workers=" + std::to_string(calibration_workers);
+  out += "}";
+  return out;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,50 @@
+#ifndef MRTHETA_API_ENGINE_OPTIONS_H_
+#define MRTHETA_API_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/calibration.h"
+#include "src/mapreduce/cluster_config.h"
+
+namespace mrtheta {
+
+/// \brief The single validated options surface of a ThetaEngine session:
+/// the simulated cluster, the planner knobs, the physical executor knobs
+/// and the calibration campaign, merged so callers configure one struct
+/// instead of wiring four objects by hand.
+///
+/// Every field keeps its subsystem's default, so `ThetaEngine engine;` is
+/// the paper's Table 1 test bed with the sequential reference runtime.
+struct EngineOptions {
+  /// The simulated shared-nothing cluster (kP workers, Table 1 parameters).
+  ClusterConfig cluster;
+  /// Optimizer knobs (λ, pruning, kR policy, statistics collection).
+  PlannerOptions planner;
+  /// Physical runtime knobs (threads, kernels, skew handling). The engine
+  /// sizes its shared thread pool to `executor.num_threads`.
+  ExecutorOptions executor;
+  /// Cost-model calibration campaign (Sec. 6.2 probes).
+  CalibrationOptions calibration;
+  /// Workers of the throwaway calibration cluster: the probe campaign
+  /// needs one free map wave, and the fitted parameters are kP-independent,
+  /// so calibration always runs at this width regardless of
+  /// `cluster.num_workers`. 0 = use `cluster.num_workers`.
+  int calibration_workers = 96;
+  /// Seed of Execute/Submit runs. Same seed + same options ⇒ byte-identical
+  /// results across Execute and Submit (docs/API.md determinism contract).
+  uint64_t execution_seed = 42;
+
+  /// Cross-field validation; every ThetaEngine entry point fails with this
+  /// status when the options are inconsistent.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_API_ENGINE_OPTIONS_H_

@@ -1,0 +1,106 @@
+#include "src/api/query_builder.h"
+
+namespace mrtheta {
+
+ColExpr Col(const std::string& qualified) {
+  ColExpr ref;
+  ref.spelled = qualified;
+  const size_t dot = qualified.find('.');
+  if (dot != std::string::npos && dot > 0 && dot + 1 < qualified.size() &&
+      qualified.find('.', dot + 1) == std::string::npos) {
+    ref.alias = qualified.substr(0, dot);
+    ref.column = qualified.substr(dot + 1);
+  }
+  return ref;
+}
+
+QueryBuilder& QueryBuilder::From(const std::string& alias,
+                                 RelationPtr relation) {
+  froms_.push_back({alias, std::move(relation)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(CondExpr cond) {
+  wheres_.push_back(std::move(cond));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Select(const std::string& qualified) {
+  selects_.push_back(Col(qualified));
+  return *this;
+}
+
+StatusOr<ColumnRef> QueryBuilder::Resolve(const ColExpr& ref) const {
+  if (ref.alias.empty() || ref.column.empty()) {
+    return Status::InvalidArgument("malformed column reference '" +
+                                   ref.spelled +
+                                   "' (expected \"alias.column\")");
+  }
+  int relation = -1;
+  for (int i = 0; i < num_relations(); ++i) {
+    if (froms_[i].alias == ref.alias) {
+      relation = i;
+      break;
+    }
+  }
+  if (relation < 0) {
+    std::string known;
+    for (const FromClause& from : froms_) {
+      known += known.empty() ? from.alias : ", " + from.alias;
+    }
+    return Status::NotFound("unknown alias '" + ref.alias + "' in '" +
+                            ref.spelled + "' (aliases in scope: " + known +
+                            ")");
+  }
+  StatusOr<int> column =
+      froms_[relation].relation->schema().FindColumn(ref.column);
+  if (!column.ok()) {
+    return Status::NotFound("unknown column '" + ref.column +
+                            "' of alias '" + ref.alias + "' (relation " +
+                            froms_[relation].relation->name() + ")");
+  }
+  ColumnRef out;
+  out.relation = relation;
+  out.column = *column;
+  return out;
+}
+
+StatusOr<Query> QueryBuilder::Build() const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (froms_[i].relation == nullptr) {
+      return Status::InvalidArgument("alias '" + froms_[i].alias +
+                                     "' has a null relation");
+    }
+    for (int j = 0; j < i; ++j) {
+      if (froms_[i].alias == froms_[j].alias) {
+        return Status::InvalidArgument("duplicate alias '" + froms_[i].alias +
+                                       "' (every From needs its own alias; "
+                                       "self-joins use distinct aliases over "
+                                       "the same relation)");
+      }
+    }
+  }
+  Query query;
+  for (const FromClause& from : froms_) query.AddRelation(from.relation);
+  for (const CondExpr& cond : wheres_) {
+    StatusOr<ColumnRef> lhs = Resolve(cond.lhs);
+    if (!lhs.ok()) return lhs.status();
+    StatusOr<ColumnRef> rhs = Resolve(cond.rhs);
+    if (!rhs.ok()) return rhs.status();
+    // (a + oa) op (b + ob)  ⇔  (a + (oa - ob)) op b — the legacy Query
+    // carries the whole band offset on the left side.
+    StatusOr<int> id = query.AddCondition(
+        lhs->relation, cond.lhs.column, cond.op, rhs->relation,
+        cond.rhs.column, cond.lhs.offset - cond.rhs.offset);
+    if (!id.ok()) return id.status();
+  }
+  for (const ColExpr& sel : selects_) {
+    StatusOr<ColumnRef> ref = Resolve(sel);
+    if (!ref.ok()) return ref.status();
+    MRTHETA_RETURN_IF_ERROR(query.AddOutput(ref->relation, sel.column));
+  }
+  MRTHETA_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,114 @@
+#ifndef MRTHETA_API_QUERY_BUILDER_H_
+#define MRTHETA_API_QUERY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/query.h"
+#include "src/relation/predicate.h"
+#include "src/relation/relation.h"
+
+namespace mrtheta {
+
+/// One side of a builder condition: a named column reference
+/// "alias.column" plus an additive constant, so band predicates read the
+/// way the paper writes them: `Col("t1.d") + 3 > Col("t3.d")`.
+struct ColExpr {
+  std::string alias;
+  std::string column;
+  double offset = 0.0;
+  /// The raw argument of Col(); kept for error messages.
+  std::string spelled;
+};
+
+/// Parses "alias.column". A malformed reference is not an immediate error —
+/// it is reported (with the original spelling) by QueryBuilder::Build.
+ColExpr Col(const std::string& qualified);
+
+inline ColExpr operator+(ColExpr col, double offset) {
+  col.offset += offset;
+  return col;
+}
+inline ColExpr operator-(ColExpr col, double offset) {
+  col.offset -= offset;
+  return col;
+}
+
+/// A theta comparison between two column expressions.
+struct CondExpr {
+  ColExpr lhs;
+  ThetaOp op = ThetaOp::kEq;
+  ColExpr rhs;
+};
+
+inline CondExpr operator<(ColExpr a, ColExpr b) {
+  return {std::move(a), ThetaOp::kLt, std::move(b)};
+}
+inline CondExpr operator<=(ColExpr a, ColExpr b) {
+  return {std::move(a), ThetaOp::kLe, std::move(b)};
+}
+inline CondExpr operator>(ColExpr a, ColExpr b) {
+  return {std::move(a), ThetaOp::kGt, std::move(b)};
+}
+inline CondExpr operator>=(ColExpr a, ColExpr b) {
+  return {std::move(a), ThetaOp::kGe, std::move(b)};
+}
+inline CondExpr operator==(ColExpr a, ColExpr b) {
+  return {std::move(a), ThetaOp::kEq, std::move(b)};
+}
+inline CondExpr operator!=(ColExpr a, ColExpr b) {
+  return {std::move(a), ThetaOp::kNe, std::move(b)};
+}
+
+/// \brief Fluent, alias-based query construction — the session-facing
+/// replacement for Query's index juggling:
+///
+///   QueryBuilder b;
+///   b.From("t1", calls).From("t2", calls2)
+///    .Where(Col("t1.bt") <= Col("t2.bt") + 5)
+///    .Select("t2.id");
+///   StatusOr<Query> q = b.Build();
+///
+/// From/Where/Select record intent; Build resolves aliases and columns,
+/// reports the *first* structural error (duplicate alias, unknown alias,
+/// unknown column, malformed reference) with its spelling, and lowers to
+/// the legacy Query — relations in From order, conditions in Where order —
+/// so the planner and executor layers see exactly what a hand-built Query
+/// would give them.
+class QueryBuilder {
+ public:
+  /// Registers `relation` under `alias`. Repeating an alias is an error;
+  /// the same RelationPtr under two aliases is a self-join.
+  QueryBuilder& From(const std::string& alias, RelationPtr relation);
+
+  /// Adds one theta condition (see Col / CondExpr above).
+  QueryBuilder& Where(CondExpr cond);
+
+  /// Adds an output column "alias.column" to the projection.
+  QueryBuilder& Select(const std::string& qualified);
+
+  /// Resolves and lowers to a validated Query. Both the builder's own
+  /// resolution errors and Query::Validate failures surface here.
+  StatusOr<Query> Build() const;
+
+  int num_relations() const { return static_cast<int>(froms_.size()); }
+  int num_conditions() const { return static_cast<int>(wheres_.size()); }
+
+ private:
+  struct FromClause {
+    std::string alias;
+    RelationPtr relation;
+  };
+
+  /// Resolves `ref` to (relation index, column index) in the lowered query.
+  StatusOr<ColumnRef> Resolve(const ColExpr& ref) const;
+
+  std::vector<FromClause> froms_;
+  std::vector<CondExpr> wheres_;
+  std::vector<ColExpr> selects_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_API_QUERY_BUILDER_H_

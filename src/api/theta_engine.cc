@@ -1,0 +1,202 @@
+#include "src/api/theta_engine.h"
+
+#include <algorithm>
+#include <system_error>
+#include <thread>
+
+#include "src/common/units.h"
+
+namespace mrtheta {
+
+std::string PlanReport::ToString() const {
+  std::string out = plan.ToString();
+  out += "planned with statistics:\n";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    out += "  R" + std::to_string(i) + ": logical " +
+           FormatBytes(stats[i].logical_bytes) + " (" +
+           std::to_string(stats[i].logical_rows) + " rows, " +
+           std::to_string(stats[i].columns.size()) + " columns)\n";
+  }
+  return out;
+}
+
+ThetaEngine::ThetaEngine(EngineOptions options)
+    : options_(std::move(options)),
+      cluster_(options_.cluster),
+      pool_(std::max(1, options_.executor.num_threads)) {}
+
+ThetaEngine::~ThetaEngine() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_submissions_ == 0; });
+}
+
+Status ThetaEngine::EnsureReadyLocked() {
+  if (initialized_) return init_status_;
+  initialized_ = true;
+  init_status_ = options_.Validate();
+  if (!init_status_.ok()) return init_status_;
+  // Calibration probes need one free map wave, so the campaign runs on a
+  // throwaway cluster at calibration_workers width; the fitted parameters
+  // are kP-independent (see bench/bench_util.cc's original Harness).
+  ClusterConfig calibration_config = options_.cluster;
+  if (options_.calibration_workers > 0) {
+    calibration_config.num_workers = options_.calibration_workers;
+  }
+  const SimCluster calibration_cluster(calibration_config);
+  StatusOr<CalibrationReport> report =
+      CalibrateCostModel(calibration_cluster, options_.calibration);
+  if (!report.ok()) {
+    init_status_ = report.status();
+    return init_status_;
+  }
+  ++metrics_.calibrations;
+  calibration_ = std::make_unique<CalibrationReport>(*std::move(report));
+  planner_ = std::make_unique<Planner>(&cluster_, calibration_->params,
+                                       options_.planner);
+  return Status::OK();
+}
+
+std::vector<TableStats> ThetaEngine::StatsForLocked(const Query& query) {
+  std::vector<TableStats> stats;
+  stats.reserve(query.relations().size());
+  for (const RelationPtr& rel : query.relations()) {
+    auto it = stats_cache_.find(rel.get());
+    const bool fresh = it != stats_cache_.end() &&
+                       it->second.num_rows == rel->num_rows() &&
+                       it->second.logical_rows == rel->logical_rows();
+    if (!fresh) {
+      CachedStats entry;
+      entry.pin = rel;
+      entry.num_rows = rel->num_rows();
+      entry.logical_rows = rel->logical_rows();
+      entry.stats = planner_->CollectStatsForRelation(*rel);
+      ++metrics_.stats_builds;
+      it = stats_cache_.insert_or_assign(rel.get(), std::move(entry)).first;
+    } else {
+      ++metrics_.stats_cache_hits;
+    }
+    stats.push_back(it->second.stats);
+  }
+  return stats;
+}
+
+StatusOr<CalibrationReport> ThetaEngine::Calibration() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
+  return *calibration_;
+}
+
+StatusOr<QueryPlan> ThetaEngine::PlanQuery(const Query& query) {
+  MRTHETA_RETURN_IF_ERROR(query.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
+  const std::vector<TableStats> stats = StatsForLocked(query);
+  StatusOr<QueryPlan> plan = planner_->Plan(query, stats);
+  if (plan.ok()) ++metrics_.plans;
+  return plan;
+}
+
+StatusOr<PlanReport> ThetaEngine::Explain(const Query& query) {
+  MRTHETA_RETURN_IF_ERROR(query.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
+  PlanReport report;
+  report.stats = StatsForLocked(query);
+  StatusOr<QueryPlan> plan = planner_->Plan(query, report.stats);
+  if (!plan.ok()) return plan.status();
+  ++metrics_.plans;
+  report.plan = *std::move(plan);
+  return report;
+}
+
+StatusOr<QueryResult> ThetaEngine::Execute(const Query& query) {
+  StatusOr<QueryPlan> plan = PlanQuery(query);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(query, *plan);
+}
+
+StatusOr<QueryResult> ThetaEngine::Execute(const QueryBuilder& builder) {
+  StatusOr<Query> query = builder.Build();
+  if (!query.ok()) return query.status();
+  return Execute(*query);
+}
+
+std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
+  auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
+  std::future<StatusOr<QueryResult>> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_submissions_;
+  }
+  // A detached coordination thread, not std::async: the returned future
+  // must not block on destruction. The destructor's drain keeps `this`
+  // alive for the thread's whole Execute; after the notify the thread
+  // touches only its own locals (notifying under the lock so the
+  // destructor cannot win the race and free the condition variable
+  // mid-notify).
+  try {
+    std::thread([this, promise, q = std::move(query)]() mutable {
+      StatusOr<QueryResult> result = Execute(q);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --inflight_submissions_;
+        idle_cv_.notify_all();
+      }
+      promise->set_value(std::move(result));
+    }).detach();
+  } catch (const std::system_error& e) {
+    // Thread exhaustion: undo the in-flight count (or the destructor's
+    // drain would wait forever) and fail the submission instead.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_submissions_;
+      idle_cv_.notify_all();
+    }
+    promise->set_value(
+        Status::ResourceExhausted(std::string("Submit could not start a "
+                                              "coordination thread: ") +
+                                  e.what()));
+  }
+  return future;
+}
+
+std::future<StatusOr<QueryResult>> ThetaEngine::Submit(
+    const QueryBuilder& builder) {
+  StatusOr<Query> query = builder.Build();
+  if (!query.ok()) {
+    std::promise<StatusOr<QueryResult>> failed;
+    failed.set_value(query.status());
+    return failed.get_future();
+  }
+  return Submit(*std::move(query));
+}
+
+StatusOr<QueryResult> ThetaEngine::ExecutePlan(const Query& query,
+                                               const QueryPlan& plan) {
+  return ExecutePlan(query, plan, options_.executor,
+                     options_.execution_seed);
+}
+
+StatusOr<QueryResult> ThetaEngine::ExecutePlan(
+    const Query& query, const QueryPlan& plan,
+    const ExecutorOptions& executor_options, uint64_t seed) {
+  // Executing a caller-provided plan needs no calibration — only valid
+  // options. This keeps baseline-plan execution possible on a cold engine.
+  MRTHETA_RETURN_IF_ERROR(options_.Validate());
+  const Executor executor(&cluster_, executor_options);
+  StatusOr<ExecutionResult> result =
+      executor.ExecuteOn(pool_, query, plan, seed);
+  if (!result.ok()) return result.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++metrics_.executions;
+  }
+  return QueryResult(*std::move(result));
+}
+
+EngineMetrics ThetaEngine::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,147 @@
+#ifndef MRTHETA_API_THETA_ENGINE_H_
+#define MRTHETA_API_THETA_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/api/engine_options.h"
+#include "src/api/query_builder.h"
+#include "src/common/status.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/calibration.h"
+#include "src/mapreduce/sim_cluster.h"
+#include "src/runtime/thread_pool.h"
+
+namespace mrtheta {
+
+/// What Explain returns: the chosen plan plus the statistics it was
+/// planned with (cached per relation across the session).
+struct PlanReport {
+  QueryPlan plan;
+  std::vector<TableStats> stats;
+
+  std::string ToString() const;
+};
+
+/// Counters of the shared work a session amortizes. api_test pins the
+/// caching contract on these: three Executes of one query cost exactly one
+/// calibration and one stats build per distinct relation.
+struct EngineMetrics {
+  int64_t calibrations = 0;      ///< cost-model calibration campaigns run
+  int64_t stats_builds = 0;      ///< per-relation TableStats computed
+  int64_t stats_cache_hits = 0;  ///< per-relation TableStats reused
+  int64_t plans = 0;             ///< queries planned
+  int64_t executions = 0;        ///< plans executed successfully
+};
+
+/// \brief The session facade over the paper's whole pipeline: statistics →
+/// cost calibration → join-path graph → set cover → malleable schedule →
+/// MapReduce execution, behind one object constructed once per session.
+///
+/// A ThetaEngine owns the simulated cluster, the runtime thread pool
+/// (sized to options().executor.num_threads), the lazily-run cost-model
+/// calibration, and a per-relation statistics cache keyed by relation
+/// identity — the one-time "uploading" work of Sec. 6.3 is paid on the
+/// first query and amortized across the rest of the session.
+///
+/// Thread safety: all entry points may be called concurrently. Submit
+/// returns a future and runs the query on its own coordination thread;
+/// map/reduce tasks of concurrent submissions share the engine's pool, so
+/// independent plans overlap. Determinism: with the same options and
+/// execution_seed, Execute and Submit produce byte-identical results at
+/// every thread count and under any submission interleaving
+/// (docs/API.md).
+class ThetaEngine {
+ public:
+  explicit ThetaEngine(EngineOptions options = {});
+  /// Blocks until every in-flight Submit has finished.
+  ~ThetaEngine();
+
+  ThetaEngine(const ThetaEngine&) = delete;
+  ThetaEngine& operator=(const ThetaEngine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  const SimCluster& cluster() const { return cluster_; }
+
+  /// The cost-model calibration report (Sec. 6.2), running the probe
+  /// campaign on first use and caching it for the session.
+  StatusOr<CalibrationReport> Calibration();
+
+  /// Plans `query` with session-cached calibration and statistics.
+  StatusOr<QueryPlan> PlanQuery(const Query& query);
+
+  /// Plans `query` and reports the choice without executing anything.
+  StatusOr<PlanReport> Explain(const Query& query);
+
+  /// Plans and executes `query` on the engine's runtime.
+  StatusOr<QueryResult> Execute(const Query& query);
+  /// Builds, plans and executes the builder's query.
+  StatusOr<QueryResult> Execute(const QueryBuilder& builder);
+
+  /// Asynchronous Execute for concurrent multi-query sessions: returns
+  /// immediately; the execution overlaps with other submissions on the
+  /// engine's shared pool. Unlike std::async, discarding the future does
+  /// NOT block — the query keeps running and the engine's destructor
+  /// waits for it, so the engine must outlive the session's submissions
+  /// (which it does by construction).
+  std::future<StatusOr<QueryResult>> Submit(Query query);
+  std::future<StatusOr<QueryResult>> Submit(const QueryBuilder& builder);
+
+  /// Executes a caller-provided plan (a baseline planner's, or a plan from
+  /// Explain) with the engine's executor options and seed.
+  StatusOr<QueryResult> ExecutePlan(const Query& query, const QueryPlan& plan);
+  /// Same, with per-call executor options (thread sweeps, kernel gates,
+  /// skew modes) and seed. The effective thread count is capped by the
+  /// engine pool, i.e. min(executor_options.num_threads,
+  /// options().executor.num_threads).
+  StatusOr<QueryResult> ExecutePlan(const Query& query, const QueryPlan& plan,
+                                    const ExecutorOptions& executor_options,
+                                    uint64_t seed);
+
+  EngineMetrics metrics() const;
+
+ private:
+  /// Validates options and runs calibration once; caller holds mu_.
+  Status EnsureReadyLocked();
+  /// Session statistics for the query's relations, cached by relation
+  /// identity; caller holds mu_.
+  std::vector<TableStats> StatsForLocked(const Query& query);
+
+  const EngineOptions options_;
+  SimCluster cluster_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  bool initialized_ = false;          // guarded by mu_
+  Status init_status_;                // guarded by mu_
+  std::unique_ptr<CalibrationReport> calibration_;  // guarded by mu_
+  std::unique_ptr<Planner> planner_;  // created once under mu_
+  /// One cached per-relation statistics entry. The stored RelationPtr pins
+  /// the relation alive so a recycled address can never alias a stale
+  /// entry; the size fields detect relations grown between queries
+  /// (AppendRow/AppendRows) and force a rebuild so cached stats never go
+  /// stale relative to Planner::CollectStats.
+  struct CachedStats {
+    RelationPtr pin;
+    int64_t num_rows = 0;
+    int64_t logical_rows = 0;
+    TableStats stats;
+  };
+  std::unordered_map<const Relation*, CachedStats>
+      stats_cache_;                   // guarded by mu_
+  EngineMetrics metrics_;             // guarded by mu_
+  int inflight_submissions_ = 0;      // guarded by mu_
+  std::condition_variable idle_cv_;   // signalled when a submission ends
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_API_THETA_ENGINE_H_

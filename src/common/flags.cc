@@ -1,0 +1,67 @@
+#include "src/common/flags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace mrtheta {
+
+namespace {
+
+// Parses a whole-string positive integer; no trailing junk, no overflow.
+StatusOr<int> ParsePositiveInt(const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return Status::InvalidArgument(std::string("not an integer: '") + text +
+                                   "'");
+  }
+  if (errno == ERANGE || value < 1 || value > 1 << 20) {
+    return Status::InvalidArgument(std::string("out of range: '") + text +
+                                   "' (expected 1..1048576)");
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
+                                       bool allow_threads) {
+  CommonFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (allow_threads && std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--threads needs a value");
+      }
+      StatusOr<int> n = ParsePositiveInt(argv[++i]);
+      if (!n.ok()) {
+        return Status::InvalidArgument("--threads: " + n.status().message());
+      }
+      flags.num_threads = *n;
+    } else if (arg[0] == '-') {
+      return Status::InvalidArgument(std::string("unknown flag: ") + arg);
+    } else if (flags.output_path.empty()) {
+      flags.output_path = arg;
+    } else {
+      return Status::InvalidArgument(
+          std::string("unexpected extra argument: ") + arg);
+    }
+  }
+  return flags;
+}
+
+void WarnIfSingleHardwareThread(int num_threads) {
+  if (num_threads > 1 && std::thread::hardware_concurrency() <= 1) {
+    std::fprintf(stderr,
+                 "warning: this host reports a single hardware thread; "
+                 "%d threads will time-slice one core and measured "
+                 "wall-clock will not improve\n",
+                 num_threads);
+  }
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,34 @@
+#ifndef MRTHETA_COMMON_FLAGS_H_
+#define MRTHETA_COMMON_FLAGS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+
+/// CLI flags shared by the example and bench binaries.
+struct CommonFlags {
+  /// --threads N: threads of the in-process runtime (>= 1).
+  int num_threads = 1;
+  /// The single optional positional argument (the benches' output path).
+  std::string output_path;
+};
+
+/// Strict parser for the common CLI surface: `--threads N` plus at most one
+/// positional argument. Rejects what the per-binary copies it replaced
+/// silently accepted: a missing value, trailing junk ("--threads 4x"),
+/// non-positive counts, unknown flags, and extra positionals. Binaries
+/// with a fixed thread schedule (the benches) pass `allow_threads = false`
+/// so `--threads` is rejected instead of silently ignored.
+StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
+                                       bool allow_threads = true);
+
+/// Prints the standard warning to stderr when `num_threads` > 1 on a host
+/// that reports a single hardware thread (the threads would time-slice one
+/// core and measured wall-clock would not improve).
+void WarnIfSingleHardwareThread(int num_threads);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_COMMON_FLAGS_H_

@@ -46,6 +46,31 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 StatusOr<ExecutionResult> Executor::Execute(const Query& query,
                                             const QueryPlan& plan,
                                             uint64_t seed) const {
+  ThreadPool pool(std::max(1, options_.num_threads));
+  return RunOn(pool, query, plan, seed);
+}
+
+StatusOr<ExecutionResult> Executor::ExecuteOn(ThreadPool& pool,
+                                              const Query& query,
+                                              const QueryPlan& plan,
+                                              uint64_t seed) const {
+  const int num_threads =
+      std::max(1, std::min(options_.num_threads, pool.num_threads()));
+  if (num_threads < pool.num_threads()) {
+    // A cap below the shared pool's width must bound *intra-job* map and
+    // reduce fan-out too, not just the DAG concurrency — split planning
+    // and ParallelFor both follow the pool — so run on a pool of exactly
+    // the capped width.
+    ThreadPool capped(num_threads);
+    return RunOn(capped, query, plan, seed);
+  }
+  return RunOn(pool, query, plan, seed);
+}
+
+StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
+                                          const Query& query,
+                                          const QueryPlan& plan,
+                                          uint64_t seed) const {
   MRTHETA_RETURN_IF_ERROR(query.Validate());
   if (plan.jobs.empty()) {
     return Status::InvalidArgument("plan has no jobs");
@@ -80,8 +105,7 @@ StatusOr<ExecutionResult> Executor::Execute(const Query& query,
   // makes nested fan-out deadlock-free). Sustained compute threads are
   // therefore ~num_threads; the worst case (every job simultaneously in
   // its sequential shuffle merge) is transient. See docs/RUNTIME.md.
-  const int num_threads = std::max(1, options_.num_threads);
-  ThreadPool pool(num_threads);
+  const int num_threads = pool.num_threads();
 
   // Runs plan job `i`; deps are complete when the DAG scheduler calls this,
   // and it writes only slot `i` of result.jobs / sim_jobs.

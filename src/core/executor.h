@@ -87,6 +87,8 @@ struct ExecutorOptions {
   SkewHandling skew_handling = SkewHandling::kAuto;
 };
 
+class ThreadPool;
+
 /// \brief Executes a QueryPlan: runs every plan job physically (exact
 /// answers over physical tuples) on the in-process runtime, then replays
 /// the whole job DAG through the discrete-event engine to obtain the
@@ -105,9 +107,67 @@ class Executor {
   StatusOr<ExecutionResult> Execute(const Query& query, const QueryPlan& plan,
                                     uint64_t seed = 42) const;
 
+  /// Session entry point (ThetaEngine): like Execute, but map/reduce tasks
+  /// run on the caller-owned `pool`, which may be shared across concurrent
+  /// query executions. The effective thread count is
+  /// min(options().num_threads, pool.num_threads()); 1 selects the
+  /// sequential reference path, and a cap below the pool's width is
+  /// honoured exactly (a narrower per-call pool), so thread sweeps stay
+  /// meaningful on a wide session pool. Results are identical to Execute
+  /// at the same thread count (docs/RUNTIME.md determinism contract).
+  StatusOr<ExecutionResult> ExecuteOn(ThreadPool& pool, const Query& query,
+                                      const QueryPlan& plan,
+                                      uint64_t seed = 42) const;
+
  private:
+  /// Runs the plan with pool.num_threads() as the effective thread count.
+  StatusOr<ExecutionResult> RunOn(ThreadPool& pool, const Query& query,
+                                  const QueryPlan& plan, uint64_t seed) const;
+
   const SimCluster* cluster_;
   ExecutorOptions options_;
+};
+
+/// \brief Session-level view of an ExecutionResult (the ThetaEngine return
+/// type): the raw execution plus convenience accessors for the projected
+/// output table.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  explicit QueryResult(ExecutionResult execution)
+      : execution_(std::move(execution)) {}
+
+  const ExecutionResult& execution() const { return execution_; }
+  const std::vector<JobExecution>& jobs() const { return execution_.jobs; }
+
+  /// Physical result tuples (rows of the rid table).
+  int64_t num_rows() const {
+    return execution_.result_ids ? execution_.result_ids->num_rows() : 0;
+  }
+  double selectivity() const { return execution_.result_selectivity; }
+  SimTime makespan() const { return execution_.makespan; }
+  double simulated_seconds() const { return ToSeconds(execution_.makespan); }
+  double measured_seconds() const { return execution_.measured_seconds; }
+
+  /// True when the query declared output columns (rows() is the projection).
+  bool has_projection() const { return execution_.projected != nullptr; }
+
+  /// The result table: the query's projection when outputs were declared,
+  /// otherwise the rid intermediate. A default-constructed (never
+  /// executed) QueryResult yields an empty zero-column relation.
+  const Relation& rows() const {
+    static const Relation kEmpty;
+    if (has_projection()) return *execution_.projected;
+    if (execution_.result_ids != nullptr) return *execution_.result_ids;
+    return kEmpty;
+  }
+
+  /// Cell accessors into rows().
+  Value Get(int64_t row, int col) const { return rows().Get(row, col); }
+  int num_columns() const { return rows().schema().num_columns(); }
+
+ private:
+  ExecutionResult execution_;
 };
 
 }  // namespace mrtheta

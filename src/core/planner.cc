@@ -27,22 +27,26 @@ int Planner::MaxReduceTasks() const {
              : kp;
 }
 
+TableStats Planner::CollectStatsForRelation(const Relation& rel) const {
+  StatsOptions so = options_.stats;
+  so.seed = options_.seed;
+  TableStats ts = BuildTableStats(rel, so);
+  // The planner's output estimates live in the β frame (DESIGN.md §1.1):
+  // selectivities describe the *physical sample*, so key-like columns
+  // must not be extrapolated past the sample's domain here.
+  for (ColumnStats& cs : ts.columns) {
+    cs.distinct = std::min(
+        cs.distinct,
+        static_cast<double>(std::max<int64_t>(1, rel.num_rows())));
+  }
+  return ts;
+}
+
 std::vector<TableStats> Planner::CollectStats(const Query& query) const {
   std::vector<TableStats> stats;
   stats.reserve(query.num_relations());
-  StatsOptions so = options_.stats;
-  so.seed = options_.seed;
   for (const RelationPtr& rel : query.relations()) {
-    TableStats ts = BuildTableStats(*rel, so);
-    // The planner's output estimates live in the β frame (DESIGN.md §1.1):
-    // selectivities describe the *physical sample*, so key-like columns
-    // must not be extrapolated past the sample's domain here.
-    for (ColumnStats& cs : ts.columns) {
-      cs.distinct = std::min(
-          cs.distinct, static_cast<double>(std::max<int64_t>(
-                           1, rel->num_rows())));
-    }
-    stats.push_back(std::move(ts));
+    stats.push_back(CollectStatsForRelation(*rel));
   }
   return stats;
 }
@@ -489,8 +493,18 @@ StatusOr<QueryPlan> Planner::BuildCascadePlan(
 }
 
 StatusOr<QueryPlan> Planner::Plan(const Query& query) const {
+  // The stats overload validates; collecting stats first for an invalid
+  // query is harmless.
+  return Plan(query, CollectStats(query));
+}
+
+StatusOr<QueryPlan> Planner::Plan(const Query& query,
+                                  const std::vector<TableStats>& stats) const {
   MRTHETA_RETURN_IF_ERROR(query.Validate());
-  const std::vector<TableStats> stats = CollectStats(query);
+  if (static_cast<int>(stats.size()) != query.num_relations()) {
+    return Status::InvalidArgument(
+        "stats must have one entry per query relation");
+  }
   StatusOr<JoinGraph> graph = query.BuildJoinGraph();
   if (!graph.ok()) return graph.status();
 

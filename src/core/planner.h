@@ -54,6 +54,13 @@ class Planner {
   /// one job sometimes beats any cascade.
   StatusOr<QueryPlan> Plan(const Query& query) const;
 
+  /// Session entry point (ThetaEngine): plans with caller-provided
+  /// per-relation statistics, aligned with query.relations(). The stats
+  /// must come from CollectStats/CollectStatsForRelation (possibly cached
+  /// across queries); planning is then byte-identical to Plan(query).
+  StatusOr<QueryPlan> Plan(const Query& query,
+                           const std::vector<TableStats>& stats) const;
+
   /// Cost-model profile of a Hilbert chain-join over `relations` (trail
   /// order) evaluating `thetas`, with kr reduce tasks. Exposed for benches.
   JobProfile CandidateProfile(const Query& query,
@@ -63,6 +70,11 @@ class Planner {
 
   /// Per-relation statistics as the planner computes them.
   std::vector<TableStats> CollectStats(const Query& query) const;
+
+  /// Statistics for one relation, exactly as CollectStats computes them —
+  /// the hook a session (ThetaEngine) uses to cache stats per relation
+  /// identity and amortize collection across queries.
+  TableStats CollectStatsForRelation(const Relation& rel) const;
 
   const CostModelParams& params() const { return params_; }
   const PlannerOptions& options() const { return options_; }

@@ -2,6 +2,47 @@
 
 namespace mrtheta {
 
+namespace {
+
+// The single rule set for a condition's endpoints, shared by AddCondition
+// (at insertion) and Validate (the authoritative pre-execution gate):
+// in-range distinct relations, in-range columns, type-compatible sides,
+// offsets only on numeric comparisons.
+Status CheckCondition(const std::vector<RelationPtr>& relations,
+                      const JoinCondition& cond) {
+  const int num_relations = static_cast<int>(relations.size());
+  for (const ColumnRef& ref : {cond.lhs, cond.rhs}) {
+    if (ref.relation < 0 || ref.relation >= num_relations) {
+      return Status::InvalidArgument(
+          "condition relation index out of range");
+    }
+    const Schema& schema = relations[ref.relation]->schema();
+    if (ref.column < 0 || ref.column >= schema.num_columns()) {
+      return Status::OutOfRange(
+          "condition column index out of range for relation " +
+          relations[ref.relation]->name());
+    }
+  }
+  if (cond.lhs.relation == cond.rhs.relation) {
+    return Status::InvalidArgument(
+        "conditions must connect two distinct query relations "
+        "(add the relation twice for a self-join)");
+  }
+  const ValueType ta =
+      relations[cond.lhs.relation]->schema().column(cond.lhs.column).type;
+  const ValueType tb =
+      relations[cond.rhs.relation]->schema().column(cond.rhs.column).type;
+  if ((ta == ValueType::kString) != (tb == ValueType::kString)) {
+    return Status::InvalidArgument("condition compares string with numeric");
+  }
+  if (ta == ValueType::kString && cond.offset != 0.0) {
+    return Status::InvalidArgument("offset not supported on string columns");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 int Query::AddRelation(RelationPtr relation) {
   relations_.push_back(std::move(relation));
   return num_relations() - 1;
@@ -14,31 +55,17 @@ StatusOr<int> Query::AddCondition(int rel_a, const std::string& col_a,
       rel_b >= num_relations()) {
     return Status::InvalidArgument("condition relation index out of range");
   }
-  if (rel_a == rel_b) {
-    return Status::InvalidArgument(
-        "conditions must connect two distinct query relations "
-        "(add the relation twice for a self-join)");
-  }
   StatusOr<int> ca = relations_[rel_a]->schema().FindColumn(col_a);
   if (!ca.ok()) return ca.status();
   StatusOr<int> cb = relations_[rel_b]->schema().FindColumn(col_b);
   if (!cb.ok()) return cb.status();
-  const ValueType ta = relations_[rel_a]->schema().column(*ca).type;
-  const ValueType tb = relations_[rel_b]->schema().column(*cb).type;
-  const bool a_num = ta != ValueType::kString;
-  const bool b_num = tb != ValueType::kString;
-  if (a_num != b_num) {
-    return Status::InvalidArgument("condition compares string with numeric");
-  }
-  if (!a_num && offset != 0.0) {
-    return Status::InvalidArgument("offset not supported on string columns");
-  }
   JoinCondition cond;
   cond.lhs = {rel_a, *ca};
   cond.op = op;
   cond.rhs = {rel_b, *cb};
   cond.offset = offset;
   cond.id = num_conditions();
+  MRTHETA_RETURN_IF_ERROR(CheckCondition(relations_, cond));
   conditions_.push_back(cond);
   return cond.id;
 }
@@ -85,6 +112,18 @@ Status Query::Validate() const {
   }
   if (num_conditions() > 20) {
     return Status::InvalidArgument("at most 20 join conditions supported");
+  }
+  // Re-check every condition with the same rule set AddCondition applies
+  // at insertion: Validate is the authoritative gate before execution.
+  for (const JoinCondition& cond : conditions_) {
+    MRTHETA_RETURN_IF_ERROR(CheckCondition(relations_, cond));
+  }
+  for (const OutputColumn& out : outputs_) {
+    if (out.base < 0 || out.base >= num_relations() || out.column < 0 ||
+        out.column >=
+            relations_[out.base]->schema().num_columns()) {
+      return Status::OutOfRange("output column out of range");
+    }
   }
   StatusOr<JoinGraph> graph = BuildJoinGraph();
   if (!graph.ok()) return graph.status();

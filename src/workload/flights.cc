@@ -27,6 +27,27 @@ RelationPtr GenerateFlightLeg(int leg_index,
   return rel;
 }
 
+QueryBuilder ItineraryQueryBuilder(const std::vector<RelationPtr>& legs,
+                                   const std::vector<StayOver>& stays) {
+  QueryBuilder b;
+  if (stays.size() + 1 != legs.size()) return b;  // Build reports failure
+  for (size_t i = 0; i < legs.size(); ++i) {
+    b.From("f" + std::to_string(i), legs[i]);
+  }
+  for (size_t i = 0; i + 1 < legs.size(); ++i) {
+    const std::string at = "f" + std::to_string(i) + ".at";
+    const std::string dt = "f" + std::to_string(i + 1) + ".dt";
+    // FI_i.at + stay.min < FI_{i+1}.dt
+    b.Where(Col(at) + static_cast<double>(stays[i].min_minutes) < Col(dt));
+    // FI_{i+1}.dt < FI_i.at + stay.max  ⇔  FI_i.at + stay.max > FI_{i+1}.dt
+    b.Where(Col(at) + static_cast<double>(stays[i].max_minutes) > Col(dt));
+  }
+  for (size_t i = 0; i < legs.size(); ++i) {
+    b.Select("f" + std::to_string(i) + ".no");
+  }
+  return b;
+}
+
 StatusOr<Query> BuildItineraryQuery(const std::vector<RelationPtr>& legs,
                                     const std::vector<StayOver>& stays) {
   if (legs.size() < 2) {
@@ -36,26 +57,7 @@ StatusOr<Query> BuildItineraryQuery(const std::vector<RelationPtr>& legs,
     return Status::InvalidArgument(
         "need exactly one stay-over window per intermediate city");
   }
-  Query q;
-  std::vector<int> idx;
-  idx.reserve(legs.size());
-  for (const RelationPtr& leg : legs) idx.push_back(q.AddRelation(leg));
-  for (size_t i = 0; i + 1 < legs.size(); ++i) {
-    // FI_i.at + stay.min < FI_{i+1}.dt
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(idx[i], "at", ThetaOp::kLt, idx[i + 1], "dt",
-                       static_cast<double>(stays[i].min_minutes))
-            .status());
-    // FI_{i+1}.dt < FI_i.at + stay.max  ⇔  (FI_i.at + stay.max) > FI_{i+1}.dt
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(idx[i], "at", ThetaOp::kGt, idx[i + 1], "dt",
-                       static_cast<double>(stays[i].max_minutes))
-            .status());
-  }
-  for (size_t i = 0; i < legs.size(); ++i) {
-    MRTHETA_RETURN_IF_ERROR(q.AddOutput(idx[i], "no"));
-  }
-  return q;
+  return ItineraryQueryBuilder(legs, stays).Build();
 }
 
 }  // namespace mrtheta

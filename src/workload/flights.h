@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/api/query_builder.h"
 #include "src/common/status.h"
 #include "src/core/query.h"
 #include "src/relation/relation.h"
@@ -40,6 +41,12 @@ RelationPtr GenerateFlightLeg(int leg_index, const FlightLegOptions& options);
 ///   FI_{i+1}.dt < FI_i.at + stay[i].max.
 StatusOr<Query> BuildItineraryQuery(const std::vector<RelationPtr>& legs,
                                     const std::vector<StayOver>& stays);
+
+/// The same itinerary query as a fluent builder spec (aliases f0, f1, ...);
+/// BuildItineraryQuery lowers exactly this builder. Mismatched leg/stay
+/// counts yield a builder whose Build fails.
+QueryBuilder ItineraryQueryBuilder(const std::vector<RelationPtr>& legs,
+                                   const std::vector<StayOver>& stays);
 
 }  // namespace mrtheta
 

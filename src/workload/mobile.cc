@@ -66,47 +66,40 @@ RelationPtr GenerateMobileCallsInstance(const MobileDataOptions& options,
   return GenerateMobileCalls(per_instance);
 }
 
+QueryBuilder MobileQueryBuilder(int which, const MobileDataOptions& options) {
+  QueryBuilder b;
+  if (which < 1 || which > 4) return b;  // Build reports the failure
+  if (which <= 2) {
+    b.From("t1", GenerateMobileCallsInstance(options, 0))
+        .From("t2", GenerateMobileCallsInstance(options, 1))
+        .From("t3", GenerateMobileCallsInstance(options, 2))
+        .Where(Col("t1.bt") <= Col("t2.bt"))
+        .Where(Col("t1.l") >= Col("t2.l"))
+        .Where(which == 1 ? Col("t2.bsc") == Col("t3.bsc")
+                          : Col("t2.bsc") != Col("t3.bsc"))
+        .Where(Col("t2.d") == Col("t3.d"))
+        .Select("t3.id");
+  } else {
+    b.From("t1", GenerateMobileCallsInstance(options, 0))
+        .From("t2", GenerateMobileCallsInstance(options, 1))
+        .From("t3", GenerateMobileCallsInstance(options, 2))
+        .From("t4", GenerateMobileCallsInstance(options, 3))
+        .Where(Col("t1.d") < Col("t2.d"))
+        .Where(Col("t2.d") < Col("t3.d"))
+        .Where(Col("t1.d") + 3 > Col("t3.d"))
+        .Where(which == 3 ? Col("t1.bsc") == Col("t4.bsc")
+                          : Col("t1.bsc") != Col("t4.bsc"))
+        .Select("t1.id");
+  }
+  return b;
+}
+
 StatusOr<Query> BuildMobileQuery(int which,
                                  const MobileDataOptions& options) {
   if (which < 1 || which > 4) {
     return Status::InvalidArgument("mobile query id must be 1..4");
   }
-  Query q;
-  if (which <= 2) {
-    const int t1 = q.AddRelation(GenerateMobileCallsInstance(options, 0));
-    const int t2 = q.AddRelation(GenerateMobileCallsInstance(options, 1));
-    const int t3 = q.AddRelation(GenerateMobileCallsInstance(options, 2));
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t1, "bt", ThetaOp::kLe, t2, "bt").status());
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t1, "l", ThetaOp::kGe, t2, "l").status());
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t2, "bsc",
-                       which == 1 ? ThetaOp::kEq : ThetaOp::kNe, t3, "bsc")
-            .status());
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t2, "d", ThetaOp::kEq, t3, "d").status());
-    MRTHETA_RETURN_IF_ERROR(q.AddOutput(t3, "id"));
-  } else {
-    const int t1 = q.AddRelation(GenerateMobileCallsInstance(options, 0));
-    const int t2 = q.AddRelation(GenerateMobileCallsInstance(options, 1));
-    const int t3 = q.AddRelation(GenerateMobileCallsInstance(options, 2));
-    const int t4 = q.AddRelation(GenerateMobileCallsInstance(options, 3));
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t1, "d", ThetaOp::kLt, t2, "d").status());
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t2, "d", ThetaOp::kLt, t3, "d").status());
-    // t1.d + 3 > t3.d
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t1, "d", ThetaOp::kGt, t3, "d", /*offset=*/3.0)
-            .status());
-    MRTHETA_RETURN_IF_ERROR(
-        q.AddCondition(t1, "bsc",
-                       which == 3 ? ThetaOp::kEq : ThetaOp::kNe, t4, "bsc")
-            .status());
-    MRTHETA_RETURN_IF_ERROR(q.AddOutput(t1, "id"));
-  }
-  return q;
+  return MobileQueryBuilder(which, options).Build();
 }
 
 }  // namespace mrtheta

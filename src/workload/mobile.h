@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "src/api/query_builder.h"
 #include "src/common/status.h"
 #include "src/core/query.h"
 #include "src/relation/relation.h"
@@ -60,6 +61,13 @@ RelationPtr GenerateMobileCallsInstance(const MobileDataOptions& options,
 /// Each alias is bound to an independent sample instance of the call table
 /// (see GenerateMobileCallsInstance).
 StatusOr<Query> BuildMobileQuery(int which, const MobileDataOptions& options);
+
+/// The same benchmark query as a fluent builder spec (aliases t1, t2, ...):
+/// callers can extend it (extra Where/Select clauses) before Build.
+/// BuildMobileQuery lowers exactly this builder, so the two stay in sync by
+/// construction. An out-of-range `which` yields a builder whose Build
+/// fails.
+QueryBuilder MobileQueryBuilder(int which, const MobileDataOptions& options);
 
 }  // namespace mrtheta
 

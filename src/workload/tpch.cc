@@ -155,129 +155,84 @@ TpchData GenerateTpch(const TpchOptions& options) {
   return db;
 }
 
-StatusOr<Query> BuildTpchQuery(int which, const TpchData& data) {
-  Query q;
+QueryBuilder TpchQueryBuilder(int which, const TpchData& data) {
+  QueryBuilder b;
   switch (which) {
     case 7: {
       // Amended Q7: supplier/lineitem/orders/customer/nation, 8 conditions,
       // inequality set {<=, >=} (Table 3).
-      const int s = q.AddRelation(data.supplier);
-      const int l = q.AddRelation(data.lineitem);
-      const int o = q.AddRelation(data.orders);
-      const int c = q.AddRelation(data.customer);
-      const int n = q.AddRelation(data.nation);
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(s, "s_suppkey", ThetaOp::kEq, l, "l_suppkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l, "l_orderkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(c, "c_custkey", ThetaOp::kEq, o, "o_custkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(s, "s_nationkey", ThetaOp::kEq, n, "n_nationkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(c, "c_nationkey", ThetaOp::kEq, n, "n_nationkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l, "l_shipdate", ThetaOp::kGe, o, "o_orderdate")
-              .status());
-      // l_receiptdate <= o_orderdate + 120
-      MRTHETA_RETURN_IF_ERROR(q.AddCondition(l, "l_receiptdate", ThetaOp::kLe,
-                                             o, "o_orderdate", -120.0)
-                                  .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(s, "s_acctbal", ThetaOp::kGe, c, "c_acctbal")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(q.AddOutput(l, "l_extendedprice"));
+      b.From("s", data.supplier)
+          .From("l", data.lineitem)
+          .From("o", data.orders)
+          .From("c", data.customer)
+          .From("n", data.nation)
+          .Where(Col("s.s_suppkey") == Col("l.l_suppkey"))
+          .Where(Col("o.o_orderkey") == Col("l.l_orderkey"))
+          .Where(Col("c.c_custkey") == Col("o.o_custkey"))
+          .Where(Col("s.s_nationkey") == Col("n.n_nationkey"))
+          .Where(Col("c.c_nationkey") == Col("n.n_nationkey"))
+          .Where(Col("l.l_shipdate") >= Col("o.o_orderdate"))
+          .Where(Col("l.l_receiptdate") <= Col("o.o_orderdate") + 120)
+          .Where(Col("s.s_acctbal") >= Col("c.c_acctbal"))
+          .Select("l.l_extendedprice");
       break;
     }
     case 17: {
       // Amended Q17: lineitem x2, part; inequality set {<=}.
-      const int l1 = q.AddRelation(data.lineitem_samples[0]);
-      const int p = q.AddRelation(data.part);
-      const int l2 = q.AddRelation(data.lineitem_samples[1]);
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l1, "l_partkey", ThetaOp::kEq, p, "p_partkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l2, "l_partkey", ThetaOp::kEq, p, "p_partkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l1, "l_quantity", ThetaOp::kLe, l2, "l_quantity")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(q.AddCondition(l1, "l_extendedprice",
-                                             ThetaOp::kLe, l2,
-                                             "l_extendedprice")
-                                  .status());
-      MRTHETA_RETURN_IF_ERROR(q.AddOutput(l1, "l_extendedprice"));
+      b.From("l1", data.lineitem_samples[0])
+          .From("p", data.part)
+          .From("l2", data.lineitem_samples[1])
+          .Where(Col("l1.l_partkey") == Col("p.p_partkey"))
+          .Where(Col("l2.l_partkey") == Col("p.p_partkey"))
+          .Where(Col("l1.l_quantity") <= Col("l2.l_quantity"))
+          .Where(Col("l1.l_extendedprice") <= Col("l2.l_extendedprice"))
+          .Select("l1.l_extendedprice");
       break;
     }
     case 18: {
       // Amended Q18: customer, orders, lineitem x2; inequality set {>=}.
-      const int c = q.AddRelation(data.customer);
-      const int o = q.AddRelation(data.orders);
-      const int l1 = q.AddRelation(data.lineitem_samples[0]);
-      const int l2 = q.AddRelation(data.lineitem_samples[1]);
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(c, "c_custkey", ThetaOp::kEq, o, "o_custkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l1, "l_orderkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l2, "l_orderkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l1, "l_quantity", ThetaOp::kGe, l2, "l_quantity")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(q.AddOutput(c, "c_custkey"));
+      b.From("c", data.customer)
+          .From("o", data.orders)
+          .From("l1", data.lineitem_samples[0])
+          .From("l2", data.lineitem_samples[1])
+          .Where(Col("c.c_custkey") == Col("o.o_custkey"))
+          .Where(Col("o.o_orderkey") == Col("l1.l_orderkey"))
+          .Where(Col("o.o_orderkey") == Col("l2.l_orderkey"))
+          .Where(Col("l1.l_quantity") >= Col("l2.l_quantity"))
+          .Select("c.c_custkey");
       break;
     }
     case 21: {
       // Amended Q21: supplier, lineitem x3, orders, nation; 8 conditions,
       // inequality set {>=, <>}.
-      const int s = q.AddRelation(data.supplier);
-      const int l1 = q.AddRelation(data.lineitem_samples[0]);
-      const int o = q.AddRelation(data.orders);
-      const int n = q.AddRelation(data.nation);
-      const int l2 = q.AddRelation(data.lineitem_samples[1]);
-      const int l3 = q.AddRelation(data.lineitem_samples[2]);
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(s, "s_suppkey", ThetaOp::kEq, l1, "l_suppkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(o, "o_orderkey", ThetaOp::kEq, l1, "l_orderkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(s, "s_nationkey", ThetaOp::kEq, n, "n_nationkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l2, "l_orderkey", ThetaOp::kEq, l1, "l_orderkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l2, "l_suppkey", ThetaOp::kNe, l1, "l_suppkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l3, "l_orderkey", ThetaOp::kEq, l1, "l_orderkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(
-          q.AddCondition(l3, "l_suppkey", ThetaOp::kNe, l1, "l_suppkey")
-              .status());
-      MRTHETA_RETURN_IF_ERROR(q.AddCondition(l3, "l_receiptdate",
-                                             ThetaOp::kGe, l1,
-                                             "l_commitdate")
-                                  .status());
-      MRTHETA_RETURN_IF_ERROR(q.AddOutput(s, "s_suppkey"));
+      b.From("s", data.supplier)
+          .From("l1", data.lineitem_samples[0])
+          .From("o", data.orders)
+          .From("n", data.nation)
+          .From("l2", data.lineitem_samples[1])
+          .From("l3", data.lineitem_samples[2])
+          .Where(Col("s.s_suppkey") == Col("l1.l_suppkey"))
+          .Where(Col("o.o_orderkey") == Col("l1.l_orderkey"))
+          .Where(Col("s.s_nationkey") == Col("n.n_nationkey"))
+          .Where(Col("l2.l_orderkey") == Col("l1.l_orderkey"))
+          .Where(Col("l2.l_suppkey") != Col("l1.l_suppkey"))
+          .Where(Col("l3.l_orderkey") == Col("l1.l_orderkey"))
+          .Where(Col("l3.l_suppkey") != Col("l1.l_suppkey"))
+          .Where(Col("l3.l_receiptdate") >= Col("l1.l_commitdate"))
+          .Select("s.s_suppkey");
       break;
     }
     default:
-      return Status::InvalidArgument(
-          "supported TPC-H queries: 7, 17, 18, 21");
+      break;  // empty builder; Build reports the failure
   }
-  return q;
+  return b;
+}
+
+StatusOr<Query> BuildTpchQuery(int which, const TpchData& data) {
+  if (which != 7 && which != 17 && which != 18 && which != 21) {
+    return Status::InvalidArgument("supported TPC-H queries: 7, 17, 18, 21");
+  }
+  return TpchQueryBuilder(which, data).Build();
 }
 
 }  // namespace mrtheta

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "src/api/query_builder.h"
 #include "src/common/status.h"
 #include "src/core/query.h"
 #include "src/relation/relation.h"
@@ -55,6 +56,12 @@ TpchData GenerateTpch(const TpchOptions& options);
 /// relations, 8 conditions, {>=,<>}). Equality-only predicates are amended
 /// with inequality join conditions exactly as the paper does.
 StatusOr<Query> BuildTpchQuery(int which, const TpchData& data);
+
+/// The same amended query as a fluent builder spec (aliases follow the
+/// spec's table letters: s, l/l1/l2/l3, o, c, n, p); BuildTpchQuery lowers
+/// exactly this builder. An unsupported `which` yields a builder whose
+/// Build fails.
+QueryBuilder TpchQueryBuilder(int which, const TpchData& data);
 
 }  // namespace mrtheta
 

@@ -1,0 +1,413 @@
+// Session-API tests: the ThetaEngine facade must be byte-identical to the
+// hand-wired cluster/calibrate/plan/execute pipeline it replaces, amortize
+// calibration and statistics across queries, and serve concurrent Submits
+// with the same answers as sequential execution. Plus QueryBuilder
+// lowering/error-reporting and EngineOptions validation.
+
+#include <future>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/api/theta_engine.h"
+#include "src/common/rng.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/cost/calibration.h"
+#include "src/workload/flights.h"
+#include "src/workload/mobile.h"
+#include "src/workload/tpch.h"
+
+namespace mrtheta {
+namespace {
+
+// The legacy pipeline the facade replaces, exactly as quickstart.cpp and
+// the benches used to wire it: default cluster, fresh calibration, fresh
+// planner stats, sequential executor, seed 42.
+StatusOr<ExecutionResult> RunLegacyPipeline(const Query& query) {
+  SimCluster cluster{ClusterConfig{}};
+  StatusOr<CalibrationReport> calib = CalibrateCostModel(cluster);
+  if (!calib.ok()) return calib.status();
+  Planner planner(&cluster, calib->params);
+  StatusOr<QueryPlan> plan = planner.Plan(query);
+  if (!plan.ok()) return plan.status();
+  Executor executor(&cluster);
+  return executor.Execute(query, *plan, /*seed=*/42);
+}
+
+void ExpectIdenticalRows(const Relation& a, const Relation& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.schema().num_columns(), b.schema().num_columns());
+  int64_t mismatches = 0;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.schema().num_columns(); ++c) {
+      mismatches += a.GetInt(r, c) != b.GetInt(r, c);
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+// Facade results must be byte-identical to the legacy pipeline: same rows
+// in the same order, same simulated makespan, same per-job measurements.
+void CheckFacadeMatchesLegacy(const Query& query) {
+  const StatusOr<ExecutionResult> legacy = RunLegacyPipeline(query);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  ThetaEngine engine;
+  const StatusOr<QueryResult> facade = engine.Execute(query);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+
+  EXPECT_EQ(facade->makespan(), legacy->makespan);
+  EXPECT_EQ(facade->selectivity(), legacy->result_selectivity);
+  ExpectIdenticalRows(*facade->execution().result_ids, *legacy->result_ids);
+  ASSERT_EQ(facade->jobs().size(), legacy->jobs.size());
+  for (size_t i = 0; i < legacy->jobs.size(); ++i) {
+    const JobExecution& fj = facade->jobs()[i];
+    const JobExecution& lj = legacy->jobs[i];
+    EXPECT_EQ(fj.name, lj.name);
+    EXPECT_EQ(fj.kernel, lj.kernel);
+    EXPECT_EQ(fj.reduce_tasks, lj.reduce_tasks);
+    EXPECT_EQ(fj.metrics.input_bytes_logical, lj.metrics.input_bytes_logical);
+    EXPECT_EQ(fj.metrics.map_output_bytes_logical,
+              lj.metrics.map_output_bytes_logical);
+    EXPECT_EQ(fj.metrics.output_rows_logical, lj.metrics.output_rows_logical);
+    EXPECT_EQ(fj.timing.release, lj.timing.release);
+    EXPECT_EQ(fj.timing.finish, lj.timing.finish);
+  }
+  if (legacy->projected != nullptr) {
+    ASSERT_TRUE(facade->has_projection());
+    ASSERT_EQ(facade->rows().num_rows(), legacy->projected->num_rows());
+  }
+}
+
+TEST(ThetaEngineTest, MatchesLegacyPipelineOnMobile) {
+  MobileDataOptions options;
+  options.physical_rows = 120;
+  options.logical_bytes = 4 * kGiB;
+  const auto query = BuildMobileQuery(1, options);
+  ASSERT_TRUE(query.ok());
+  CheckFacadeMatchesLegacy(*query);
+}
+
+TEST(ThetaEngineTest, MatchesLegacyPipelineOnTpch) {
+  TpchOptions options;
+  options.scale_factor = 50;
+  options.physical_lineitem_rows = 600;
+  const TpchData db = GenerateTpch(options);
+  const auto query = BuildTpchQuery(17, db);
+  ASSERT_TRUE(query.ok());
+  CheckFacadeMatchesLegacy(*query);
+}
+
+TEST(ThetaEngineTest, MatchesLegacyPipelineOnFlights) {
+  FlightLegOptions options;
+  options.physical_rows = 150;
+  options.logical_rows = kGiB / 28;
+  std::vector<RelationPtr> legs = {GenerateFlightLeg(0, options),
+                                   GenerateFlightLeg(1, options),
+                                   GenerateFlightLeg(2, options)};
+  const auto query = BuildItineraryQuery(
+      legs, {StayOver{60, 240}, StayOver{120, 360}});
+  ASSERT_TRUE(query.ok());
+  CheckFacadeMatchesLegacy(*query);
+}
+
+TEST(ThetaEngineTest, CalibrationAndStatsComputedOnceAcrossExecutes) {
+  MobileDataOptions options;
+  options.physical_rows = 100;
+  options.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, options);
+  ASSERT_TRUE(query.ok());
+
+  ThetaEngine engine;
+  StatusOr<QueryResult> first = engine.Execute(*query);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 2; ++i) {
+    const StatusOr<QueryResult> again = engine.Execute(*query);
+    ASSERT_TRUE(again.ok());
+    // Determinism contract: repeated Execute is byte-identical.
+    EXPECT_EQ(again->makespan(), first->makespan());
+    ExpectIdenticalRows(*again->execution().result_ids,
+                        *first->execution().result_ids);
+  }
+
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.calibrations, 1);
+  // Q1 has three distinct relation instances; stats are built once each
+  // and served from the cache for the two re-executions.
+  EXPECT_EQ(metrics.stats_builds, 3);
+  EXPECT_EQ(metrics.stats_cache_hits, 6);
+  EXPECT_EQ(metrics.plans, 3);
+  EXPECT_EQ(metrics.executions, 3);
+}
+
+TEST(ThetaEngineTest, ConcurrentSubmitsMatchSequentialExecution) {
+  MobileDataOptions mobile_options;
+  mobile_options.physical_rows = 100;
+  mobile_options.logical_bytes = 2 * kGiB;
+  const auto mobile = BuildMobileQuery(1, mobile_options);
+  ASSERT_TRUE(mobile.ok());
+
+  FlightLegOptions leg_options;
+  leg_options.physical_rows = 120;
+  std::vector<RelationPtr> legs = {GenerateFlightLeg(0, leg_options),
+                                   GenerateFlightLeg(1, leg_options),
+                                   GenerateFlightLeg(2, leg_options)};
+  const auto flights = BuildItineraryQuery(legs, {StayOver{}, StayOver{}});
+  ASSERT_TRUE(flights.ok());
+
+  // Sequential reference on its own session.
+  ThetaEngine sequential;
+  const auto seq_mobile = sequential.Execute(*mobile);
+  const auto seq_flights = sequential.Execute(*flights);
+  ASSERT_TRUE(seq_mobile.ok());
+  ASSERT_TRUE(seq_flights.ok());
+
+  // Concurrent submissions on a multi-thread engine share the pool and
+  // overlap; answers must not change.
+  EngineOptions options;
+  options.executor.num_threads = 2;
+  ThetaEngine engine(options);
+  std::future<StatusOr<QueryResult>> f_mobile = engine.Submit(*mobile);
+  std::future<StatusOr<QueryResult>> f_flights = engine.Submit(*flights);
+  const StatusOr<QueryResult> par_mobile = f_mobile.get();
+  const StatusOr<QueryResult> par_flights = f_flights.get();
+  ASSERT_TRUE(par_mobile.ok()) << par_mobile.status().ToString();
+  ASSERT_TRUE(par_flights.ok()) << par_flights.status().ToString();
+
+  EXPECT_EQ(par_mobile->makespan(), seq_mobile->makespan());
+  EXPECT_EQ(par_flights->makespan(), seq_flights->makespan());
+  ExpectIdenticalRows(*par_mobile->execution().result_ids,
+                      *seq_mobile->execution().result_ids);
+  ExpectIdenticalRows(*par_flights->execution().result_ids,
+                      *seq_flights->execution().result_ids);
+  EXPECT_EQ(engine.metrics().calibrations, 1);
+}
+
+TEST(ThetaEngineTest, StatsCacheInvalidatedWhenRelationGrows) {
+  auto make = [](const char* name, uint64_t seed, int rows) {
+    auto rel = std::make_shared<Relation>(
+        name, Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+    Rng rng(seed);
+    for (int i = 0; i < rows; ++i) {
+      rel->AppendIntRow({rng.UniformInt(0, 49), rng.UniformInt(0, 9)});
+    }
+    return rel;
+  };
+  // Mutable handles: queries hold shared_ptr<const Relation>, but a
+  // session's caller may keep the writable owner and grow the table
+  // between queries.
+  std::shared_ptr<Relation> r1 = make("r1", 21, 60);
+  std::shared_ptr<Relation> r2 = make("r2", 22, 60);
+  QueryBuilder builder;
+  builder.From("r", r1).From("s", r2).Where(Col("r.a") <= Col("s.a"));
+  const auto query = builder.Build();
+  ASSERT_TRUE(query.ok());
+
+  ThetaEngine engine;
+  ASSERT_TRUE(engine.Execute(*query).ok());
+  EXPECT_EQ(engine.metrics().stats_builds, 2);
+
+  // Growing a relation must invalidate its cached stats (and only its).
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    r1->AppendIntRow({rng.UniformInt(0, 49), rng.UniformInt(0, 9)});
+  }
+  const auto grown = engine.Execute(*query);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(engine.metrics().stats_builds, 3);
+  EXPECT_EQ(engine.metrics().stats_cache_hits, 1);
+
+  // The warm session must match a fresh one over the grown data.
+  ThetaEngine fresh;
+  const auto cold = fresh.Execute(*query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(grown->makespan(), cold->makespan());
+  ExpectIdenticalRows(*grown->execution().result_ids,
+                      *cold->execution().result_ids);
+}
+
+TEST(ThetaEngineTest, DiscardedSubmitFutureNeitherBlocksNorLeaks) {
+  MobileDataOptions options;
+  options.physical_rows = 60;
+  const auto query = BuildMobileQuery(1, options);
+  ASSERT_TRUE(query.ok());
+  {
+    EngineOptions engine_options;
+    engine_options.executor.num_threads = 2;
+    ThetaEngine engine(engine_options);
+    engine.Submit(*query);  // future discarded: must not block here
+    engine.Submit(*query);
+  }  // the destructor drains both in-flight submissions
+  SUCCEED();
+}
+
+TEST(ThetaEngineTest, ExplainReportsPlanAndCachedStats) {
+  MobileDataOptions options;
+  options.physical_rows = 100;
+  options.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, options);
+  ASSERT_TRUE(query.ok());
+
+  ThetaEngine engine;
+  const auto report = engine.Explain(*query);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->plan.jobs.empty());
+  ASSERT_EQ(report->stats.size(), 3u);
+  EXPECT_GT(report->stats[0].logical_rows, 0);
+  EXPECT_FALSE(report->ToString().empty());
+  // Explain plans but never executes.
+  EXPECT_EQ(engine.metrics().plans, 1);
+  EXPECT_EQ(engine.metrics().executions, 0);
+}
+
+TEST(ThetaEngineTest, InvalidOptionsSurfaceOnEveryEntryPoint) {
+  EngineOptions options;
+  options.executor.num_threads = 0;
+  ThetaEngine engine(options);
+  MobileDataOptions data;
+  data.physical_rows = 50;
+  const auto query = BuildMobileQuery(1, data);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(engine.Execute(*query).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Calibration().status().code(),
+            StatusCode::kInvalidArgument);
+
+  EngineOptions bad_lambda;
+  bad_lambda.planner.lambda = 1.5;
+  EXPECT_EQ(bad_lambda.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(EngineOptions{}.Validate().ok());
+}
+
+// ---- QueryBuilder ----
+
+RelationPtr MakeRel(const char* name, uint64_t seed) {
+  auto rel = std::make_shared<Relation>(
+      name, Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(seed);
+  for (int i = 0; i < 50; ++i) {
+    rel->AppendIntRow({rng.UniformInt(0, 99), rng.UniformInt(0, 9)});
+  }
+  return rel;
+}
+
+TEST(QueryBuilderTest, LowersToTheEquivalentLegacyQuery) {
+  RelationPtr r1 = MakeRel("r1", 1);
+  RelationPtr r2 = MakeRel("r2", 2);
+
+  Query legacy;
+  const int a = legacy.AddRelation(r1);
+  const int b = legacy.AddRelation(r2);
+  ASSERT_TRUE(legacy.AddCondition(a, "a", ThetaOp::kLe, b, "a", 5.0).ok());
+  ASSERT_TRUE(legacy.AddCondition(a, "b", ThetaOp::kNe, b, "b").ok());
+  ASSERT_TRUE(legacy.AddOutput(b, "b").ok());
+
+  QueryBuilder builder;
+  builder.From("r", r1)
+      .From("s", r2)
+      .Where(Col("r.a") + 5 <= Col("s.a"))
+      .Where(Col("r.b") != Col("s.b"))
+      .Select("s.b");
+  const StatusOr<Query> built = builder.Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  ASSERT_EQ(built->num_relations(), legacy.num_relations());
+  ASSERT_EQ(built->num_conditions(), legacy.num_conditions());
+  for (int i = 0; i < legacy.num_conditions(); ++i) {
+    const JoinCondition& lc = legacy.conditions()[i];
+    const JoinCondition& bc = built->conditions()[i];
+    EXPECT_EQ(bc.lhs, lc.lhs);
+    EXPECT_EQ(bc.rhs, lc.rhs);
+    EXPECT_EQ(bc.op, lc.op);
+    EXPECT_EQ(bc.offset, lc.offset);
+    EXPECT_EQ(bc.id, lc.id);
+  }
+  ASSERT_EQ(built->outputs().size(), legacy.outputs().size());
+  EXPECT_EQ(built->outputs()[0].base, legacy.outputs()[0].base);
+  EXPECT_EQ(built->outputs()[0].column, legacy.outputs()[0].column);
+  EXPECT_EQ(built->ToString(), legacy.ToString());
+}
+
+TEST(QueryBuilderTest, OffsetsOnBothSidesFoldToTheLeft) {
+  QueryBuilder builder;
+  builder.From("r", MakeRel("r", 3))
+      .From("s", MakeRel("s", 4))
+      // (r.a + 7) < (s.a + 4)  ⇔  (r.a + 3) < s.a
+      .Where(Col("r.a") + 7 < Col("s.a") + 4);
+  const auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->conditions()[0].offset, 3.0);
+  EXPECT_EQ(built->conditions()[0].op, ThetaOp::kLt);
+}
+
+TEST(QueryBuilderTest, ReportsUnknownAlias) {
+  QueryBuilder builder;
+  builder.From("r", MakeRel("r", 5))
+      .From("s", MakeRel("s", 6))
+      .Where(Col("r.a") <= Col("t.a"));
+  const auto built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(built.status().message().find("unknown alias 't'"),
+            std::string::npos);
+  EXPECT_NE(built.status().message().find("r, s"), std::string::npos);
+}
+
+TEST(QueryBuilderTest, ReportsUnknownColumn) {
+  QueryBuilder builder;
+  builder.From("r", MakeRel("r", 7))
+      .From("s", MakeRel("s", 8))
+      .Where(Col("r.a") <= Col("s.zz"));
+  const auto built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(built.status().message().find("unknown column 'zz'"),
+            std::string::npos);
+
+  QueryBuilder select_bad;
+  select_bad.From("r", MakeRel("r", 9))
+      .From("s", MakeRel("s", 10))
+      .Where(Col("r.a") <= Col("s.a"))
+      .Select("r.nope");
+  EXPECT_EQ(select_bad.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryBuilderTest, ReportsDuplicateAlias) {
+  QueryBuilder builder;
+  builder.From("r", MakeRel("r", 11))
+      .From("r", MakeRel("r2", 12))
+      .Where(Col("r.a") <= Col("r.a"));
+  const auto built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("duplicate alias 'r'"),
+            std::string::npos);
+}
+
+TEST(QueryBuilderTest, ReportsMalformedReferenceWithItsSpelling) {
+  QueryBuilder builder;
+  builder.From("r", MakeRel("r", 13))
+      .From("s", MakeRel("s", 14))
+      .Where(Col("ra") <= Col("s.a"));
+  const auto built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("'ra'"), std::string::npos);
+}
+
+TEST(QueryBuilderTest, BuildRunsQueryValidate) {
+  // A builder query with a disconnected join graph fails at Build, not at
+  // plan time.
+  QueryBuilder builder;
+  builder.From("a", MakeRel("a", 15))
+      .From("b", MakeRel("b", 16))
+      .From("c", MakeRel("c", 17))
+      .From("d", MakeRel("d", 18))
+      .Where(Col("a.a") <= Col("b.a"))
+      .Where(Col("c.a") <= Col("d.a"));
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace mrtheta
