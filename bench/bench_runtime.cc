@@ -13,7 +13,15 @@
 // from the engine's cached calibration/statistics, executions run on the
 // engine's shared pool with per-call executor overrides.
 //
-// Usage: bench_runtime [output.json]
+// Every record carries sim_shuffle_bytes (the deterministic map→reduce
+// volume, the paper's cost objective). The "prune" workload executes the
+// TPC-H Q17 plan with and without its required-column annotation on the
+// same engine and asserts the column-pruning contract: byte-identical
+// projected rows, with pruned shuffle volume at most 75% of full-width
+// (docs/EXECUTOR.md "Column pruning"). --no-prune plans everything
+// full-width instead (the ablation; the assertion is skipped).
+//
+// Usage: bench_runtime [--no-prune] [output.json]
 
 #include <chrono>
 #include <cstdio>
@@ -89,6 +97,7 @@ void RunScalingCurve(const PlannedQuery& pq, ThetaEngine& engine,
     rec.wall_seconds = wall;
     rec.speedup_vs_1t = wall > 0.0 ? base_wall / wall : 1.0;
     rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
     records.push_back(rec);
@@ -136,6 +145,7 @@ void RunEngineReuse(ThetaEngine& engine,
     if (cold_wall == 0.0) cold_wall = wall;
     rec.speedup_vs_1t = wall > 0.0 ? cold_wall / wall : 1.0;
     rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
     records.push_back(rec);
@@ -152,6 +162,94 @@ void RunEngineReuse(ThetaEngine& engine,
                  static_cast<long long>(metrics.calibrations));
     std::exit(1);
   }
+}
+
+// FNV-1a over every cell of the result rows *in row order* — "byte
+// identical" below means content and order both.
+uint64_t OrderedRowsFingerprint(const Relation& rows) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= '|';
+    h *= 1099511628211ULL;
+  };
+  for (int64_t r = 0; r < rows.num_rows(); ++r) {
+    for (int c = 0; c < rows.schema().num_columns(); ++c) {
+      mix(rows.Get(r, c).ToString());
+    }
+  }
+  return h;
+}
+
+// Column-pruning ablation (docs/EXECUTOR.md): the SAME Q17 plan executed
+// with its required-column annotation vs stripped to full-width. Rids,
+// partitioning and row order are untouched by the annotation, so the
+// projected outputs must be byte-identical while the simulated shuffle
+// volume shrinks — asserted at >= 25% for this workload (lineitem carries
+// 8 columns, the query touches 3). With --no-prune the engine planned
+// full-width everywhere and this comparison is skipped.
+void RunPruneComparison(const Query& query, const QueryPlan& plan,
+                        ThetaEngine& engine,
+                        std::vector<RuntimeBenchRecord>& records) {
+  QueryPlan full_width = plan;
+  for (PlanJob& job : full_width.jobs) job.output_columns.clear();
+
+  uint64_t fingerprints[2] = {0, 0};
+  const QueryPlan* variants[2] = {&plan, &full_width};
+  const char* names[2] = {"q17_pruned", "q17_fullwidth"};
+  int64_t shuffle[2] = {0, 0};
+  for (int v = 0; v < 2; ++v) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = engine.ExecutePlan(query, *variants[v]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "prune comparison %s failed: %s\n", names[v],
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    fingerprints[v] = OrderedRowsFingerprint(result->rows());
+    shuffle[v] = result->sim_shuffle_bytes();
+    RuntimeBenchRecord rec;
+    rec.workload = "prune";
+    rec.query = names[v];
+    rec.threads = engine.options().executor.num_threads;
+    rec.hardware_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    rec.jobs = static_cast<int>(plan.jobs.size());
+    rec.wall_seconds = SecondsSince(start);
+    rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
+    rec.result_rows_physical = result->num_rows();
+    rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    records.push_back(rec);
+    std::printf("  %-8s %-14s shuffle=%lld B  sim=%7.1fs  rows=%lld\n",
+                rec.workload.c_str(), names[v],
+                static_cast<long long>(rec.sim_shuffle_bytes),
+                rec.sim_makespan_seconds,
+                static_cast<long long>(rec.result_rows_physical));
+    std::fflush(stdout);
+  }
+  if (fingerprints[0] != fingerprints[1]) {
+    std::fprintf(stderr,
+                 "prune comparison: projected results differ "
+                 "(%llx vs %llx) — pruning must not change rows\n",
+                 static_cast<unsigned long long>(fingerprints[0]),
+                 static_cast<unsigned long long>(fingerprints[1]));
+    std::exit(1);
+  }
+  if (shuffle[0] > (shuffle[1] * 3) / 4) {
+    std::fprintf(stderr,
+                 "prune comparison: expected >= 25%% shuffle-byte drop, got "
+                 "%lld (pruned) vs %lld (full-width)\n",
+                 static_cast<long long>(shuffle[0]),
+                 static_cast<long long>(shuffle[1]));
+    std::exit(1);
+  }
+  std::printf("  prune    q17 shuffle drop: %.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(shuffle[0]) /
+                                 static_cast<double>(shuffle[1])));
 }
 
 // Sweeps the sort-kernel min-pairs gate (satellite knob of
@@ -183,6 +281,7 @@ void RunGateSweep(const Query& query, const QueryPlan& plan,
     rec.jobs = static_cast<int>(plan.jobs.size());
     rec.wall_seconds = wall;
     rec.sim_makespan_seconds = result->simulated_seconds();
+    rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = gate;
     records.push_back(rec);
@@ -194,26 +293,28 @@ void RunGateSweep(const Query& query, const QueryPlan& plan,
 }
 
 int Main(int argc, char** argv) {
-  const StatusOr<CommonFlags> flags =
-      ParseCommonFlags(argc, argv, /*allow_threads=*/false);
+  const StatusOr<CommonFlags> flags = ParseCommonFlags(
+      argc, argv, /*allow_threads=*/false, /*allow_no_prune=*/true);
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s\nusage: %s [output.json]\n",
+    std::fprintf(stderr, "%s\nusage: %s [--no-prune] [output.json]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
   const std::string out_path =
       flags->output_path.empty() ? "BENCH_runtime.json" : flags->output_path;
-  if (std::thread::hardware_concurrency() <= 1) {
-    std::fprintf(stderr,
-                 "warning: this host reports a single hardware thread; the "
-                 "scaling curves below will be flat (threads time-slice one "
-                 "core). hardware_threads is recorded in every record.\n");
-  }
+  // Scaling curves are flat when the host cannot actually run kMaxThreads
+  // in parallel; hardware_threads is recorded in every record.
+  WarnIfSingleHardwareThread(kMaxThreads);
 
   // The one session of this bench. The pool is sized for the widest step;
   // per-call overrides select the effective thread count.
   EngineOptions engine_options;
   engine_options.executor.num_threads = kMaxThreads;
+  engine_options.planner.enable_column_pruning = !flags->no_prune;
+  if (flags->no_prune) {
+    std::printf("column pruning DISABLED (--no-prune): full-width "
+                "intermediates everywhere\n");
+  }
   ThetaEngine engine(engine_options);
   std::vector<RuntimeBenchRecord> records;
 
@@ -234,6 +335,11 @@ int Main(int argc, char** argv) {
   const auto q17_plan = engine.PlanQuery(*q17);
   if (!q17_plan.ok()) return 1;
   RunScalingCurve({"tpch", "q17_20k", *q17, *q17_plan}, engine, records);
+
+  // ---- Column-pruning ablation on the Q17 plan ----
+  if (!flags->no_prune) {
+    RunPruneComparison(*q17, *q17_plan, engine, records);
+  }
 
   // ---- Flights itinerary chain (3 legs) ----
   FlightLegOptions leg_options;

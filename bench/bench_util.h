@@ -81,6 +81,10 @@ struct RuntimeBenchRecord {
   double wall_seconds = 0.0;
   double speedup_vs_1t = 1.0;
   double sim_makespan_seconds = 0.0;  ///< identical at every thread count
+  /// Simulated shuffle volume: Σ over plan jobs of the logical map-output
+  /// bytes. Deterministic; gated direction-aware by check_bench.py. This
+  /// is the quantity column pruning / selection pushdown shrink.
+  int64_t sim_shuffle_bytes = 0;
   int64_t result_rows_physical = 0;
   int64_t sort_kernel_min_pairs = 0;  ///< gate in force for this run
 };

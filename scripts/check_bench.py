@@ -16,6 +16,12 @@ Policy per metric kind:
                 Improvements pass (regenerate the baseline to lock them in).
   (everything else -- measured/informational: ignored.)
 
+Structural mismatches are failures, not notes: a BENCH_*.json in either
+directory without a SPECS entry, a baseline file the run did not produce,
+a produced file with no committed baseline, and records present on only
+one side all fail — a silently unmatched file or record is a gate that
+quietly stopped gating.
+
 Exit status: 0 = pass, 1 = regression or structural mismatch.
 
 Usage:
@@ -40,7 +46,12 @@ SPECS = {
     "BENCH_runtime.json": {
         "key": ["workload", "query", "threads", "sort_kernel_min_pairs"],
         "exact": ["jobs", "result_rows_physical"],
-        "simulated": {"sim_makespan_seconds": +1},
+        "simulated": {
+            "sim_makespan_seconds": +1,
+            # Simulated map->reduce volume; grows when column pruning /
+            # selection pushdown stop shrinking the shuffle.
+            "sim_shuffle_bytes": +1,
+        },
         # wall_seconds / speedup_vs_1t / hardware_threads are measured.
     },
     "BENCH_skew.json": {
@@ -100,9 +111,10 @@ def compare_file(name, baseline_path, current_path, tolerance):
                     f"({delta * 100.0:+.1f}% worse, tolerance "
                     f"{tolerance * 100.0:.0f}%)")
     new_keys = set(current) - set(baseline)
-    if new_keys:
-        print(f"note: {name}: {len(new_keys)} new record(s) not in the "
-              f"baseline (gate ignores them): {sorted(new_keys)}")
+    for key in sorted(new_keys):
+        failures.append(
+            f"{name}: record {key} has no baseline (regenerate "
+            f"{baseline_path} to admit new records)")
     return failures
 
 
@@ -117,13 +129,30 @@ def main():
 
     failures = []
     checked = 0
+    # Files without a SPECS entry would otherwise never be compared — a
+    # bench that writes BENCH_foo.json without registering its spec here
+    # ships an ungated metric.
+    for directory in (args.baseline_dir, args.current_dir):
+        if not os.path.isdir(directory):
+            continue
+        for entry in sorted(os.listdir(directory)):
+            if (entry.startswith("BENCH_") and entry.endswith(".json")
+                    and entry not in SPECS):
+                failures.append(
+                    f"{os.path.join(directory, entry)}: no comparison spec "
+                    f"(add it to SPECS in scripts/check_bench.py)")
     for name in sorted(SPECS):
         baseline_path = os.path.join(args.baseline_dir, name)
         current_path = os.path.join(args.current_dir, name)
         if not os.path.exists(baseline_path):
-            print(f"note: no baseline for {name}; skipping "
-                  f"(commit {current_path} to {args.baseline_dir} to arm "
-                  f"the gate)")
+            if os.path.exists(current_path):
+                failures.append(
+                    f"{name}: produced but has no baseline (commit "
+                    f"{current_path} to {args.baseline_dir} to arm the "
+                    f"gate)")
+            else:
+                print(f"note: {name} not produced and not in baselines; "
+                      f"skipping")
             continue
         if not os.path.exists(current_path):
             failures.append(

@@ -25,6 +25,12 @@ QueryBuilder& QueryBuilder::Where(CondExpr cond) {
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Filter(const std::string& alias,
+                                   FilterExpr pred) {
+  filters_.push_back({alias, std::move(pred)});
+  return *this;
+}
+
 QueryBuilder& QueryBuilder::Select(const std::string& qualified) {
   selects_.push_back(Col(qualified));
   return *this;
@@ -93,6 +99,20 @@ StatusOr<Query> QueryBuilder::Build() const {
         lhs->relation, cond.lhs.column, cond.op, rhs->relation,
         cond.rhs.column, cond.lhs.offset - cond.rhs.offset);
     if (!id.ok()) return id.status();
+  }
+  for (const FilterClause& filter : filters_) {
+    StatusOr<ColumnRef> ref = Resolve(filter.pred.col);
+    if (!ref.ok()) return ref.status();
+    if (filter.pred.col.alias != filter.alias) {
+      return Status::InvalidArgument(
+          "Filter(\"" + filter.alias + "\", ...) predicate references '" +
+          filter.pred.col.spelled + "' (the predicate column must belong "
+          "to the filtered alias)");
+    }
+    MRTHETA_RETURN_IF_ERROR(
+        query.AddFilter(ref->relation, filter.pred.col.column,
+                        filter.pred.op, filter.pred.literal,
+                        filter.pred.col.offset));
   }
   for (const ColExpr& sel : selects_) {
     StatusOr<ColumnRef> ref = Resolve(sel);

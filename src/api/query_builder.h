@@ -61,6 +61,42 @@ inline CondExpr operator!=(ColExpr a, ColExpr b) {
   return {std::move(a), ThetaOp::kNe, std::move(b)};
 }
 
+/// A single-relation selection: a column expression compared against a
+/// literal, e.g. `Col("l1.l_quantity") <= 30` or
+/// `Col("p.p_name") == std::string("widget")`. Lowered by
+/// QueryBuilder::Filter to a map-side predicate pushed below the first
+/// shuffle (docs/EXECUTOR.md "Selection pushdown").
+struct FilterExpr {
+  ColExpr col;
+  ThetaOp op = ThetaOp::kEq;
+  Value literal;
+};
+
+inline FilterExpr operator<(ColExpr a, double v) {
+  return {std::move(a), ThetaOp::kLt, Value(v)};
+}
+inline FilterExpr operator<=(ColExpr a, double v) {
+  return {std::move(a), ThetaOp::kLe, Value(v)};
+}
+inline FilterExpr operator>(ColExpr a, double v) {
+  return {std::move(a), ThetaOp::kGt, Value(v)};
+}
+inline FilterExpr operator>=(ColExpr a, double v) {
+  return {std::move(a), ThetaOp::kGe, Value(v)};
+}
+inline FilterExpr operator==(ColExpr a, double v) {
+  return {std::move(a), ThetaOp::kEq, Value(v)};
+}
+inline FilterExpr operator!=(ColExpr a, double v) {
+  return {std::move(a), ThetaOp::kNe, Value(v)};
+}
+inline FilterExpr operator==(ColExpr a, std::string v) {
+  return {std::move(a), ThetaOp::kEq, Value(std::move(v))};
+}
+inline FilterExpr operator!=(ColExpr a, std::string v) {
+  return {std::move(a), ThetaOp::kNe, Value(std::move(v))};
+}
+
 /// \brief Fluent, alias-based query construction — the session-facing
 /// replacement for Query's index juggling:
 ///
@@ -85,6 +121,13 @@ class QueryBuilder {
   /// Adds one theta condition (see Col / CondExpr above).
   QueryBuilder& Where(CondExpr cond);
 
+  /// Adds a single-relation selection on `alias` (see FilterExpr above),
+  /// pushed below the first shuffle by the executors:
+  ///   b.Filter("l1", Col("l1.l_quantity") <= 30);
+  /// The predicate's column must reference `alias` — a mismatch is
+  /// reported by Build with both spellings.
+  QueryBuilder& Filter(const std::string& alias, FilterExpr pred);
+
   /// Adds an output column "alias.column" to the projection.
   QueryBuilder& Select(const std::string& qualified);
 
@@ -101,11 +144,17 @@ class QueryBuilder {
     RelationPtr relation;
   };
 
+  struct FilterClause {
+    std::string alias;
+    FilterExpr pred;
+  };
+
   /// Resolves `ref` to (relation index, column index) in the lowered query.
   StatusOr<ColumnRef> Resolve(const ColExpr& ref) const;
 
   std::vector<FromClause> froms_;
   std::vector<CondExpr> wheres_;
+  std::vector<FilterClause> filters_;
   std::vector<ColExpr> selects_;
 };
 

@@ -57,18 +57,35 @@ Status ThetaEngine::EnsureReadyLocked() {
 }
 
 std::vector<TableStats> ThetaEngine::StatsForLocked(const Query& query) {
+  // Sweep entries whose relation died since the last pass: without the old
+  // pinning, a dead entry's address could be handed to a future Relation,
+  // and the cache must never answer for a corpse.
+  for (auto it = stats_cache_.begin(); it != stats_cache_.end();) {
+    if (it->second.alive.expired()) {
+      it = stats_cache_.erase(it);
+      ++metrics_.stats_evictions;
+    } else {
+      ++it;
+    }
+  }
   std::vector<TableStats> stats;
   stats.reserve(query.relations().size());
   for (const RelationPtr& rel : query.relations()) {
     auto it = stats_cache_.find(rel.get());
+    // Fresh iff the cached generation matches: Relation::generation() is
+    // re-drawn from a never-reused process-wide counter on every mutation
+    // (including in-place cell edits that keep num_rows constant) and at
+    // construction, so a match alone proves the entry describes exactly
+    // this live relation's current content — even an entry left behind by
+    // a dead relation at a recycled address necessarily carries a
+    // different generation. The weak_ptr exists for the sweep above, not
+    // for this check.
     const bool fresh = it != stats_cache_.end() &&
-                       it->second.num_rows == rel->num_rows() &&
-                       it->second.logical_rows == rel->logical_rows();
+                       it->second.generation == rel->generation();
     if (!fresh) {
       CachedStats entry;
-      entry.pin = rel;
-      entry.num_rows = rel->num_rows();
-      entry.logical_rows = rel->logical_rows();
+      entry.alive = rel;
+      entry.generation = rel->generation();
       entry.stats = planner_->CollectStatsForRelation(*rel);
       ++metrics_.stats_builds;
       it = stats_cache_.insert_or_assign(rel.get(), std::move(entry)).first;

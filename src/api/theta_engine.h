@@ -38,6 +38,7 @@ struct EngineMetrics {
   int64_t calibrations = 0;      ///< cost-model calibration campaigns run
   int64_t stats_builds = 0;      ///< per-relation TableStats computed
   int64_t stats_cache_hits = 0;  ///< per-relation TableStats reused
+  int64_t stats_evictions = 0;   ///< cache entries dropped (expired relation)
   int64_t plans = 0;             ///< queries planned
   int64_t executions = 0;        ///< plans executed successfully
 };
@@ -49,7 +50,9 @@ struct EngineMetrics {
 /// A ThetaEngine owns the simulated cluster, the runtime thread pool
 /// (sized to options().executor.num_threads), the lazily-run cost-model
 /// calibration, and a per-relation statistics cache keyed by relation
-/// identity — the one-time "uploading" work of Sec. 6.3 is paid on the
+/// identity and validated by Relation::generation() (any mutation — growth
+/// or in-place edits — forces a rebuild; entries for freed relations are
+/// evicted) — the one-time "uploading" work of Sec. 6.3 is paid on the
 /// first query and amortized across the rest of the session.
 ///
 /// Thread safety: all entry points may be called concurrently. Submit
@@ -124,15 +127,17 @@ class ThetaEngine {
   Status init_status_;                // guarded by mu_
   std::unique_ptr<CalibrationReport> calibration_;  // guarded by mu_
   std::unique_ptr<Planner> planner_;  // created once under mu_
-  /// One cached per-relation statistics entry. The stored RelationPtr pins
-  /// the relation alive so a recycled address can never alias a stale
-  /// entry; the size fields detect relations grown between queries
-  /// (AppendRow/AppendRows) and force a rebuild so cached stats never go
-  /// stale relative to Planner::CollectStats.
+  /// One cached per-relation statistics entry, keyed by relation address
+  /// and validated by Relation::generation() — a process-wide monotonic
+  /// counter re-drawn on every mutation. An entry is served only when the
+  /// relation is still alive (weak_ptr) AND its generation matches the one
+  /// observed at build time, so neither an in-place mutation at the same
+  /// cardinality nor a freed relation's recycled address can ever alias a
+  /// stale entry (the old (pointer, row-count) key did both). Entries are
+  /// not pinned: expired ones are evicted on the next lookup pass.
   struct CachedStats {
-    RelationPtr pin;
-    int64_t num_rows = 0;
-    int64_t logical_rows = 0;
+    std::weak_ptr<const Relation> alive;
+    uint64_t generation = 0;
     TableStats stats;
   };
   std::unordered_map<const Relation*, CachedStats>

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "src/core/column_pruning.h"
 #include "src/stats/selectivity.h"
 
 namespace mrtheta {
@@ -129,6 +130,10 @@ StatusOr<QueryPlan> BuildCascade(const Query& query, const PickFn& pick,
   if (static_cast<int>(joined.size()) != query.num_relations()) {
     return Status::Internal("cascade failed to join all relations");
   }
+  // Hive/Pig/YSmart all project early (column pruning is a stock rewrite
+  // in each); annotating the baselines keeps the planner comparison about
+  // *planning*, with every compared system shipping equally thin tuples.
+  AnnotateRequiredColumns(query, &plan);
   return plan;
 }
 

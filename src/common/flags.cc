@@ -29,11 +29,14 @@ StatusOr<int> ParsePositiveInt(const char* text) {
 }  // namespace
 
 StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
-                                       bool allow_threads) {
+                                       bool allow_threads,
+                                       bool allow_no_prune) {
   CommonFlags flags;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (allow_threads && std::strcmp(arg, "--threads") == 0) {
+    if (allow_no_prune && std::strcmp(arg, "--no-prune") == 0) {
+      flags.no_prune = true;
+    } else if (allow_threads && std::strcmp(arg, "--threads") == 0) {
       if (i + 1 >= argc) {
         return Status::InvalidArgument("--threads needs a value");
       }
@@ -55,10 +58,21 @@ StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
 }
 
 void WarnIfSingleHardwareThread(int num_threads) {
-  if (num_threads > 1 && std::thread::hardware_concurrency() <= 1) {
+  if (num_threads <= 1) return;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 1) {
     std::fprintf(stderr,
                  "warning: this host reports a single hardware thread; "
                  "%d threads will time-slice one core and measured "
+                 "wall-clock will not improve\n",
+                 num_threads);
+  } else if (hw == 0) {
+    // The standard defines 0 as "not computable or not well defined" —
+    // the host may well be multi-core, so do not claim it is single-core.
+    std::fprintf(stderr,
+                 "note: could not determine this host's hardware thread "
+                 "count (hardware_concurrency() == 0); if it is "
+                 "single-core, %d threads will time-slice it and measured "
                  "wall-clock will not improve\n",
                  num_threads);
   }

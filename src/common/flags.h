@@ -11,6 +11,11 @@ namespace mrtheta {
 struct CommonFlags {
   /// --threads N: threads of the in-process runtime (>= 1).
   int num_threads = 1;
+  /// --no-prune: disable required-column analysis / early projection
+  /// (PlannerOptions::enable_column_pruning), the full-width ablation of
+  /// docs/EXECUTOR.md "Column pruning". Only parsed when the binary opts
+  /// in (bench_runtime).
+  bool no_prune = false;
   /// The single optional positional argument (the benches' output path).
   std::string output_path;
 };
@@ -20,13 +25,17 @@ struct CommonFlags {
 /// silently accepted: a missing value, trailing junk ("--threads 4x"),
 /// non-positive counts, unknown flags, and extra positionals. Binaries
 /// with a fixed thread schedule (the benches) pass `allow_threads = false`
-/// so `--threads` is rejected instead of silently ignored.
+/// so `--threads` is rejected instead of silently ignored; likewise
+/// `--no-prune` is only accepted when `allow_no_prune` is set.
 StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
-                                       bool allow_threads = true);
+                                       bool allow_threads = true,
+                                       bool allow_no_prune = false);
 
-/// Prints the standard warning to stderr when `num_threads` > 1 on a host
-/// that reports a single hardware thread (the threads would time-slice one
-/// core and measured wall-clock would not improve).
+/// Prints a warning to stderr when `num_threads` > 1 and the host cannot
+/// run them in parallel: a host *reporting* one hardware thread gets the
+/// time-slicing warning, while hardware_concurrency() == 0 — which the
+/// standard defines as "not computable", not as one core — gets a
+/// could-not-detect note instead of being misdiagnosed as single-core.
 void WarnIfSingleHardwareThread(int num_threads);
 
 }  // namespace mrtheta

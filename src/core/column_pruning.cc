@@ -1,0 +1,79 @@
+#include "src/core/column_pruning.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mrtheta {
+
+std::vector<int> RequiredColumnsForBase(
+    const Query& query, int base, const std::vector<int>& pending_thetas) {
+  std::vector<int> cols;
+  for (const OutputColumn& out : query.outputs()) {
+    if (out.base == base) cols.push_back(out.column);
+  }
+  for (int t : pending_thetas) {
+    const JoinCondition& cond = query.conditions()[t];
+    for (const ColumnRef& ref : {cond.lhs, cond.rhs}) {
+      if (ref.relation == base) cols.push_back(ref.column);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+std::vector<int> PendingThetas(const Query& query, uint32_t applied_mask) {
+  std::vector<int> pending;
+  for (const JoinCondition& cond : query.conditions()) {
+    if ((applied_mask & (1u << cond.id)) == 0) pending.push_back(cond.id);
+  }
+  return pending;
+}
+
+void AnnotateRequiredColumns(const Query& query, QueryPlan* plan) {
+  const int num_jobs = static_cast<int>(plan->jobs.size());
+
+  // Forward pass: base coverage of every job's output.
+  std::vector<std::set<int>> covered(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    for (const PlanInput& in : plan->jobs[i].inputs) {
+      if (in.is_base()) {
+        covered[i].insert(in.base);
+      } else if (in.job >= 0 && in.job < i) {
+        covered[i].insert(covered[in.job].begin(), covered[in.job].end());
+      }
+    }
+  }
+
+  // Backward pass: θ ids any strict descendant of job i evaluates on tuples
+  // routed through i's output. Only those conditions (plus the projection)
+  // keep a base's columns alive — a sibling branch's conditions are checked
+  // on the sibling's own tuples and never re-evaluated after a rid-merge.
+  // Jobs are topologically ordered, so consumers have higher indices.
+  std::vector<uint32_t> downstream(num_jobs, 0);
+  for (int c = num_jobs - 1; c >= 0; --c) {
+    uint32_t own = 0;
+    for (int t : plan->jobs[c].thetas) own |= 1u << t;
+    for (const PlanInput& in : plan->jobs[c].inputs) {
+      if (!in.is_base() && in.job >= 0 && in.job < c) {
+        downstream[in.job] |= own | downstream[c];
+      }
+    }
+  }
+
+  for (int i = 0; i < num_jobs; ++i) {
+    PlanJob& job = plan->jobs[i];
+    std::vector<int> pending;
+    for (const JoinCondition& cond : query.conditions()) {
+      if (downstream[i] & (1u << cond.id)) pending.push_back(cond.id);
+    }
+    job.output_columns.clear();
+    job.output_columns.reserve(covered[i].size());
+    for (int base : covered[i]) {
+      job.output_columns.push_back(
+          {base, RequiredColumnsForBase(query, base, pending)});
+    }
+  }
+}
+
+}  // namespace mrtheta

@@ -1,0 +1,40 @@
+#ifndef MRTHETA_CORE_COLUMN_PRUNING_H_
+#define MRTHETA_CORE_COLUMN_PRUNING_H_
+
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/core/query.h"
+
+namespace mrtheta {
+
+/// Columns of base relation `base` that must still be materialized when the
+/// conditions whose θ ids are in `pending_thetas` plus the query's
+/// projection lie downstream: every pending condition endpoint on `base`
+/// and every projected column of `base`. Ascending and unique; empty when
+/// the base only rides along as a record ID.
+std::vector<int> RequiredColumnsForBase(const Query& query, int base,
+                                        const std::vector<int>& pending_thetas);
+
+/// θ ids of `query` NOT covered by `applied_mask` (bitmask over condition
+/// ids) — the conditions a plan position still has ahead of it.
+std::vector<int> PendingThetas(const Query& query, uint32_t applied_mask);
+
+/// \brief Required-column analysis over a plan DAG (docs/EXECUTOR.md
+/// "Column pruning & selection pushdown").
+///
+/// Walks `plan`'s jobs in topological order, accumulating per job the set
+/// of conditions already applied on its path (its own thetas plus,
+/// transitively, its input jobs'); the conditions still pending after a job
+/// plus the query's projection determine the minimal column set each
+/// covered base must carry in that job's output. The result is recorded on
+/// PlanJob::output_columns, which the executor threads into the join-job
+/// builders: intermediate schemas take pruned per-base widths, map emit
+/// bytes shrink, and the simulator/cost model see the thinner tuples.
+/// Physical rows and rids are untouched — results are byte-identical with
+/// and without annotation.
+void AnnotateRequiredColumns(const Query& query, QueryPlan* plan);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_CORE_COLUMN_PRUNING_H_

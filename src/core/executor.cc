@@ -15,7 +15,9 @@ namespace mrtheta {
 
 namespace {
 
-// Resolves one plan input into a JoinSide.
+// Resolves one plan input into a JoinSide. Base inputs carry the query's
+// single-relation selections as a compiled map-side filter (selection
+// pushdown below the first shuffle).
 StatusOr<JoinSide> ResolveInput(const Query& query,
                                 const std::vector<JobExecution>& done,
                                 const PlanInput& input) {
@@ -23,7 +25,11 @@ StatusOr<JoinSide> ResolveInput(const Query& query,
     if (input.base >= query.num_relations()) {
       return Status::InvalidArgument("plan input base out of range");
     }
-    return JoinSide::ForBase(query.relations()[input.base], input.base);
+    JoinSide side =
+        JoinSide::ForBase(query.relations()[input.base], input.base);
+    side.filter = CompiledRowFilter::CompileFor(
+        input.base, query.filters(), query.relations()[input.base]);
+    return side;
   }
   if (input.job < 0 || input.job >= static_cast<int>(done.size()) ||
       done[input.job].output == nullptr) {
@@ -142,6 +148,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
              pj.skew_handling);
         mw.skew_handling =
             skew_on ? SkewHandling::kForce : SkewHandling::kOff;
+        mw.output_columns = pj.output_columns;
         spec = BuildHilbertJoinJob(mw, &hilbert_info);
         break;
       }
@@ -160,6 +167,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
         pw.seed = seed + i * 7919;
         pw.kernel_policy = policy;
         pw.sort_kernel_min_pairs = options_.sort_kernel_min_pairs;
+        pw.output_columns = pj.output_columns;
         spec = pj.kind == PlanJobKind::kEquiJoin ? BuildEquiJoinJob(pw)
                                                  : BuildOneBucketThetaJob(pw);
         break;
@@ -176,6 +184,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
         mg.num_reduce_tasks = pj.num_reduce_tasks;
         mg.kernel_policy = policy;
         mg.sort_kernel_min_pairs = options_.sort_kernel_min_pairs;
+        mg.output_columns = pj.output_columns;
         spec = BuildMergeJob(mg);
         break;
       }
@@ -252,6 +261,9 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     MRTHETA_RETURN_IF_ERROR(RunDag(deps, num_threads, run_job));
   }
   result.measured_seconds = SecondsSince(plan_start);
+  for (const JobExecution& exec : result.jobs) {
+    result.sim_shuffle_bytes += exec.metrics.map_output_bytes_logical;
+  }
 
   // Replay the DAG through the discrete-event engine.
   StatusOr<SimReport> report = RunSimulation(cluster_->config(), sim_jobs);

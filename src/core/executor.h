@@ -50,6 +50,11 @@ struct ExecutionResult {
   /// (jobs with disjoint deps overlap when ExecutorOptions::num_threads
   /// > 1). Excludes the discrete-event replay and final projection.
   double measured_seconds = 0.0;
+  /// Simulated shuffle volume: Σ over plan jobs of the logical bytes
+  /// shipped map → reduce. This is the paper's cost objective, and the
+  /// quantity column pruning / selection pushdown shrink
+  /// (docs/EXECUTOR.md).
+  int64_t sim_shuffle_bytes = 0;
   /// The final intermediate (one rid column per covered base).
   std::shared_ptr<Relation> result_ids;
   std::vector<int> covered_bases;
@@ -148,6 +153,7 @@ class QueryResult {
   SimTime makespan() const { return execution_.makespan; }
   double simulated_seconds() const { return ToSeconds(execution_.makespan); }
   double measured_seconds() const { return execution_.measured_seconds; }
+  int64_t sim_shuffle_bytes() const { return execution_.sim_shuffle_bytes; }
 
   /// True when the query declared output columns (rows() is the projection).
   bool has_projection() const { return execution_.projected != nullptr; }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/graph/join_path_graph.h"
+#include "src/relation/schema.h"
 
 namespace mrtheta {
 
@@ -48,6 +49,13 @@ struct PlanJob {
   /// reducer grids (docs/SKEW.md). Set for Hilbert jobs whose equality
   /// columns show a heavy top value in the collected statistics.
   bool skew_handling = false;
+  /// Required-column analysis (AnnotateRequiredColumns, docs/EXECUTOR.md
+  /// "Column pruning"): per covered base (ascending), the minimal column
+  /// set this job's output must carry for the conditions its descendants
+  /// still evaluate plus the query's projection. Empty = unannotated: the
+  /// executor accounts full-width base rows, byte-identical to the
+  /// pre-pruning behaviour.
+  std::vector<RequiredColumns> output_columns;
   /// Cost-model estimates (seconds) and schedule placement.
   double est_seconds = 0.0;
   double est_start = 0.0;

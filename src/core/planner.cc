@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "src/core/column_pruning.h"
 #include "src/cost/kr_chooser.h"
 #include "src/exec/hilbert_join.h"
 #include "src/hilbert/hilbert.h"
@@ -13,6 +14,36 @@
 #include "src/stats/selectivity.h"
 
 namespace mrtheta {
+
+namespace {
+
+// Planned map-shuffle width of base relation `r` read at the bottom of a
+// plan (every condition on it still pending): the pruned base row when
+// pruning is on, else the full row. Mirrors the executors'
+// SideShuffleBytes for base sides.
+int64_t PlannedInputWidth(const Query& query, int r, bool prune) {
+  const Schema& schema = query.relations()[r]->schema();
+  if (!prune) return schema.avg_row_bytes();
+  return PrunedRowBytes(
+      schema, RequiredColumnsForBase(query, r,
+                                     PendingThetas(query, /*applied_mask=*/0)));
+}
+
+// Planned materialized width of base `r` in an intermediate produced after
+// `applied` conditions: columns of the still-pending conditions plus the
+// projection. Mirrors MakeIntermediateSchema under AnnotateRequiredColumns.
+int64_t PlannedOutputWidth(const Query& query, int r,
+                           const std::vector<int>& applied, bool prune) {
+  const Schema& schema = query.relations()[r]->schema();
+  if (!prune) return schema.avg_row_bytes();
+  uint32_t applied_mask = 0;
+  for (int t : applied) applied_mask |= 1u << t;
+  return PrunedRowBytes(
+      schema, RequiredColumnsForBase(query, r,
+                                     PendingThetas(query, applied_mask)));
+}
+
+}  // namespace
 
 Planner::Planner(const SimCluster* cluster, CostModelParams params,
                  PlannerOptions options)
@@ -87,11 +118,16 @@ JobProfile Planner::CandidateProfile(const Query& query,
   const bool equi_pair = IsEquiPair(query, relations, thetas);
   const double dup = ApproxDuplicationFactor(grouping.num_dims, kr);
 
+  const bool prune = options_.enable_column_pruning;
   double si = 0.0;
   double out_row_bytes = 0.0;
+  double pruned_in = 0.0;
   for (int r : relations) {
     si += static_cast<double>(stats[r].logical_bytes);
-    out_row_bytes += static_cast<double>(stats[r].avg_row_bytes);
+    out_row_bytes += static_cast<double>(
+        PlannedOutputWidth(query, r, thetas, prune));
+    pruned_in += static_cast<double>(stats[r].logical_rows) *
+                 static_cast<double>(PlannedInputWidth(query, r, prune));
   }
   // A candidate covering every condition produces the final result, which
   // is written in the query's projected width (see Executor).
@@ -104,7 +140,10 @@ JobProfile Planner::CandidateProfile(const Query& query,
     }
   }
   profile.input_bytes = si;
-  profile.alpha = dup;
+  // Maps read full rows (SI) but shuffle only the pruned payload: α shrinks
+  // by the pruned/full byte ratio so the modeled map-output and reduce-input
+  // volumes track the executors' thinner tuples.
+  profile.alpha = dup * (si > 0.0 ? std::min(1.0, pruned_in / si) : 1.0);
 
   std::vector<const TableStats*> stat_ptrs;
   stat_ptrs.reserve(stats.size());
@@ -331,7 +370,8 @@ StatusOr<QueryPlan> Planner::BuildPlanFromSelection(
 
     double out_row_bytes = 0.0;
     for (int b : union_bases) {
-      out_row_bytes += static_cast<double>(stats[b].avg_row_bytes);
+      out_row_bytes += static_cast<double>(PlannedOutputWidth(
+          query, b, union_thetas, options_.enable_column_pruning));
     }
     const double l_rows = acc_rows;
     const int l_bases = static_cast<int>(acc_bases.size());
@@ -370,6 +410,7 @@ StatusOr<QueryPlan> Planner::BuildPlanFromSelection(
     plan.jobs[i].est_seconds = sched->jobs[i].finish - sched->jobs[i].start;
   }
   plan.est_makespan_sec = sched->makespan;
+  if (options_.enable_column_pruning) AnnotateRequiredColumns(query, &plan);
   return plan;
 }
 
@@ -410,21 +451,28 @@ StatusOr<QueryPlan> Planner::BuildCascadePlan(
     if (chosen < 0) break;
     const JoinCondition& c = query.conditions()[chosen];
 
+    const bool prune = options_.enable_column_pruning;
     PlanJob job;
     double base_in = 0.0;
+    double pruned_base_in = 0.0;  // shuffle payload of the base inputs
+    auto add_base_in = [&](int r) {
+      base_in += static_cast<double>(stats[r].logical_bytes);
+      pruned_base_in += static_cast<double>(stats[r].logical_rows) *
+                        static_cast<double>(PlannedInputWidth(query, r, prune));
+    };
     if (joined.empty()) {
       job.inputs = {PlanInput::Base(c.lhs.relation),
                     PlanInput::Base(c.rhs.relation)};
       joined.insert(c.lhs.relation);
       joined.insert(c.rhs.relation);
-      base_in = static_cast<double>(stats[c.lhs.relation].logical_bytes) +
-                static_cast<double>(stats[c.rhs.relation].logical_bytes);
+      add_base_in(c.lhs.relation);
+      add_base_in(c.rhs.relation);
     } else {
       const int new_base = joined.count(c.lhs.relation) ? c.rhs.relation
                                                         : c.lhs.relation;
       job.inputs = {PlanInput::Job(prev_job), PlanInput::Base(new_base)};
       joined.insert(new_base);
-      base_in = static_cast<double>(stats[new_base].logical_bytes);
+      add_base_in(new_base);
     }
     // Bundle every now-internal condition.
     for (int t = 0; t < query.num_conditions(); ++t) {
@@ -454,7 +502,8 @@ StatusOr<QueryPlan> Planner::BuildCascadePlan(
       const Relation& rel = *query.relations()[r];
       phys_cross *=
           static_cast<double>(std::max<int64_t>(1, rel.num_rows()));
-      row_bytes += static_cast<double>(stats[r].avg_row_bytes);
+      row_bytes += static_cast<double>(
+          PlannedOutputWidth(query, r, acc_thetas, prune));
       if (rel.num_rows() > 0) {
         max_scale = std::max(
             max_scale, static_cast<double>(rel.logical_rows()) /
@@ -462,10 +511,17 @@ StatusOr<QueryPlan> Planner::BuildCascadePlan(
       }
     }
     const double out_bytes = sel * phys_cross * max_scale * row_bytes;
+    // Maps scan full base rows but shuffle pruned payloads; the previous
+    // intermediate is already pruned (its out_bytes used pruned widths).
+    const double in_bytes = base_in + prev_out_bytes;
+    const double shuffle_in = pruned_base_in + prev_out_bytes;
+    const double alpha_scale =
+        in_bytes > 0.0 ? std::min(1.0, shuffle_in / in_bytes) : 1.0;
     auto profile_for = [&](int k) {
       JobProfile p;
       p.input_bytes = base_in + prev_out_bytes;
-      p.alpha = has_eq ? 1.0 : ApproxDuplicationFactor(2, k);
+      p.alpha =
+          (has_eq ? 1.0 : ApproxDuplicationFactor(2, k)) * alpha_scale;
       p.output_bytes = out_bytes;
       p.sigma_reduce_bytes =
           3.0 * options_.hilbert_sigma_frac * p.alpha * p.input_bytes / k;
@@ -489,6 +545,7 @@ StatusOr<QueryPlan> Planner::BuildCascadePlan(
     return Status::Internal("cascade could not join all relations");
   }
   plan.est_makespan_sec = makespan;
+  if (options_.enable_column_pruning) AnnotateRequiredColumns(query, &plan);
   return plan;
 }
 
@@ -499,12 +556,35 @@ StatusOr<QueryPlan> Planner::Plan(const Query& query) const {
 }
 
 StatusOr<QueryPlan> Planner::Plan(const Query& query,
-                                  const std::vector<TableStats>& stats) const {
+                                  const std::vector<TableStats>& raw_stats)
+    const {
   MRTHETA_RETURN_IF_ERROR(query.Validate());
-  if (static_cast<int>(stats.size()) != query.num_relations()) {
+  if (static_cast<int>(raw_stats.size()) != query.num_relations()) {
     return Status::InvalidArgument(
         "stats must have one entry per query relation");
   }
+  // Selection pushdown discount: a filtered relation contributes only its
+  // passing fraction to every downstream volume, so plan with effective
+  // cardinalities. Cached per-relation stats stay filter-agnostic — the
+  // discount is applied here per query.
+  std::vector<TableStats> filtered_stats;
+  const std::vector<TableStats>& stats = [&]() -> const std::vector<TableStats>& {
+    if (query.filters().empty()) return raw_stats;
+    filtered_stats = raw_stats;
+    for (int r = 0; r < query.num_relations(); ++r) {
+      const double sel = EstimateFilterSelectivity(
+          *query.relations()[r], r, query.filters(),
+          options_.stats.sample_size, options_.seed);
+      if (sel >= 1.0) continue;
+      TableStats& ts = filtered_stats[r];
+      ts.logical_rows = std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(ts.logical_rows) * sel));
+      ts.logical_bytes = std::max<int64_t>(
+          ts.avg_row_bytes,
+          static_cast<int64_t>(static_cast<double>(ts.logical_bytes) * sel));
+    }
+    return filtered_stats;
+  }();
   StatusOr<JoinGraph> graph = query.BuildJoinGraph();
   if (!graph.ok()) return graph.status();
 
@@ -571,6 +651,30 @@ StatusOr<QueryPlan> Planner::Plan(const Query& query,
         full = i;
       }
     }
+  }
+  if (full < 0 && query.num_relations() <= 16) {
+    // Lemma 2 drops every superset of a dropped trail, so one dominated
+    // pair-subset can transitively erase all full-cover trails — even
+    // though the one-job evaluation is not dominated once merge steps are
+    // priced in. Keep the paper's "single MRJ sometimes beats any
+    // cascade" alternative alive by synthesizing the full-cover candidate
+    // directly (relations in condition first-visit order).
+    JobCandidate synth;
+    synth.theta_mask = universe;
+    for (const JoinCondition& cond : query.conditions()) {
+      synth.thetas.push_back(cond.id);
+      for (int r : {cond.lhs.relation, cond.rhs.relation}) {
+        if (std::find(synth.relations.begin(), synth.relations.end(), r) ==
+            synth.relations.end()) {
+          synth.relations.push_back(r);
+        }
+      }
+    }
+    const CandidateCost cost = cost_fn(synth.thetas, synth.relations);
+    synth.weight = cost.weight;
+    synth.schedule_slots = cost.schedule_slots;
+    full = static_cast<int>(candidates->size());
+    candidates->push_back(std::move(synth));
   }
   if (full >= 0 &&
       (cover->size() != 1 || (*cover)[0] != full)) {

@@ -34,6 +34,15 @@ struct PlannerOptions {
   /// equality column's sampled top-value frequency exceeds this (a uniform
   /// column sits at ~1/distinct; Zipfian ones are orders above).
   double skew_top_frequency = 0.02;
+  /// Required-column analysis + early projection (docs/EXECUTOR.md "Column
+  /// pruning"): when true (default), plans are annotated with the minimal
+  /// per-base column sets (PlanJob::output_columns) and the cost model
+  /// prices shuffles and intermediates at the pruned widths, so kR
+  /// selection and makespan estimates react to thinner tuples. When false,
+  /// plans stay unannotated and execution accounts full-width rows — the
+  /// ablation baseline (`bench_runtime --no-prune`). Join results are
+  /// byte-identical either way.
+  bool enable_column_pruning = true;
   /// Statistics collection options.
   StatsOptions stats;
 };

@@ -41,6 +41,37 @@ Status CheckCondition(const std::vector<RelationPtr>& relations,
   return Status::OK();
 }
 
+// Shared rule set for a selection filter, applied by AddFilter (at
+// insertion) and Validate (the authoritative pre-execution gate).
+Status CheckFilter(const std::vector<RelationPtr>& relations,
+                   const SelectionFilter& filter) {
+  const int num_relations = static_cast<int>(relations.size());
+  if (filter.col.relation < 0 || filter.col.relation >= num_relations) {
+    return Status::InvalidArgument("filter relation index out of range");
+  }
+  const Schema& schema = relations[filter.col.relation]->schema();
+  if (filter.col.column < 0 || filter.col.column >= schema.num_columns()) {
+    return Status::OutOfRange(
+        "filter column index out of range for relation " +
+        relations[filter.col.relation]->name());
+  }
+  const bool col_is_string =
+      schema.column(filter.col.column).type == ValueType::kString;
+  const bool lit_is_string = filter.literal.type() == ValueType::kString;
+  if (col_is_string != lit_is_string) {
+    return Status::InvalidArgument(
+        "filter compares string with numeric: " + filter.ToString());
+  }
+  if (col_is_string &&
+      (filter.offset != 0.0 ||
+       (filter.op != ThetaOp::kEq && filter.op != ThetaOp::kNe))) {
+    return Status::InvalidArgument(
+        "string filters support only offset-free = / <>: " +
+        filter.ToString());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 int Query::AddRelation(RelationPtr relation) {
@@ -77,6 +108,23 @@ Status Query::AddOutput(int rel, const std::string& col) {
   StatusOr<int> c = relations_[rel]->schema().FindColumn(col);
   if (!c.ok()) return c.status();
   outputs_.push_back({rel, *c});
+  return Status::OK();
+}
+
+Status Query::AddFilter(int rel, const std::string& col, ThetaOp op,
+                        Value literal, double offset) {
+  if (rel < 0 || rel >= num_relations()) {
+    return Status::InvalidArgument("filter relation index out of range");
+  }
+  StatusOr<int> c = relations_[rel]->schema().FindColumn(col);
+  if (!c.ok()) return c.status();
+  SelectionFilter filter;
+  filter.col = {rel, *c};
+  filter.op = op;
+  filter.literal = std::move(literal);
+  filter.offset = offset;
+  MRTHETA_RETURN_IF_ERROR(CheckFilter(relations_, filter));
+  filters_.push_back(std::move(filter));
   return Status::OK();
 }
 
@@ -125,6 +173,9 @@ Status Query::Validate() const {
       return Status::OutOfRange("output column out of range");
     }
   }
+  for (const SelectionFilter& filter : filters_) {
+    MRTHETA_RETURN_IF_ERROR(CheckFilter(relations_, filter));
+  }
   StatusOr<JoinGraph> graph = BuildJoinGraph();
   if (!graph.ok()) return graph.status();
   if (!graph->IsConnected()) {
@@ -139,6 +190,9 @@ std::string Query::ToString() const {
                     " relations:";
   for (const auto& cond : conditions_) {
     out += "\n  θ" + std::to_string(cond.id) + ": " + cond.ToString();
+  }
+  for (const auto& filter : filters_) {
+    out += "\n  σ: " + filter.ToString();
   }
   return out;
 }

@@ -35,11 +35,20 @@ class Query {
   /// Adds an output column rel.col to the projection.
   Status AddOutput(int rel, const std::string& col);
 
+  /// Adds a single-relation selection σ: (rel.col + offset) op literal.
+  /// Executors push it below the first shuffle (map-side evaluation on the
+  /// base relation); the planner discounts the relation's effective
+  /// cardinality by the estimated selectivity. String columns support only
+  /// offset-free = / <> against a string literal.
+  Status AddFilter(int rel, const std::string& col, ThetaOp op, Value literal,
+                   double offset = 0.0);
+
   int num_relations() const { return static_cast<int>(relations_.size()); }
   int num_conditions() const { return static_cast<int>(conditions_.size()); }
   const std::vector<RelationPtr>& relations() const { return relations_; }
   const std::vector<JoinCondition>& conditions() const { return conditions_; }
   const std::vector<OutputColumn>& outputs() const { return outputs_; }
+  const std::vector<SelectionFilter>& filters() const { return filters_; }
 
   /// Bitmask over all condition ids (the set-cover universe).
   uint32_t AllConditionsMask() const;
@@ -61,6 +70,7 @@ class Query {
   std::vector<RelationPtr> relations_;
   std::vector<JoinCondition> conditions_;
   std::vector<OutputColumn> outputs_;
+  std::vector<SelectionFilter> filters_;
 };
 
 }  // namespace mrtheta

@@ -501,12 +501,15 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   // that slice inherits the whole pile no matter how the curve is cut. The
   // detector finds such keys per fused dimension; the assigner carves
   // per-key reducer grids out of the task budget for the worst dimension.
-  std::vector<double> input_volume(num_inputs, 0.0);
+  // Shuffle payload width per input: pruned for base sides when the spec
+  // carries a required-column analysis; intermediates are already pruned by
+  // their producer's output schema. Drives record emits, skew detection
+  // volumes and the emitted byte accounting alike.
+  std::vector<int64_t> shuffle_bytes(num_inputs, 0);
   for (int i = 0; i < num_inputs; ++i) {
-    const JoinSide& side = spec.inputs[i];
-    input_volume[i] = static_cast<double>(side.data->num_rows()) *
-                      static_cast<double>(side.data->schema().avg_row_bytes()) *
-                      side.scale;
+    shuffle_bytes[i] = SideShuffleBytes(spec.inputs[i], spec.conditions,
+                                        spec.output_columns,
+                                        spec.base_relations);
   }
   SkewAssignment skew;
   skew.residual_tasks = spec.num_reduce_tasks;
@@ -514,8 +517,30 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   // Per heavy value: per-input key frequency (1.0 for non-fused inputs),
   // for the map_emits_per_row hint below.
   std::map<uint64_t, std::vector<double>> heavy_freq;
+  std::vector<double> input_volume(num_inputs, 0.0);
   if (spec.skew_handling != SkewHandling::kOff &&
       spec.num_reduce_tasks >= 4) {
+    // Task-budget volumes for the heavy/residual split. A side with a
+    // map-side selection only ships its passing fraction, so volumes are
+    // scaled by a sampled pass rate — otherwise a selective filter would
+    // earn reducer grids for bytes that never arrive. Computed only here:
+    // nothing outside the skew decision reads input_volume.
+    for (int i = 0; i < num_inputs; ++i) {
+      const JoinSide& side = spec.inputs[i];
+      double pass_frac = 1.0;
+      if (side.filter != nullptr && side.data->num_rows() > 0) {
+        int64_t passing = 0;
+        const std::vector<int64_t> sample = ReservoirSampleRows(
+            side.data->num_rows(), spec.skew_detect.sample_size,
+            spec.skew_detect.seed + 0x8a1eu + static_cast<uint64_t>(i));
+        for (int64_t r : sample) passing += side.filter->Passes(r) ? 1 : 0;
+        pass_frac = static_cast<double>(passing) /
+                    static_cast<double>(sample.size());
+      }
+      input_volume[i] = static_cast<double>(side.data->num_rows()) *
+                        static_cast<double>(shuffle_bytes[i]) * side.scale *
+                        pass_frac;
+    }
     double best_signal = 0.0;
     std::vector<SkewCandidate> best_candidates;
     std::map<uint64_t, std::vector<double>> best_freq;
@@ -540,6 +565,10 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
         for (int64_t r : ReservoirSampleRows(
                  side.data->num_rows(), spec.skew_detect.sample_size,
                  spec.skew_detect.seed + static_cast<uint64_t>(i))) {
+          // Sample the post-selection distribution: a key whose tuples
+          // the map-side filter drops must not earn a heavy-value grid
+          // (the grid would starve the residual tasks for nothing).
+          if (!side.PassesFilter(r)) continue;
           sketch.Add(HashValue(
               base.Get(side.BaseRow(r, key.relation), key.column)));
         }
@@ -643,10 +672,11 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
                                static_cast<int>(g));
   }
 
-  for (const JoinSide& side : spec.inputs) {
+  for (int i = 0; i < num_inputs; ++i) {
+    const JoinSide& side = spec.inputs[i];
     state->logical_rows.push_back(
         std::max<int64_t>(1, side.data->logical_rows()));
-    state->record_bytes.push_back(side.data->schema().avg_row_bytes());
+    state->record_bytes.push_back(shuffle_bytes[i]);
     state->scales.push_back(side.scale);
   }
   state->dim_representative.assign(dims, -1);
@@ -715,8 +745,8 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   job.partition = [](int64_t key, int n) {
     return static_cast<int>(key % n);
   };
-  job.output_schema =
-      MakeIntermediateSchema(state->output_bases, spec.base_relations);
+  job.output_schema = MakeIntermediateSchema(
+      state->output_bases, spec.base_relations, spec.output_columns);
   job.output_name = spec.name + ".out";
   job.kernel = JoinKernelName(state->use_sorted_candidates
                                   ? JoinKernel::kSortTheta
@@ -756,6 +786,8 @@ StatusOr<MapReduceJobSpec> BuildHilbertJoinJob(const MultiwayJoinJobSpec& spec,
   job.map = [state](int tag, const Relation& rel, int64_t row,
                     MapEmitter& out) {
     (void)rel;
+    // Selection pushdown: filtered rows never reach any reducer.
+    if (!state->inputs[tag].PassesFilter(row)) return;
     const int dim = state->grouping.dim_of_input[tag];
     uint32_t slice;
     if (state->grouping.key_of_input[tag].relation >= 0) {

@@ -52,6 +52,12 @@ struct MultiwayJoinJobSpec {
   HeavyHitterOptions skew_detect = {.min_frequency = 0.02};
   /// Task-budget split knobs for the heavy/residual decomposition.
   SkewAssignerOptions skew_assign;
+  /// Required-column analysis for this job (PlanJob::output_columns): per
+  /// covered base, the columns the output must carry. When non-empty, the
+  /// output intermediate takes pruned per-base widths and base inputs ship
+  /// pruned map payloads (their condition columns plus this set). Empty =
+  /// full-width accounting.
+  std::vector<RequiredColumns> output_columns;
 };
 
 /// \brief Equality-aware dimension grouping of a multi-way join's inputs.

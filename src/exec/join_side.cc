@@ -2,8 +2,59 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace mrtheta {
+
+std::shared_ptr<const CompiledRowFilter> CompiledRowFilter::CompileFor(
+    int base, const std::vector<SelectionFilter>& filters,
+    const RelationPtr& rel) {
+  auto compiled = std::make_shared<CompiledRowFilter>();
+  for (const SelectionFilter& f : filters) {
+    if (f.col.relation != base) continue;
+    const ColumnDef& def = rel->schema().column(f.col.column);
+    // Typed fast paths: the variant dispatch happens once per filter, not
+    // once per row. Integral-valued double literals (the QueryBuilder DSL
+    // wraps every numeric literal as a double) fold onto the int64 path.
+    const bool integral_literal =
+        f.literal.type() == ValueType::kInt64 ||
+        (f.literal.type() == ValueType::kDouble &&
+         std::abs(f.literal.AsDouble()) < 9.0e15 &&  // exact int64 range
+         static_cast<double>(static_cast<int64_t>(f.literal.AsDouble())) ==
+             f.literal.AsDouble());
+    if (def.type == ValueType::kInt64 && integral_literal &&
+        std::abs(f.offset) < 9.0e15 &&
+        f.offset == static_cast<int64_t>(f.offset)) {
+      const int64_t* data = rel->TryColumn<int64_t>(f.col.column)->data();
+      const int64_t lit = f.literal.type() == ValueType::kInt64
+                              ? f.literal.AsInt()
+                              : static_cast<int64_t>(f.literal.AsDouble());
+      const int64_t off = static_cast<int64_t>(f.offset);
+      const ThetaOp op = f.op;
+      compiled->preds_.push_back([data, lit, off, op](int64_t row) {
+        return EvalThetaInt(data[row], op, lit, off);
+      });
+    } else if (def.type != ValueType::kString) {
+      const Relation* r = rel.get();
+      const int col = f.col.column;
+      const double lit = f.literal.AsDouble();
+      const double off = f.offset;
+      const ThetaOp op = f.op;
+      compiled->preds_.push_back([r, col, lit, off, op](int64_t row) {
+        return EvalThetaDouble(r->GetDouble(row, col), op, lit, off);
+      });
+    } else {
+      const Relation* r = rel.get();
+      const SelectionFilter filter = f;
+      compiled->preds_.push_back([r, filter](int64_t row) {
+        return filter.Eval(r->Get(row, filter.col.column));
+      });
+    }
+  }
+  if (compiled->preds_.empty()) return nullptr;
+  compiled->pinned_ = rel;
+  return compiled;
+}
 
 JoinSide JoinSide::ForBase(RelationPtr rel, int base_index) {
   JoinSide side;
@@ -46,15 +97,42 @@ bool JoinSide::Covers(int base) const {
 
 Schema MakeIntermediateSchema(
     const std::vector<int>& bases,
-    const std::vector<RelationPtr>& base_relations) {
+    const std::vector<RelationPtr>& base_relations,
+    const std::vector<RequiredColumns>& required) {
   std::vector<ColumnDef> cols;
   cols.reserve(bases.size());
   for (int b : bases) {
-    const int width =
-        static_cast<int>(base_relations[b]->schema().avg_row_bytes());
+    const Schema& schema = base_relations[b]->schema();
+    const RequiredColumns* rc = FindRequired(required, b);
+    const int width = static_cast<int>(
+        rc != nullptr ? PrunedRowBytes(schema, rc->columns)
+                      : schema.avg_row_bytes());
     cols.emplace_back("rid_" + std::to_string(b), ValueType::kInt64, width);
   }
   return Schema(std::move(cols));
+}
+
+int64_t SideShuffleBytes(const JoinSide& side,
+                         const std::vector<JoinCondition>& conditions,
+                         const std::vector<RequiredColumns>& required,
+                         const std::vector<RelationPtr>& base_relations) {
+  if (!side.is_base || required.empty()) {
+    return side.data->schema().avg_row_bytes();
+  }
+  const int base = side.bases[0];
+  // Downstream requirement ∪ this job's own condition columns on the base.
+  std::vector<int> cols;
+  if (const RequiredColumns* rc = FindRequired(required, base)) {
+    cols = rc->columns;
+  }
+  for (const JoinCondition& cond : conditions) {
+    for (const ColumnRef& ref : {cond.lhs, cond.rhs}) {
+      if (ref.relation == base) cols.push_back(ref.column);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return PrunedRowBytes(base_relations[base]->schema(), cols);
 }
 
 const int64_t* RidColumnFor(const JoinSide& side, int base) {

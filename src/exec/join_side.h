@@ -2,6 +2,8 @@
 #define MRTHETA_EXEC_JOIN_SIDE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
@@ -9,6 +11,36 @@
 #include "src/relation/relation.h"
 
 namespace mrtheta {
+
+// RequiredColumns / PrunedRowBytes / FindRequired — the column-pruning
+// payload descriptors the builders consume — live in relation/schema.h so
+// the plan layer can name them without depending on the exec layer.
+
+/// \brief Map-side selection filter bound to one input side: the compiled
+/// conjunction of a query's single-relation predicates on that side's base
+/// relation, evaluated per base row before any shuffle emit (selection
+/// pushdown). Builders drop rows failing Passes() in their map functions.
+class CompiledRowFilter {
+ public:
+  /// Compiles the subset of `filters` on relation `base` against `rel`
+  /// (which must outlive the filter). Returns nullptr when none apply.
+  static std::shared_ptr<const CompiledRowFilter> CompileFor(
+      int base, const std::vector<SelectionFilter>& filters,
+      const RelationPtr& rel);
+
+  bool Passes(int64_t row) const {
+    for (const auto& pred : preds_) {
+      if (!pred(row)) return false;
+    }
+    return true;
+  }
+
+  int num_predicates() const { return static_cast<int>(preds_.size()); }
+
+ private:
+  std::vector<std::function<bool(int64_t)>> preds_;
+  RelationPtr pinned_;  ///< keeps the filtered relation alive
+};
 
 /// \brief One input of a join job: either a base relation of the query or
 /// an intermediate result (a relation of "rid_<base>" columns produced by a
@@ -26,6 +58,14 @@ struct JoinSide {
   bool is_base = true;
   /// logical rows / physical rows for this side.
   double scale = 1.0;
+  /// Map-side selection (base sides only): rows failing the filter are
+  /// dropped before any shuffle emit. Null = no selection.
+  std::shared_ptr<const CompiledRowFilter> filter;
+
+  /// True when `row` passes this side's selection (always true without one).
+  bool PassesFilter(int64_t row) const {
+    return filter == nullptr || filter->Passes(row);
+  }
 
   /// Makes a side for a base relation with query index `base_index`.
   static JoinSide ForBase(RelationPtr rel, int base_index);
@@ -41,9 +81,23 @@ struct JoinSide {
 
 /// Builds the schema of an intermediate result covering `bases` (ascending
 /// query order): one int64 "rid_<b>" column per base, with avg_width set to
-/// the base relation's materialized row width.
+/// the bytes the intermediate materializes for that base — the full base
+/// row width by default, or the pruned payload (PrunedRowBytes of the
+/// base's RequiredColumns entry) when `required` is non-empty.
 Schema MakeIntermediateSchema(const std::vector<int>& bases,
-                              const std::vector<RelationPtr>& base_relations);
+                              const std::vector<RelationPtr>& base_relations,
+                              const std::vector<RequiredColumns>& required =
+                                  {});
+
+/// Shuffle payload bytes of one record of `side` in a job evaluating
+/// `conditions`: intermediate sides ship their (already pruned) schema row;
+/// base sides ship the pruned base row covering this job's own condition
+/// columns plus everything `required` says must survive downstream — or the
+/// full base row when `required` is empty (pruning off).
+int64_t SideShuffleBytes(const JoinSide& side,
+                         const std::vector<JoinCondition>& conditions,
+                         const std::vector<RequiredColumns>& required,
+                         const std::vector<RelationPtr>& base_relations);
 
 /// Raw pointer into `side`'s rid column for base `base` (nullptr when the
 /// side is that base relation itself: rid == row). The side must cover

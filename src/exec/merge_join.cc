@@ -146,8 +146,8 @@ StatusOr<MapReduceJobSpec> BuildMergeJob(const MergeJobSpec& spec) {
   job.inputs.push_back({spec.left.data, spec.left.scale});
   job.inputs.push_back({spec.right.data, spec.right.scale});
   job.num_reduce_tasks = spec.num_reduce_tasks;
-  job.output_schema =
-      MakeIntermediateSchema(state->output_bases, spec.base_relations);
+  job.output_schema = MakeIntermediateSchema(
+      state->output_bases, spec.base_relations, spec.output_columns);
   job.output_name = spec.name + ".out";
   // A merged row pairs one left row with one right row agreeing on the
   // shared rids; in expectation the logical count scales like an equi-join
@@ -163,6 +163,9 @@ StatusOr<MapReduceJobSpec> BuildMergeJob(const MergeJobSpec& spec) {
   job.map = [state](int tag, const Relation& rel, int64_t row,
                     MapEmitter& out) {
     (void)rel;
+    // Merge inputs are normally intermediates (already filtered by their
+    // producers); the check is a no-op then but keeps base sides correct.
+    if (!(tag == 0 ? state->left : state->right).PassesFilter(row)) return;
     out.Emit(static_cast<int64_t>(state->KeyOf(tag, row)), tag, row, row,
              tag == 0 ? state->left_bytes : state->right_bytes);
   };

@@ -26,6 +26,10 @@ struct MergeJobSpec {
   /// Hash groups with fewer candidate pairs than this use the plain nested
   /// loop (see PairwiseJoinJobSpec::sort_kernel_min_pairs).
   int64_t sort_kernel_min_pairs = kSortKernelMinPairs;
+  /// Required-column analysis for this job (PlanJob::output_columns): when
+  /// non-empty, the output intermediate takes pruned per-base widths (the
+  /// merge shuffle itself already ships only record IDs).
+  std::vector<RequiredColumns> output_columns;
 };
 
 /// Builds the merge MRJ: shuffle key = hash of the shared relations' rids;

@@ -11,7 +11,8 @@ namespace mrtheta {
 StatusOr<Relation> NaiveMultiwayJoin(
     const std::vector<RelationPtr>& base_relations,
     const std::vector<int>& base_indices,
-    const std::vector<JoinCondition>& conditions) {
+    const std::vector<JoinCondition>& conditions,
+    const std::vector<SelectionFilter>& filters) {
   if (base_indices.size() < 2) {
     return Status::InvalidArgument("need at least two relations to join");
   }
@@ -49,9 +50,21 @@ StatusOr<Relation> NaiveMultiwayJoin(
   Relation result("naive.out",
                   MakeIntermediateSchema(sorted_bases, base_relations));
 
+  // Selection pushdown oracle: per depth, the compiled conjunction of the
+  // filters on that base (nullptr = none).
+  std::vector<std::shared_ptr<const CompiledRowFilter>> depth_filters(m);
+  for (int i = 0; i < m; ++i) {
+    depth_filters[i] = CompiledRowFilter::CompileFor(
+        sorted_bases[i], filters, base_relations[sorted_bases[i]]);
+  }
+
   // Depth-first nested loops with early pruning.
   std::vector<int64_t> assignment(m);
   auto check = [&](int depth) {
+    if (depth_filters[depth] != nullptr &&
+        !depth_filters[depth]->Passes(assignment[depth])) {
+      return false;
+    }
     for (const BoundCondition& bc : at_depth[depth]) {
       if (!bc.pred.Eval(assignment[bc.lhs_pos], assignment[bc.rhs_pos])) {
         return false;

@@ -16,10 +16,14 @@ namespace mrtheta {
 /// `conditions`, returning an intermediate-format relation (one "rid_<b>"
 /// column per base, ascending base order, rows sorted lexicographically) so
 /// results compare bit-for-bit with distributed outputs after sorting.
+/// `filters` are single-relation selections applied to the referenced base
+/// relations before joining (the oracle counterpart of the executors'
+/// map-side selection pushdown).
 StatusOr<Relation> NaiveMultiwayJoin(
     const std::vector<RelationPtr>& base_relations,
     const std::vector<int>& base_indices,
-    const std::vector<JoinCondition>& conditions);
+    const std::vector<JoinCondition>& conditions,
+    const std::vector<SelectionFilter>& filters = {});
 
 /// Sorts an intermediate result's rows lexicographically (all-int64
 /// schemas), for order-insensitive comparison in tests.

@@ -154,8 +154,12 @@ StatusOr<std::shared_ptr<PairwiseState>> MakeState(
   std::set<int> bases(spec.left.bases.begin(), spec.left.bases.end());
   bases.insert(spec.right.bases.begin(), spec.right.bases.end());
   state->output_bases.assign(bases.begin(), bases.end());
-  state->left_bytes = spec.left.data->schema().avg_row_bytes();
-  state->right_bytes = spec.right.data->schema().avg_row_bytes();
+  state->left_bytes = SideShuffleBytes(spec.left, spec.conditions,
+                                       spec.output_columns,
+                                       spec.base_relations);
+  state->right_bytes = SideShuffleBytes(spec.right, spec.conditions,
+                                        spec.output_columns,
+                                        spec.base_relations);
   return state;
 }
 
@@ -166,8 +170,8 @@ MapReduceJobSpec MakeJobShell(const PairwiseJoinJobSpec& spec,
   job.inputs.push_back({spec.left.data, spec.left.scale});
   job.inputs.push_back({spec.right.data, spec.right.scale});
   job.num_reduce_tasks = spec.num_reduce_tasks;
-  job.output_schema =
-      MakeIntermediateSchema(state.output_bases, spec.base_relations);
+  job.output_schema = MakeIntermediateSchema(
+      state.output_bases, spec.base_relations, spec.output_columns);
   job.output_name = spec.name + ".out";
   // β-extrapolation (the paper's Eq. 5 output model): results scale
   // *linearly* with the represented data volume; the physical sample fixes
@@ -212,6 +216,8 @@ StatusOr<MapReduceJobSpec> BuildEquiJoinJob(const PairwiseJoinJobSpec& spec) {
                          MapEmitter& out) {
     (void)rel;
     const JoinSide& side = tag == 0 ? state->left : state->right;
+    // Selection pushdown: filtered rows never reach any reducer.
+    if (!side.PassesFilter(row)) return;
     const ColumnRef ref =
         side.Covers(key.lhs.relation) ? key.lhs : key.rhs;
     const int64_t base_row = side.BaseRow(row, ref.relation);
@@ -287,6 +293,8 @@ StatusOr<MapReduceJobSpec> BuildOneBucketThetaJob(
   job.map = [state, grid_rows, grid_cols, seed](int tag, const Relation& rel,
                                                 int64_t row, MapEmitter& out) {
     (void)rel;
+    // Selection pushdown: filtered rows never reach any reducer.
+    if (!(tag == 0 ? state->left : state->right).PassesFilter(row)) return;
     if (tag == 0) {
       const int band = static_cast<int>(
           MixHash(seed, static_cast<uint64_t>(row)) %

@@ -30,6 +30,10 @@ struct PairwiseJoinJobSpec {
   /// more than it saves). Threaded from ExecutorOptions so benches can
   /// sweep it.
   int64_t sort_kernel_min_pairs = kSortKernelMinPairs;
+  /// Required-column analysis for this job (PlanJob::output_columns): when
+  /// non-empty, the output intermediate takes pruned per-base widths and
+  /// base sides ship pruned map payloads. Empty = full-width accounting.
+  std::vector<RequiredColumns> output_columns;
 };
 
 /// \brief Repartition equi-join: requires at least one `=` condition whose

@@ -44,19 +44,15 @@ ThetaOp FlipOp(ThetaOp op) {
 bool IsInequality(ThetaOp op) { return op != ThetaOp::kEq; }
 
 bool EvalTheta(const Value& lhs, ThetaOp op, const Value& rhs, double offset) {
-  int cmp;
   if (lhs.is_numeric()) {
     if (offset == 0.0 && lhs.type() == ValueType::kInt64 &&
         rhs.type() == ValueType::kInt64) {
       return EvalThetaInt(lhs.AsInt(), op, rhs.AsInt(), 0);
     }
-    const double l = lhs.AsDouble() + offset;
-    const double r = rhs.AsDouble();
-    cmp = l < r ? -1 : (l > r ? 1 : 0);
-  } else {
-    assert(offset == 0.0 && "offset on string comparison");
-    cmp = lhs.Compare(rhs);
+    return EvalThetaDouble(lhs.AsDouble(), op, rhs.AsDouble(), offset);
   }
+  assert(offset == 0.0 && "offset on string comparison");
+  const int cmp = lhs.Compare(rhs);
   switch (op) {
     case ThetaOp::kLt:
       return cmp < 0;
@@ -72,6 +68,19 @@ bool EvalTheta(const Value& lhs, ThetaOp op, const Value& rhs, double offset) {
       return cmp != 0;
   }
   return false;
+}
+
+std::string SelectionFilter::ToString() const {
+  char buf[160];
+  if (offset == 0.0) {
+    std::snprintf(buf, sizeof(buf), "R%d.c%d %s %s", col.relation, col.column,
+                  ThetaOpName(op), literal.ToString().c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "R%d.c%d%+g %s %s", col.relation,
+                  col.column, offset, ThetaOpName(op),
+                  literal.ToString().c_str());
+  }
+  return buf;
 }
 
 JoinCondition JoinCondition::OrientedFor(int relation) const {

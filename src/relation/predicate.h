@@ -54,12 +54,53 @@ inline bool EvalThetaInt(int64_t lhs, ThetaOp op, int64_t rhs,
   return false;
 }
 
+/// Typed fast path for double operands: (lhs + offset) op rhs. The one
+/// place the double operator semantics live — EvalTheta and the compiled
+/// map-side filters both evaluate through it.
+inline bool EvalThetaDouble(double lhs, ThetaOp op, double rhs,
+                            double offset) {
+  const double l = lhs + offset;
+  switch (op) {
+    case ThetaOp::kLt:
+      return l < rhs;
+    case ThetaOp::kLe:
+      return l <= rhs;
+    case ThetaOp::kEq:
+      return l == rhs;
+    case ThetaOp::kGe:
+      return l >= rhs;
+    case ThetaOp::kGt:
+      return l > rhs;
+    case ThetaOp::kNe:
+      return l != rhs;
+  }
+  return false;
+}
+
 /// Reference to "column `column` of the `relation`-th relation of the query".
 struct ColumnRef {
   int relation = 0;
   int column = 0;
 
   bool operator==(const ColumnRef&) const = default;
+};
+
+/// \brief A single-relation selection σ: (col + offset) op literal.
+///
+/// Selections are pushed below the first shuffle: executors evaluate them
+/// map-side on base-relation rows, so filtered tuples are never shipped to
+/// a reducer (docs/EXECUTOR.md "Selection pushdown"). String columns
+/// support only offset-free = / <> against a string literal.
+struct SelectionFilter {
+  ColumnRef col;
+  ThetaOp op = ThetaOp::kEq;
+  Value literal;
+  double offset = 0.0;
+
+  /// Evaluates the predicate on one cell value of the column.
+  bool Eval(const Value& v) const { return EvalTheta(v, op, literal, offset); }
+
+  std::string ToString() const;
 };
 
 /// \brief One join condition θ_k: (lhs.col + offset) op rhs.col, connecting

@@ -1,8 +1,15 @@
 #include "src/relation/relation.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace mrtheta {
+
+uint64_t Relation::NextGeneration() {
+  // Starts at 1 so 0 can act as a "never observed" sentinel in caches.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Relation::Relation(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {
@@ -43,6 +50,7 @@ Status Relation::AppendRow(const std::vector<Value>& row) {
     }
   }
   ++num_rows_;
+  Touch();
   return Status::OK();
 }
 
@@ -52,6 +60,7 @@ void Relation::AppendIntRow(const std::vector<int64_t>& row) {
     std::get<std::vector<int64_t>>(cols_[c]).push_back(row[c]);
   }
   ++num_rows_;
+  Touch();
 }
 
 Status Relation::AppendRows(const Relation& other) {
@@ -82,6 +91,38 @@ Status Relation::AppendRows(const Relation& other) {
         other.cols_[c]);
   }
   num_rows_ += other.num_rows_;
+  Touch();
+  return Status::OK();
+}
+
+Status Relation::SetCell(int64_t row, int col, const Value& v) {
+  if (col < 0 || col >= schema_.num_columns()) {
+    return Status::OutOfRange("SetCell column out of range");
+  }
+  if (row < 0 || row >= num_rows_) {
+    return Status::OutOfRange("SetCell row out of range");
+  }
+  const ValueType type = schema_.column(col).type;
+  const bool compatible =
+      (type == ValueType::kString && v.type() == ValueType::kString) ||
+      (type == ValueType::kDouble && v.is_numeric()) ||
+      (type == ValueType::kInt64 && v.type() == ValueType::kInt64);
+  if (!compatible) {
+    return Status::InvalidArgument("SetCell value type mismatch in column " +
+                                   std::to_string(col));
+  }
+  switch (type) {
+    case ValueType::kInt64:
+      std::get<std::vector<int64_t>>(cols_[col])[row] = v.AsInt();
+      break;
+    case ValueType::kDouble:
+      std::get<std::vector<double>>(cols_[col])[row] = v.AsDouble();
+      break;
+    case ValueType::kString:
+      std::get<std::vector<std::string>>(cols_[col])[row] = v.AsString();
+      break;
+  }
+  Touch();
   return Status::OK();
 }
 

@@ -39,7 +39,20 @@ class Relation {
   int64_t logical_rows() const {
     return logical_rows_ >= 0 ? logical_rows_ : num_rows_;
   }
-  void set_logical_rows(int64_t rows) { logical_rows_ = rows; }
+  void set_logical_rows(int64_t rows) {
+    logical_rows_ = rows;
+    Touch();
+  }
+
+  /// Content-state identifier: drawn from a process-wide monotonic counter
+  /// at construction and re-drawn after every mutation (appends, SetCell,
+  /// set_logical_rows). Two observations of the same generation on the
+  /// same object therefore saw identical content, and no two distinct
+  /// content states — even across objects whose addresses the allocator
+  /// recycled — ever share a (pointer, generation) pair. Copies keep the
+  /// source's generation on purpose: they hold the same content, so
+  /// derived artifacts (cached statistics) remain valid for them.
+  uint64_t generation() const { return generation_; }
 
   /// Logical serialized size in bytes = logical_rows * avg_row_bytes.
   int64_t logical_bytes() const {
@@ -60,6 +73,12 @@ class Relation {
   /// Appends every row of `other` (column-at-a-time, no Value boxing).
   /// Column count and types must match this relation's schema.
   Status AppendRows(const Relation& other);
+
+  /// Overwrites one cell in place; the value's type must match the column
+  /// (row/col bounds and type checked). In-place mutation bumps
+  /// generation() so cached derived state (e.g. a session's statistics)
+  /// can detect it even though num_rows() is unchanged.
+  Status SetCell(int64_t row, int col, const Value& v);
 
   /// Cell accessors.
   Value Get(int64_t row, int col) const;
@@ -90,11 +109,16 @@ class Relation {
   using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
                                   std::vector<std::string>>;
 
+  /// Next value of the process-wide generation counter (atomic).
+  static uint64_t NextGeneration();
+  void Touch() { generation_ = NextGeneration(); }
+
   std::string name_;
   Schema schema_;
   std::vector<ColumnData> cols_;
   int64_t num_rows_ = 0;
   int64_t logical_rows_ = -1;
+  uint64_t generation_ = NextGeneration();
 };
 
 /// Shared-ownership handle used across the planner/executor pipeline.

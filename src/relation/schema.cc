@@ -2,12 +2,6 @@
 
 namespace mrtheta {
 
-namespace {
-// Per-record framing overhead (key length, delimiters) in the serialized
-// form; matches the flat text/sequence-file layout Hadoop jobs consume.
-constexpr int64_t kRecordOverheadBytes = 4;
-}  // namespace
-
 Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
 
 StatusOr<int> Schema::FindColumn(const std::string& name) const {
@@ -21,6 +15,21 @@ int64_t Schema::avg_row_bytes() const {
   int64_t total = kRecordOverheadBytes;
   for (const auto& c : columns_) total += c.avg_width;
   return total;
+}
+
+int64_t PrunedRowBytes(const Schema& schema, const std::vector<int>& columns) {
+  int64_t total = kRecordOverheadBytes;
+  for (int c : columns) total += schema.column(c).avg_width;
+  // A fully-pruned tuple still ships its record ID.
+  return std::max<int64_t>(total, 8);
+}
+
+const RequiredColumns* FindRequired(
+    const std::vector<RequiredColumns>& required, int base) {
+  for (const RequiredColumns& rc : required) {
+    if (rc.base == base) return &rc;
+  }
+  return nullptr;
 }
 
 std::string Schema::ToString() const {

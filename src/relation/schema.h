@@ -10,6 +10,12 @@
 
 namespace mrtheta {
 
+/// Per-record framing overhead (key length, delimiters) of the serialized
+/// form; matches the flat text/sequence-file layout Hadoop jobs consume.
+/// Shared by Schema::avg_row_bytes() and the pruned-width accounting
+/// (PrunedRowBytes in src/exec/join_side.h).
+inline constexpr int64_t kRecordOverheadBytes = 4;
+
 /// Descriptor of one column: a name and a type. `avg_width` is the average
 /// serialized width in bytes used for I/O accounting (defaults: 8 for
 /// numerics, 16 for strings).
@@ -51,6 +57,27 @@ class Schema {
  private:
   std::vector<ColumnDef> columns_;
 };
+
+/// \brief Minimal payload of one relation at a point of a plan DAG: the
+/// columns (ascending, unique) an intermediate must carry for every
+/// not-yet-applied condition plus the query's projection
+/// (docs/EXECUTOR.md "Column pruning"). An empty `columns` list means the
+/// relation rides along as a bare record ID (e.g. only a later rid-merge
+/// needs it).
+struct RequiredColumns {
+  int base = -1;
+  std::vector<int> columns;
+};
+
+/// Serialized payload bytes of the selected columns of `schema`: record
+/// framing plus the columns' widths, floored at 8 bytes (the record ID a
+/// fully-pruned tuple still ships).
+int64_t PrunedRowBytes(const Schema& schema, const std::vector<int>& columns);
+
+/// Entry for `base` in `required`, or nullptr. An empty `required` vector
+/// means pruning is off (full-width accounting).
+const RequiredColumns* FindRequired(const std::vector<RequiredColumns>& required,
+                                    int base);
 
 }  // namespace mrtheta
 

@@ -102,4 +102,31 @@ double EstimateJoinOutputRows(
                                                 per_relation_stats);
 }
 
+double EstimateFilterSelectivity(const Relation& rel, int relation_index,
+                                 const std::vector<SelectionFilter>& filters,
+                                 int64_t max_rows, uint64_t seed) {
+  std::vector<const SelectionFilter*> mine;
+  for (const SelectionFilter& f : filters) {
+    if (f.col.relation == relation_index) mine.push_back(&f);
+  }
+  if (mine.empty() || rel.num_rows() == 0) return 1.0;
+  const std::vector<int64_t> sample =
+      ReservoirSampleRows(rel.num_rows(), max_rows, seed);
+  int64_t passing = 0;
+  for (int64_t row : sample) {
+    bool pass = true;
+    for (const SelectionFilter* f : mine) {
+      if (!f->Eval(rel.Get(row, f->col.column))) {
+        pass = false;
+        break;
+      }
+    }
+    passing += pass ? 1 : 0;
+  }
+  // Floor at one sampled row: a filter the sample never saw pass still
+  // leaves the relation with a non-degenerate planned cardinality.
+  return static_cast<double>(std::max<int64_t>(1, passing)) /
+         static_cast<double>(sample.size());
+}
+
 }  // namespace mrtheta

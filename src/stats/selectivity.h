@@ -35,6 +35,15 @@ double EstimateJoinOutputRows(
     const std::vector<const TableStats*>& per_relation_stats,
     const std::vector<JoinCondition>& conditions);
 
+/// Fraction of `rel`'s rows passing every filter in `filters` whose column
+/// lives in `rel` (filters on other relations are ignored): an exact count
+/// over up to `max_rows` reservoir-sampled physical rows, deterministic for
+/// a seed. Returns 1.0 when no filter applies; never returns 0 (floored at
+/// one sampled row) so planners keep non-degenerate cardinalities.
+double EstimateFilterSelectivity(const Relation& rel, int relation_index,
+                                 const std::vector<SelectionFilter>& filters,
+                                 int64_t max_rows, uint64_t seed);
+
 }  // namespace mrtheta
 
 #endif  // MRTHETA_STATS_SELECTIVITY_H_

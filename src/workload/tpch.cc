@@ -235,4 +235,13 @@ StatusOr<Query> BuildTpchQuery(int which, const TpchData& data) {
   return TpchQueryBuilder(which, data).Build();
 }
 
+StatusOr<Query> BuildTpchQuery17Filtered(const TpchData& data,
+                                         int64_t quantity_cap) {
+  QueryBuilder b = TpchQueryBuilder(17, data);
+  const double cap = static_cast<double>(quantity_cap);
+  b.Filter("l1", Col("l1.l_quantity") <= cap)
+      .Filter("l2", Col("l2.l_quantity") <= cap);
+  return b.Build();
+}
+
 }  // namespace mrtheta

@@ -63,6 +63,15 @@ StatusOr<Query> BuildTpchQuery(int which, const TpchData& data);
 /// Build fails.
 QueryBuilder TpchQueryBuilder(int which, const TpchData& data);
 
+/// Q17 with the spec's single-relation selection restored: both lineitem
+/// aliases keep only rows with l_quantity <= `quantity_cap` (the spec
+/// filters on quantity below a per-part threshold; the cap plays that
+/// role here). Exercises the Filter DSL / map-side selection pushdown
+/// (docs/EXECUTOR.md): the join conditions and projection are exactly
+/// BuildTpchQuery(17)'s.
+StatusOr<Query> BuildTpchQuery17Filtered(const TpchData& data,
+                                         int64_t quantity_cap);
+
 }  // namespace mrtheta
 
 #endif  // MRTHETA_WORKLOAD_TPCH_H_

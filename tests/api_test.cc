@@ -14,6 +14,7 @@
 #include "src/core/executor.h"
 #include "src/core/planner.h"
 #include "src/cost/calibration.h"
+#include "src/exec/naive_join.h"
 #include "src/workload/flights.h"
 #include "src/workload/mobile.h"
 #include "src/workload/tpch.h"
@@ -227,6 +228,86 @@ TEST(ThetaEngineTest, StatsCacheInvalidatedWhenRelationGrows) {
                       *cold->execution().result_ids);
 }
 
+TEST(ThetaEngineTest, StatsCacheDetectsInPlaceMutationAtSameCardinality) {
+  // Regression for the stale-stats cache bug: the old cache key was
+  // (Relation*, num_rows, logical_rows), so a relation mutated IN PLACE —
+  // same row count, different content — kept serving its old statistics.
+  // The generation-counter key must rebuild instead.
+  auto r1 = std::make_shared<Relation>(
+      "r1", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  auto r2 = std::make_shared<Relation>(
+      "r2", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(31);
+  for (int i = 0; i < 80; ++i) {
+    r1->AppendIntRow({rng.UniformInt(0, 9), rng.UniformInt(0, 9)});
+    r2->AppendIntRow({rng.UniformInt(0, 9), rng.UniformInt(0, 9)});
+  }
+  QueryBuilder builder;
+  builder.From("r", r1).From("s", r2).Where(Col("r.a") <= Col("s.a"));
+  const auto query = builder.Build();
+  ASSERT_TRUE(query.ok());
+
+  ThetaEngine engine;
+  const auto before = engine.Explain(*query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(engine.metrics().stats_builds, 2);
+
+  // Shift every r1.a far outside its old [0, 9] domain — cardinality
+  // unchanged, content (and any honest ColumnStats) completely different.
+  const int64_t rows_before = r1->num_rows();
+  for (int64_t row = 0; row < r1->num_rows(); ++row) {
+    ASSERT_TRUE(
+        r1->SetCell(row, 0, Value(r1->GetInt(row, 0) + 1000)).ok());
+  }
+  ASSERT_EQ(r1->num_rows(), rows_before);
+  ASSERT_EQ(r1->logical_rows(), rows_before);
+
+  const auto after = engine.Explain(*query);
+  ASSERT_TRUE(after.ok());
+  // r1's stats were rebuilt (not served stale); r2's entry still hits.
+  EXPECT_EQ(engine.metrics().stats_builds, 3);
+  EXPECT_EQ(engine.metrics().stats_cache_hits, 1);
+  // The fresh stats must actually see the shifted domain.
+  EXPECT_GE(after->stats[0].column(0).min, 1000.0);
+  EXPECT_LT(before->stats[0].column(0).max, 1000.0);
+
+  // And the warm session plans exactly like a cold one over the new data.
+  ThetaEngine fresh;
+  const auto cold = fresh.Explain(*query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(after->plan.ToString(), cold->plan.ToString());
+}
+
+TEST(ThetaEngineTest, StatsCacheEvictsExpiredRelations) {
+  auto keep = std::make_shared<Relation>(
+      "keep", Schema({{"a", ValueType::kInt64}}));
+  Rng rng(33);
+  for (int i = 0; i < 50; ++i) keep->AppendIntRow({rng.UniformInt(0, 9)});
+
+  ThetaEngine engine;
+  {
+    auto dying = std::make_shared<Relation>(
+        "dying", Schema({{"a", ValueType::kInt64}}));
+    for (int i = 0; i < 50; ++i) dying->AppendIntRow({rng.UniformInt(0, 9)});
+    QueryBuilder b;
+    b.From("k", keep).From("d", dying).Where(Col("k.a") <= Col("d.a"));
+    const auto q = b.Build();
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(engine.Explain(*q).ok());
+    EXPECT_EQ(engine.metrics().stats_builds, 2);
+  }  // `dying` destroyed: the engine must not keep it alive (no pin) and
+     // must drop its entry so a recycled address can never alias it.
+
+  QueryBuilder b2;
+  b2.From("k1", keep).From("k2", keep).Where(Col("k1.a") <= Col("k2.a"));
+  const auto q2 = b2.Build();
+  ASSERT_TRUE(q2.ok());
+  ASSERT_TRUE(engine.Explain(*q2).ok());
+  EXPECT_EQ(engine.metrics().stats_evictions, 1);
+  // `keep` was served from cache (self-join: both aliases share the entry).
+  EXPECT_EQ(engine.metrics().stats_builds, 2);
+}
+
 TEST(ThetaEngineTest, DiscardedSubmitFutureNeitherBlocksNorLeaks) {
   MobileDataOptions options;
   options.physical_rows = 60;
@@ -394,6 +475,157 @@ TEST(QueryBuilderTest, ReportsMalformedReferenceWithItsSpelling) {
   ASSERT_FALSE(built.ok());
   EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(built.status().message().find("'ra'"), std::string::npos);
+}
+
+// ---- Column pruning: plan-level differential ----
+
+// Executes the engine-planned (annotated) plan and its full-width copy at
+// 1 and 4 threads: projected rows byte-identical everywhere, simulated
+// shuffle/makespan strictly better with pruning, physical row counts and
+// job structure untouched.
+TEST(ColumnPruningPlanTest, PrunedPlanMatchesFullWidthAcrossThreads) {
+  TpchOptions options;
+  options.scale_factor = 50;
+  options.physical_lineitem_rows = 800;
+  const TpchData db = GenerateTpch(options);
+  const auto query = BuildTpchQuery(17, db);
+  ASSERT_TRUE(query.ok());
+
+  EngineOptions engine_options;
+  engine_options.executor.num_threads = 4;
+  ThetaEngine engine(engine_options);
+  const auto plan = engine.PlanQuery(*query);
+  ASSERT_TRUE(plan.ok());
+  // The default planner annotates every job with its required columns.
+  for (const PlanJob& job : plan->jobs) {
+    EXPECT_FALSE(job.output_columns.empty()) << job.name;
+  }
+  QueryPlan full_width = *plan;
+  for (PlanJob& job : full_width.jobs) job.output_columns.clear();
+
+  for (int threads : {1, 4}) {
+    ExecutorOptions exec = engine.options().executor;
+    exec.num_threads = threads;
+    const auto pruned = engine.ExecutePlan(*query, *plan, exec, 42);
+    const auto full = engine.ExecutePlan(*query, full_width, exec, 42);
+    ASSERT_TRUE(pruned.ok());
+    ASSERT_TRUE(full.ok());
+
+    // Byte-identical projected rows (content AND order).
+    ASSERT_TRUE(pruned->has_projection());
+    ExpectIdenticalRows(pruned->rows(), full->rows());
+    ExpectIdenticalRows(*pruned->execution().result_ids,
+                        *full->execution().result_ids);
+
+    // Identical structure and physical work, smaller simulated volumes.
+    ASSERT_EQ(pruned->jobs().size(), full->jobs().size());
+    for (size_t i = 0; i < full->jobs().size(); ++i) {
+      const JobMeasurement& pm = pruned->jobs()[i].metrics;
+      const JobMeasurement& fm = full->jobs()[i].metrics;
+      // Base scans are identical; jobs reading a pruned INTERMEDIATE
+      // legitimately read fewer logical bytes.
+      EXPECT_LE(pm.input_bytes_logical, fm.input_bytes_logical);
+      EXPECT_EQ(pm.map_output_records_physical,
+                fm.map_output_records_physical);
+      EXPECT_EQ(pm.output_rows_physical, fm.output_rows_physical);
+      EXPECT_LE(pm.map_output_bytes_logical, fm.map_output_bytes_logical);
+    }
+    EXPECT_LT(pruned->sim_shuffle_bytes(), full->sim_shuffle_bytes());
+    EXPECT_LE(pruned->makespan(), full->makespan());
+    // The acceptance target: Q17 sheds >= 25% of its shuffle volume.
+    EXPECT_LT(static_cast<double>(pruned->sim_shuffle_bytes()),
+              0.75 * static_cast<double>(full->sim_shuffle_bytes()));
+  }
+}
+
+// ---- Selection pushdown through the facade ----
+
+TEST(FilterQueryTest, FilteredQueryMatchesOracleAndShrinksShuffle) {
+  TpchOptions options;
+  options.scale_factor = 20;
+  options.physical_lineitem_rows = 600;
+  const TpchData db = GenerateTpch(options);
+  const auto plain = BuildTpchQuery(17, db);
+  const auto filtered = BuildTpchQuery17Filtered(db, /*quantity_cap=*/20);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered->filters().size(), 2u);
+
+  ThetaEngine engine;
+  const auto plain_result = engine.Execute(*plain);
+  const auto filtered_result = engine.Execute(*filtered);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(filtered_result.ok()) << filtered_result.status().ToString();
+
+  // The filter bites and the shuffle shrinks with it.
+  EXPECT_LT(filtered_result->num_rows(), plain_result->num_rows());
+  EXPECT_LT(filtered_result->sim_shuffle_bytes(),
+            plain_result->sim_shuffle_bytes());
+
+  // Exact answer: the rid multiset must equal the filtered oracle's.
+  std::vector<int> all_bases(filtered->num_relations());
+  for (int i = 0; i < filtered->num_relations(); ++i) all_bases[i] = i;
+  const auto oracle =
+      NaiveMultiwayJoin(filtered->relations(), all_bases,
+                        filtered->conditions(), filtered->filters());
+  ASSERT_TRUE(oracle.ok());
+  const Relation sorted_ids =
+      SortedByRows(*filtered_result->execution().result_ids);
+  ExpectIdenticalRows(sorted_ids, *oracle);
+}
+
+TEST(FilterQueryTest, FilterValidationRejectsBadShapes) {
+  RelationPtr r1 = MakeRel("r1", 41);
+  RelationPtr r2 = MakeRel("r2", 42);
+
+  Query q;
+  const int a = q.AddRelation(r1);
+  q.AddRelation(r2);
+  // Unknown column / out-of-range relation.
+  EXPECT_FALSE(q.AddFilter(a, "zz", ThetaOp::kLe, Value(int64_t{3})).ok());
+  EXPECT_FALSE(q.AddFilter(7, "a", ThetaOp::kLe, Value(int64_t{3})).ok());
+  // String literal against a numeric column.
+  EXPECT_FALSE(
+      q.AddFilter(a, "a", ThetaOp::kEq, Value(std::string("x"))).ok());
+  // Valid numeric filter.
+  EXPECT_TRUE(q.AddFilter(a, "a", ThetaOp::kLe, Value(int64_t{3})).ok());
+}
+
+TEST(QueryBuilderTest, FilterLowersAndReportsAliasMismatch) {
+  RelationPtr r1 = MakeRel("r1", 43);
+  RelationPtr r2 = MakeRel("r2", 44);
+
+  QueryBuilder good;
+  good.From("r", r1)
+      .From("s", r2)
+      .Where(Col("r.a") <= Col("s.a"))
+      .Filter("r", Col("r.b") + 1 <= 5)
+      .Filter("s", Col("s.b") != 3);
+  const auto built = good.Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->filters().size(), 2u);
+  EXPECT_EQ(built->filters()[0].col, (ColumnRef{0, 1}));
+  EXPECT_EQ(built->filters()[0].op, ThetaOp::kLe);
+  EXPECT_EQ(built->filters()[0].offset, 1.0);
+  EXPECT_EQ(built->filters()[1].op, ThetaOp::kNe);
+
+  // The filtered alias must own the predicate column.
+  QueryBuilder mismatch;
+  mismatch.From("r", r1)
+      .From("s", r2)
+      .Where(Col("r.a") <= Col("s.a"))
+      .Filter("r", Col("s.b") <= 5);
+  const auto bad = mismatch.Build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("'s.b'"), std::string::npos);
+
+  // Unknown alias in the predicate surfaces with its spelling.
+  QueryBuilder unknown;
+  unknown.From("r", r1)
+      .From("s", r2)
+      .Where(Col("r.a") <= Col("s.a"))
+      .Filter("t", Col("t.b") <= 5);
+  EXPECT_EQ(unknown.Build().status().code(), StatusCode::kNotFound);
 }
 
 TEST(QueryBuilderTest, BuildRunsQueryValidate) {

@@ -7,6 +7,7 @@
 
 #include "src/baselines/baseline_planners.h"
 #include "src/common/rng.h"
+#include "src/core/column_pruning.h"
 #include "src/core/executor.h"
 #include "src/core/planner.h"
 #include "src/cost/calibration.h"
@@ -289,6 +290,100 @@ TEST_F(CoreTest, ScarceUnitsChangeThePlanOrTiming) {
   }
   EXPECT_GE(narrow_plan->est_makespan_sec,
             wide_plan->est_makespan_sec * 0.99);
+}
+
+TEST(ColumnPruningTest, RequiredColumnsFollowPendingConditionsAndOutputs) {
+  std::vector<RelationPtr> rels = {MakeRel(10, 5, 90), MakeRel(10, 5, 91),
+                                   MakeRel(10, 5, 92)};
+  const Query q = ChainQuery(rels);  // θ0: R0.a<=R1.a, θ1: R1.b=R2.b; out R2.a
+
+  // Both conditions pending: R1 must carry both endpoints.
+  EXPECT_EQ(RequiredColumnsForBase(q, 1, {0, 1}),
+            (std::vector<int>{0, 1}));
+  // Only θ1 pending: R1 keeps just column b; R0 keeps nothing.
+  EXPECT_EQ(RequiredColumnsForBase(q, 1, {1}), (std::vector<int>{1}));
+  EXPECT_TRUE(RequiredColumnsForBase(q, 0, {1}).empty());
+  // The projection keeps R2.a alive even with nothing pending.
+  EXPECT_EQ(RequiredColumnsForBase(q, 2, {}), (std::vector<int>{0}));
+}
+
+TEST(ColumnPruningTest, AnnotationUsesDescendantsNotSiblings) {
+  std::vector<RelationPtr> rels = {MakeRel(10, 5, 93), MakeRel(10, 5, 94),
+                                   MakeRel(10, 5, 95)};
+  const Query q = ChainQuery(rels);
+
+  // Cascade shape: job0 evaluates θ0 over {R0, R1}; job1 folds in R2 with
+  // θ1. Job0's output must keep R1.b (θ1 is downstream) but drop R1.a (θ0
+  // is done) and everything of R0 (rid-only).
+  QueryPlan cascade;
+  PlanJob j0;
+  j0.inputs = {PlanInput::Base(0), PlanInput::Base(1)};
+  j0.thetas = {0};
+  PlanJob j1;
+  j1.inputs = {PlanInput::Job(0), PlanInput::Base(2)};
+  j1.thetas = {1};
+  cascade.jobs = {j0, j1};
+  AnnotateRequiredColumns(q, &cascade);
+  ASSERT_EQ(cascade.jobs[0].output_columns.size(), 2u);
+  EXPECT_TRUE(cascade.jobs[0].output_columns[0].columns.empty());  // R0
+  EXPECT_EQ(cascade.jobs[0].output_columns[1].columns,
+            (std::vector<int>{1}));  // R1.b for θ1
+  // The final job's output carries only the projection (R2.a).
+  ASSERT_EQ(cascade.jobs[1].output_columns.size(), 3u);
+  EXPECT_TRUE(cascade.jobs[1].output_columns[0].columns.empty());
+  EXPECT_TRUE(cascade.jobs[1].output_columns[1].columns.empty());
+  EXPECT_EQ(cascade.jobs[1].output_columns[2].columns,
+            (std::vector<int>{0}));
+
+  // Set-cover shape: two sibling joins recombined by a rid-merge. A
+  // sibling's condition is evaluated on the sibling's own tuples and
+  // never re-checked by the merge, so it must NOT keep columns alive:
+  // both join outputs carry only the projection columns.
+  QueryPlan cover;
+  PlanJob a;
+  a.inputs = {PlanInput::Base(0), PlanInput::Base(1)};
+  a.thetas = {0};
+  PlanJob b;
+  b.inputs = {PlanInput::Base(1), PlanInput::Base(2)};
+  b.thetas = {1};
+  PlanJob merge;
+  merge.kind = PlanJobKind::kMerge;
+  merge.inputs = {PlanInput::Job(0), PlanInput::Job(1)};
+  cover.jobs = {a, b, merge};
+  AnnotateRequiredColumns(q, &cover);
+  for (const RequiredColumns& rc : cover.jobs[0].output_columns) {
+    EXPECT_TRUE(rc.columns.empty()) << "base " << rc.base;
+  }
+  ASSERT_EQ(cover.jobs[1].output_columns.size(), 2u);
+  EXPECT_EQ(cover.jobs[1].output_columns[1].columns,
+            (std::vector<int>{0}));  // R2.a projection
+}
+
+TEST_F(CoreTest, PlannerReactsToColumnPruning) {
+  std::vector<RelationPtr> rels = {
+      MakeRel(100, 20, 96, 40000000), MakeRel(100, 20, 97, 40000000),
+      MakeRel(100, 20, 98, 40000000)};
+  const Query q = ChainQuery(rels);
+
+  PlannerOptions pruned_options;
+  Planner pruned(cluster_.get(), params_, pruned_options);
+  PlannerOptions full_options;
+  full_options.enable_column_pruning = false;
+  Planner full(cluster_.get(), params_, full_options);
+
+  const auto pruned_plan = pruned.Plan(q);
+  const auto full_plan = full.Plan(q);
+  ASSERT_TRUE(pruned_plan.ok());
+  ASSERT_TRUE(full_plan.ok());
+  // Thinner tuples can only help the estimated makespan.
+  EXPECT_LE(pruned_plan->est_makespan_sec, full_plan->est_makespan_sec);
+  // Pruned plans are annotated; full-width plans are not.
+  for (const PlanJob& job : pruned_plan->jobs) {
+    EXPECT_FALSE(job.output_columns.empty());
+  }
+  for (const PlanJob& job : full_plan->jobs) {
+    EXPECT_TRUE(job.output_columns.empty());
+  }
 }
 
 TEST_F(CoreTest, ExecutorRejectsMalformedPlans) {

@@ -507,6 +507,383 @@ TEST(SharedBasesTest, Intersection) {
   EXPECT_EQ(SharedBases(a, b), (std::vector<int>{0, 2}));
 }
 
+// ---- Column pruning: widths, payloads and byte-identical execution ----
+
+TEST(ColumnPruningTest, PrunedIntermediateWidths) {
+  RelationPtr a = MakeRel("a", 1, 10, 51);  // 2 cols: 4 + 16 = 20 B/row
+  RelationPtr b = MakeRel("b", 1, 10, 52);
+  const Schema full = MakeIntermediateSchema({0, 1}, {a, b});
+  EXPECT_EQ(full.column(0).avg_width, a->schema().avg_row_bytes());
+
+  // Base 0 keeps column 1 only; base 1 keeps nothing (rid-only floor).
+  const Schema pruned =
+      MakeIntermediateSchema({0, 1}, {a, b}, {{0, {1}}, {1, {}}});
+  EXPECT_EQ(pruned.column(0).avg_width, 4 + 8);
+  EXPECT_EQ(pruned.column(1).avg_width, 8);
+  EXPECT_LT(pruned.avg_row_bytes(), full.avg_row_bytes());
+}
+
+TEST(ColumnPruningTest, SideShuffleBytesCombinesConditionsAndRequired) {
+  auto wide = std::make_shared<Relation>(
+      "w", Schema({{"c0", ValueType::kInt64},
+                   {"c1", ValueType::kInt64},
+                   {"c2", ValueType::kInt64},
+                   {"pad", ValueType::kString, 40}}));
+  ASSERT_TRUE(wide->AppendRow({Value(int64_t{1}), Value(int64_t{2}),
+                               Value(int64_t{3}), Value(std::string("x"))})
+                  .ok());
+  const RelationPtr w = wide;
+  const JoinSide side = JoinSide::ForBase(w, 0);
+  const std::vector<JoinCondition> conds = {
+      {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+
+  // Pruning off (empty required): full row width.
+  EXPECT_EQ(SideShuffleBytes(side, conds, {}, {w, w}),
+            w->schema().avg_row_bytes());
+  // Pruning on: the job's own condition column (c0) plus the downstream
+  // requirement (c2) — never the untouched c1 or the 40-byte pad.
+  EXPECT_EQ(SideShuffleBytes(side, conds, {{0, {2}}, {1, {}}}, {w, w}),
+            4 + 8 + 8);
+  // Intermediate sides ship their (already pruned) schema row.
+  auto inter = std::make_shared<Relation>(
+      "i", Schema({{"rid_0", ValueType::kInt64, 12}}));
+  const JoinSide is = JoinSide::ForIntermediate(inter, {0});
+  EXPECT_EQ(SideShuffleBytes(is, conds, {{0, {2}}}, {w, w}),
+            inter->schema().avg_row_bytes());
+}
+
+// Wide 4-column relation: conditions touch c0/c1, the projection keeps
+// c2, and the 40-byte pad column is never referenced — the shape column
+// pruning exists for.
+RelationPtr MakeWideRel(const char* name, int64_t rows, int64_t key_range,
+                        uint64_t seed) {
+  auto rel = std::make_shared<Relation>(
+      name, Schema({{"c0", ValueType::kInt64},
+                    {"c1", ValueType::kInt64},
+                    {"c2", ValueType::kInt64},
+                    {"pad", ValueType::kString, 40}}));
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(rel->AppendRow({Value(static_cast<int64_t>(
+                                    rng.Uniform(key_range))),
+                                Value(static_cast<int64_t>(rng.Uniform(10))),
+                                Value(static_cast<int64_t>(rng.Uniform(100))),
+                                Value(std::string("padpadpad"))})
+                    .ok());
+  }
+  return rel;
+}
+
+void ExpectIdenticalOutputs(const Relation& a, const Relation& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.schema().num_columns(), b.schema().num_columns());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.schema().num_columns(); ++c) {
+      ASSERT_EQ(a.GetInt(r, c), b.GetInt(r, c)) << "row " << r;
+    }
+  }
+}
+
+// The pruning contract, per operator: annotating a builder spec with
+// required columns changes ONLY byte accounting — rows, row order,
+// physical record counts and comparison charges are untouched, while the
+// shuffle and output volumes shrink.
+void CheckPrunedMatchesFullWidth(
+    const StatusOr<MapReduceJobSpec>& full_job,
+    const StatusOr<MapReduceJobSpec>& pruned_job) {
+  ASSERT_TRUE(full_job.ok()) << full_job.status().ToString();
+  ASSERT_TRUE(pruned_job.ok()) << pruned_job.status().ToString();
+  const auto full = RunJobPhysically(*full_job);
+  const auto pruned = RunJobPhysically(*pruned_job);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(pruned.ok());
+
+  ExpectIdenticalOutputs(*full->output, *pruned->output);
+  const JobMeasurement& fm = full->metrics;
+  const JobMeasurement& pm = pruned->metrics;
+  EXPECT_EQ(fm.input_bytes_logical, pm.input_bytes_logical);
+  EXPECT_EQ(fm.map_output_records_physical, pm.map_output_records_physical);
+  EXPECT_EQ(fm.output_rows_physical, pm.output_rows_physical);
+  EXPECT_EQ(fm.output_rows_logical, pm.output_rows_logical);
+  EXPECT_EQ(fm.reduce_comparisons_logical, pm.reduce_comparisons_logical);
+  EXPECT_LT(pm.output_bytes_logical, fm.output_bytes_logical);
+  ASSERT_EQ(fm.reduce_input_bytes_logical.size(),
+            pm.reduce_input_bytes_logical.size());
+  for (size_t t = 0; t < fm.reduce_input_bytes_logical.size(); ++t) {
+    EXPECT_LE(pm.reduce_input_bytes_logical[t],
+              fm.reduce_input_bytes_logical[t]);
+  }
+  if (fm.map_output_records_physical > 0) {
+    EXPECT_LT(pm.map_output_bytes_logical, fm.map_output_bytes_logical);
+  }
+}
+
+TEST(PruningDifferentialTest, HilbertJobPrunedMatchesFullWidth) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(6100 + seed);
+    RelationPtr a = MakeWideRel("a", 30 + rng.Uniform(40), 8, 610 + seed);
+    RelationPtr b = MakeWideRel("b", 30 + rng.Uniform(40), 8, 620 + seed);
+    RelationPtr c = MakeWideRel("c", 30 + rng.Uniform(40), 8, 630 + seed);
+    MultiwayJoinJobSpec spec;
+    spec.inputs = {JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1),
+                   JoinSide::ForBase(c, 2)};
+    spec.base_relations = {a, b, c};
+    spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                       {{1, 1}, ThetaOp::kLe, {2, 1}, 0.0, 1}};
+    spec.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(8));
+    const auto full = BuildHilbertJoinJob(spec);
+    spec.output_columns = {{0, {2}}, {1, {2}}, {2, {2}}};
+    const auto pruned = BuildHilbertJoinJob(spec);
+    CheckPrunedMatchesFullWidth(full, pruned);
+  }
+}
+
+TEST(PruningDifferentialTest, PairwiseJobsPrunedMatchFullWidth) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(6400 + seed);
+    RelationPtr a = MakeWideRel("a", 30 + rng.Uniform(50), 10, 640 + seed);
+    RelationPtr b = MakeWideRel("b", 30 + rng.Uniform(50), 10, 650 + seed);
+    PairwiseJoinJobSpec spec;
+    spec.left = JoinSide::ForBase(a, 0);
+    spec.right = JoinSide::ForBase(b, 1);
+    spec.base_relations = {a, b};
+    spec.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(6));
+
+    // Equi-join (hash repartition).
+    spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                       {{0, 1}, ThetaOp::kLe, {1, 1}, 0.0, 1}};
+    const auto equi_full = BuildEquiJoinJob(spec);
+    spec.output_columns = {{0, {2}}, {1, {2}}};
+    const auto equi_pruned = BuildEquiJoinJob(spec);
+    CheckPrunedMatchesFullWidth(equi_full, equi_pruned);
+
+    // 1-Bucket-Theta (pure inequality).
+    spec.output_columns.clear();
+    spec.conditions = {{{0, 1}, ThetaOp::kLt, {1, 1}, 0.0, 0}};
+    const auto theta_full = BuildOneBucketThetaJob(spec);
+    spec.output_columns = {{0, {2}}, {1, {2}}};
+    const auto theta_pruned = BuildOneBucketThetaJob(spec);
+    CheckPrunedMatchesFullWidth(theta_full, theta_pruned);
+  }
+}
+
+TEST(PruningDifferentialTest, MergeJobPrunedMatchesFullWidth) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(6700 + seed);
+    RelationPtr a = MakeWideRel("a", 40, 6, 670 + seed);
+    RelationPtr b = MakeWideRel("b", 40, 6, 680 + seed);
+    RelationPtr c = MakeWideRel("c", 40, 6, 690 + seed);
+    const std::vector<RelationPtr> bases = {a, b, c};
+    auto run_pair = [&](JoinSide l, JoinSide r, JoinCondition cond) {
+      PairwiseJoinJobSpec spec;
+      spec.left = l;
+      spec.right = r;
+      spec.base_relations = bases;
+      spec.conditions = {cond};
+      spec.num_reduce_tasks = 3;
+      const auto job = cond.op == ThetaOp::kEq
+                           ? BuildEquiJoinJob(spec)
+                           : BuildOneBucketThetaJob(spec);
+      EXPECT_TRUE(job.ok());
+      return RunJobPhysically(*job)->output;
+    };
+    auto ab = run_pair(JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1),
+                       {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0});
+    auto bc = run_pair(JoinSide::ForBase(b, 1), JoinSide::ForBase(c, 2),
+                       {{1, 1}, ThetaOp::kLe, {2, 1}, 0.0, 1});
+    MergeJobSpec merge;
+    merge.left = JoinSide::ForIntermediate(ab, {0, 1});
+    merge.right = JoinSide::ForIntermediate(bc, {1, 2});
+    merge.base_relations = bases;
+    merge.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(4));
+    const auto full = BuildMergeJob(merge);
+    merge.output_columns = {{0, {2}}, {1, {}}, {2, {2}}};
+    const auto pruned = BuildMergeJob(merge);
+    // Merge shuffles only rids (identical both ways); the pruned output
+    // schema still shrinks the materialized intermediate.
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(pruned.ok());
+    const auto f = RunJobPhysically(*full);
+    const auto p = RunJobPhysically(*pruned);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(p.ok());
+    ExpectIdenticalOutputs(*f->output, *p->output);
+    EXPECT_EQ(f->metrics.map_output_bytes_logical,
+              p->metrics.map_output_bytes_logical);
+    EXPECT_LT(p->metrics.output_bytes_logical,
+              f->metrics.output_bytes_logical);
+  }
+}
+
+// ---- Selection pushdown: map-side filters vs the filtered oracle ----
+
+TEST(FilterPushdownTest, CompiledRowFilterTypedPaths) {
+  auto rel = std::make_shared<Relation>(
+      "f", Schema({{"i", ValueType::kInt64},
+                   {"d", ValueType::kDouble},
+                   {"s", ValueType::kString}}));
+  ASSERT_TRUE(rel->AppendRow({Value(int64_t{5}), Value(1.5),
+                              Value(std::string("keep"))})
+                  .ok());
+  ASSERT_TRUE(rel->AppendRow({Value(int64_t{9}), Value(2.5),
+                              Value(std::string("drop"))})
+                  .ok());
+  const RelationPtr r = rel;
+  // No filters on this base -> nullptr (no per-row overhead).
+  EXPECT_EQ(CompiledRowFilter::CompileFor(0, {}, r), nullptr);
+  EXPECT_EQ(CompiledRowFilter::CompileFor(
+                0, {{{1, 0}, ThetaOp::kLe, Value(int64_t{5}), 0.0}}, r),
+            nullptr);
+
+  const std::vector<SelectionFilter> filters = {
+      {{0, 0}, ThetaOp::kLe, Value(int64_t{6}), 0.0},       // i <= 6
+      {{0, 1}, ThetaOp::kLt, Value(2.0), 0.0},              // d < 2.0
+      {{0, 2}, ThetaOp::kEq, Value(std::string("keep")), 0.0}};
+  const auto compiled = CompiledRowFilter::CompileFor(0, filters, r);
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(compiled->num_predicates(), 3);
+  EXPECT_TRUE(compiled->Passes(0));
+  EXPECT_FALSE(compiled->Passes(1));
+
+  // Offset folds into the comparison: (i + 2) > 10 keeps only row 1.
+  const auto offset = CompiledRowFilter::CompileFor(
+      0, {{{0, 0}, ThetaOp::kGt, Value(int64_t{10}), 2.0}}, r);
+  ASSERT_NE(offset, nullptr);
+  EXPECT_FALSE(offset->Passes(0));
+  EXPECT_TRUE(offset->Passes(1));
+}
+
+TEST(FilterPushdownTest, MapSideFiltersMatchFilteredOracle) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(7300 + seed);
+    RelationPtr a = MakeRel("a", 40 + rng.Uniform(40), 12, 730 + seed);
+    RelationPtr b = MakeRel("b", 40 + rng.Uniform(40), 12, 740 + seed);
+    const std::vector<SelectionFilter> filters = {
+        {{0, 1}, ThetaOp::kLe, Value(int64_t{rng.UniformInt(2, 7)}), 0.0},
+        {{1, 0}, ThetaOp::kGe, Value(int64_t{rng.UniformInt(1, 5)}), 0.0}};
+    const std::vector<JoinCondition> conds = {
+        {{0, 0}, ThetaOp::kLe, {1, 0}, 0.0, 0}};
+    const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, conds, filters);
+    ASSERT_TRUE(oracle.ok());
+    const auto unfiltered = NaiveMultiwayJoin({a, b}, {0, 1}, conds);
+    ASSERT_TRUE(unfiltered.ok());
+    // The filters must actually bite for this to test anything.
+    ASSERT_LT(oracle->num_rows(), unfiltered->num_rows());
+
+    JoinSide left = JoinSide::ForBase(a, 0);
+    left.filter = CompiledRowFilter::CompileFor(0, filters, a);
+    JoinSide right = JoinSide::ForBase(b, 1);
+    right.filter = CompiledRowFilter::CompileFor(1, filters, b);
+    ASSERT_NE(left.filter, nullptr);
+    ASSERT_NE(right.filter, nullptr);
+
+    // 1-Bucket-Theta with map-side filters.
+    PairwiseJoinJobSpec pw;
+    pw.left = left;
+    pw.right = right;
+    pw.base_relations = {a, b};
+    pw.conditions = conds;
+    pw.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(6));
+    const auto pw_job = BuildOneBucketThetaJob(pw);
+    ASSERT_TRUE(pw_job.ok());
+    const auto pw_result = RunJobPhysically(*pw_job);
+    ASSERT_TRUE(pw_result.ok());
+    EXPECT_TRUE(SameRows(*oracle, *pw_result->output)) << "seed=" << seed;
+
+    // Hilbert multi-way with map-side filters.
+    MultiwayJoinJobSpec mw;
+    mw.inputs = {left, right};
+    mw.base_relations = {a, b};
+    mw.conditions = conds;
+    mw.num_reduce_tasks = 1 + static_cast<int>(rng.Uniform(8));
+    const auto mw_job = BuildHilbertJoinJob(mw);
+    ASSERT_TRUE(mw_job.ok());
+    const auto mw_result = RunJobPhysically(*mw_job);
+    ASSERT_TRUE(mw_result.ok());
+    EXPECT_TRUE(SameRows(*oracle, *mw_result->output)) << "seed=" << seed;
+  }
+}
+
+TEST(FilterPushdownTest, SkewDetectionSamplesPostFilterDistribution) {
+  // A hot equality key whose tuples the filter drops must not earn a
+  // heavy-value reducer grid: the grid would starve the residual tasks
+  // for tuples that never reach any reducer.
+  auto make_skewed = [](const char* name, uint64_t seed) {
+    auto rel = std::make_shared<Relation>(
+        name, Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+    Rng rng(seed);
+    for (int64_t i = 0; i < 4000; ++i) {
+      // Key 7 holds ~60% of the rows.
+      const int64_t k = rng.Bernoulli(0.6) ? 7 : rng.UniformInt(100, 160);
+      rel->AppendIntRow({k, rng.UniformInt(0, 9)});
+    }
+    return rel;
+  };
+  RelationPtr a = make_skewed("a", 771);
+  RelationPtr b = make_skewed("b", 772);
+  MultiwayJoinJobSpec spec;
+  spec.inputs = {JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1)};
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+  spec.num_reduce_tasks = 16;
+  spec.skew_handling = SkewHandling::kForce;
+
+  HilbertJoinPlanInfo unfiltered_info;
+  ASSERT_TRUE(BuildHilbertJoinJob(spec, &unfiltered_info).ok());
+  ASSERT_FALSE(unfiltered_info.skew.groups.empty());
+
+  // Filter out the hot key on both sides: detection must see the
+  // post-selection (uniform) distribution and split nothing.
+  const std::vector<SelectionFilter> filters = {
+      {{0, 0}, ThetaOp::kNe, Value(int64_t{7}), 0.0},
+      {{1, 0}, ThetaOp::kNe, Value(int64_t{7}), 0.0}};
+  spec.inputs[0].filter = CompiledRowFilter::CompileFor(0, filters, a);
+  spec.inputs[1].filter = CompiledRowFilter::CompileFor(1, filters, b);
+  HilbertJoinPlanInfo filtered_info;
+  const auto job = BuildHilbertJoinJob(spec, &filtered_info);
+  ASSERT_TRUE(job.ok());
+  EXPECT_TRUE(filtered_info.skew.groups.empty());
+
+  const auto oracle =
+      NaiveMultiwayJoin({a, b}, {0, 1}, spec.conditions, filters);
+  ASSERT_TRUE(oracle.ok());
+  const auto result = RunJobPhysically(*job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SameRows(*oracle, *result->output));
+}
+
+TEST(FilterPushdownTest, EquiJoinFiltersShrinkShuffleNotInput) {
+  RelationPtr a = MakeRel("a", 200, 20, 751);
+  RelationPtr b = MakeRel("b", 200, 20, 752);
+  const std::vector<JoinCondition> conds = {
+      {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = conds;
+  spec.num_reduce_tasks = 4;
+  const auto plain = RunJobPhysically(*BuildEquiJoinJob(spec));
+  ASSERT_TRUE(plain.ok());
+
+  const std::vector<SelectionFilter> filters = {
+      {{0, 1}, ThetaOp::kLe, Value(int64_t{4}), 0.0}};
+  spec.left.filter = CompiledRowFilter::CompileFor(0, filters, a);
+  const auto filtered = RunJobPhysically(*BuildEquiJoinJob(spec));
+  ASSERT_TRUE(filtered.ok());
+
+  const auto oracle = NaiveMultiwayJoin({a, b}, {0, 1}, conds, filters);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(SameRows(*oracle, *filtered->output));
+  // Scans still read the full relation; only the shuffle shrinks.
+  EXPECT_EQ(filtered->metrics.input_bytes_logical,
+            plain->metrics.input_bytes_logical);
+  EXPECT_LT(filtered->metrics.map_output_bytes_logical,
+            plain->metrics.map_output_bytes_logical);
+  EXPECT_LT(filtered->metrics.map_output_records_physical,
+            plain->metrics.map_output_records_physical);
+}
+
 // ---- Sort-based kernels: randomized differential vs nested-loop oracle ----
 
 // One-column relation of the given type; a small domain makes duplicate

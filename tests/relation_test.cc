@@ -185,5 +185,53 @@ TEST(PredicateTest, ToStringIncludesOffset) {
   EXPECT_EQ(cond.ToString(), "R0.c1+3 > R2.c3");
 }
 
+TEST(RelationTest, GenerationChangesOnEveryMutation) {
+  Relation rel("g", Schema({{"a", ValueType::kInt64}}));
+  Relation other("o", Schema({{"a", ValueType::kInt64}}));
+  // Distinct objects never share a generation (process-wide counter).
+  EXPECT_NE(rel.generation(), other.generation());
+
+  uint64_t last = rel.generation();
+  auto expect_bumped = [&](const char* what) {
+    EXPECT_NE(rel.generation(), last) << what;
+    last = rel.generation();
+  };
+  ASSERT_TRUE(rel.AppendRow({Value(int64_t{1})}).ok());
+  expect_bumped("AppendRow");
+  rel.AppendIntRow({2});
+  expect_bumped("AppendIntRow");
+  ASSERT_TRUE(rel.AppendRows(other).ok());
+  expect_bumped("AppendRows");
+  rel.set_logical_rows(500);
+  expect_bumped("set_logical_rows");
+  // The stale-stats case: an in-place edit keeps num_rows but must not
+  // keep the generation.
+  const int64_t rows = rel.num_rows();
+  ASSERT_TRUE(rel.SetCell(0, 0, Value(int64_t{42})).ok());
+  EXPECT_EQ(rel.num_rows(), rows);
+  expect_bumped("SetCell");
+  EXPECT_EQ(rel.GetInt(0, 0), 42);
+
+  // A read does not bump.
+  (void)rel.Get(0, 0);
+  EXPECT_EQ(rel.generation(), last);
+  // A copy shares content, so it keeps the source's generation.
+  const Relation copy = rel;
+  EXPECT_EQ(copy.generation(), rel.generation());
+}
+
+TEST(RelationTest, SetCellValidatesRowColAndType) {
+  Relation rel("s", Schema({{"i", ValueType::kInt64},
+                            {"s", ValueType::kString}}));
+  ASSERT_TRUE(
+      rel.AppendRow({Value(int64_t{1}), Value(std::string("x"))}).ok());
+  EXPECT_FALSE(rel.SetCell(1, 0, Value(int64_t{2})).ok());   // row range
+  EXPECT_FALSE(rel.SetCell(0, 2, Value(int64_t{2})).ok());   // col range
+  EXPECT_FALSE(rel.SetCell(0, 0, Value(std::string("y"))).ok());  // type
+  EXPECT_FALSE(rel.SetCell(0, 1, Value(int64_t{2})).ok());   // type
+  EXPECT_TRUE(rel.SetCell(0, 1, Value(std::string("y"))).ok());
+  EXPECT_EQ(rel.GetString(0, 1), "y");
+}
+
 }  // namespace
 }  // namespace mrtheta
