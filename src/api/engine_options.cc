@@ -36,6 +36,9 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "calibration.probe_input_bytes must be >= 1");
   }
+  MRTHETA_RETURN_IF_ERROR(executor.fault_plan.Validate());
+  MRTHETA_RETURN_IF_ERROR(executor.retry.Validate());
+  MRTHETA_RETURN_IF_ERROR(executor.speculation.Validate());
   return Status::OK();
 }
 
@@ -44,6 +47,9 @@ std::string EngineOptions::ToString() const {
   out += ", threads=" + std::to_string(executor.num_threads);
   out += ", seed=" + std::to_string(execution_seed);
   out += ", calibration_workers=" + std::to_string(calibration_workers);
+  if (executor.fault_plan.enabled()) {
+    out += ", " + executor.fault_plan.ToString();
+  }
   out += "}";
   return out;
 }

@@ -141,9 +141,27 @@ StatusOr<QueryResult> ThetaEngine::Execute(const QueryBuilder& builder) {
 std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
   auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
   std::future<StatusOr<QueryResult>> future = promise->get_future();
+  // Each submission carries its own cancellation token, registered so
+  // CancelInflight can stop it; the execution honors the token at job and
+  // task boundaries. The thread owns a shared_ptr, so the registry's
+  // entries are alive by construction.
+  auto token = std::make_shared<CancellationToken>();
+  auto deregister = [this, raw = token.get()] {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_submissions_;
+    for (auto it = inflight_tokens_.begin(); it != inflight_tokens_.end();
+         ++it) {
+      if (it->get() == raw) {
+        inflight_tokens_.erase(it);
+        break;
+      }
+    }
+    idle_cv_.notify_all();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++inflight_submissions_;
+    inflight_tokens_.push_back(token);
   }
   // A detached coordination thread, not std::async: the returned future
   // must not block on destruction. The destructor's drain keeps `this`
@@ -152,29 +170,38 @@ std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
   // destructor cannot win the race and free the condition variable
   // mid-notify).
   try {
-    std::thread([this, promise, q = std::move(query)]() mutable {
-      StatusOr<QueryResult> result = Execute(q);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        --inflight_submissions_;
-        idle_cv_.notify_all();
-      }
+    std::thread([this, promise, token, deregister,
+                 q = std::move(query)]() mutable {
+      StatusOr<QueryResult> result = ExecuteCancellable(q, token.get());
+      deregister();
       promise->set_value(std::move(result));
     }).detach();
   } catch (const std::system_error& e) {
-    // Thread exhaustion: undo the in-flight count (or the destructor's
-    // drain would wait forever) and fail the submission instead.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --inflight_submissions_;
-      idle_cv_.notify_all();
-    }
+    // Thread exhaustion: undo the in-flight bookkeeping (or the
+    // destructor's drain would wait forever) and fail the submission.
+    deregister();
     promise->set_value(
         Status::ResourceExhausted(std::string("Submit could not start a "
                                               "coordination thread: ") +
                                   e.what()));
   }
   return future;
+}
+
+void ThetaEngine::CancelInflight() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<CancellationToken>& token : inflight_tokens_) {
+    token->Cancel();
+  }
+}
+
+StatusOr<QueryResult> ThetaEngine::ExecuteCancellable(
+    const Query& query, const CancellationToken* token) {
+  StatusOr<QueryPlan> plan = PlanQuery(query);
+  if (!plan.ok()) return plan.status();
+  ExecutorOptions opts = options_.executor;
+  opts.cancel_token = token;
+  return ExecutePlan(query, *plan, opts, options_.execution_seed);
 }
 
 std::future<StatusOr<QueryResult>> ThetaEngine::Submit(
@@ -203,10 +230,18 @@ StatusOr<QueryResult> ThetaEngine::ExecutePlan(
   const Executor executor(&cluster_, executor_options);
   StatusOr<ExecutionResult> result =
       executor.ExecuteOn(pool_, query, plan, seed);
-  if (!result.ok()) return result.status();
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++metrics_.failed_executions;
+    return result.status();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++metrics_.executions;
+    metrics_.injected_faults += result->fault_report.injected_faults;
+    metrics_.task_retries += result->fault_report.task_retries;
+    metrics_.speculative_launches += result->fault_report.speculative_launches;
+    metrics_.wasted_task_seconds += result->fault_report.wasted_task_seconds;
   }
   return QueryResult(*std::move(result));
 }

@@ -41,6 +41,13 @@ struct EngineMetrics {
   int64_t stats_evictions = 0;   ///< cache entries dropped (expired relation)
   int64_t plans = 0;             ///< queries planned
   int64_t executions = 0;        ///< plans executed successfully
+  int64_t failed_executions = 0;  ///< plans that returned a non-OK Status
+  // Fault-tolerance accounting summed over the session's executions
+  // (docs/RUNTIME.md "Fault tolerance"); all zero without a FaultPlan.
+  int64_t injected_faults = 0;       ///< faults the FaultPlan fired
+  int64_t task_retries = 0;          ///< failed task attempts retried
+  int64_t speculative_launches = 0;  ///< straggler re-executions launched
+  double wasted_task_seconds = 0.0;  ///< time in never-committed attempts
 };
 
 /// \brief The session facade over the paper's whole pipeline: statistics →
@@ -98,6 +105,15 @@ class ThetaEngine {
   std::future<StatusOr<QueryResult>> Submit(Query query);
   std::future<StatusOr<QueryResult>> Submit(const QueryBuilder& builder);
 
+  /// Cancels every in-flight Submit: each coordination thread carries a
+  /// CancellationToken that its execution honors at job and task
+  /// boundaries (and inside interruptible waits), so cancelled
+  /// submissions resolve their futures promptly with kCancelled instead
+  /// of running their remaining plan jobs. Queries submitted after this
+  /// call are unaffected. Safe to call concurrently with anything,
+  /// including itself.
+  void CancelInflight();
+
   /// Executes a caller-provided plan (a baseline planner's, or a plan from
   /// Explain) with the engine's executor options and seed.
   StatusOr<QueryResult> ExecutePlan(const Query& query, const QueryPlan& plan);
@@ -114,6 +130,10 @@ class ThetaEngine {
  private:
   /// Validates options and runs calibration once; caller holds mu_.
   Status EnsureReadyLocked();
+  /// Plan + execute under a Submit coordination thread's cancellation
+  /// token (engine executor options otherwise).
+  StatusOr<QueryResult> ExecuteCancellable(const Query& query,
+                                           const CancellationToken* token);
   /// Session statistics for the query's relations, cached by relation
   /// identity; caller holds mu_.
   std::vector<TableStats> StatsForLocked(const Query& query);
@@ -144,6 +164,11 @@ class ThetaEngine {
       stats_cache_;                   // guarded by mu_
   EngineMetrics metrics_;             // guarded by mu_
   int inflight_submissions_ = 0;      // guarded by mu_
+  /// One token per in-flight Submit, registered for CancelInflight. The
+  /// coordination thread holds its own shared_ptr, so entries here are
+  /// alive by construction; each is deregistered when its submission ends.
+  std::vector<std::shared_ptr<CancellationToken>>
+      inflight_tokens_;               // guarded by mu_
   std::condition_variable idle_cv_;   // signalled when a submission ends
 };
 

@@ -22,11 +22,27 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
 
 }  // namespace
+
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MRTHETA_CHECK failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

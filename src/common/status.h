@@ -1,7 +1,8 @@
 #ifndef MRTHETA_COMMON_STATUS_H_
 #define MRTHETA_COMMON_STATUS_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -19,6 +20,17 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kUnimplemented,
+  /// A task/attempt exceeded its deadline (straggler past its hard timeout
+  /// with no successful speculative copy).
+  kDeadlineExceeded,
+  /// The operation was abandoned (e.g. a task exhausted its retry budget
+  /// after injected or real failures).
+  kAborted,
+  /// The operation was cancelled by a cooperating caller (a sibling job's
+  /// failure, an engine-level cancellation token). Cancellations are
+  /// side effects of some *other* failure, so error reporting prefers any
+  /// non-cancelled status over them (see RunDag).
+  kCancelled,
 };
 
 /// \brief RocksDB-style status object: every fallible public API returns a
@@ -53,10 +65,28 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Builds a status with an explicit code — for callers that must keep an
+  /// underlying error's code while rewriting its message (e.g. the retry
+  /// wrapper reporting "failed after N attempts: <last error>").
+  static Status WithCode(StatusCode code, std::string msg) {
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  /// True for kCancelled — the one code that reports a *consequence* of
+  /// another failure rather than a root cause.
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// Human-readable "CODE: message" string for logs and test failures.
   std::string ToString() const;
@@ -73,10 +103,16 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
 /// \brief Value-or-error result type: holds either a T or a non-OK Status.
 ///
 /// Mirrors absl::StatusOr semantics closely enough for this codebase:
-/// `value()` asserts ok() in debug builds; callers must check `ok()` first.
+/// `value()` CHECK-fails when !ok() — in every build type, including
+/// NDEBUG Release (an unchecked error must never silently read a
+/// disengaged optional); callers must check `ok()` first.
 template <typename T>
 class StatusOr {
  public:
@@ -85,22 +121,25 @@ class StatusOr {
   /// Implicit from error status: `return Status::NotFound(...);` works.
   StatusOr(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {
-    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      internal::CheckFailed("StatusOr constructed from OK status", __FILE__,
+                            __LINE__);
+    }
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return *std::move(value_);
   }
 
@@ -111,6 +150,14 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error status: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
   Status status_;
   std::optional<T> value_;
 };
@@ -123,6 +170,18 @@ class StatusOr {
   do {                                         \
     ::mrtheta::Status _st = (expr);            \
     if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Invariant check that survives NDEBUG Release builds: unlike assert(),
+/// a violated MRTHETA_CHECK aborts with a message in every build type.
+/// Use for invariants whose violation would corrupt results silently
+/// (scheduler accounting, task-commit bookkeeping); use Status returns for
+/// recoverable conditions.
+#define MRTHETA_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::mrtheta::internal::CheckFailed(#cond, __FILE__, __LINE__);       \
+    }                                                                    \
   } while (false)
 
 #endif  // MRTHETA_COMMON_STATUS_H_

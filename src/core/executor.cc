@@ -78,6 +78,9 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
                                           const QueryPlan& plan,
                                           uint64_t seed) const {
   MRTHETA_RETURN_IF_ERROR(query.Validate());
+  MRTHETA_RETURN_IF_ERROR(options_.fault_plan.Validate());
+  MRTHETA_RETURN_IF_ERROR(options_.retry.Validate());
+  MRTHETA_RETURN_IF_ERROR(options_.speculation.Validate());
   if (plan.jobs.empty()) {
     return Status::InvalidArgument("plan has no jobs");
   }
@@ -113,9 +116,22 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   // its sequential shuffle merge) is transient. See docs/RUNTIME.md.
   const int num_threads = pool.num_threads();
 
+  // Fault-tolerance machinery (docs/RUNTIME.md "Fault tolerance"). The
+  // plan-level token chains to the caller's (ThetaEngine::Submit) token;
+  // it is cancelled on the first real job failure so in-flight sibling
+  // jobs stop at their next task boundary instead of finishing doomed
+  // work.
+  const bool chaos = options_.fault_plan.enabled();
+  const FaultInjector injector(options_.fault_plan);
+  CancellationToken plan_cancel(options_.cancel_token);
+
   // Runs plan job `i`; deps are complete when the DAG scheduler calls this,
   // and it writes only slot `i` of result.jobs / sim_jobs.
-  auto run_job = [&](int i) -> Status {
+  auto run_job_body = [&](int i) -> Status {
+    if (plan_cancel.cancelled()) {
+      return Status::Cancelled("plan job " + std::to_string(i) +
+                               " cancelled before start");
+    }
     const PlanJob& pj = plan.jobs[i];
     // Resolve inputs.
     std::vector<JoinSide> sides;
@@ -193,12 +209,25 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     spec->text_serde = pj.text_serde;
 
     const auto job_start = std::chrono::steady_clock::now();
+    // Chaos routes even single-threaded plans through the fault-tolerant
+    // parallel runner (byte-identical to the sequential reference on a
+    // 1-thread pool) — there is no injection point in RunJobPhysically.
+    FaultReport job_faults;
+    ParallelRunnerOptions popts;
+    if (chaos) {
+      popts.injector = &injector;
+      popts.retry = options_.retry;
+      popts.speculation = options_.speculation;
+    }
+    popts.cancel = &plan_cancel;
+    popts.fault_report = &job_faults;
     StatusOr<PhysicalJobResult> phys =
-        num_threads > 1 ? RunJobParallel(*spec, pool)
-                        : RunJobPhysically(*spec);
+        (num_threads > 1 || chaos) ? RunJobParallel(*spec, pool, popts)
+                                   : RunJobPhysically(*spec);
     if (!phys.ok()) return phys.status();
 
     JobExecution& exec = result.jobs[i];
+    exec.faults = job_faults;
     exec.name = spec->name;
     exec.kind = pj.kind;
     exec.reduce_tasks = spec->num_reduce_tasks;
@@ -247,6 +276,13 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     sim_jobs[i] = cluster_->BuildSimJob(*spec, exec.metrics, dep_jobs);
     return Status::OK();
   };
+  // A real (non-cancellation) failure cancels the in-flight siblings; the
+  // DAG scheduler then reports the lowest-index non-cancelled failure.
+  auto run_job = [&](int i) -> Status {
+    Status s = run_job_body(i);
+    if (!s.ok() && !s.IsCancelled()) plan_cancel.Cancel();
+    return s;
+  };
 
   const auto plan_start = std::chrono::steady_clock::now();
   if (num_threads == 1) {
@@ -263,6 +299,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   result.measured_seconds = SecondsSince(plan_start);
   for (const JobExecution& exec : result.jobs) {
     result.sim_shuffle_bytes += exec.metrics.map_output_bytes_logical;
+    result.fault_report.Merge(exec.faults);
   }
 
   // Replay the DAG through the discrete-event engine.

@@ -9,6 +9,7 @@
 #include "src/core/query.h"
 #include "src/exec/theta_kernels.h"
 #include "src/mapreduce/sim_cluster.h"
+#include "src/runtime/fault_injection.h"
 #include "src/sched/skew_assigner.h"
 
 namespace mrtheta {
@@ -36,6 +37,10 @@ struct JobExecution {
   int skew_residual_tasks = 0;
   int skew_heavy_tasks = 0;
   int skew_heavy_groups = 0;
+  /// Fault-tolerance accounting of this job (injected faults, retries,
+  /// speculative launches, wasted attempt time). All zero on the fault-free
+  /// fast path; observability only — never feeds results or timing.
+  FaultReport faults;
   std::shared_ptr<Relation> output;
   std::vector<int> covered_bases;
 };
@@ -63,6 +68,9 @@ struct ExecutionResult {
   std::shared_ptr<Relation> projected;
   /// Logical result rows / Π logical |Ri| (the paper's "Result Sel.").
   double result_selectivity = 0.0;
+  /// Plan-wide fault-tolerance accounting: the sum of the per-job
+  /// JobExecution::faults reports.
+  FaultReport fault_report;
 };
 
 /// Knobs controlling how plan jobs are lowered to physical kernels and
@@ -90,6 +98,24 @@ struct ExecutorOptions {
   /// (as a multiset of rows) is identical in all modes; per-reducer input
   /// sizes, and hence the simulated makespan, are not.
   SkewHandling skew_handling = SkewHandling::kAuto;
+  /// Deterministic chaos plan (docs/RUNTIME.md "Fault tolerance"). The
+  /// default picks up $MRTHETA_FAULT_PLAN, so any workload can run under
+  /// reproducible chaos with no code changes — the CI chaos job sets
+  /// exactly that. When enabled, every job routes through the
+  /// fault-tolerant parallel runner (on a 1-thread pool at num_threads ==
+  /// 1, which is byte-identical to the sequential reference); outputs and
+  /// simulated metrics are unchanged as long as no task exhausts its
+  /// retries.
+  FaultPlan fault_plan = FaultPlan::FromEnvironment();
+  /// Retry + straggler-speculation policies; consulted only under an
+  /// enabled fault_plan.
+  RetryPolicy retry;
+  SpeculationPolicy speculation;
+  /// Optional external cancellation (e.g. a ThetaEngine::Submit token).
+  /// Checked at job and task boundaries and inside interruptible waits;
+  /// a cancelled execution returns kCancelled. Not owned; must outlive
+  /// every Execute call made with these options.
+  const CancellationToken* cancel_token = nullptr;
 };
 
 class ThreadPool;

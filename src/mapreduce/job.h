@@ -47,7 +47,11 @@ class ReduceCollector {
  public:
   explicit ReduceCollector(Relation* output) : output_(output) {}
 
-  /// Appends one result row to the job's output relation.
+  /// Appends one result row to the job's output relation. A failed append
+  /// (schema mismatch — a builder bug) latches the first error and turns
+  /// subsequent Emits into no-ops; runners surface it as the task's
+  /// Status. This used to be an assert(), i.e. silently ignored under
+  /// NDEBUG Release builds.
   void Emit(const std::vector<Value>& row);
 
   /// Charges `n` *logical* tuple-pair comparisons to the current reduce
@@ -56,11 +60,14 @@ class ReduceCollector {
 
   double comparisons() const { return comparisons_; }
   int64_t rows_emitted() const { return rows_emitted_; }
+  /// First append error, or OK.
+  const Status& status() const { return status_; }
 
  private:
   Relation* output_;
   double comparisons_ = 0;
   int64_t rows_emitted_ = 0;
+  Status status_;
 };
 
 /// One input of a job. `scale` = logical_rows / physical_rows for this

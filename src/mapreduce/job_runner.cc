@@ -22,9 +22,12 @@ int HashPartition(int64_t key, int num_reduce_tasks) {
 }
 
 void ReduceCollector::Emit(const std::vector<Value>& row) {
+  if (!status_.ok()) return;  // latch the first error, drop the rest
   Status s = output_->AppendRow(row);
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) {
+    status_ = std::move(s);
+    return;
+  }
   ++rows_emitted_;
 }
 
@@ -34,8 +37,9 @@ int64_t JobMeasurement::MaxReduceInputBytes() const {
   return mx;
 }
 
-double RunReduceTask(const MapReduceJobSpec& spec,
-                     std::vector<MapOutputRecord>& records, Relation* output) {
+StatusOr<double> RunReduceTask(const MapReduceJobSpec& spec,
+                               std::vector<MapOutputRecord>& records,
+                               Relation* output) {
   const int num_tags = static_cast<int>(spec.inputs.size());
   std::sort(records.begin(), records.end(),
             [](const MapOutputRecord& a, const MapOutputRecord& b) {
@@ -57,6 +61,10 @@ double RunReduceTask(const MapReduceJobSpec& spec,
     ctx.by_tag = &by_tag;
     ctx.inputs = &spec.inputs;
     spec.reduce(ctx, collector);
+    if (!collector.status().ok()) {
+      return Status::Internal("reduce emit failed in job '" + spec.name +
+                              "': " + collector.status().ToString());
+    }
     i = j;
   }
   return collector.comparisons();
@@ -128,8 +136,10 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
   // ---- Reduce phase: per task, sort by key then group ----
   m.reduce_comparisons_logical.assign(n, 0.0);
   for (int t = 0; t < n; ++t) {
-    m.reduce_comparisons_logical[t] =
+    StatusOr<double> comparisons =
         RunReduceTask(spec, task_records[t], result.output.get());
+    if (!comparisons.ok()) return comparisons.status();
+    m.reduce_comparisons_logical[t] = *comparisons;
   }
 
   // ---- Output accounting ----

@@ -26,13 +26,20 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec);
 
 /// \brief Runs one reduce task: sorts `records` in place by (key, tag,
 /// row), groups by key, invokes spec.reduce per group into `output`, and
-/// returns the task's charged comparisons.
+/// returns the task's charged comparisons — or the first emit error
+/// (ReduceCollector::status()).
+///
+/// Idempotent per attempt: the sort is stable under re-sorting and emits
+/// go to the caller's (fresh, task-private) output relation, so the
+/// fault-tolerant runner can re-execute a failed task against the same
+/// record vector and commit only the successful attempt.
 ///
 /// Shared by the sequential runner and the parallel runner
 /// (src/runtime/parallel_job_runner.cc) — one implementation is what keeps
 /// their outputs byte-identical (docs/RUNTIME.md determinism contract).
-double RunReduceTask(const MapReduceJobSpec& spec,
-                     std::vector<MapOutputRecord>& records, Relation* output);
+StatusOr<double> RunReduceTask(const MapReduceJobSpec& spec,
+                               std::vector<MapOutputRecord>& records,
+                               Relation* output);
 
 }  // namespace mrtheta
 

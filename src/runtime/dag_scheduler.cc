@@ -48,9 +48,17 @@ void WorkerLoop(DagState& state, const std::function<Status(int)>& body) {
     --state.running;
     --state.remaining;
     if (!status.ok()) {
-      // Keep the lowest-index failure so racing independent failures
-      // produce a deterministic result.
-      if (state.error_node < 0 || node < state.error_node) {
+      // Keep the lowest-index NON-CANCELLED failure so racing independent
+      // failures produce a deterministic result and a cancelled node (a
+      // consequence of some other node's failure, or of an external token)
+      // never masks the root cause. Cancellations surface only when every
+      // failure is a cancellation.
+      const bool better =
+          state.error_node < 0 ||
+          (state.error.IsCancelled() && !status.IsCancelled()) ||
+          (state.error.IsCancelled() == status.IsCancelled() &&
+           node < state.error_node);
+      if (better) {
         state.error_node = node;
         state.error = status;
       }

@@ -27,9 +27,12 @@ namespace mrtheta {
 /// Error handling: on the first failing body no *new* nodes are started
 /// (in-flight ones finish), and the returned status is the failure of the
 /// lowest-index failed node — deterministic even when independent nodes
-/// fail in racing order. Returns InvalidArgument for out-of-range
-/// dependencies and FailedPrecondition for dependency cycles, without
-/// running any body.
+/// fail in racing order. kCancelled failures rank below every other code:
+/// a node cancelled as a *consequence* of another node's failure (or of an
+/// engine cancellation token) never masks the root cause, so callers see
+/// kCancelled only when the whole dag was cancelled from outside. Returns
+/// InvalidArgument for out-of-range dependencies and FailedPrecondition
+/// for dependency cycles, without running any body.
 Status RunDag(const std::vector<std::vector<int>>& deps, int max_concurrency,
               const std::function<Status(int)>& body);
 

@@ -1,13 +1,23 @@
 #include "src/runtime/parallel_job_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace mrtheta {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// One contiguous map split: rows [begin, end) of input `tag`.
 struct MapSplit {
@@ -15,11 +25,10 @@ struct MapSplit {
   int64_t begin = 0;
   int64_t end = 0;
 
-  // Per-split map output, produced in the split's row order.
+  // Committed map output of the split's winning attempt, in the split's
+  // row order, plus each record's precomputed reduce task.
   MapEmitter emitter;
-  // Reduce task of each emitted record (precomputed in parallel).
   std::vector<int> target;
-  bool partition_error = false;
 };
 
 /// Splits every input into contiguous row ranges in (tag, range) order, so
@@ -46,6 +55,231 @@ std::vector<MapSplit> PlanMapSplits(const MapReduceJobSpec& spec,
   return splits;
 }
 
+/// Durations of completed tasks in one phase; the straggler deadline is a
+/// multiple of their running median.
+class TaskTimeTracker {
+ public:
+  void Record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    durations_.push_back(seconds);
+  }
+
+  /// Seconds after which a first attempt counts as a straggler; +infinity
+  /// while fewer than `min_completed_tasks` durations are recorded (the
+  /// median of a few samples is noise, not a baseline).
+  double DeadlineSeconds(const SpeculationPolicy& policy) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(durations_.size()) < policy.min_completed_tasks) {
+      return std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> copy = durations_;
+    const size_t mid = copy.size() / 2;
+    std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+    return std::max(policy.straggler_multiplier * copy[mid],
+                    policy.min_deadline_ms * 1e-3);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> durations_;
+};
+
+/// Shared state of one job execution under (possible) faults.
+struct FaultContext {
+  const FaultInjector* injector = nullptr;  ///< null = fault-free fast path
+  RetryPolicy retry;
+  SpeculationPolicy speculation;
+  const CancellationToken* external_cancel = nullptr;
+  /// Set on the first unrecoverable task failure so sibling tasks stop at
+  /// their next boundary instead of burning retries on doomed work.
+  CancellationToken job_cancel;
+
+  std::mutex report_mu;
+  FaultReport report;  // guarded by report_mu during the parallel phases
+
+  bool Cancelled() const {
+    return (external_cancel != nullptr && external_cancel->cancelled()) ||
+           job_cancel.cancelled();
+  }
+
+  Status CancelledStatus(const std::string& job) const {
+    if (external_cancel != nullptr && external_cancel->cancelled()) {
+      return Status::Cancelled("job '" + job + "' cancelled by caller");
+    }
+    return Status::Cancelled("job '" + job +
+                             "' cancelled after a sibling task failure");
+  }
+
+  void CountInjected() {
+    std::lock_guard<std::mutex> lock(report_mu);
+    ++report.injected_faults;
+  }
+  void CountRetry() {
+    std::lock_guard<std::mutex> lock(report_mu);
+    ++report.task_retries;
+  }
+  void CountSpeculative(double wasted_seconds) {
+    std::lock_guard<std::mutex> lock(report_mu);
+    ++report.speculative_launches;
+    report.wasted_task_seconds += wasted_seconds;
+  }
+  void CountWasted(double wasted_seconds) {
+    std::lock_guard<std::mutex> lock(report_mu);
+    report.wasted_task_seconds += wasted_seconds;
+  }
+};
+
+/// \brief Runs one restartable task (a map split or a reduce partition)
+/// under the fault plan.
+///
+/// Contract: `work` produces into attempt-local buffers only and must be
+/// safe to re-run from scratch; `commit` publishes those buffers into the
+/// task's committed slot and runs exactly once, after the first fully
+/// successful attempt. Failed, timed-out and abandoned attempts publish
+/// nothing, which is what makes re-execution invisible in the output and
+/// the simulated metrics (docs/RUNTIME.md determinism contract).
+///
+/// Failure handling: injected allocation faults (kResourceExhausted),
+/// injected task crashes (kAborted), hard attempt timeouts
+/// (kDeadlineExceeded) and real `work` errors all consume the retry budget
+/// and back off exponentially between attempts. Attempts straggling past
+/// the tracker's median-derived deadline are abandoned and relaunched as
+/// speculative copies, which consume no retry budget — and, by the
+/// slow-slot model (delays fire only on attempt 0), are never re-delayed,
+/// so speculation always terminates. On retry exhaustion the task cancels
+/// its siblings and returns the last failure's code.
+Status RunRestartableTask(FaultContext& ctx, const std::string& job,
+                          FaultPoint alloc_point, FaultPoint task_point,
+                          FaultPoint straggler_point, int64_t task,
+                          TaskTimeTracker& tracker,
+                          const std::function<Status()>& work,
+                          const std::function<void()>& commit) {
+  if (ctx.injector == nullptr) {
+    // Fault-free fast path; cancellation still honored at the boundary.
+    if (ctx.Cancelled()) return ctx.CancelledStatus(job);
+    Status s = work();
+    if (s.ok()) commit();
+    return s;
+  }
+  const FaultInjector& injector = *ctx.injector;
+  int attempt = 0;   // hash-stream index: distinct per launch, incl. copies
+  int failures = 0;  // retry budget: failed attempts only
+  for (;;) {
+    if (ctx.Cancelled()) return ctx.CancelledStatus(job);
+    const Clock::time_point start = Clock::now();
+    Status attempt_status;
+
+    if (injector.ShouldFail(alloc_point, job, task, attempt)) {
+      ctx.CountInjected();
+      attempt_status = Status::ResourceExhausted(
+          std::string("injected allocation failure (") +
+          FaultPointName(alloc_point) + ") in job '" + job + "', task " +
+          std::to_string(task) + ", attempt " + std::to_string(attempt));
+    }
+
+    // Injected straggler delay: an interruptible sleep that watches for
+    // cancellation, the hard attempt timeout, and the speculation deadline.
+    bool abandoned_as_straggler = false;
+    if (attempt_status.ok()) {
+      const double delay_s =
+          injector.StragglerDelayMs(straggler_point, job, task, attempt) *
+          1e-3;
+      if (delay_s > 0.0) {
+        ctx.CountInjected();
+        const double timeout_s = ctx.retry.task_timeout_ms * 1e-3;
+        while (SecondsSince(start) < delay_s) {
+          if (ctx.Cancelled()) {
+            ctx.CountWasted(SecondsSince(start));
+            return ctx.CancelledStatus(job);
+          }
+          if (timeout_s > 0.0 && SecondsSince(start) >= timeout_s) {
+            attempt_status = Status::DeadlineExceeded(
+                std::string("attempt timed out (") +
+                FaultPointName(straggler_point) + ") in job '" + job +
+                "', task " + std::to_string(task) + ", attempt " +
+                std::to_string(attempt) + " after " +
+                std::to_string(ctx.retry.task_timeout_ms) + " ms");
+            break;
+          }
+          if (ctx.speculation.enabled &&
+              SecondsSince(start) >=
+                  tracker.DeadlineSeconds(ctx.speculation)) {
+            abandoned_as_straggler = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    }
+
+    if (abandoned_as_straggler) {
+      // Healthy but slow: abandon the slow-slot attempt, launch a
+      // speculative copy (a fresh attempt, fresh buffers, no retry budget
+      // consumed). First-committer-wins is trivial — the abandoned attempt
+      // never reaches commit.
+      ctx.CountSpeculative(SecondsSince(start));
+      ++attempt;
+      continue;
+    }
+
+    if (attempt_status.ok()) {
+      attempt_status = work();
+      if (attempt_status.ok() &&
+          injector.ShouldFail(task_point, job, task, attempt)) {
+        // The modeled crash happens after the work but before the commit,
+        // so the attempt's buffers are discarded like a real lost task's.
+        ctx.CountInjected();
+        attempt_status = Status::Aborted(
+            std::string("injected task failure (") +
+            FaultPointName(task_point) + ") in job '" + job + "', task " +
+            std::to_string(task) + ", attempt " + std::to_string(attempt));
+      }
+    }
+
+    if (attempt_status.ok()) {
+      tracker.Record(SecondsSince(start));
+      commit();
+      return Status::OK();
+    }
+
+    ctx.CountWasted(SecondsSince(start));
+    ++failures;
+    if (failures >= ctx.retry.max_attempts) {
+      ctx.job_cancel.Cancel();
+      return Status::WithCode(
+          attempt_status.code(),
+          "task " + std::to_string(task) + " of job '" + job +
+              "' failed all " + std::to_string(ctx.retry.max_attempts) +
+              " attempts; last: " + attempt_status.ToString());
+    }
+    ctx.CountRetry();
+    const double backoff_s = ctx.retry.BackoffMs(failures - 1) * 1e-3;
+    const Clock::time_point backoff_start = Clock::now();
+    while (SecondsSince(backoff_start) < backoff_s) {
+      if (ctx.Cancelled()) return ctx.CancelledStatus(job);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ++attempt;
+  }
+}
+
+/// Deterministic job-level error: the lowest-index task's non-cancelled
+/// failure. Cancellations are consequences of some other failure, so they
+/// only surface when no task reported a real error (i.e. the cancellation
+/// came from outside the job).
+Status SelectTaskError(const std::vector<Status>& statuses) {
+  const Status* first_cancelled = nullptr;
+  for (const Status& s : statuses) {
+    if (s.ok()) continue;
+    if (s.IsCancelled()) {
+      if (first_cancelled == nullptr) first_cancelled = &s;
+      continue;
+    }
+    return s;
+  }
+  return first_cancelled != nullptr ? *first_cancelled : Status::OK();
+}
+
 }  // namespace
 
 StatusOr<PhysicalJobResult> RunJobParallel(
@@ -61,6 +295,24 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   if (spec.num_reduce_tasks < 1) {
     return Status::InvalidArgument("num_reduce_tasks must be >= 1");
   }
+  if (options.injector != nullptr) {
+    MRTHETA_RETURN_IF_ERROR(options.injector->plan().Validate());
+    MRTHETA_RETURN_IF_ERROR(options.retry.Validate());
+    MRTHETA_RETURN_IF_ERROR(options.speculation.Validate());
+  }
+
+  FaultContext ctx;
+  ctx.injector = options.injector;
+  ctx.retry = options.retry;
+  ctx.speculation = options.speculation;
+  ctx.external_cancel = options.cancel;
+  const bool chaos = options.injector != nullptr;
+  // Safe unsynchronized after each ParallelFor (its return is a barrier).
+  auto publish_report = [&]() {
+    if (options.fault_report != nullptr) {
+      options.fault_report->Merge(ctx.report);
+    }
+  };
 
   PhysicalJobResult result;
   result.output =
@@ -71,38 +323,73 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   const PartitionFn& partition =
       spec.partition ? spec.partition : PartitionFn(HashPartition);
 
-  // ---- Map phase: splits fan out over the pool ----
+  // ---- Map phase: splits fan out over the pool as restartable tasks ----
   for (const JobInput& input : spec.inputs) {
     m.input_bytes_logical += input.relation->logical_bytes();
     m.input_bytes_physical += input.relation->physical_bytes();
   }
   std::vector<MapSplit> splits = PlanMapSplits(spec, pool, options);
+  TaskTimeTracker map_tracker;
+  std::vector<Status> map_status(splits.size());
   pool.ParallelFor(
       static_cast<int64_t>(splits.size()), [&](int64_t s) {
         MapSplit& split = splits[s];
         const Relation& rel = *spec.inputs[split.tag].relation;
-        split.emitter.Reserve(static_cast<size_t>(
-            static_cast<double>(split.end - split.begin) *
-            spec.EmitsPerRow(split.tag)));
-        for (int64_t row = split.begin; row < split.end; ++row) {
-          spec.map(split.tag, rel, row, split.emitter);
-        }
-        // Precompute each record's reduce task here, off the sequential
-        // merge path. Partitioners are pure functions of (key, n).
-        const std::vector<MapOutputRecord>& records = split.emitter.records();
-        split.target.reserve(records.size());
-        for (const MapOutputRecord& rec : records) {
-          const int task = partition(rec.key, n);
-          if (task < 0 || task >= n) split.partition_error = true;
-          split.target.push_back(task);
+        MapEmitter emitter;       // attempt-local until commit
+        std::vector<int> target;  // attempt-local until commit
+        auto work = [&]() -> Status {
+          emitter = MapEmitter();  // fresh buffers per attempt
+          target.clear();
+          emitter.Reserve(static_cast<size_t>(
+              static_cast<double>(split.end - split.begin) *
+              spec.EmitsPerRow(split.tag)));
+          for (int64_t row = split.begin; row < split.end; ++row) {
+            // Long map scans honor cancellation without per-row cost.
+            if (chaos && ((row - split.begin) & 1023) == 0 &&
+                ctx.Cancelled()) {
+              return ctx.CancelledStatus(spec.name);
+            }
+            spec.map(split.tag, rel, row, emitter);
+          }
+          // Precompute each record's reduce task here, off the sequential
+          // merge path. Partitioners are pure functions of (key, n).
+          const std::vector<MapOutputRecord>& records = emitter.records();
+          target.reserve(records.size());
+          for (const MapOutputRecord& rec : records) {
+            const int task = partition(rec.key, n);
+            if (task < 0 || task >= n) {
+              return Status::Internal(
+                  "partitioner returned task out of range");
+            }
+            target.push_back(task);
+          }
+          return Status::OK();
+        };
+        auto commit = [&]() {
+          split.emitter = std::move(emitter);
+          split.target = std::move(target);
+        };
+        map_status[s] = RunRestartableTask(
+            ctx, spec.name, FaultPoint::kMapAlloc, FaultPoint::kMapTask,
+            FaultPoint::kMapStraggler, s, map_tracker, work, commit);
+        if (!map_status[s].ok() && !map_status[s].IsCancelled()) {
+          ctx.job_cancel.Cancel();
         }
       });
-  for (MapSplit& split : splits) {
-    if (split.partition_error) {
-      return Status::Internal("partitioner returned task out of range");
+  {
+    Status map_error = SelectTaskError(map_status);
+    if (!map_error.ok()) {
+      publish_report();
+      return map_error;
     }
+  }
+  for (MapSplit& split : splits) {
     m.map_output_records_physical +=
         static_cast<int64_t>(split.emitter.records().size());
+  }
+  if (ctx.Cancelled()) {  // external cancel between phases
+    publish_report();
+    return ctx.CancelledStatus(spec.name);
   }
 
   // ---- Shuffle merge: sequential walk in split order ----
@@ -142,25 +429,58 @@ StatusOr<PhysicalJobResult> RunJobParallel(
     m.reduce_input_bytes_logical[t] = static_cast<int64_t>(task_bytes[t]);
   }
 
-  // ---- Reduce phase: tasks fan out, each with a private output ----
+  // ---- Reduce phase: restartable tasks, each with a private output ----
   // RunReduceTask is the same sort+group+reduce loop the sequential runner
-  // uses — sharing it is what keeps the runners byte-identical.
+  // uses — sharing it is what keeps the runners byte-identical. Re-sorting
+  // an already-sorted record vector is deterministic, so a retried attempt
+  // reduces exactly the groups the failed attempt saw.
   m.reduce_comparisons_logical.assign(n, 0.0);
   std::vector<Relation> task_outputs;
   task_outputs.reserve(n);
   for (int t = 0; t < n; ++t) {
     task_outputs.emplace_back(spec.output_name, spec.output_schema);
   }
+  TaskTimeTracker reduce_tracker;
+  std::vector<Status> reduce_status(n);
   pool.ParallelFor(n, [&](int64_t t) {
-    m.reduce_comparisons_logical[t] =
-        RunReduceTask(spec, task_records[t], &task_outputs[t]);
-    std::vector<MapOutputRecord>().swap(task_records[t]);
+    double comparisons = 0.0;
+    Relation attempt_output;  // attempt-local until commit
+    auto work = [&]() -> Status {
+      attempt_output = Relation(spec.output_name, spec.output_schema);
+      StatusOr<double> c =
+          RunReduceTask(spec, task_records[t], &attempt_output);
+      if (!c.ok()) return c.status();
+      comparisons = *c;
+      return Status::OK();
+    };
+    auto commit = [&]() {
+      m.reduce_comparisons_logical[t] = comparisons;
+      task_outputs[t] = std::move(attempt_output);
+      std::vector<MapOutputRecord>().swap(task_records[t]);
+    };
+    reduce_status[t] = RunRestartableTask(
+        ctx, spec.name, FaultPoint::kReduceAlloc, FaultPoint::kReduceTask,
+        FaultPoint::kReduceStraggler, t, reduce_tracker, work, commit);
+    if (!reduce_status[t].ok() && !reduce_status[t].IsCancelled()) {
+      ctx.job_cancel.Cancel();
+    }
   });
+  {
+    Status reduce_error = SelectTaskError(reduce_status);
+    if (!reduce_error.ok()) {
+      publish_report();
+      return reduce_error;
+    }
+  }
 
   // Concatenate task outputs in task order — the sequential runner appends
   // reduce output to one relation in exactly this order.
   for (Relation& task_output : task_outputs) {
-    MRTHETA_RETURN_IF_ERROR(result.output->AppendRows(task_output));
+    Status append = result.output->AppendRows(task_output);
+    if (!append.ok()) {
+      publish_report();
+      return append;
+    }
   }
 
   // ---- Output accounting (identical to the sequential runner) ----
@@ -171,6 +491,7 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   result.output->set_logical_rows(
       static_cast<int64_t>(std::llround(capped_rows)));
   m.output_bytes_logical = result.output->logical_bytes();
+  publish_report();
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/common/status.h"
 #include "src/mapreduce/job_runner.h"
+#include "src/runtime/fault_injection.h"
 #include "src/runtime/thread_pool.h"
 
 namespace mrtheta {
@@ -17,6 +18,23 @@ struct ParallelRunnerOptions {
   int64_t min_split_rows = 1024;
   /// Target number of map splits per pool thread per input.
   int splits_per_thread = 4;
+  /// Deterministic chaos oracle (docs/RUNTIME.md "Fault tolerance"). Null
+  /// keeps the fault-free fast path: no retry wrappers, no attempt-local
+  /// buffer moves. Not owned; must outlive the call.
+  const FaultInjector* injector = nullptr;
+  /// Retry policy for restartable tasks; consulted only with an injector.
+  RetryPolicy retry;
+  /// Straggler-mitigation policy; consulted only with an injector.
+  SpeculationPolicy speculation;
+  /// Optional external cancellation (e.g. a ThetaEngine::Submit token),
+  /// honored at task boundaries and inside interruptible waits even on the
+  /// fault-free path. Not owned; must outlive the call.
+  const CancellationToken* cancel = nullptr;
+  /// When set, the job's fault-tolerance accounting (injected faults,
+  /// retries, speculative launches, wasted attempt time) is merged into it
+  /// — on success and on failure. Observability only: no field of the
+  /// report feeds back into results or simulated metrics.
+  FaultReport* fault_report = nullptr;
 };
 
 /// \brief Multi-threaded, deterministic executor for one MapReduceJobSpec.
@@ -33,11 +51,25 @@ struct ParallelRunnerOptions {
 ///  - reduce tasks running concurrently, each collecting into a private
 ///    output relation; task outputs are concatenated in task order.
 ///
-/// Determinism contract (tested by tests/runtime_test.cc): for any spec and
-/// any pool size, the output relation (including row order) and every
-/// JobMeasurement field are identical to RunJobPhysically's. Map and reduce
-/// closures must therefore be pure readers of their captured state — true
-/// for every builder in src/exec (state structs are immutable after build).
+/// Fault tolerance: with `options.injector` set, map splits and reduce
+/// partitions become restartable units — each attempt works into fresh
+/// attempt-local buffers that are committed only on success, failed
+/// attempts are retried with exponential backoff up to
+/// `options.retry.max_attempts`, and attempts straggling past a
+/// median-derived deadline are abandoned and speculatively re-executed
+/// (docs/RUNTIME.md "Fault tolerance"). A task that exhausts its retry
+/// budget cancels its sibling tasks and surfaces the last failure's code
+/// (kAborted / kResourceExhausted / kDeadlineExceeded); the job-level
+/// error is the lowest-index task's non-cancelled failure, so concurrent
+/// failures report deterministically.
+///
+/// Determinism contract (tested by tests/runtime_test.cc and
+/// tests/fault_test.cc): for any spec, any pool size, and any FaultPlan
+/// the job survives, the output relation (including row order) and every
+/// JobMeasurement field are identical to RunJobPhysically's — commit-on-
+/// success makes re-execution invisible. Map and reduce closures must
+/// therefore be pure readers of their captured state — true for every
+/// builder in src/exec (state structs are immutable after build).
 StatusOr<PhysicalJobResult> RunJobParallel(
     const MapReduceJobSpec& spec, ThreadPool& pool,
     const ParallelRunnerOptions& options = {});

@@ -1,7 +1,8 @@
 #include "src/runtime/thread_pool.h"
 
 #include <atomic>
-#include <cassert>
+
+#include "src/common/status.h"
 
 namespace mrtheta {
 
@@ -40,6 +41,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::DrainBatch(Batch& batch) {
+  // A violated completion invariant here would hang the ParallelFor caller
+  // (waiting for a count that can never be reached) or wake it early with
+  // tasks still running — both corrupt results silently, so these checks
+  // survive NDEBUG Release builds (MRTHETA_CHECK, not assert).
+  MRTHETA_CHECK(batch.fn != nullptr);
   int64_t ran = 0;
   for (;;) {
     const int64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
@@ -50,6 +56,7 @@ void ThreadPool::DrainBatch(Batch& batch) {
   if (ran > 0) {
     std::lock_guard<std::mutex> lock(batch.mu);
     batch.done += ran;
+    MRTHETA_CHECK(batch.done <= batch.total);
     if (batch.done == batch.total) batch.done_cv.notify_all();
   }
 }
@@ -79,6 +86,7 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(int64_t num_tasks,
                              const std::function<void(int64_t)>& fn) {
   if (num_tasks <= 0) return;
+  MRTHETA_CHECK(static_cast<bool>(fn));
   if (num_threads_ == 1 || num_tasks == 1) {
     for (int64_t i = 0; i < num_tasks; ++i) fn(i);
     return;

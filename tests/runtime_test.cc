@@ -130,6 +130,54 @@ TEST(DagSchedulerTest, ReportsLowestIndexFailureAndStopsScheduling) {
   }
 }
 
+TEST(DagSchedulerTest, ConcurrentFailuresReportLowestNodeDeterministically) {
+  // Regression: four independent nodes all fail *while concurrently
+  // in-flight* (a barrier makes sure no node finishes before every node
+  // has started, so completion order is genuinely racy). The reported
+  // error must be node 0's on every repetition.
+  const std::vector<std::vector<int>> deps = {{}, {}, {}, {}};
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int> started{0};
+    const Status status = RunDag(deps, 4, [&](int node) -> Status {
+      started.fetch_add(1);
+      while (started.load() < 4) std::this_thread::yield();
+      return Status::Internal("node " + std::to_string(node) + " failed");
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "node 0 failed") << "rep=" << rep;
+  }
+}
+
+TEST(DagSchedulerTest, CancelledNodeNeverMasksTheRealFailure) {
+  // Node 0 reports kCancelled (it observed a cancellation token), node 1
+  // fails for real; a barrier keeps both in flight so both statuses are
+  // recorded. Despite node 0's lower index, the real failure must surface
+  // — a cancellation is a consequence, not a root cause.
+  const std::vector<std::vector<int>> deps = {{}, {}};
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int> started{0};
+    const Status status = RunDag(deps, 2, [&](int node) -> Status {
+      started.fetch_add(1);
+      while (started.load() < 2) std::this_thread::yield();
+      if (node == 0) return Status::Cancelled("node 0 cancelled");
+      return Status::Aborted("node 1 exhausted its retries");
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kAborted) << "rep=" << rep;
+    EXPECT_EQ(status.message(), "node 1 exhausted its retries");
+  }
+  // All-cancelled: the lowest-index cancellation surfaces.
+  std::atomic<int> started{0};
+  const Status all_cancelled = RunDag(deps, 2, [&](int node) -> Status {
+    started.fetch_add(1);
+    while (started.load() < 2) std::this_thread::yield();
+    return Status::Cancelled("node " + std::to_string(node) + " cancelled");
+  });
+  ASSERT_FALSE(all_cancelled.ok());
+  EXPECT_EQ(all_cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(all_cancelled.message(), "node 0 cancelled");
+}
+
 TEST(DagSchedulerTest, RejectsCyclesAndBadDeps) {
   auto noop = [](int) { return Status::OK(); };
   EXPECT_FALSE(RunDag({{1}, {0}}, 2, noop).ok());          // 2-cycle
