@@ -21,11 +21,13 @@
 // (docs/EXECUTOR.md "Column pruning"). --no-prune plans everything
 // full-width instead (the ablation; the assertion is skipped).
 //
-// Usage: bench_runtime [--no-prune] [output.json]
+// Usage: bench_runtime [--no-prune] [--trace-out=F] [--metrics-out=F]
+//                      [output.json]
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +37,7 @@
 #include "src/baselines/baseline_planners.h"
 #include "src/common/flags.h"
 #include "src/exec/theta_kernels.h"
+#include "src/obs/obs_export.h"
 #include "src/workload/flights.h"
 #include "src/workload/mobile.h"
 #include "src/workload/tpch.h"
@@ -319,6 +322,115 @@ void RunFaultOverhead(const Query& query, const QueryPlan& plan,
   }
 }
 
+// Cost of span tracing on a hot execution path: the SAME Q17 plan with
+// tracing disabled ("q17_untraced") vs a live TraceSession collecting
+// every span ("q17_traced"). Outputs and simulated metrics must be
+// byte-identical — tracing only observes, it must not perturb one bit
+// (docs/OBSERVABILITY.md) — and the min-of-reps wall overhead must stay
+// under 3%. Both are hard failures. trace_overhead lands in both records
+// so check_bench.py can refuse a BENCH file that stops emitting it.
+//
+// The overhead gate carries an absolute floor: on this ~40ms workload the
+// true span cost is ~30us/run (95 spans x ~300ns), i.e. < 0.1% — while
+// shared-runner noise on identical code paths routinely exceeds 3%
+// relative (the fault_overhead pair shows it). Failing needs BOTH >3%
+// relative AND >2ms absolute, which only a real per-task/per-row
+// instrumentation regression can produce.
+void RunTraceOverhead(const Query& query, const QueryPlan& plan,
+                      ThetaEngine& engine,
+                      std::vector<RuntimeBenchRecord>& records) {
+  constexpr int kReps = 9;
+  constexpr double kMaxOverhead = 0.03;
+  constexpr double kMinAbsoluteSlowdownSeconds = 0.002;
+  // A session opened by --trace-out is already measuring every variant;
+  // nesting another session is not allowed, so the comparison would be
+  // traced-vs-traced noise. Skip it (the flag run is for artifact export).
+  if (Tracer::active() != nullptr) {
+    std::printf("  trace_overhead skipped: a --trace-out session is open\n");
+    return;
+  }
+  Tracer tracer;
+  uint64_t fingerprints[2] = {0, 0};
+  SimTime makespans[2] = {0, 0};
+  double walls[2] = {0.0, 0.0};
+  int64_t shuffle[2] = {0, 0};
+  double sims[2] = {0.0, 0.0};
+  int64_t rows[2] = {0, 0};
+  const char* names[2] = {"q17_untraced", "q17_traced"};
+  // Variants are interleaved per rep so slow machine drift (thermal,
+  // co-tenant load) hits both equally; min-of-reps then discards the
+  // transient spikes that remain.
+  ExecutorOptions options = engine.options().executor;
+  options.num_threads = kMaxThreads;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int v = 0; v < 2; ++v) {
+      std::optional<TraceSession> session;
+      if (v == 1) session.emplace(&tracer);
+      const auto result = engine.ExecutePlan(query, plan, options,
+                                             engine.options().execution_seed);
+      if (!result.ok()) {
+        std::fprintf(stderr, "trace_overhead %s failed: %s\n", names[v],
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (rep == 0) {
+        fingerprints[v] = OrderedRowsFingerprint(result->rows());
+        makespans[v] = result->makespan();
+        shuffle[v] = result->sim_shuffle_bytes();
+        sims[v] = result->simulated_seconds();
+        rows[v] = result->num_rows();
+      }
+      const double wall = result->measured_seconds();
+      if (rep == 0 || wall < walls[v]) walls[v] = wall;
+    }
+  }
+  if (fingerprints[0] != fingerprints[1] || makespans[0] != makespans[1]) {
+    std::fprintf(stderr,
+                 "trace_overhead: traced run diverged from the untraced run "
+                 "(fingerprint %llx vs %llx, makespan %lld vs %lld) — "
+                 "tracing must not perturb the execution\n",
+                 static_cast<unsigned long long>(fingerprints[0]),
+                 static_cast<unsigned long long>(fingerprints[1]),
+                 static_cast<long long>(makespans[0]),
+                 static_cast<long long>(makespans[1]));
+    std::exit(1);
+  }
+  const double overhead =
+      walls[0] > 0.0 ? walls[1] / walls[0] - 1.0 : 0.0;
+  for (int v = 0; v < 2; ++v) {
+    RuntimeBenchRecord rec;
+    rec.workload = "trace_overhead";
+    rec.query = names[v];
+    rec.threads = kMaxThreads;
+    rec.hardware_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    rec.jobs = static_cast<int>(plan.jobs.size());
+    rec.wall_seconds = walls[v];
+    rec.sim_makespan_seconds = sims[v];
+    rec.sim_shuffle_bytes = shuffle[v];
+    rec.result_rows_physical = rows[v];
+    rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    rec.trace_overhead = overhead;
+    records.push_back(rec);
+    std::printf("  %-8s %-13s wall=%7.3fs (min of %d)  rows=%lld\n",
+                rec.workload.c_str(), names[v], walls[v], kReps,
+                static_cast<long long>(rec.result_rows_physical));
+    std::fflush(stdout);
+  }
+  std::printf("  trace_overhead q17 traced-path overhead: %+.1f%% "
+              "(%zu spans/run)\n",
+              100.0 * overhead, tracer.num_events() / kReps);
+  if (overhead > kMaxOverhead &&
+      walls[1] - walls[0] > kMinAbsoluteSlowdownSeconds) {
+    std::fprintf(stderr,
+                 "trace_overhead: %.1f%% (%.1fms) wall overhead exceeds "
+                 "the %.0f%% budget (min of %d reps)\n",
+                 100.0 * overhead, 1000.0 * (walls[1] - walls[0]),
+                 100.0 * kMaxOverhead, kReps);
+    std::exit(1);
+  }
+}
+
 // Sweeps the sort-kernel min-pairs gate (satellite knob of
 // ExecutorOptions) over a pairwise-join cascade, where the gate decides
 // per reduce group between the sort kernel and the nested loop.
@@ -363,10 +475,13 @@ int Main(int argc, char** argv) {
   const StatusOr<CommonFlags> flags = ParseCommonFlags(
       argc, argv, /*allow_threads=*/false, /*allow_no_prune=*/true);
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s\nusage: %s [--no-prune] [output.json]\n",
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--no-prune] [--trace-out=FILE] "
+                 "[--metrics-out=FILE] [output.json]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
+  ObsExporter obs(flags->trace_out, flags->metrics_out);
   const std::string out_path =
       flags->output_path.empty() ? "BENCH_runtime.json" : flags->output_path;
   // Scaling curves are flat when the host cannot actually run kMaxThreads
@@ -435,6 +550,9 @@ int Main(int argc, char** argv) {
   // ---- Fault-tolerance machinery overhead on the Q17 plan ----
   RunFaultOverhead(*q17, *q17_plan, engine, records);
 
+  // ---- Span-tracing overhead on the Q17 plan ----
+  RunTraceOverhead(*q17, *q17_plan, engine, records);
+
   // ---- Sort-kernel gate sweep over the Q17 pairwise cascade ----
   const auto q17_hive = PlanHiveStyle(*q17, engine.cluster());
   if (!q17_hive.ok()) {
@@ -450,6 +568,11 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s (%zu records)\n", out_path.c_str(), records.size());
+  if (const Status s = obs.Finish(&engine.metrics_registry()); !s.ok()) {
+    std::fprintf(stderr, "observability export failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

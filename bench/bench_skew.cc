@@ -18,7 +18,7 @@
 // Emits BENCH_skew.json; the CI benchmark-regression gate
 // (scripts/check_bench.py) compares it against the committed baseline.
 //
-// Usage: bench_skew [output.json]
+// Usage: bench_skew [--trace-out=F] [--metrics-out=F] [output.json]
 
 #include <algorithm>
 #include <chrono>
@@ -31,6 +31,7 @@
 #include "bench/bench_util.h"
 #include "src/api/theta_engine.h"
 #include "src/common/flags.h"
+#include "src/obs/obs_export.h"
 #include "src/exec/hilbert_join.h"
 #include "src/mapreduce/job_runner.h"
 #include "src/sched/skew_assigner.h"
@@ -195,10 +196,13 @@ int Main(int argc, char** argv) {
   const StatusOr<CommonFlags> flags =
       ParseCommonFlags(argc, argv, /*allow_threads=*/false);
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s\nusage: %s [output.json]\n",
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--trace-out=FILE] [--metrics-out=FILE] "
+                 "[output.json]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
+  ObsExporter obs(flags->trace_out, flags->metrics_out);
   const std::string out_path =
       flags->output_path.empty() ? "BENCH_skew.json" : flags->output_path;
   // This bench runs single-threaded (default EngineOptions), so there is
@@ -263,6 +267,11 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s (%zu records)\n", out_path.c_str(), records.size());
+  if (const Status s = obs.Finish(&engine.metrics_registry()); !s.ok()) {
+    std::fprintf(stderr, "observability export failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 

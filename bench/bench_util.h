@@ -87,6 +87,12 @@ struct RuntimeBenchRecord {
   int64_t sim_shuffle_bytes = 0;
   int64_t result_rows_physical = 0;
   int64_t sort_kernel_min_pairs = 0;  ///< gate in force for this run
+  /// Relative wall-clock cost of span tracing for this record's run:
+  /// (traced - untraced) / untraced, min-of-reps. Only the trace_overhead
+  /// workload measures it (docs/OBSERVABILITY.md); every other record
+  /// carries 0. Always serialized — check_bench.py fails if a record
+  /// stops emitting it.
+  double trace_overhead = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array (overwrites the file).

@@ -9,18 +9,22 @@
 #include "src/api/theta_engine.h"
 #include "src/baselines/baseline_planners.h"
 #include "src/common/flags.h"
+#include "src/obs/obs_export.h"
 #include "src/workload/mobile.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
-// Usage: quickstart [--threads N]  (N = in-process runtime threads)
+// Usage: quickstart [--threads N] [--trace-out=F] [--metrics-out=F]
 int main(int argc, char** argv) {
   const StatusOr<CommonFlags> flags = ParseCommonFlags(argc, argv);
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s\nusage: %s [--threads N]  (N >= 1)\n",
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--threads N] [--trace-out=FILE] "
+                 "[--metrics-out=FILE]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
+  ObsExporter obs(flags->trace_out, flags->metrics_out);
 
   // 1. One engine per session: a simulated 96-unit cluster (Table 1
   // parameters); calibration (Sec. 6.2) runs lazily on the first query.
@@ -78,6 +82,10 @@ int main(int argc, char** argv) {
               result->measured_seconds(), flags->num_threads,
               FormatSimTime(result->makespan()).c_str());
 
+  // 5b. The same execution as a profile tree (ExplainAnalyze runs a fresh
+  // execution; here we reuse the one above via QueryResult::profile()).
+  std::printf("\nprofile:\n%s\n", result->profile().ToTable().c_str());
+
   // 6. Compare against the Hive-style baseline on the same session.
   const StatusOr<QueryPlan> hive = PlanHiveStyle(*query, engine.cluster());
   if (hive.ok()) {
@@ -92,6 +100,12 @@ int main(int argc, char** argv) {
       std::printf("hive-style execution failed: %s\n",
                   hive_result.status().ToString().c_str());
     }
+  }
+
+  if (const Status s = obs.Finish(&engine.metrics_registry()); !s.ok()) {
+    std::fprintf(stderr, "observability export failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -7,19 +7,25 @@
 
 #include "src/api/theta_engine.h"
 #include "src/common/flags.h"
+#include "src/obs/obs_export.h"
 #include "src/workload/tpch.h"
 
 using namespace mrtheta;  // NOLINT: example brevity
 
-// Usage: tpch_demo [--threads N]  (N = in-process runtime threads)
+// Usage: tpch_demo [--threads N] [--trace-out=F] [--metrics-out=F]
 int main(int argc, char** argv) {
   const StatusOr<CommonFlags> flags = ParseCommonFlags(argc, argv);
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s\nusage: %s [--threads N]  (N >= 1)\n",
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--threads N] [--trace-out=FILE] "
+                 "[--metrics-out=FILE]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
   WarnIfSingleHardwareThread(flags->num_threads);
+  // Tracing must be installed before the engine runs anything; spans cover
+  // planning, calibration and every runtime task (docs/OBSERVABILITY.md).
+  ObsExporter obs(flags->trace_out, flags->metrics_out);
 
   EngineOptions engine_options;
   engine_options.executor.num_threads = flags->num_threads;
@@ -65,5 +71,15 @@ int main(int argc, char** argv) {
               "on the modeled cluster\n",
               result->measured_seconds(), flags->num_threads,
               FormatSimTime(result->makespan()).c_str());
+
+  std::printf("\nprofile (QueryResult::profile, same data as "
+              "ExplainAnalyze):\n%s\n",
+              result->profile().ToTable().c_str());
+
+  if (const Status s = obs.Finish(&engine.metrics_registry()); !s.ok()) {
+    std::fprintf(stderr, "observability export failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

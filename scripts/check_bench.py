@@ -55,10 +55,17 @@ SPECS = {
         # wall_seconds / speedup_vs_1t / hardware_threads are measured.
         # Per-workload tolerance tightening (keyed by the record's
         # "workload" field). The fault_overhead pair executes one plan with
-        # the chaos machinery off vs armed at zero rates; its simulated
-        # metrics are deterministic and must not drift, so the armed path
-        # is held to 2% instead of the default 25%.
-        "tolerance_overrides": {"fault_overhead": 0.02},
+        # the chaos machinery off vs armed at zero rates, and the
+        # trace_overhead pair the same plan untraced vs traced; their
+        # simulated metrics are deterministic and must not drift, so both
+        # are held to 2% instead of the default 25%.
+        "tolerance_overrides": {"fault_overhead": 0.02,
+                                "trace_overhead": 0.02},
+        # Fields every *current* record must carry, even when the value is
+        # informational: a bench that silently stops emitting them has
+        # disarmed part of the gate. trace_overhead is the span-tracing
+        # cost measured by bench_runtime (docs/OBSERVABILITY.md).
+        "required": ["trace_overhead"],
     },
     "BENCH_skew.json": {
         "key": ["workload", "query", "mode"],
@@ -90,6 +97,13 @@ def compare_file(name, baseline_path, current_path, tolerance):
     failures = []
     baseline = load_records(baseline_path, spec["key"])
     current = load_records(current_path, spec["key"])
+
+    for key, cur_rec in current.items():
+        for field in spec.get("required", []):
+            if field not in cur_rec:
+                failures.append(
+                    f"{name}: {key} stopped emitting required field "
+                    f"'{field}' (the bench no longer measures it)")
 
     for key, base_rec in baseline.items():
         cur_rec = current.get(key)

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/units.h"
+#include "src/obs/trace.h"
 
 namespace mrtheta {
 
@@ -49,7 +50,7 @@ Status ThetaEngine::EnsureReadyLocked() {
     init_status_ = report.status();
     return init_status_;
   }
-  ++metrics_.calibrations;
+  registry_.GetCounter("engine_calibrations")->Increment();
   calibration_ = std::make_unique<CalibrationReport>(*std::move(report));
   planner_ = std::make_unique<Planner>(&cluster_, calibration_->params,
                                        options_.planner);
@@ -63,7 +64,7 @@ std::vector<TableStats> ThetaEngine::StatsForLocked(const Query& query) {
   for (auto it = stats_cache_.begin(); it != stats_cache_.end();) {
     if (it->second.alive.expired()) {
       it = stats_cache_.erase(it);
-      ++metrics_.stats_evictions;
+      registry_.GetCounter("engine_stats_evictions")->Increment();
     } else {
       ++it;
     }
@@ -87,10 +88,10 @@ std::vector<TableStats> ThetaEngine::StatsForLocked(const Query& query) {
       entry.alive = rel;
       entry.generation = rel->generation();
       entry.stats = planner_->CollectStatsForRelation(*rel);
-      ++metrics_.stats_builds;
+      registry_.GetCounter("engine_stats_builds")->Increment();
       it = stats_cache_.insert_or_assign(rel.get(), std::move(entry)).first;
     } else {
-      ++metrics_.stats_cache_hits;
+      registry_.GetCounter("engine_stats_cache_hits")->Increment();
     }
     stats.push_back(it->second.stats);
   }
@@ -109,7 +110,7 @@ StatusOr<QueryPlan> ThetaEngine::PlanQuery(const Query& query) {
   MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
   const std::vector<TableStats> stats = StatsForLocked(query);
   StatusOr<QueryPlan> plan = planner_->Plan(query, stats);
-  if (plan.ok()) ++metrics_.plans;
+  if (plan.ok()) registry_.GetCounter("engine_plans")->Increment();
   return plan;
 }
 
@@ -121,7 +122,7 @@ StatusOr<PlanReport> ThetaEngine::Explain(const Query& query) {
   report.stats = StatsForLocked(query);
   StatusOr<QueryPlan> plan = planner_->Plan(query, report.stats);
   if (!plan.ok()) return plan.status();
-  ++metrics_.plans;
+  registry_.GetCounter("engine_plans")->Increment();
   report.plan = *std::move(plan);
   return report;
 }
@@ -136,6 +137,19 @@ StatusOr<QueryResult> ThetaEngine::Execute(const QueryBuilder& builder) {
   StatusOr<Query> query = builder.Build();
   if (!query.ok()) return query.status();
   return Execute(*query);
+}
+
+StatusOr<QueryProfile> ThetaEngine::ExplainAnalyze(const Query& query) {
+  StatusOr<QueryResult> result = Execute(query);
+  if (!result.ok()) return result.status();
+  return result->profile();
+}
+
+StatusOr<QueryProfile> ThetaEngine::ExplainAnalyze(
+    const QueryBuilder& builder) {
+  StatusOr<Query> query = builder.Build();
+  if (!query.ok()) return query.status();
+  return ExplainAnalyze(*query);
 }
 
 std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
@@ -172,7 +186,10 @@ std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
   try {
     std::thread([this, promise, token, deregister,
                  q = std::move(query)]() mutable {
-      StatusOr<QueryResult> result = ExecuteCancellable(q, token.get());
+      StatusOr<QueryResult> result = [&]() -> StatusOr<QueryResult> {
+        TraceSpan span("submit", "engine");
+        return ExecuteCancellable(q, token.get());
+      }();
       deregister();
       promise->set_value(std::move(result));
     }).detach();
@@ -227,28 +244,63 @@ StatusOr<QueryResult> ThetaEngine::ExecutePlan(
   // Executing a caller-provided plan needs no calibration — only valid
   // options. This keeps baseline-plan execution possible on a cold engine.
   MRTHETA_RETURN_IF_ERROR(options_.Validate());
-  const Executor executor(&cluster_, executor_options);
+  TraceSpan span("execute", "engine");
+  // Collect the fault accounting through the executor's out-param rather
+  // than from ExecutionResult::fault_report: the out-param is published on
+  // *every* exit path, so failed and cancelled executions (which return no
+  // result at all) still report the faults they absorbed — previously
+  // those were silently dropped and the session counters under-reported.
+  FaultReport fault_report;
+  ExecutorOptions opts = executor_options;
+  opts.fault_report = &fault_report;
+  const Executor executor(&cluster_, opts);
   StatusOr<ExecutionResult> result =
       executor.ExecuteOn(pool_, query, plan, seed);
+  AddFaultReportToRegistry(fault_report);
+  if (executor_options.fault_report != nullptr) {
+    executor_options.fault_report->Merge(fault_report);
+  }
   if (!result.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++metrics_.failed_executions;
+    registry_.GetCounter("engine_failed_executions")->Increment();
     return result.status();
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++metrics_.executions;
-    metrics_.injected_faults += result->fault_report.injected_faults;
-    metrics_.task_retries += result->fault_report.task_retries;
-    metrics_.speculative_launches += result->fault_report.speculative_launches;
-    metrics_.wasted_task_seconds += result->fault_report.wasted_task_seconds;
-  }
+  registry_.GetCounter("engine_executions")->Increment();
+  registry_.GetHistogram("engine_execution_seconds", {}, 1e-6)
+      ->Record(result->measured_seconds);
   return QueryResult(*std::move(result));
 }
 
+void ThetaEngine::AddFaultReportToRegistry(const FaultReport& report) const {
+  registry_.GetCounter("engine_injected_faults")->Add(report.injected_faults);
+  registry_.GetCounter("engine_task_retries")->Add(report.task_retries);
+  registry_.GetCounter("engine_task_retries", {{"phase", "map"}})
+      ->Add(report.map_task_retries);
+  registry_.GetCounter("engine_task_retries", {{"phase", "reduce"}})
+      ->Add(report.reduce_task_retries);
+  registry_.GetCounter("engine_speculative_launches")
+      ->Add(report.speculative_launches);
+  registry_.GetGauge("engine_wasted_task_seconds")
+      ->Add(report.wasted_task_seconds);
+}
+
 EngineMetrics ThetaEngine::metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return metrics_;
+  EngineMetrics m;
+  m.calibrations = registry_.GetCounter("engine_calibrations")->value();
+  m.stats_builds = registry_.GetCounter("engine_stats_builds")->value();
+  m.stats_cache_hits =
+      registry_.GetCounter("engine_stats_cache_hits")->value();
+  m.stats_evictions = registry_.GetCounter("engine_stats_evictions")->value();
+  m.plans = registry_.GetCounter("engine_plans")->value();
+  m.executions = registry_.GetCounter("engine_executions")->value();
+  m.failed_executions =
+      registry_.GetCounter("engine_failed_executions")->value();
+  m.injected_faults = registry_.GetCounter("engine_injected_faults")->value();
+  m.task_retries = registry_.GetCounter("engine_task_retries")->value();
+  m.speculative_launches =
+      registry_.GetCounter("engine_speculative_launches")->value();
+  m.wasted_task_seconds =
+      registry_.GetGauge("engine_wasted_task_seconds")->value();
+  return m;
 }
 
 }  // namespace mrtheta

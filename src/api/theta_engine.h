@@ -18,6 +18,8 @@
 #include "src/core/planner.h"
 #include "src/cost/calibration.h"
 #include "src/mapreduce/sim_cluster.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/runtime/thread_pool.h"
 
 namespace mrtheta {
@@ -34,6 +36,11 @@ struct PlanReport {
 /// Counters of the shared work a session amortizes. api_test pins the
 /// caching contract on these: three Executes of one query cost exactly one
 /// calibration and one stats build per distinct relation.
+///
+/// This struct is a *view*: the source of truth is the engine's
+/// MetricsRegistry (metrics_registry()), which additionally carries
+/// labeled per-phase retry counters and an execution-latency histogram;
+/// metrics() assembles the struct from the registry for ergonomic access.
 struct EngineMetrics {
   int64_t calibrations = 0;      ///< cost-model calibration campaigns run
   int64_t stats_builds = 0;      ///< per-relation TableStats computed
@@ -96,6 +103,15 @@ class ThetaEngine {
   /// Builds, plans and executes the builder's query.
   StatusOr<QueryResult> Execute(const QueryBuilder& builder);
 
+  /// Executes `query` and returns its execution profile: per plan job,
+  /// wall vs simulated time, rows/bytes at pruned widths, retries,
+  /// speculation, skew routing and kernel choice (src/obs/profile.h;
+  /// render with ToTable() or ToJson()). Equivalent to
+  /// Execute(query)->profile() — the query runs exactly once, at full
+  /// fidelity; profiling adds no second execution and perturbs nothing.
+  StatusOr<QueryProfile> ExplainAnalyze(const Query& query);
+  StatusOr<QueryProfile> ExplainAnalyze(const QueryBuilder& builder);
+
   /// Asynchronous Execute for concurrent multi-query sessions: returns
   /// immediately; the execution overlaps with other submissions on the
   /// engine's shared pool. Unlike std::async, discarding the future does
@@ -127,6 +143,14 @@ class ThetaEngine {
 
   EngineMetrics metrics() const;
 
+  /// The session's metric store (docs/OBSERVABILITY.md): every
+  /// EngineMetrics counter under an "engine_" prefix, labeled per-phase
+  /// retry counters (engine_task_retries{phase="map"|"reduce"}), the
+  /// wasted-attempt-seconds gauge, and an engine_execution_seconds
+  /// histogram (p50/p95/p99 across the session's successful executions).
+  /// Snapshot with SnapshotText/SnapshotJson or dump via --metrics-out.
+  MetricsRegistry& metrics_registry() const { return registry_; }
+
  private:
   /// Validates options and runs calibration once; caller holds mu_.
   Status EnsureReadyLocked();
@@ -137,6 +161,10 @@ class ThetaEngine {
   /// Session statistics for the query's relations, cached by relation
   /// identity; caller holds mu_.
   std::vector<TableStats> StatsForLocked(const Query& query);
+  /// Adds one execution's fault accounting to the registry (total and
+  /// per-phase retry counters, wasted-seconds gauge). Called on every
+  /// ExecutePlan exit path — success, failure and cancellation alike.
+  void AddFaultReportToRegistry(const FaultReport& report) const;
 
   const EngineOptions options_;
   SimCluster cluster_;
@@ -162,7 +190,13 @@ class ThetaEngine {
   };
   std::unordered_map<const Relation*, CachedStats>
       stats_cache_;                   // guarded by mu_
-  EngineMetrics metrics_;             // guarded by mu_
+  /// Source of truth for all session metrics; internally synchronized
+  /// (handles are lock-free), so fault accounting from executor scope
+  /// guards and detached Submit threads lands here without touching mu_ —
+  /// which is what fixed the CancelInflight under-reporting bug. Mutable:
+  /// reading metrics on a const engine still registers handles on first
+  /// use.
+  mutable MetricsRegistry registry_;
   int inflight_submissions_ = 0;      // guarded by mu_
   /// One token per in-flight Submit, registered for CancelInflight. The
   /// coordination thread holds its own shared_ptr, so entries here are

@@ -36,6 +36,16 @@ StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
     const char* arg = argv[i];
     if (allow_no_prune && std::strcmp(arg, "--no-prune") == 0) {
       flags.no_prune = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      if (arg[12] == '\0') {
+        return Status::InvalidArgument("--trace-out= needs a file path");
+      }
+      flags.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      if (arg[14] == '\0') {
+        return Status::InvalidArgument("--metrics-out= needs a file path");
+      }
+      flags.metrics_out = arg + 14;
     } else if (allow_threads && std::strcmp(arg, "--threads") == 0) {
       if (i + 1 >= argc) {
         return Status::InvalidArgument("--threads needs a value");

@@ -16,6 +16,13 @@ struct CommonFlags {
   /// docs/EXECUTOR.md "Column pruning". Only parsed when the binary opts
   /// in (bench_runtime).
   bool no_prune = false;
+  /// --trace-out=FILE: write a Chrome trace-event JSON of the run's spans
+  /// (load in chrome://tracing or Perfetto — docs/OBSERVABILITY.md). Empty
+  /// = tracing stays disabled. Accepted by every binary.
+  std::string trace_out;
+  /// --metrics-out=FILE: write the session MetricsRegistry snapshot as
+  /// JSON at exit. Empty = no snapshot. Accepted by every binary.
+  std::string metrics_out;
   /// The single optional positional argument (the benches' output path).
   std::string output_path;
 };

@@ -7,6 +7,8 @@
 #include "src/exec/hilbert_join.h"
 #include "src/exec/merge_join.h"
 #include "src/exec/pairwise_join.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/runtime/dag_scheduler.h"
 #include "src/runtime/parallel_job_runner.h"
 #include "src/runtime/thread_pool.h"
@@ -125,6 +127,26 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   const FaultInjector injector(options_.fault_plan);
   CancellationToken plan_cancel(options_.cancel_token);
 
+  // Fault accounting must survive *failed* executions too — a run that
+  // exhausted its retries or was cancelled mid-flight still injected
+  // faults and wasted attempt seconds, and the session metrics
+  // (ExecutorOptions::fault_report) need to see them even though no
+  // ExecutionResult is returned. Each finished job merges its report into
+  // this plan-level accumulator (NOT read back from `result`, which the
+  // success path moves out of before scope exit), and a scope guard
+  // publishes it on every return path; by destructor time all job bodies
+  // have joined (the sequential loop and RunDag both complete before
+  // returning), so the read is race-free.
+  std::mutex plan_faults_mu;
+  FaultReport plan_faults;
+  struct FaultPublisher {
+    const FaultReport& faults;
+    FaultReport* out;
+    ~FaultPublisher() {
+      if (out != nullptr) out->Merge(faults);
+    }
+  } fault_publisher{plan_faults, options_.fault_report};
+
   // Runs plan job `i`; deps are complete when the DAG scheduler calls this,
   // and it writes only slot `i` of result.jobs / sim_jobs.
   auto run_job_body = [&](int i) -> Status {
@@ -133,6 +155,9 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
                                " cancelled before start");
     }
     const PlanJob& pj = plan.jobs[i];
+    TraceSpan job_span("plan-job", "executor");
+    job_span.Arg("index", static_cast<int64_t>(i))
+        .Arg("kind", PlanJobKindName(pj.kind));
     // Resolve inputs.
     std::vector<JoinSide> sides;
     std::vector<int> dep_jobs;
@@ -207,6 +232,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     }
     if (!spec.ok()) return spec.status();
     spec->text_serde = pj.text_serde;
+    job_span.Arg("job", spec->name);
 
     const auto job_start = std::chrono::steady_clock::now();
     // Chaos routes even single-threaded plans through the fault-tolerant
@@ -224,11 +250,15 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     StatusOr<PhysicalJobResult> phys =
         (num_threads > 1 || chaos) ? RunJobParallel(*spec, pool, popts)
                                    : RunJobPhysically(*spec);
+    // Keep the fault accounting even when the job failed: the runner
+    // published everything it injected/retried into job_faults, and the
+    // plan-level FaultPublisher reads it from this slot.
+    result.jobs[i].faults = job_faults;
     if (!phys.ok()) return phys.status();
 
     JobExecution& exec = result.jobs[i];
-    exec.faults = job_faults;
     exec.name = spec->name;
+    exec.input_jobs = dep_jobs;
     exec.kind = pj.kind;
     exec.reduce_tasks = spec->num_reduce_tasks;
     exec.kernel = spec->kernel;
@@ -280,6 +310,10 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   // DAG scheduler then reports the lowest-index non-cancelled failure.
   auto run_job = [&](int i) -> Status {
     Status s = run_job_body(i);
+    {
+      std::lock_guard<std::mutex> lock(plan_faults_mu);
+      plan_faults.Merge(result.jobs[i].faults);
+    }
     if (!s.ok() && !s.IsCancelled()) plan_cancel.Cancel();
     return s;
   };
@@ -330,6 +364,10 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     result.projected = std::make_shared<Relation>(*std::move(projected));
   }
   return result;
+}
+
+QueryProfile QueryResult::profile() const {
+  return BuildQueryProfile(execution_);
 }
 
 }  // namespace mrtheta

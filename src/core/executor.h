@@ -19,6 +19,10 @@ struct JobExecution {
   std::string name;
   PlanJobKind kind = PlanJobKind::kHilbertJoin;
   int reduce_tasks = 1;
+  /// Indices of earlier plan jobs whose outputs this job consumed (empty
+  /// when the job read base relations only) — the plan DAG, kept here so
+  /// profiles can render it without the QueryPlan in hand.
+  std::vector<int> input_jobs;
   /// Reduce-side join kernel the job was eligible to run ("sort-theta"
   /// when a condition qualified for the sort-based path, else "generic").
   /// Reduce groups below the sort-kernel min-pairs gate still use the
@@ -116,9 +120,17 @@ struct ExecutorOptions {
   /// a cancelled execution returns kCancelled. Not owned; must outlive
   /// every Execute call made with these options.
   const CancellationToken* cancel_token = nullptr;
+  /// When set, the plan-wide fault accounting is merged into this report
+  /// on *every* exit path — including failed and cancelled executions,
+  /// which still consumed retries and wasted attempt seconds even though
+  /// no ExecutionResult is returned. ThetaEngine points this at its
+  /// session metrics; without it, a failed run's faults would be invisible
+  /// (the under-reporting bug pinned by api_test). Not owned.
+  FaultReport* fault_report = nullptr;
 };
 
 class ThreadPool;
+struct QueryProfile;
 
 /// \brief Executes a QueryPlan: runs every plan job physically (exact
 /// answers over physical tuples) on the in-process runtime, then replays
@@ -197,6 +209,12 @@ class QueryResult {
   /// Cell accessors into rows().
   Value Get(int64_t row, int col) const { return rows().Get(row, col); }
   int num_columns() const { return rows().schema().num_columns(); }
+
+  /// Per-job execution profile of this result (wall vs simulated time,
+  /// rows/bytes at pruned widths, retries/speculation, skew routing,
+  /// kernel choice) — the substrate of ThetaEngine::ExplainAnalyze. See
+  /// src/obs/profile.h for the rendering API.
+  QueryProfile profile() const;
 
  private:
   ExecutionResult execution_;

@@ -7,6 +7,7 @@
 
 #include "src/core/column_pruning.h"
 #include "src/cost/kr_chooser.h"
+#include "src/obs/trace.h"
 #include "src/exec/hilbert_join.h"
 #include "src/hilbert/hilbert.h"
 #include "src/sched/malleable.h"
@@ -59,6 +60,8 @@ int Planner::MaxReduceTasks() const {
 }
 
 TableStats Planner::CollectStatsForRelation(const Relation& rel) const {
+  TraceSpan span("collect-stats", "planner");
+  if (span.enabled()) span.Arg("relation", rel.name());
   StatsOptions so = options_.stats;
   so.seed = options_.seed;
   TableStats ts = BuildTableStats(rel, so);
@@ -558,6 +561,7 @@ StatusOr<QueryPlan> Planner::Plan(const Query& query) const {
 StatusOr<QueryPlan> Planner::Plan(const Query& query,
                                   const std::vector<TableStats>& raw_stats)
     const {
+  MRTHETA_TRACE_SCOPE("plan", "planner");
   MRTHETA_RETURN_IF_ERROR(query.Validate());
   if (static_cast<int>(raw_stats.size()) != query.num_relations()) {
     return Status::InvalidArgument(

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/trace.h"
+
 namespace mrtheta {
 
 namespace {
@@ -45,6 +47,7 @@ StatusOr<SimJobResult> RunSyntheticJob(const SimCluster& cluster,
 
 StatusOr<CalibrationReport> CalibrateCostModel(
     const SimCluster& cluster, const CalibrationOptions& options) {
+  MRTHETA_TRACE_SCOPE("calibrate", "planner");
   const ClusterConfig& cfg = cluster.config();
   const double si = static_cast<double>(options.probe_input_bytes);
   const int m = cluster.NumMapTasks(options.probe_input_bytes);

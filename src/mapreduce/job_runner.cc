@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace mrtheta {
 
 namespace {
@@ -88,6 +90,8 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
   JobMeasurement& m = result.metrics;
 
   // ---- Map phase ----
+  TraceSpan map_phase("map-phase", "runtime");
+  if (map_phase.enabled()) map_phase.Arg("job", spec.name);
   MapEmitter emitter;
   {
     double expected_records = 0.0;
@@ -108,8 +112,11 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
   }
   m.map_output_records_physical =
       static_cast<int64_t>(emitter.records().size());
+  map_phase.End();
 
   // ---- Shuffle: partition by key, charge logical bytes per record ----
+  TraceSpan shuffle_phase("shuffle-merge", "runtime");
+  if (shuffle_phase.enabled()) shuffle_phase.Arg("job", spec.name);
   const int n = spec.num_reduce_tasks;
   const PartitionFn& partition =
       spec.partition ? spec.partition : PartitionFn(HashPartition);
@@ -133,14 +140,25 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
     m.reduce_input_bytes_logical[t] = static_cast<int64_t>(task_bytes[t]);
   }
 
+  shuffle_phase.End();
+
   // ---- Reduce phase: per task, sort by key then group ----
+  TraceSpan reduce_phase("reduce-phase", "runtime");
+  if (reduce_phase.enabled()) {
+    reduce_phase.Arg("job", spec.name).Arg("tasks", static_cast<int64_t>(n));
+  }
   m.reduce_comparisons_logical.assign(n, 0.0);
   for (int t = 0; t < n; ++t) {
+    TraceSpan task_span("reduce-task", "runtime");
+    if (task_span.enabled()) {
+      task_span.Arg("job", spec.name).Arg("task", static_cast<int64_t>(t));
+    }
     StatusOr<double> comparisons =
         RunReduceTask(spec, task_records[t], result.output.get());
     if (!comparisons.ok()) return comparisons.status();
     m.reduce_comparisons_logical[t] = *comparisons;
   }
+  reduce_phase.End();
 
   // ---- Output accounting ----
   m.output_rows_physical = result.output->num_rows();

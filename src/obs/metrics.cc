@@ -1,0 +1,192 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mrtheta {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram(double min_value)
+    : min_value_(min_value > 0.0 ? min_value : 1e-6) {}
+
+void MetricHistogram::Record(double value) {
+  int bucket = 0;
+  if (value > min_value_) {
+    // Bucket k holds (min * 2^(k-1), min * 2^k].
+    const double ratio = value / min_value_;
+    bucket = std::min(kNumBuckets - 1,
+                      1 + static_cast<int>(std::floor(std::log2(ratio))));
+    // Guard the boundary: log2 of an exact power of two can land on
+    // either side depending on rounding.
+    if (bucket > 1 && value <= min_value_ * std::ldexp(1.0, bucket - 1)) {
+      --bucket;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double MetricHistogram::Quantile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      if (b == 0) return min_value_;
+      // Geometric midpoint of (min * 2^(b-1), min * 2^b].
+      return min_value_ * std::ldexp(1.0, b - 1) * std::sqrt(2.0);
+    }
+  }
+  return min_value_ * std::ldexp(1.0, kNumBuckets - 1);
+}
+
+std::string MetricsRegistry::FullName(const std::string& name,
+                                      const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string full = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) full += ",";
+    full += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  full += "}";
+  return full;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           const MetricLabels& labels) {
+  const std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name,
+                                       const MetricLabels& labels) {
+  const std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return slot.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const MetricLabels& labels,
+                                               double min_value) {
+  const std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>(min_value);
+  return slot.get();
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += name + "_count " + std::to_string(histogram->count()) + "\n";
+    out += name + "_sum " + FormatDouble(histogram->sum()) + "\n";
+    out += name + "_p50 " + FormatDouble(histogram->Quantile(0.50)) + "\n";
+    out += name + "_p95 " + FormatDouble(histogram->Quantile(0.95)) + "\n";
+    out += name + "_p99 " + FormatDouble(histogram->Quantile(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(out, name);
+    out += "\": " + std::to_string(counter->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(out, name);
+    out += "\": " + FormatDouble(gauge->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(out, name);
+    out += "\": {\"count\": " + std::to_string(histogram->count()) +
+           ", \"sum\": " + FormatDouble(histogram->sum()) +
+           ", \"p50\": " + FormatDouble(histogram->Quantile(0.50)) +
+           ", \"p95\": " + FormatDouble(histogram->Quantile(0.95)) +
+           ", \"p99\": " + FormatDouble(histogram->Quantile(0.99)) + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  const std::string json = SnapshotJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::Internal("short write to metrics file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mrtheta

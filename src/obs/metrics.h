@@ -1,0 +1,121 @@
+#ifndef MRTHETA_OBS_METRICS_H_
+#define MRTHETA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+
+/// Monotonic int64 counter. Handles are stable for the registry's
+/// lifetime; Add/value are lock-free.
+class MetricCounter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Double-valued gauge with atomic Set and (CAS-loop) Add — Add makes it
+/// usable for accumulated quantities that are not integers, e.g.
+/// wasted_task_seconds.
+class MetricGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bounded histogram over non-negative samples: 64 power-of-two buckets
+/// spanning [min_value, min_value * 2^62] plus an underflow bucket —
+/// fixed memory no matter how many samples are recorded. Quantiles are
+/// read off the bucket boundaries (geometric-midpoint interpolation), so
+/// p50/p95/p99 carry at most one bucket (2x) of resolution error.
+class MetricHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// `min_value` is the upper bound of the first bucket (e.g. 1e-6 for a
+  /// seconds-valued histogram: everything below 1µs lands in bucket 0).
+  explicit MetricHistogram(double min_value = 1e-6);
+
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  const double min_value_;
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Sorted key=value labels attached to a metric, e.g. {{"phase", "map"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief One registry for every counter, gauge and histogram of a session
+/// (docs/OBSERVABILITY.md). ThetaEngine owns one and feeds it everything
+/// EngineMetrics and the fault-layer FaultReport used to scatter across
+/// structs; binaries snapshot it with --metrics-out.
+///
+/// Get* registers on first use and returns a stable handle; the handle
+/// methods are lock-free, so hot paths pay one atomic op per update.
+/// Snapshots render every metric sorted by name (stable across runs for
+/// diffing) as aligned text or as a JSON object.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  MetricCounter* GetCounter(const std::string& name,
+                            const MetricLabels& labels = {});
+  MetricGauge* GetGauge(const std::string& name,
+                        const MetricLabels& labels = {});
+  MetricHistogram* GetHistogram(const std::string& name,
+                                const MetricLabels& labels = {},
+                                double min_value = 1e-6);
+
+  /// "name{k="v"} value" per line, sorted by full metric name; histograms
+  /// expand to count/sum/p50/p95/p99 lines.
+  std::string SnapshotText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count":
+  /// n, "sum": s, "p50": ..., "p95": ..., "p99": ...}}}.
+  std::string SnapshotJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  static std::string FullName(const std::string& name,
+                              const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_OBS_METRICS_H_

@@ -1,0 +1,62 @@
+#ifndef MRTHETA_OBS_OBS_EXPORT_H_
+#define MRTHETA_OBS_OBS_EXPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace mrtheta {
+
+/// \brief Binary-side glue for `--trace-out` / `--metrics-out`
+/// (docs/OBSERVABILITY.md).
+///
+/// Owns the session Tracer and opens a TraceSession only when a trace path
+/// was given, so a binary run without the flag keeps tracing disabled (one
+/// atomic load per span site). Construct it in main() before the engine,
+/// call Finish() once after the run:
+///
+///   ObsExporter obs(flags->trace_out, flags->metrics_out);
+///   ...run queries...
+///   if (Status s = obs.Finish(&engine.metrics_registry()); !s.ok()) ...
+class ObsExporter {
+ public:
+  ObsExporter(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
+    if (!trace_path_.empty()) session_.emplace(&tracer_);
+  }
+
+  /// True when `--trace-out` was given and spans are being recorded.
+  bool tracing() const { return session_.has_value(); }
+
+  /// Writes the Chrome trace (if tracing) and the registry snapshot (if a
+  /// metrics path was given; `registry` may be null to skip). Returns the
+  /// first failure; both writes are still attempted.
+  Status Finish(const MetricsRegistry* registry) {
+    Status status = Status::OK();
+    if (tracing()) {
+      if (Status s = tracer_.WriteChromeTrace(trace_path_); !s.ok()) {
+        status = s;
+      }
+    }
+    if (!metrics_path_.empty() && registry != nullptr) {
+      if (Status s = registry->WriteJson(metrics_path_); !s.ok()) {
+        if (status.ok()) status = s;
+      }
+    }
+    return status;
+  }
+
+ private:
+  const std::string trace_path_;
+  const std::string metrics_path_;
+  Tracer tracer_;
+  std::optional<TraceSession> session_;
+};
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_OBS_OBS_EXPORT_H_

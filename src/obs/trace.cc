@@ -1,0 +1,215 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+
+namespace mrtheta {
+
+namespace {
+
+/// Process-wide thread-track ids: every thread that ever records a span
+/// gets a small stable integer, assigned in first-span order. Ids survive
+/// across sessions (a second session's tracks simply continue the
+/// numbering), which keeps the assignment race-free and allocation-free on
+/// the hot path.
+std::atomic<int> g_next_tid{0};
+
+int CurrentThreadTid() {
+  thread_local int tid = -1;
+  if (tid < 0) tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendArgsJson(std::string& out, const std::vector<TraceArg>& args) {
+  out += "{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"";
+    AppendJsonEscaped(out, args[i].key);
+    out += "\": ";
+    if (args[i].is_number) {
+      out += args[i].value;
+    } else {
+      out += "\"";
+      AppendJsonEscaped(out, args[i].value);
+      out += "\"";
+    }
+  }
+  out += "}";
+}
+
+std::string FormatMicros(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::atomic<Tracer*> Tracer::active_tracer_{nullptr};
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(TraceEvent ev) {
+  ev.tid = CurrentThreadTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = this->events();
+
+  // Thread-name metadata, one track per thread that recorded anything.
+  std::vector<int> tids;
+  for (const TraceEvent& ev : events) tids.push_back(ev.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  for (int tid : tids) {
+    emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"thread-" +
+         std::to_string(tid) + "\"}}");
+  }
+
+  // Complete events, in recorded order (Chrome sorts by ts itself).
+  for (const TraceEvent& ev : events) {
+    std::string line = "{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+                       std::to_string(ev.tid) + ", \"ts\": " +
+                       FormatMicros(ev.ts_us) + ", \"dur\": " +
+                       FormatMicros(ev.dur_us) + ", \"name\": \"";
+    AppendJsonEscaped(line, ev.name);
+    line += "\", \"cat\": \"";
+    AppendJsonEscaped(line, ev.category);
+    line += "\", \"args\": ";
+    AppendArgsJson(line, ev.args);
+    line += "}";
+    emit(line);
+  }
+
+  // Flow events: every flow id carried by >= 2 spans becomes an arrow
+  // chain start -> step* -> end, each bound to its span's start time.
+  std::map<uint64_t, std::vector<const TraceEvent*>> flows;
+  for (const TraceEvent& ev : events) {
+    if (ev.flow_id != 0) flows[ev.flow_id].push_back(&ev);
+  }
+  for (auto& [flow_id, spans] : flows) {
+    if (spans.size() < 2) continue;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->ts_us < b->ts_us;
+                     });
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const TraceEvent& ev = *spans[i];
+      const char* ph = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
+      std::string line = std::string("{\"ph\": \"") + ph +
+                         "\", \"pid\": 1, \"tid\": " +
+                         std::to_string(ev.tid) + ", \"ts\": " +
+                         FormatMicros(ev.ts_us) + ", \"id\": " +
+                         std::to_string(flow_id) + ", \"name\": \"attempts\"" +
+                         ", \"cat\": \"";
+      AppendJsonEscaped(line, ev.category);
+      line += "\"";
+      if (ph[0] == 'f') line += ", \"bp\": \"e\"";
+      line += "}";
+      emit(line);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+TraceSession::TraceSession(Tracer* tracer) {
+  if (tracer == nullptr) return;  // a null session keeps tracing disabled
+  Tracer* expected = nullptr;
+  installed_ = Tracer::active_tracer_.compare_exchange_strong(
+      expected, tracer, std::memory_order_acq_rel);
+  // Nested sessions are a programming error; the outer one stays active.
+  assert(installed_ && "nested TraceSession");
+}
+
+TraceSession::~TraceSession() {
+  if (installed_) {
+    Tracer::active_tracer_.store(nullptr, std::memory_order_release);
+  }
+}
+
+uint64_t TaskFlowId(const std::string& job, const char* phase, int64_t task) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](const char* s) {
+    for (; *s != '\0'; ++s) {
+      h ^= static_cast<unsigned char>(*s);
+      h *= 1099511628211ULL;
+    }
+    h ^= '|';
+    h *= 1099511628211ULL;
+  };
+  mix(job.c_str());
+  mix(phase);
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>(task >> (8 * i));
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace mrtheta

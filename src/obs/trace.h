@@ -1,0 +1,183 @@
+#ifndef MRTHETA_OBS_TRACE_H_
+#define MRTHETA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+
+/// One key/value annotation of a span. Numbers are kept unquoted in the
+/// exported JSON so Perfetto can aggregate on them.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+/// One completed span, on the track of the thread that ran it. Timestamps
+/// are microseconds since the owning Tracer's epoch.
+struct TraceEvent {
+  const char* name = "";      ///< span name ("map", "reduce", "plan", ...)
+  const char* category = "";  ///< trace category ("runtime", "planner", ...)
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  /// Non-zero links spans of one logical task across attempts (retry /
+  /// speculation); the exporter renders Chrome flow arrows for every flow
+  /// id that appears on two or more spans.
+  uint64_t flow_id = 0;
+  std::vector<TraceArg> args;
+};
+
+/// \brief Collector of runtime spans with a Chrome trace-event exporter
+/// (docs/OBSERVABILITY.md).
+///
+/// One Tracer is installed process-wide through a TraceSession; the
+/// instrumentation macros/objects consult Tracer::active() — a single
+/// atomic load — and do nothing when no session is open, which is what
+/// keeps the disabled cost unmeasurable (bench_runtime's trace_overhead
+/// record gates the enabled cost too).
+///
+/// Determinism contract: tracing only *observes* wall-clock and task
+/// structure. No simulated metric, output row or plan choice may depend on
+/// whether a session is open — tests/obs_test.cc runs the differential.
+///
+/// Thread safety: Record may be called from any thread; WriteChromeTrace /
+/// ToChromeJson snapshot under the same mutex and may run concurrently
+/// with recording.
+class Tracer {
+ public:
+  Tracer();
+
+  /// The process-active tracer, or nullptr when tracing is disabled.
+  static Tracer* active() {
+    return active_tracer_.load(std::memory_order_acquire);
+  }
+
+  /// Appends one completed span. `ev.ts_us`/`tid` are filled by TraceSpan.
+  void Record(TraceEvent ev);
+
+  /// Microseconds since this tracer's construction.
+  double NowMicros() const;
+
+  /// Snapshot of everything recorded so far.
+  std::vector<TraceEvent> events() const;
+  size_t num_events() const;
+
+  /// Chrome trace-event JSON ("{"traceEvents": [...]}"): complete "X"
+  /// events (one track per thread, named via "M" metadata), plus "s"/"t"/
+  /// "f" flow events binding retries and speculative copies to the earlier
+  /// attempts of their task. Loadable in chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  friend class TraceSession;
+  static std::atomic<Tracer*> active_tracer_;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;  // guarded by mu_
+};
+
+/// RAII installer: `Tracer::active()` returns `tracer` for the session's
+/// lifetime. Sessions must not nest and must outlive every traced thread
+/// (in the binaries: open in main around the whole run). Installing the
+/// null tracer is allowed and keeps tracing disabled.
+class TraceSession {
+ public:
+  explicit TraceSession(Tracer* tracer);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+/// \brief Scoped span: records [construction, destruction) on the calling
+/// thread's track of the active tracer. When no session is open the
+/// constructor is one atomic load and every other call is a no-op on a
+/// null pointer — cheap enough for per-task (not per-row) instrumentation
+/// anywhere in the runtime.
+///
+/// Usage:
+///   TraceSpan span("map", "runtime");
+///   span.Arg("job", spec.name).Arg("task", t).Arg("attempt", attempt);
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category) {
+    tracer_ = Tracer::active();
+    if (tracer_ == nullptr) return;
+    event_.name = name;
+    event_.category = category;
+    event_.ts_us = tracer_->NowMicros();
+  }
+
+  ~TraceSpan() { End(); }
+
+  /// Closes the span early (before scope exit); idempotent — the
+  /// destructor then does nothing. For spans that cover a phase shorter
+  /// than their enclosing scope.
+  void End() {
+    if (tracer_ == nullptr) return;
+    event_.dur_us = tracer_->NowMicros() - event_.ts_us;
+    tracer_->Record(std::move(event_));
+    tracer_ = nullptr;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  TraceSpan& Arg(const char* key, const std::string& value) {
+    if (tracer_ != nullptr) event_.args.push_back({key, value, false});
+    return *this;
+  }
+  TraceSpan& Arg(const char* key, int64_t value) {
+    if (tracer_ != nullptr) {
+      event_.args.push_back({key, std::to_string(value), true});
+    }
+    return *this;
+  }
+  TraceSpan& Arg(const char* key, double value) {
+    if (tracer_ != nullptr) {
+      event_.args.push_back({key, std::to_string(value), true});
+    }
+    return *this;
+  }
+  /// Links this span to the other attempts of the same logical task.
+  TraceSpan& Flow(uint64_t id) {
+    if (tracer_ != nullptr) event_.flow_id = id;
+    return *this;
+  }
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+/// Scope-only span with no args, for lightweight phase instrumentation:
+///   MRTHETA_TRACE_SCOPE("shuffle", "runtime");
+#define MRTHETA_TRACE_CONCAT_INNER(a, b) a##b
+#define MRTHETA_TRACE_CONCAT(a, b) MRTHETA_TRACE_CONCAT_INNER(a, b)
+#define MRTHETA_TRACE_SCOPE(name, category)                       \
+  ::mrtheta::TraceSpan MRTHETA_TRACE_CONCAT(_trace_span_,         \
+                                            __LINE__)((name), (category))
+
+/// Stable flow id for one logical task: all attempts (retries, speculative
+/// copies) of (job, phase, task) share it, so the exporter can draw the
+/// retry arrows. Never returns 0 (0 means "no flow").
+uint64_t TaskFlowId(const std::string& job, const char* phase, int64_t task);
+
+}  // namespace mrtheta
+
+#endif  // MRTHETA_OBS_TRACE_H_

@@ -7,6 +7,8 @@
 #include <string>
 #include <thread>
 
+#include "src/obs/trace.h"
+
 namespace mrtheta {
 
 namespace {
@@ -42,7 +44,12 @@ void WorkerLoop(DagState& state, const std::function<Status(int)>& body) {
     ++state.running;
     lock.unlock();
 
-    const Status status = body(node);
+    Status status;
+    {
+      TraceSpan span("dag-node", "scheduler");
+      if (span.enabled()) span.Arg("node", static_cast<int64_t>(node));
+      status = body(node);
+    }
 
     lock.lock();
     --state.running;
@@ -118,7 +125,11 @@ Status RunDag(const std::vector<std::vector<int>>& deps, int max_concurrency,
     while (!state.ready.empty()) {
       const int node = state.ready.top();
       state.ready.pop();
-      MRTHETA_RETURN_IF_ERROR(body(node));
+      {
+        TraceSpan span("dag-node", "scheduler");
+        if (span.enabled()) span.Arg("node", static_cast<int64_t>(node));
+        MRTHETA_RETURN_IF_ERROR(body(node));
+      }
       --state.remaining;
       for (int dep : state.dependents[node]) {
         if (--state.pending_deps[dep] == 0) state.ready.push(dep);

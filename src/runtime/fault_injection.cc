@@ -184,13 +184,17 @@ Status SpeculationPolicy::Validate() const {
 void FaultReport::Merge(const FaultReport& other) {
   injected_faults += other.injected_faults;
   task_retries += other.task_retries;
+  map_task_retries += other.map_task_retries;
+  reduce_task_retries += other.reduce_task_retries;
   speculative_launches += other.speculative_launches;
   wasted_task_seconds += other.wasted_task_seconds;
 }
 
 std::string FaultReport::ToString() const {
   return "FaultReport{injected=" + std::to_string(injected_faults) +
-         ", retries=" + std::to_string(task_retries) +
+         ", retries=" + std::to_string(task_retries) + " (map=" +
+         std::to_string(map_task_retries) + ", reduce=" +
+         std::to_string(reduce_task_retries) + ")" +
          ", speculative=" + std::to_string(speculative_launches) +
          ", wasted_s=" + std::to_string(wasted_task_seconds) + "}";
 }

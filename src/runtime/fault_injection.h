@@ -112,6 +112,11 @@ struct SpeculationPolicy {
 struct FaultReport {
   int64_t injected_faults = 0;       ///< faults the FaultPlan fired
   int64_t task_retries = 0;          ///< failed attempts that were retried
+  /// Per-phase split of task_retries (map_task_retries +
+  /// reduce_task_retries == task_retries) — the chaos CI job asserts on
+  /// these through the session MetricsRegistry.
+  int64_t map_task_retries = 0;
+  int64_t reduce_task_retries = 0;
   int64_t speculative_launches = 0;  ///< straggler re-executions launched
   double wasted_task_seconds = 0.0;  ///< time in attempts that never committed
 

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace mrtheta {
 
 namespace {
@@ -114,9 +116,14 @@ struct FaultContext {
     std::lock_guard<std::mutex> lock(report_mu);
     ++report.injected_faults;
   }
-  void CountRetry() {
+  void CountRetry(bool is_map) {
     std::lock_guard<std::mutex> lock(report_mu);
     ++report.task_retries;
+    if (is_map) {
+      ++report.map_task_retries;
+    } else {
+      ++report.reduce_task_retries;
+    }
   }
   void CountSpeculative(double wasted_seconds) {
     std::lock_guard<std::mutex> lock(report_mu);
@@ -154,9 +161,13 @@ Status RunRestartableTask(FaultContext& ctx, const std::string& job,
                           TaskTimeTracker& tracker,
                           const std::function<Status()>& work,
                           const std::function<void()>& commit) {
+  const bool is_map = task_point == FaultPoint::kMapTask;
+  const char* span_name = is_map ? "map-task" : "reduce-task";
   if (ctx.injector == nullptr) {
     // Fault-free fast path; cancellation still honored at the boundary.
     if (ctx.Cancelled()) return ctx.CancelledStatus(job);
+    TraceSpan span(span_name, "runtime");
+    if (span.enabled()) span.Arg("job", job).Arg("task", task);
     Status s = work();
     if (s.ok()) commit();
     return s;
@@ -166,6 +177,14 @@ Status RunRestartableTask(FaultContext& ctx, const std::string& job,
   int failures = 0;  // retry budget: failed attempts only
   for (;;) {
     if (ctx.Cancelled()) return ctx.CancelledStatus(job);
+    // One span per launch; all launches of this task share a flow id, so
+    // the trace viewer draws retry/speculation arrows between them.
+    TraceSpan span(span_name, "runtime");
+    if (span.enabled()) {
+      span.Arg("job", job).Arg("task", task)
+          .Arg("attempt", static_cast<int64_t>(attempt))
+          .Flow(TaskFlowId(job, is_map ? "map" : "reduce", task));
+    }
     const Clock::time_point start = Clock::now();
     Status attempt_status;
 
@@ -217,6 +236,7 @@ Status RunRestartableTask(FaultContext& ctx, const std::string& job,
       // speculative copy (a fresh attempt, fresh buffers, no retry budget
       // consumed). First-committer-wins is trivial — the abandoned attempt
       // never reaches commit.
+      span.Arg("outcome", "straggler-abandoned");
       ctx.CountSpeculative(SecondsSince(start));
       ++attempt;
       continue;
@@ -237,11 +257,13 @@ Status RunRestartableTask(FaultContext& ctx, const std::string& job,
     }
 
     if (attempt_status.ok()) {
+      span.Arg("outcome", "ok");
       tracker.Record(SecondsSince(start));
       commit();
       return Status::OK();
     }
 
+    span.Arg("outcome", "failed");
     ctx.CountWasted(SecondsSince(start));
     ++failures;
     if (failures >= ctx.retry.max_attempts) {
@@ -252,7 +274,7 @@ Status RunRestartableTask(FaultContext& ctx, const std::string& job,
               "' failed all " + std::to_string(ctx.retry.max_attempts) +
               " attempts; last: " + attempt_status.ToString());
     }
-    ctx.CountRetry();
+    ctx.CountRetry(is_map);
     const double backoff_s = ctx.retry.BackoffMs(failures - 1) * 1e-3;
     const Clock::time_point backoff_start = Clock::now();
     while (SecondsSince(backoff_start) < backoff_s) {
@@ -331,6 +353,11 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   std::vector<MapSplit> splits = PlanMapSplits(spec, pool, options);
   TaskTimeTracker map_tracker;
   std::vector<Status> map_status(splits.size());
+  TraceSpan map_phase("map-phase", "runtime");
+  if (map_phase.enabled()) {
+    map_phase.Arg("job", spec.name)
+        .Arg("splits", static_cast<int64_t>(splits.size()));
+  }
   pool.ParallelFor(
       static_cast<int64_t>(splits.size()), [&](int64_t s) {
         MapSplit& split = splits[s];
@@ -376,6 +403,7 @@ StatusOr<PhysicalJobResult> RunJobParallel(
           ctx.job_cancel.Cancel();
         }
       });
+  map_phase.End();
   {
     Status map_error = SelectTaskError(map_status);
     if (!map_error.ok()) {
@@ -396,6 +424,8 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   // Byte accounting uses floating-point accumulation, so this walk visits
   // records in exactly the sequential runner's order; the per-record work
   // (two additions, one push) is trivial next to map/reduce compute.
+  TraceSpan shuffle_phase("shuffle-merge", "runtime");
+  if (shuffle_phase.enabled()) shuffle_phase.Arg("job", spec.name);
   std::vector<std::vector<MapOutputRecord>> task_records(n);
   {
     std::vector<int64_t> task_counts(n, 0);
@@ -428,6 +458,7 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   for (int t = 0; t < n; ++t) {
     m.reduce_input_bytes_logical[t] = static_cast<int64_t>(task_bytes[t]);
   }
+  shuffle_phase.End();
 
   // ---- Reduce phase: restartable tasks, each with a private output ----
   // RunReduceTask is the same sort+group+reduce loop the sequential runner
@@ -442,6 +473,10 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   }
   TaskTimeTracker reduce_tracker;
   std::vector<Status> reduce_status(n);
+  TraceSpan reduce_phase("reduce-phase", "runtime");
+  if (reduce_phase.enabled()) {
+    reduce_phase.Arg("job", spec.name).Arg("tasks", static_cast<int64_t>(n));
+  }
   pool.ParallelFor(n, [&](int64_t t) {
     double comparisons = 0.0;
     Relation attempt_output;  // attempt-local until commit
@@ -465,6 +500,7 @@ StatusOr<PhysicalJobResult> RunJobParallel(
       ctx.job_cancel.Cancel();
     }
   });
+  reduce_phase.End();
   {
     Status reduce_error = SelectTaskError(reduce_status);
     if (!reduce_error.ok()) {

@@ -4,8 +4,10 @@
 // with the same answers as sequential execution. Plus QueryBuilder
 // lowering/error-reporting and EngineOptions validation.
 
+#include <chrono>
 #include <future>
 #include <memory>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -359,6 +361,92 @@ TEST(ThetaEngineTest, InvalidOptionsSurfaceOnEveryEntryPoint) {
   bad_lambda.planner.lambda = 1.5;
   EXPECT_EQ(bad_lambda.Validate().code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(EngineOptions{}.Validate().ok());
+}
+
+// ---- Fault accounting on non-OK executions ----
+
+// Regression: the session metrics used to count faults only on the
+// success path (the executor merged per-job FaultReports after the last
+// job committed), so a failed or cancelled execution reported
+// injected_faults == 0 even though it burned retries for seconds. The
+// fix routes every exit path through ExecutorOptions::fault_report; the
+// engine folds that into its registry unconditionally.
+TEST(EngineMetricsTest, FaultCountersSurviveFailedExecution) {
+  EngineOptions options;
+  options.executor.num_threads = 2;
+  options.executor.fault_plan = FaultPlan{};  // env-proof baseline
+  options.executor.fault_plan.seed = 17;
+  options.executor.fault_plan.map_failure_rate = 1.0;
+  options.executor.retry.max_attempts = 2;
+  options.executor.retry.backoff_base_ms = 0.05;
+  options.executor.retry.backoff_max_ms = 0.5;
+  ThetaEngine engine(options);
+  MobileDataOptions data;
+  data.physical_rows = 100;
+  data.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, data);
+  ASSERT_TRUE(query.ok());
+
+  const auto result = engine.Execute(*query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted)
+      << result.status().ToString();
+
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.failed_executions, 1);
+  EXPECT_EQ(metrics.executions, 0);
+  EXPECT_GT(metrics.injected_faults, 0);
+  EXPECT_GT(metrics.task_retries, 0);
+  EXPECT_GT(metrics.wasted_task_seconds, 0.0);
+
+  // Per-phase retry attribution (registry labels): every retry of this
+  // all-map-failures plan is a map retry.
+  MetricsRegistry& registry = engine.metrics_registry();
+  const int64_t map_retries =
+      registry.GetCounter("engine_task_retries", {{"phase", "map"}})->value();
+  const int64_t reduce_retries =
+      registry.GetCounter("engine_task_retries", {{"phase", "reduce"}})
+          ->value();
+  EXPECT_EQ(map_retries + reduce_retries, metrics.task_retries);
+  EXPECT_EQ(reduce_retries, 0);
+  EXPECT_GT(map_retries, 0);
+}
+
+TEST(EngineMetricsTest, FaultCountersSurviveCancelledExecution) {
+  EngineOptions options;
+  options.executor.num_threads = 2;
+  options.executor.fault_plan = FaultPlan{};  // env-proof baseline
+  // Every first attempt stalls; nothing else intervenes, so the Submit
+  // below is still mid-flight when CancelInflight fires.
+  options.executor.fault_plan.seed = 31;
+  options.executor.fault_plan.straggler_rate = 1.0;
+  options.executor.fault_plan.straggler_delay_ms = 500.0;
+  options.executor.speculation.enabled = false;
+  ThetaEngine engine(options);
+  MobileDataOptions data;
+  data.physical_rows = 100;
+  data.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, data);
+  ASSERT_TRUE(query.ok());
+  // Warm planning caches so the submission spends its time executing.
+  ASSERT_TRUE(engine.Explain(*query).ok());
+
+  auto future = engine.Submit(*query);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.CancelInflight();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+
+  // The cancelled attempts were injected stragglers whose burned time
+  // must still be accounted.
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.failed_executions, 1);
+  EXPECT_GT(metrics.injected_faults, 0);
+  EXPECT_GT(metrics.wasted_task_seconds, 0.0);
 }
 
 // ---- QueryBuilder ----
