@@ -165,26 +165,19 @@ void RunEngineReuse(ThetaEngine& engine,
                  static_cast<long long>(metrics.calibrations));
     std::exit(1);
   }
-}
-
-// FNV-1a over every cell of the result rows *in row order* — "byte
-// identical" below means content and order both.
-uint64_t OrderedRowsFingerprint(const Relation& rows) {
-  uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](const std::string& s) {
-    for (unsigned char c : s) {
-      h ^= c;
-      h *= 1099511628211ULL;
-    }
-    h ^= '|';
-    h *= 1099511628211ULL;
-  };
-  for (int64_t r = 0; r < rows.num_rows(); ++r) {
-    for (int c = 0; c < rows.schema().num_columns(); ++c) {
-      mix(rows.Get(r, c).ToString());
-    }
+  // Reuse must actually happen, not just be cheap: the warm run has to
+  // serve the cold run's plan from the session plan cache, i.e. the
+  // planner ran exactly once and the second Execute was a cache hit.
+  // (Deterministic counters, not wall-clock ratios — a warm ≈ cold figure
+  // with zero hits is the regression this guards against.)
+  if (metrics.plan_cache_hits < 1 || metrics.plans != 1) {
+    std::fprintf(stderr,
+                 "engine_reuse: warm run did not reuse the cold plan "
+                 "(plan_cache_hits=%lld, plans=%lld)\n",
+                 static_cast<long long>(metrics.plan_cache_hits),
+                 static_cast<long long>(metrics.plans));
+    std::exit(1);
   }
-  return h;
 }
 
 // Column-pruning ablation (docs/EXECUTOR.md): the SAME Q17 plan executed

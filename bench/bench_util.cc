@@ -82,7 +82,7 @@ Status WriteJsonArray(const std::string& path,
 }
 
 std::string FormatLine(const char* fmt, ...) {
-  char buf[512];
+  char buf[1024];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, args);
@@ -131,6 +131,51 @@ Status WriteRuntimeBenchJson(const std::string& path,
         static_cast<long long>(r.sim_shuffle_bytes),
         static_cast<long long>(r.result_rows_physical),
         static_cast<long long>(r.sort_kernel_min_pairs), r.trace_overhead));
+  }
+  return WriteJsonArray(path, lines);
+}
+
+uint64_t OrderedRowsFingerprint(const Relation& rows) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= '|';
+    h *= 1099511628211ULL;
+  };
+  for (int64_t r = 0; r < rows.num_rows(); ++r) {
+    for (int c = 0; c < rows.schema().num_columns(); ++c) {
+      mix(rows.Get(r, c).ToString());
+    }
+  }
+  return h;
+}
+
+Status WriteServeBenchJson(const std::string& path,
+                           const std::vector<ServeBenchRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const ServeBenchRecord& r : records) {
+    lines.push_back(FormatLine(
+        "{\"workload\": \"%s\", \"query\": \"%s\", "
+        "\"streams\": %d, \"queries_per_stream\": %d, "
+        "\"total_queries\": %d, \"threads\": %d, "
+        "\"per_query_threads\": %d, \"max_inflight_queries\": %d, "
+        "\"hardware_threads\": %d, "
+        "\"p50_latency_seconds\": %.6f, \"p99_latency_seconds\": %.6f, "
+        "\"throughput_qps\": %.3f, \"wall_seconds\": %.6f, "
+        "\"plan_cache_hits\": %lld, \"plan_cache_misses\": %lld, "
+        "\"admission_rejections\": %lld, \"result_rows_total\": %lld}",
+        r.workload.c_str(), r.query.c_str(), r.streams,
+        r.queries_per_stream, r.total_queries, r.threads,
+        r.per_query_threads, r.max_inflight_queries, r.hardware_threads,
+        r.p50_latency_seconds, r.p99_latency_seconds, r.throughput_qps,
+        r.wall_seconds, static_cast<long long>(r.plan_cache_hits),
+        static_cast<long long>(r.plan_cache_misses),
+        static_cast<long long>(r.admission_rejections),
+        static_cast<long long>(r.result_rows_total)));
   }
   return WriteJsonArray(path, lines);
 }

@@ -124,6 +124,41 @@ struct SkewBenchRecord {
 Status WriteSkewBenchJson(const std::string& path,
                           const std::vector<SkewBenchRecord>& records);
 
+/// FNV-1a over every cell of `rows` *in row order* — the benches'
+/// "byte-identical results" assertions mean content and order both.
+uint64_t OrderedRowsFingerprint(const Relation& rows);
+
+/// One serving-layer measurement (bench_engine_serve / BENCH_serve.json):
+/// N closed-loop query streams submitting against one admission-controlled
+/// engine. Latency/throughput fields are measured (exempt from the CI
+/// gate but required to be emitted); the counters are deterministic and
+/// gated exactly — every stream's every result is fingerprint-checked
+/// against the sequential reference before a record is written.
+struct ServeBenchRecord {
+  std::string workload;  ///< "engine_serve"
+  std::string query;     ///< query mix, e.g. "mixed3"
+  int streams = 0;             ///< concurrent closed-loop submitters
+  int queries_per_stream = 0;
+  int total_queries = 0;       ///< streams * queries_per_stream
+  int threads = 0;             ///< engine pool width
+  int per_query_threads = 0;   ///< EngineOptions::per_query_threads
+  int max_inflight_queries = 0;
+  int hardware_threads = 0;
+  double p50_latency_seconds = 0.0;  ///< submit -> future resolution
+  double p99_latency_seconds = 0.0;
+  double throughput_qps = 0.0;
+  double wall_seconds = 0.0;         ///< whole round, first submit to last
+  // Deterministic serving counters, deltas over this round's submissions.
+  int64_t plan_cache_hits = 0;       ///< == total_queries once warmed
+  int64_t plan_cache_misses = 0;     ///< 0 once warmed
+  int64_t admission_rejections = 0;  ///< 0 (queue sized to never reject)
+  int64_t result_rows_total = 0;     ///< Σ result rows over the round
+};
+
+/// Writes `records` to `path` as a JSON array (overwrites the file).
+Status WriteServeBenchJson(const std::string& path,
+                           const std::vector<ServeBenchRecord>& records);
+
 }  // namespace mrtheta::bench
 
 #endif  // MRTHETA_BENCH_BENCH_UTIL_H_

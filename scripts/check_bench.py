@@ -67,6 +67,23 @@ SPECS = {
         # cost measured by bench_runtime (docs/OBSERVABILITY.md).
         "required": ["trace_overhead"],
     },
+    "BENCH_serve.json": {
+        "key": ["workload", "query", "streams"],
+        # The serving counters are deterministic: bench_engine_serve
+        # aborts unless every concurrent result is byte-identical to the
+        # sequential reference, the warm plan cache hits on every stream
+        # query, and nothing is rejected — so any drift here is a real
+        # serving-layer behaviour change.
+        "exact": ["queries_per_stream", "total_queries", "threads",
+                  "per_query_threads", "max_inflight_queries",
+                  "plan_cache_hits", "plan_cache_misses",
+                  "admission_rejections", "result_rows_total"],
+        "simulated": {},
+        # Latency/throughput are measured -> exempt from the gate, but a
+        # bench that stops emitting them has stopped measuring serving.
+        "required": ["p50_latency_seconds", "p99_latency_seconds",
+                     "throughput_qps"],
+    },
     "BENCH_skew.json": {
         "key": ["workload", "query", "mode"],
         "exact": ["result_rows_physical"],

@@ -36,6 +36,18 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "calibration.probe_input_bytes must be >= 1");
   }
+  if (plan_cache_capacity < 0) {
+    return Status::InvalidArgument("plan_cache_capacity must be >= 0");
+  }
+  if (max_inflight_queries < 0) {
+    return Status::InvalidArgument("max_inflight_queries must be >= 0");
+  }
+  if (max_queue_depth < 0) {
+    return Status::InvalidArgument("max_queue_depth must be >= 0");
+  }
+  if (per_query_threads < 0) {
+    return Status::InvalidArgument("per_query_threads must be >= 0");
+  }
   MRTHETA_RETURN_IF_ERROR(executor.fault_plan.Validate());
   MRTHETA_RETURN_IF_ERROR(executor.retry.Validate());
   MRTHETA_RETURN_IF_ERROR(executor.speculation.Validate());
@@ -47,6 +59,14 @@ std::string EngineOptions::ToString() const {
   out += ", threads=" + std::to_string(executor.num_threads);
   out += ", seed=" + std::to_string(execution_seed);
   out += ", calibration_workers=" + std::to_string(calibration_workers);
+  out += ", plan_cache_capacity=" + std::to_string(plan_cache_capacity);
+  if (max_inflight_queries > 0) {
+    out += ", max_inflight_queries=" + std::to_string(max_inflight_queries);
+    out += ", max_queue_depth=" + std::to_string(max_queue_depth);
+  }
+  if (per_query_threads > 0) {
+    out += ", per_query_threads=" + std::to_string(per_query_threads);
+  }
   if (executor.fault_plan.enabled()) {
     out += ", " + executor.fault_plan.ToString();
   }

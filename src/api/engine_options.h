@@ -38,6 +38,29 @@ struct EngineOptions {
   /// results across Execute and Submit (docs/API.md determinism contract).
   uint64_t execution_seed = 42;
 
+  // --- Serving knobs (docs/API.md "Serving") ---
+
+  /// Capacity (entries) of the session plan cache, keyed by canonical
+  /// query structure + each input's Relation::generation(). A repeated
+  /// query shape skips CollectStats and Planner::Plan entirely; least
+  /// recently used shapes are evicted beyond this capacity. 0 disables
+  /// plan caching (every Execute re-plans, the pre-serving behaviour).
+  int plan_cache_capacity = 64;
+  /// Maximum Submits executing concurrently; further submissions queue
+  /// FIFO up to `max_queue_depth` and then are rejected with
+  /// kResourceExhausted. 0 = unbounded (no admission control, the legacy
+  /// behaviour). Execute is synchronous in the caller's thread and is not
+  /// admission-controlled.
+  int max_inflight_queries = 0;
+  /// Submissions allowed to wait for admission when `max_inflight_queries`
+  /// are already running; only meaningful when admission control is on.
+  int max_queue_depth = 64;
+  /// Per-query cap on runtime threads under Execute/Submit, so one fat
+  /// query cannot monopolize the shared pool while others are admitted.
+  /// 0 = no cap (each query may use the full pool). ExecutePlan with
+  /// caller-provided executor options is not capped.
+  int per_query_threads = 0;
+
   /// Cross-field validation; every ThetaEngine entry point fails with this
   /// status when the options are inconsistent.
   Status Validate() const;

@@ -58,6 +58,13 @@ StatusOr<ColumnRef> QueryBuilder::Resolve(const ColExpr& ref) const {
                             ref.spelled + "' (aliases in scope: " + known +
                             ")");
   }
+  if (froms_[relation].relation == nullptr) {
+    // The null From itself is reported by Build's structural pass; this
+    // marks the reference that cannot be resolved against it.
+    return Status::InvalidArgument("cannot resolve '" + ref.spelled +
+                                   "': alias '" + ref.alias +
+                                   "' has a null relation");
+  }
   StatusOr<int> column =
       froms_[relation].relation->schema().FindColumn(ref.column);
   if (!column.ok()) {
@@ -72,52 +79,88 @@ StatusOr<ColumnRef> QueryBuilder::Resolve(const ColExpr& ref) const {
 }
 
 StatusOr<Query> QueryBuilder::Build() const {
+  // Every structural and resolution error is collected before reporting,
+  // so one Build round-trip surfaces everything wrong with the spec. The
+  // aggregate Status carries the FIRST error's code (what callers branch
+  // on) and every message, numbered, in clause order.
+  std::vector<Status> errors;
+  auto note = [&errors](const Status& status) { errors.push_back(status); };
+
+  bool any_null_relation = false;
   for (int i = 0; i < num_relations(); ++i) {
     if (froms_[i].relation == nullptr) {
-      return Status::InvalidArgument("alias '" + froms_[i].alias +
-                                     "' has a null relation");
+      any_null_relation = true;
+      note(Status::InvalidArgument("alias '" + froms_[i].alias +
+                                   "' has a null relation"));
     }
     for (int j = 0; j < i; ++j) {
       if (froms_[i].alias == froms_[j].alias) {
-        return Status::InvalidArgument("duplicate alias '" + froms_[i].alias +
-                                       "' (every From needs its own alias; "
-                                       "self-joins use distinct aliases over "
-                                       "the same relation)");
+        note(Status::InvalidArgument("duplicate alias '" + froms_[i].alias +
+                                     "' (every From needs its own alias; "
+                                     "self-joins use distinct aliases over "
+                                     "the same relation)"));
       }
     }
   }
   Query query;
-  for (const FromClause& from : froms_) query.AddRelation(from.relation);
+  // With a null relation in scope, lowering cannot proceed (Query would
+  // dereference it); column resolution against the other aliases still
+  // runs below so their errors are reported in the same round.
+  if (!any_null_relation) {
+    for (const FromClause& from : froms_) query.AddRelation(from.relation);
+  }
   for (const CondExpr& cond : wheres_) {
     StatusOr<ColumnRef> lhs = Resolve(cond.lhs);
-    if (!lhs.ok()) return lhs.status();
+    if (!lhs.ok()) note(lhs.status());
     StatusOr<ColumnRef> rhs = Resolve(cond.rhs);
-    if (!rhs.ok()) return rhs.status();
+    if (!rhs.ok()) note(rhs.status());
+    if (!lhs.ok() || !rhs.ok() || any_null_relation) continue;
     // (a + oa) op (b + ob)  ⇔  (a + (oa - ob)) op b — the legacy Query
     // carries the whole band offset on the left side.
     StatusOr<int> id = query.AddCondition(
         lhs->relation, cond.lhs.column, cond.op, rhs->relation,
         cond.rhs.column, cond.lhs.offset - cond.rhs.offset);
-    if (!id.ok()) return id.status();
+    if (!id.ok()) note(id.status());
   }
   for (const FilterClause& filter : filters_) {
     StatusOr<ColumnRef> ref = Resolve(filter.pred.col);
-    if (!ref.ok()) return ref.status();
+    if (!ref.ok()) {
+      note(ref.status());
+      continue;
+    }
     if (filter.pred.col.alias != filter.alias) {
-      return Status::InvalidArgument(
+      note(Status::InvalidArgument(
           "Filter(\"" + filter.alias + "\", ...) predicate references '" +
           filter.pred.col.spelled + "' (the predicate column must belong "
-          "to the filtered alias)");
+          "to the filtered alias)"));
+      continue;
     }
-    MRTHETA_RETURN_IF_ERROR(
+    if (any_null_relation) continue;
+    Status added =
         query.AddFilter(ref->relation, filter.pred.col.column,
                         filter.pred.op, filter.pred.literal,
-                        filter.pred.col.offset));
+                        filter.pred.col.offset);
+    if (!added.ok()) note(added);
   }
   for (const ColExpr& sel : selects_) {
     StatusOr<ColumnRef> ref = Resolve(sel);
-    if (!ref.ok()) return ref.status();
-    MRTHETA_RETURN_IF_ERROR(query.AddOutput(ref->relation, sel.column));
+    if (!ref.ok()) {
+      note(ref.status());
+      continue;
+    }
+    if (any_null_relation) continue;
+    Status added = query.AddOutput(ref->relation, sel.column);
+    if (!added.ok()) note(added);
+  }
+  if (!errors.empty()) {
+    if (errors.size() == 1) return errors.front();
+    std::string message = "query spec has " + std::to_string(errors.size()) +
+                          " errors:";
+    for (size_t i = 0; i < errors.size(); ++i) {
+      message += "\n  [" + std::to_string(i + 1) + "] " +
+                 errors[i].message();
+    }
+    return Status::WithCode(errors.front().code(), std::move(message));
   }
   MRTHETA_RETURN_IF_ERROR(query.Validate());
   return query;

@@ -107,11 +107,12 @@ inline FilterExpr operator!=(ColExpr a, std::string v) {
 ///   StatusOr<Query> q = b.Build();
 ///
 /// From/Where/Select record intent; Build resolves aliases and columns,
-/// reports the *first* structural error (duplicate alias, unknown alias,
-/// unknown column, malformed reference) with its spelling, and lowers to
-/// the legacy Query — relations in From order, conditions in Where order —
-/// so the planner and executor layers see exactly what a hand-built Query
-/// would give them.
+/// reports *every* structural error at once (duplicate alias, unknown
+/// alias, unknown column, malformed reference — each with its spelling,
+/// numbered in clause order; the Status carries the first error's code),
+/// and lowers to the legacy Query — relations in From order, conditions in
+/// Where order — so the planner and executor layers see exactly what a
+/// hand-built Query would give them.
 class QueryBuilder {
  public:
   /// Registers `relation` under `alias`. Repeating an alias is an error;

@@ -1,6 +1,7 @@
 #include "src/api/theta_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <system_error>
 #include <thread>
 
@@ -8,6 +9,25 @@
 #include "src/obs/trace.h"
 
 namespace mrtheta {
+
+namespace {
+
+/// Full plan-cache key: the query's canonical structure plus the
+/// generation of every input in query-index order. Generations come from a
+/// never-reused process-wide counter re-drawn on every mutation
+/// (src/relation/relation.h), so a key match alone proves "same structure
+/// over the same content" — no relation pointers needed, and a mutated
+/// input invalidates by mismatch rather than by explicit eviction.
+std::string PlanCacheKey(const Query& query) {
+  std::string key = query.StructureKey();
+  key += "|g";
+  for (const RelationPtr& rel : query.relations()) {
+    key += ":" + std::to_string(rel->generation());
+  }
+  return key;
+}
+
+}  // namespace
 
 std::string PlanReport::ToString() const {
   std::string out = plan.ToString();
@@ -104,33 +124,105 @@ StatusOr<CalibrationReport> ThetaEngine::Calibration() {
   return *calibration_;
 }
 
-StatusOr<QueryPlan> ThetaEngine::PlanQuery(const Query& query) {
+StatusOr<ThetaEngine::PlannedQuery> ThetaEngine::PlanForExecution(
+    const Query& query) {
   MRTHETA_RETURN_IF_ERROR(query.Validate());
   std::lock_guard<std::mutex> lock(mu_);
   MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
-  const std::vector<TableStats> stats = StatsForLocked(query);
-  StatusOr<QueryPlan> plan = planner_->Plan(query, stats);
-  if (plan.ok()) registry_.GetCounter("engine_plans")->Increment();
-  return plan;
+  PlannedQuery out;
+  const bool cache_on = options_.plan_cache_capacity > 0;
+  std::string key;
+  if (cache_on) {
+    key = PlanCacheKey(query);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_it);
+      registry_.GetCounter("engine_plan_cache_hits")->Increment();
+      out.plan = it->second.plan;
+      out.stats = it->second.stats;
+      out.cache_hit = true;
+      return out;
+    }
+    registry_.GetCounter("engine_plan_cache_misses")->Increment();
+  }
+  out.stats = StatsForLocked(query);
+  StatusOr<QueryPlan> plan = planner_->Plan(query, out.stats);
+  if (!plan.ok()) return plan.status();
+  registry_.GetCounter("engine_plans")->Increment();
+  out.plan = std::make_shared<const QueryPlan>(*std::move(plan));
+  // The whole miss path — lookup, stats, plan, insert — runs under one mu_
+  // hold, so N concurrent submissions of one brand-new shape cost exactly
+  // one planner run and N-1 hits; hit/miss counters stay deterministic
+  // under any Submit interleaving.
+  if (cache_on) InsertPlanLocked(key, out.plan, out.stats);
+  return out;
+}
+
+StatusOr<ThetaEngine::PlannedQuery> ThetaEngine::PlanPinnedOrExecution(
+    const Query& query, const std::shared_ptr<const QueryPlan>& pinned,
+    const std::string& pinned_key) {
+  // A fresh pin needs no lock: the key match proves the pinned plan was
+  // chosen for exactly this content, and the pin keeps it alive
+  // independently of LRU eviction. A mismatch (some input mutated since
+  // Prepare) falls through to the shared cache path.
+  if (pinned != nullptr && PlanCacheKey(query) == pinned_key) {
+    registry_.GetCounter("engine_plan_cache_hits")->Increment();
+    PlannedQuery out;
+    out.plan = pinned;
+    out.cache_hit = true;
+    return out;
+  }
+  return PlanForExecution(query);
+}
+
+void ThetaEngine::InsertPlanLocked(const std::string& key,
+                                   std::shared_ptr<const QueryPlan> plan,
+                                   std::vector<TableStats> stats) {
+  plan_lru_.push_front(key);
+  plan_cache_.insert_or_assign(
+      key, PlanCacheEntry{std::move(plan), std::move(stats),
+                          plan_lru_.begin()});
+  while (static_cast<int>(plan_cache_.size()) >
+         options_.plan_cache_capacity) {
+    plan_cache_.erase(plan_lru_.back());
+    plan_lru_.pop_back();
+    registry_.GetCounter("engine_plan_cache_evictions")->Increment();
+  }
+}
+
+StatusOr<QueryResult> ThetaEngine::ExecuteResolved(
+    const Query& query, const PlannedQuery& planned,
+    const CancellationToken* token) {
+  ExecutorOptions opts = options_.executor;
+  opts.cancel_token = token;
+  if (options_.per_query_threads > 0) {
+    opts.num_threads = std::min(opts.num_threads, options_.per_query_threads);
+  }
+  StatusOr<QueryResult> result =
+      ExecutePlan(query, *planned.plan, opts, options_.execution_seed);
+  if (result.ok()) result->set_plan_cache_hit(planned.cache_hit);
+  return result;
+}
+
+StatusOr<QueryPlan> ThetaEngine::PlanQuery(const Query& query) {
+  StatusOr<PlannedQuery> planned = PlanForExecution(query);
+  if (!planned.ok()) return planned.status();
+  return *planned->plan;
 }
 
 StatusOr<PlanReport> ThetaEngine::Explain(const Query& query) {
-  MRTHETA_RETURN_IF_ERROR(query.Validate());
-  std::lock_guard<std::mutex> lock(mu_);
-  MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
+  StatusOr<PlannedQuery> planned = PlanForExecution(query);
+  if (!planned.ok()) return planned.status();
   PlanReport report;
-  report.stats = StatsForLocked(query);
-  StatusOr<QueryPlan> plan = planner_->Plan(query, report.stats);
-  if (!plan.ok()) return plan.status();
-  registry_.GetCounter("engine_plans")->Increment();
-  report.plan = *std::move(plan);
+  report.plan = *planned->plan;
+  report.stats = planned->stats;
   return report;
 }
 
 StatusOr<QueryResult> ThetaEngine::Execute(const Query& query) {
-  StatusOr<QueryPlan> plan = PlanQuery(query);
-  if (!plan.ok()) return plan.status();
-  return ExecutePlan(query, *plan);
+  StatusOr<PlannedQuery> planned = PlanForExecution(query);
+  if (!planned.ok()) return planned.status();
+  return ExecuteResolved(query, *planned, nullptr);
 }
 
 StatusOr<QueryResult> ThetaEngine::Execute(const QueryBuilder& builder) {
@@ -153,13 +245,53 @@ StatusOr<QueryProfile> ThetaEngine::ExplainAnalyze(
 }
 
 std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
+  return SubmitInternal(std::move(query), nullptr, std::string());
+}
+
+std::future<StatusOr<QueryResult>> ThetaEngine::SubmitInternal(
+    Query query, std::shared_ptr<const QueryPlan> pinned,
+    std::string pinned_key) {
   auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
   std::future<StatusOr<QueryResult>> future = promise->get_future();
   // Each submission carries its own cancellation token, registered so
   // CancelInflight can stop it; the execution honors the token at job and
-  // task boundaries. The thread owns a shared_ptr, so the registry's
-  // entries are alive by construction.
+  // task boundaries (and in the admission wait). The thread owns a
+  // shared_ptr, so the registry's entries are alive by construction.
   auto token = std::make_shared<CancellationToken>();
+  // Admission decision, synchronously in the caller's thread: admit when a
+  // slot is free and nobody is queued ahead (FIFO), queue up to
+  // max_queue_depth, reject beyond that — a rejected future is already
+  // resolved when Submit returns, so rejection behaviour is deterministic
+  // regardless of coordination-thread scheduling.
+  bool admitted = false;
+  bool queued = false;
+  uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_inflight_queries > 0) {
+      if (admitted_queries_ < options_.max_inflight_queries &&
+          admission_queue_.empty()) {
+        ++admitted_queries_;
+        admitted = true;
+      } else if (static_cast<int>(admission_queue_.size()) <
+                 options_.max_queue_depth) {
+        ticket = next_ticket_++;
+        admission_queue_.push_back(ticket);
+        queued = true;
+      } else {
+        registry_.GetCounter("engine_admission_rejections")->Increment();
+        promise->set_value(Status::ResourceExhausted(
+            "Submit rejected: max_inflight_queries=" +
+            std::to_string(options_.max_inflight_queries) +
+            " queries in flight and the admission queue is full "
+            "(max_queue_depth=" + std::to_string(options_.max_queue_depth) +
+            ")"));
+        return future;
+      }
+    }
+    ++inflight_submissions_;
+    inflight_tokens_.push_back(token);
+  }
   auto deregister = [this, raw = token.get()] {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_submissions_;
@@ -172,11 +304,6 @@ std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
     }
     idle_cv_.notify_all();
   };
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++inflight_submissions_;
-    inflight_tokens_.push_back(token);
-  }
   // A detached coordination thread, not std::async: the returned future
   // must not block on destruction. The destructor's drain keeps `this`
   // alive for the thread's whole Execute; after the notify the thread
@@ -184,18 +311,38 @@ std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
   // destructor cannot win the race and free the condition variable
   // mid-notify).
   try {
-    std::thread([this, promise, token, deregister,
-                 q = std::move(query)]() mutable {
+    std::thread([this, promise, token, deregister, admitted, queued, ticket,
+                 q = std::move(query), pinned = std::move(pinned),
+                 key = std::move(pinned_key)]() mutable {
+      bool holds_slot = admitted;
       StatusOr<QueryResult> result = [&]() -> StatusOr<QueryResult> {
         TraceSpan span("submit", "engine");
-        return ExecuteCancellable(q, token.get());
+        if (queued) {
+          Status admit = WaitForAdmission(ticket, token.get());
+          if (!admit.ok()) return admit;
+          holds_slot = true;
+        }
+        return ExecuteCancellable(q, pinned, key, token.get());
       }();
+      if (holds_slot) ReleaseAdmission();
       deregister();
       promise->set_value(std::move(result));
     }).detach();
   } catch (const std::system_error& e) {
-    // Thread exhaustion: undo the in-flight bookkeeping (or the
-    // destructor's drain would wait forever) and fail the submission.
+    // Thread exhaustion: undo the admission and in-flight bookkeeping (or
+    // the destructor's drain would wait forever) and fail the submission.
+    if (admitted) ReleaseAdmission();
+    if (queued) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = admission_queue_.begin(); it != admission_queue_.end();
+           ++it) {
+        if (*it == ticket) {
+          admission_queue_.erase(it);
+          break;
+        }
+      }
+      admission_cv_.notify_all();
+    }
     deregister();
     promise->set_value(
         Status::ResourceExhausted(std::string("Submit could not start a "
@@ -205,20 +352,67 @@ std::future<StatusOr<QueryResult>> ThetaEngine::Submit(Query query) {
   return future;
 }
 
+Status ThetaEngine::WaitForAdmission(uint64_t ticket,
+                                     const CancellationToken* token) {
+  TraceSpan span("admission-wait", "engine");
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  admission_cv_.wait(lock, [&] {
+    return (token != nullptr && token->cancelled()) ||
+           (admitted_queries_ < options_.max_inflight_queries &&
+            !admission_queue_.empty() && admission_queue_.front() == ticket);
+  });
+  if (token != nullptr && token->cancelled()) {
+    for (auto it = admission_queue_.begin(); it != admission_queue_.end();
+         ++it) {
+      if (*it == ticket) {
+        admission_queue_.erase(it);
+        break;
+      }
+    }
+    // The queue front may have changed; wake the remaining waiters.
+    admission_cv_.notify_all();
+    return Status::Cancelled(
+        "submission cancelled while queued for admission");
+  }
+  admission_queue_.pop_front();
+  ++admitted_queries_;
+  // With max_inflight_queries > 1, further slots may be free for the new
+  // queue front.
+  admission_cv_.notify_all();
+  lock.unlock();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  span.Arg("waited_seconds", waited);
+  registry_.GetHistogram("engine_queue_wait_seconds", {}, 1e-6)
+      ->Record(waited);
+  return Status::OK();
+}
+
+void ThetaEngine::ReleaseAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --admitted_queries_;
+  admission_cv_.notify_all();
+}
+
 void ThetaEngine::CancelInflight() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::shared_ptr<CancellationToken>& token : inflight_tokens_) {
     token->Cancel();
   }
+  // Queued submissions wait on admission_cv_ with a cancellation check in
+  // the predicate; wake them so they resolve promptly with kCancelled.
+  admission_cv_.notify_all();
 }
 
 StatusOr<QueryResult> ThetaEngine::ExecuteCancellable(
-    const Query& query, const CancellationToken* token) {
-  StatusOr<QueryPlan> plan = PlanQuery(query);
-  if (!plan.ok()) return plan.status();
-  ExecutorOptions opts = options_.executor;
-  opts.cancel_token = token;
-  return ExecutePlan(query, *plan, opts, options_.execution_seed);
+    const Query& query, const std::shared_ptr<const QueryPlan>& pinned,
+    const std::string& pinned_key, const CancellationToken* token) {
+  StatusOr<PlannedQuery> planned =
+      PlanPinnedOrExecution(query, pinned, pinned_key);
+  if (!planned.ok()) return planned.status();
+  return ExecuteResolved(query, *planned, token);
 }
 
 std::future<StatusOr<QueryResult>> ThetaEngine::Submit(
@@ -230,6 +424,52 @@ std::future<StatusOr<QueryResult>> ThetaEngine::Submit(
     return failed.get_future();
   }
   return Submit(*std::move(query));
+}
+
+StatusOr<PreparedQuery> ThetaEngine::Prepare(const Query& query) {
+  StatusOr<PlannedQuery> planned = PlanForExecution(query);
+  if (!planned.ok()) return planned.status();
+  PreparedQuery prepared;
+  prepared.engine_ = this;
+  prepared.query_ = query;
+  prepared.plan_ = planned->plan;
+  prepared.cache_key_ = PlanCacheKey(query);
+  return prepared;
+}
+
+StatusOr<PreparedQuery> ThetaEngine::Prepare(const QueryBuilder& builder) {
+  StatusOr<Query> query = builder.Build();
+  if (!query.ok()) return query.status();
+  return Prepare(*query);
+}
+
+StatusOr<QueryResult> PreparedQuery::Execute() const {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "PreparedQuery is empty (default-constructed); obtain one from "
+        "ThetaEngine::Prepare");
+  }
+  StatusOr<ThetaEngine::PlannedQuery> planned =
+      engine_->PlanPinnedOrExecution(query_, plan_, cache_key_);
+  if (!planned.ok()) return planned.status();
+  return engine_->ExecuteResolved(query_, *planned, nullptr);
+}
+
+std::future<StatusOr<QueryResult>> PreparedQuery::Submit() const {
+  if (engine_ == nullptr) {
+    std::promise<StatusOr<QueryResult>> failed;
+    failed.set_value(Status::FailedPrecondition(
+        "PreparedQuery is empty (default-constructed); obtain one from "
+        "ThetaEngine::Prepare"));
+    return failed.get_future();
+  }
+  return engine_->SubmitInternal(query_, plan_, cache_key_);
+}
+
+StatusOr<QueryProfile> PreparedQuery::ExplainAnalyze() const {
+  StatusOr<QueryResult> result = Execute();
+  if (!result.ok()) return result.status();
+  return result->profile();
 }
 
 StatusOr<QueryResult> ThetaEngine::ExecutePlan(const Query& query,
@@ -291,6 +531,14 @@ EngineMetrics ThetaEngine::metrics() const {
       registry_.GetCounter("engine_stats_cache_hits")->value();
   m.stats_evictions = registry_.GetCounter("engine_stats_evictions")->value();
   m.plans = registry_.GetCounter("engine_plans")->value();
+  m.plan_cache_hits =
+      registry_.GetCounter("engine_plan_cache_hits")->value();
+  m.plan_cache_misses =
+      registry_.GetCounter("engine_plan_cache_misses")->value();
+  m.plan_cache_evictions =
+      registry_.GetCounter("engine_plan_cache_evictions")->value();
+  m.admission_rejections =
+      registry_.GetCounter("engine_admission_rejections")->value();
   m.executions = registry_.GetCounter("engine_executions")->value();
   m.failed_executions =
       registry_.GetCounter("engine_failed_executions")->value();

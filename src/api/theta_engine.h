@@ -3,7 +3,9 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,15 +48,69 @@ struct EngineMetrics {
   int64_t stats_builds = 0;      ///< per-relation TableStats computed
   int64_t stats_cache_hits = 0;  ///< per-relation TableStats reused
   int64_t stats_evictions = 0;   ///< cache entries dropped (expired relation)
-  int64_t plans = 0;             ///< queries planned
+  int64_t plans = 0;             ///< planner invocations (plan-cache misses)
   int64_t executions = 0;        ///< plans executed successfully
   int64_t failed_executions = 0;  ///< plans that returned a non-OK Status
+  // Serving-layer accounting (docs/API.md "Serving"); the plan-cache
+  // counters stay zero with plan_cache_capacity == 0, the admission ones
+  // with max_inflight_queries == 0.
+  int64_t plan_cache_hits = 0;    ///< executions that skipped planning+stats
+  int64_t plan_cache_misses = 0;  ///< lookups that fell through to the planner
+  int64_t plan_cache_evictions = 0;  ///< LRU shapes dropped at capacity
+  int64_t admission_rejections = 0;  ///< Submits refused (queue depth)
   // Fault-tolerance accounting summed over the session's executions
   // (docs/RUNTIME.md "Fault tolerance"); all zero without a FaultPlan.
   int64_t injected_faults = 0;       ///< faults the FaultPlan fired
   int64_t task_retries = 0;          ///< failed task attempts retried
   int64_t speculative_launches = 0;  ///< straggler re-executions launched
   double wasted_task_seconds = 0.0;  ///< time in never-committed attempts
+};
+
+class ThetaEngine;
+
+/// \brief A query prepared against a ThetaEngine: the validated Query plus
+/// a pinned plan out of the engine's plan cache, unifying the Query- and
+/// QueryBuilder-shaped entry points behind one handle.
+///
+///   StatusOr<PreparedQuery> p = engine.Prepare(builder);   // plans once
+///   for (...) auto result = p->Execute();                  // never re-plans
+///
+/// Execute/Submit/ExplainAnalyze behave exactly like the engine's own
+/// overloads, except planning is skipped while the pin is *fresh*: on each
+/// call the engine recomputes the cache key (structure + every input's
+/// Relation::generation()); a match executes the pinned plan (counted as a
+/// plan-cache hit), a mismatch — some input was mutated since Prepare —
+/// transparently re-plans through the cache, so a stale handle is never
+/// wrong, only slower. The pin keeps the plan alive independently of LRU
+/// eviction. Handles are cheap value types (the plan is shared, the query
+/// holds RelationPtr refs); the engine must outlive every handle. Thread
+/// safety follows the engine's: concurrent calls on one handle are safe.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  const Query& query() const { return query_; }
+  /// The plan pinned at Prepare time (what a fresh Execute will run).
+  const QueryPlan& plan() const { return *plan_; }
+
+  /// Executes on the engine's runtime, skipping planning while fresh.
+  StatusOr<QueryResult> Execute() const;
+  /// Asynchronous Execute on the engine's shared pool; admission-controlled
+  /// like every Submit (docs/API.md "Serving").
+  std::future<StatusOr<QueryResult>> Submit() const;
+  /// Executes and returns the per-job profile; profile.plan_cache_hit
+  /// tells whether this call reused the pin.
+  StatusOr<QueryProfile> ExplainAnalyze() const;
+
+ private:
+  friend class ThetaEngine;
+
+  ThetaEngine* engine_ = nullptr;
+  Query query_;
+  std::shared_ptr<const QueryPlan> plan_;
+  /// Cache key (structure + generations) observed at Prepare time; the
+  /// freshness check compares against the current key.
+  std::string cache_key_;
 };
 
 /// \brief The session facade over the paper's whole pipeline: statistics →
@@ -67,7 +123,11 @@ struct EngineMetrics {
 /// identity and validated by Relation::generation() (any mutation — growth
 /// or in-place edits — forces a rebuild; entries for freed relations are
 /// evicted) — the one-time "uploading" work of Sec. 6.3 is paid on the
-/// first query and amortized across the rest of the session.
+/// first query and amortized across the rest of the session. On top of the
+/// stats cache sits an LRU *plan* cache keyed by canonical query structure
+/// + input generations, so a repeated query shape skips planning entirely,
+/// and an admission policy bounding concurrent Submits (docs/API.md
+/// "Serving"; EngineOptions serving knobs).
 ///
 /// Thread safety: all entry points may be called concurrently. Submit
 /// returns a future and runs the query on its own coordination thread;
@@ -112,12 +172,28 @@ class ThetaEngine {
   StatusOr<QueryProfile> ExplainAnalyze(const Query& query);
   StatusOr<QueryProfile> ExplainAnalyze(const QueryBuilder& builder);
 
+  /// Prepares a query for repeated execution: validates it, plans it once
+  /// through the plan cache, and returns a handle whose
+  /// Execute/Submit/ExplainAnalyze skip planning while the inputs are
+  /// unmutated (see PreparedQuery). The builder overload makes Prepare the
+  /// single entry point for both construction styles.
+  StatusOr<PreparedQuery> Prepare(const Query& query);
+  StatusOr<PreparedQuery> Prepare(const QueryBuilder& builder);
+
   /// Asynchronous Execute for concurrent multi-query sessions: returns
   /// immediately; the execution overlaps with other submissions on the
   /// engine's shared pool. Unlike std::async, discarding the future does
   /// NOT block — the query keeps running and the engine's destructor
   /// waits for it, so the engine must outlive the session's submissions
   /// (which it does by construction).
+  ///
+  /// With max_inflight_queries > 0, Submit is admission-controlled: the
+  /// admit/queue/reject decision is taken synchronously in the caller's
+  /// thread — at most max_inflight_queries submissions execute, the next
+  /// max_queue_depth wait FIFO (queue time lands in the
+  /// engine_queue_wait_seconds histogram and an "admission-wait" span),
+  /// and beyond that the returned future is already resolved with
+  /// kResourceExhausted. CancelInflight also cancels queued submissions.
   std::future<StatusOr<QueryResult>> Submit(Query query);
   std::future<StatusOr<QueryResult>> Submit(const QueryBuilder& builder);
 
@@ -152,12 +228,54 @@ class ThetaEngine {
   MetricsRegistry& metrics_registry() const { return registry_; }
 
  private:
+  friend class PreparedQuery;
+
+  /// A plan resolved for execution: through the plan cache, a fresh
+  /// planner run, or a still-fresh PreparedQuery pin.
+  struct PlannedQuery {
+    std::shared_ptr<const QueryPlan> plan;
+    std::vector<TableStats> stats;  ///< statistics the plan was chosen with
+    bool cache_hit = false;         ///< planning + stats were skipped
+  };
+
   /// Validates options and runs calibration once; caller holds mu_.
   Status EnsureReadyLocked();
+  /// Validates `query` and resolves its plan: a plan-cache hit returns the
+  /// cached plan + stats without touching the planner; a miss collects
+  /// stats, plans, and inserts into the LRU cache (all under one mu_ hold,
+  /// so concurrent submissions of one new shape plan it exactly once).
+  StatusOr<PlannedQuery> PlanForExecution(const Query& query);
+  /// Like PlanForExecution, but serves `pinned` without locking when its
+  /// generation-stamped key still matches (the PreparedQuery fast path).
+  StatusOr<PlannedQuery> PlanPinnedOrExecution(
+      const Query& query, const std::shared_ptr<const QueryPlan>& pinned,
+      const std::string& pinned_key);
+  /// Inserts a freshly planned shape, evicting LRU entries beyond
+  /// plan_cache_capacity; caller holds mu_.
+  void InsertPlanLocked(const std::string& key,
+                        std::shared_ptr<const QueryPlan> plan,
+                        std::vector<TableStats> stats);
+  /// Executes a resolved plan with engine executor options (cancellation
+  /// token wired in, per_query_threads cap applied) and stamps the
+  /// result's plan_cache_hit.
+  StatusOr<QueryResult> ExecuteResolved(const Query& query,
+                                        const PlannedQuery& planned,
+                                        const CancellationToken* token);
   /// Plan + execute under a Submit coordination thread's cancellation
-  /// token (engine executor options otherwise).
-  StatusOr<QueryResult> ExecuteCancellable(const Query& query,
-                                           const CancellationToken* token);
+  /// token (engine executor options otherwise, with the per_query_threads
+  /// cap applied).
+  StatusOr<QueryResult> ExecuteCancellable(
+      const Query& query, const std::shared_ptr<const QueryPlan>& pinned,
+      const std::string& pinned_key, const CancellationToken* token);
+  /// Shared Submit path: admission control + detached coordination thread.
+  std::future<StatusOr<QueryResult>> SubmitInternal(
+      Query query, std::shared_ptr<const QueryPlan> pinned,
+      std::string pinned_key);
+  /// Blocks until this ticket reaches the queue front with a free slot (or
+  /// its token is cancelled); records the queue wait on admission.
+  Status WaitForAdmission(uint64_t ticket, const CancellationToken* token);
+  /// Frees one admission slot and wakes the queue front.
+  void ReleaseAdmission();
   /// Session statistics for the query's relations, cached by relation
   /// identity; caller holds mu_.
   std::vector<TableStats> StatsForLocked(const Query& query);
@@ -190,6 +308,29 @@ class ThetaEngine {
   };
   std::unordered_map<const Relation*, CachedStats>
       stats_cache_;                   // guarded by mu_
+  /// The session plan cache (docs/API.md "Serving"): key =
+  /// Query::StructureKey() + the generation of every input in query-index
+  /// order. Generations are drawn from a never-reused process-wide counter,
+  /// so a key match alone proves the cached plan was chosen for exactly
+  /// this structure over exactly this content — mutation invalidates by
+  /// key mismatch, and dropping the relation merely strands an entry until
+  /// LRU eviction (the cache stores plans and stats *values*, never
+  /// relation pointers, so a stranded entry can go stale but never dangle
+  /// or be wrongly served). Entries hold the stats the plan was chosen
+  /// with, so Explain reports them without a rebuild.
+  struct PlanCacheEntry {
+    std::shared_ptr<const QueryPlan> plan;
+    std::vector<TableStats> stats;
+    std::list<std::string>::iterator lru_it;  ///< position in plan_lru_
+  };
+  std::list<std::string> plan_lru_;   // front = most recent; guarded by mu_
+  std::unordered_map<std::string, PlanCacheEntry>
+      plan_cache_;                    // guarded by mu_
+  // Admission control (active when options_.max_inflight_queries > 0).
+  int admitted_queries_ = 0;          // guarded by mu_
+  uint64_t next_ticket_ = 0;          // guarded by mu_
+  std::deque<uint64_t> admission_queue_;  // FIFO tickets; guarded by mu_
+  std::condition_variable admission_cv_;  // slot freed / queue front moved
   /// Source of truth for all session metrics; internally synchronized
   /// (handles are lock-free), so fault accounting from executor scope
   /// guards and detached Submit threads lands here without touching mu_ —

@@ -367,7 +367,9 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
 }
 
 QueryProfile QueryResult::profile() const {
-  return BuildQueryProfile(execution_);
+  QueryProfile profile = BuildQueryProfile(execution_);
+  profile.plan_cache_hit = plan_cache_hit_;
+  return profile;
 }
 
 }  // namespace mrtheta

@@ -216,8 +216,15 @@ class QueryResult {
   /// src/obs/profile.h for the rendering API.
   QueryProfile profile() const;
 
+  /// True when the executed plan came out of the engine's plan cache (or a
+  /// still-fresh PreparedQuery pin) instead of a fresh Planner::Plan run.
+  /// Always false for results of ExecutePlan with a caller-provided plan.
+  bool plan_cache_hit() const { return plan_cache_hit_; }
+  void set_plan_cache_hit(bool hit) { plan_cache_hit_ = hit; }
+
  private:
   ExecutionResult execution_;
+  bool plan_cache_hit_ = false;
 };
 
 }  // namespace mrtheta

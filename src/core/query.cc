@@ -1,5 +1,7 @@
 #include "src/core/query.h"
 
+#include <cstdio>
+
 namespace mrtheta {
 
 namespace {
@@ -183,6 +185,32 @@ Status Query::Validate() const {
         "join graph must be connected (no cross products)");
   }
   return Status::OK();
+}
+
+std::string Query::StructureKey() const {
+  // %.17g round-trips every double, so distinct offsets/literals can never
+  // collide into one key.
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::string key = "r" + std::to_string(num_relations());
+  for (const JoinCondition& cond : conditions_) {
+    key += ";c" + std::to_string(cond.lhs.relation) + "." +
+           std::to_string(cond.lhs.column) + ThetaOpName(cond.op) +
+           std::to_string(cond.rhs.relation) + "." +
+           std::to_string(cond.rhs.column) + "+" + num(cond.offset);
+  }
+  for (const SelectionFilter& filter : filters_) {
+    key += ";f" + std::to_string(filter.col.relation) + "." +
+           std::to_string(filter.col.column) + ThetaOpName(filter.op) +
+           filter.literal.ToString() + "+" + num(filter.offset);
+  }
+  for (const OutputColumn& out : outputs_) {
+    key += ";o" + std::to_string(out.base) + "." + std::to_string(out.column);
+  }
+  return key;
 }
 
 std::string Query::ToString() const {

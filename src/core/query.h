@@ -64,6 +64,15 @@ class Query {
   /// join graph, in-range and type-compatible condition endpoints.
   Status Validate() const;
 
+  /// Canonical serialization of the query's *structure*: relation count
+  /// plus every condition, filter and output with index-based endpoints,
+  /// operators and offsets — everything the planner's choice depends on
+  /// except the input data itself. Two queries built by the same clause
+  /// sequence over any relations share the key; it deliberately excludes
+  /// relation identity/content, which the ThetaEngine plan cache adds via
+  /// Relation::generation() (docs/API.md "Serving").
+  std::string StructureKey() const;
+
   std::string ToString() const;
 
  private:

@@ -114,7 +114,8 @@ std::string QueryProfile::ToTable() const {
      << " s, simulated " << TablePrinter::Num(simulated_seconds, 3)
      << " s, shuffle " << sim_shuffle_bytes << " bytes, result rows "
      << result_rows_physical << " (selectivity "
-     << FormatDouble(result_selectivity) << ")\n";
+     << FormatDouble(result_selectivity) << ", plan "
+     << (plan_cache_hit ? "cached" : "fresh") << ")\n";
   return os.str();
 }
 
@@ -167,7 +168,10 @@ std::string QueryProfile::ToJson() const {
   out += "  \"sim_shuffle_bytes\": " + std::to_string(sim_shuffle_bytes) + ",\n";
   out += "  \"result_rows_physical\": " + std::to_string(result_rows_physical) +
          ",\n";
-  out += "  \"result_selectivity\": " + FormatDouble(result_selectivity) + "\n";
+  out += "  \"result_selectivity\": " + FormatDouble(result_selectivity) +
+         ",\n";
+  out += std::string("  \"plan_cache_hit\": ") +
+         (plan_cache_hit ? "true" : "false") + "\n";
   out += "}\n";
   return out;
 }

@@ -59,6 +59,10 @@ struct QueryProfile {
   int64_t sim_shuffle_bytes = 0;
   int64_t result_rows_physical = 0;
   double result_selectivity = 0.0;
+  /// True when this execution reused a plan from the engine's plan cache
+  /// (docs/API.md "Serving") instead of running the planner. Set by
+  /// QueryResult::profile(); BuildQueryProfile alone leaves it false.
+  bool plan_cache_hit = false;
 
   std::string ToTable() const;
   std::string ToJson() const;

@@ -136,12 +136,37 @@ TEST(ThetaEngineTest, CalibrationAndStatsComputedOnceAcrossExecutes) {
 
   const EngineMetrics metrics = engine.metrics();
   EXPECT_EQ(metrics.calibrations, 1);
-  // Q1 has three distinct relation instances; stats are built once each
-  // and served from the cache for the two re-executions.
+  // Q1 has three distinct relation instances; the first Execute builds
+  // their stats and plans once, and both re-executions hit the plan cache
+  // — skipping planning AND the stats lookup entirely.
+  EXPECT_EQ(metrics.stats_builds, 3);
+  EXPECT_EQ(metrics.stats_cache_hits, 0);
+  EXPECT_EQ(metrics.plans, 1);
+  EXPECT_EQ(metrics.plan_cache_misses, 1);
+  EXPECT_EQ(metrics.plan_cache_hits, 2);
+  EXPECT_EQ(metrics.executions, 3);
+}
+
+TEST(ThetaEngineTest, DisabledPlanCachePreservesLegacyCounting) {
+  MobileDataOptions options;
+  options.physical_rows = 100;
+  options.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, options);
+  ASSERT_TRUE(query.ok());
+
+  EngineOptions engine_options;
+  engine_options.plan_cache_capacity = 0;  // serving layer opt-out
+  ThetaEngine engine(engine_options);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine.Execute(*query).ok());
+
+  // Every Execute replans from (cached) stats, exactly as before the plan
+  // cache existed.
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.plans, 3);
+  EXPECT_EQ(metrics.plan_cache_hits, 0);
+  EXPECT_EQ(metrics.plan_cache_misses, 0);
   EXPECT_EQ(metrics.stats_builds, 3);
   EXPECT_EQ(metrics.stats_cache_hits, 6);
-  EXPECT_EQ(metrics.plans, 3);
-  EXPECT_EQ(metrics.executions, 3);
 }
 
 TEST(ThetaEngineTest, ConcurrentSubmitsMatchSequentialExecution) {
@@ -308,6 +333,253 @@ TEST(ThetaEngineTest, StatsCacheEvictsExpiredRelations) {
   EXPECT_EQ(engine.metrics().stats_evictions, 1);
   // `keep` was served from cache (self-join: both aliases share the entry).
   EXPECT_EQ(engine.metrics().stats_builds, 2);
+}
+
+// ---- Plan cache & serving ----
+
+TEST(PlanCacheTest, InvalidatedByInPlaceMutationAndGrowth) {
+  auto r1 = std::make_shared<Relation>(
+      "r1", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  auto r2 = std::make_shared<Relation>(
+      "r2", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(51);
+  for (int i = 0; i < 80; ++i) {
+    r1->AppendIntRow({rng.UniformInt(0, 9), rng.UniformInt(0, 9)});
+    r2->AppendIntRow({rng.UniformInt(0, 9), rng.UniformInt(0, 9)});
+  }
+  QueryBuilder builder;
+  builder.From("r", r1).From("s", r2).Where(Col("r.a") <= Col("s.a"));
+  const auto query = builder.Build();
+  ASSERT_TRUE(query.ok());
+
+  ThetaEngine engine;
+  ASSERT_TRUE(engine.Execute(*query).ok());
+  ASSERT_TRUE(engine.Execute(*query).ok());
+  EXPECT_EQ(engine.metrics().plan_cache_hits, 1);
+
+  // In-place edit at unchanged cardinality: the generation in the cache
+  // key moves, so the stale plan must NOT be served.
+  for (int64_t row = 0; row < r1->num_rows(); ++row) {
+    ASSERT_TRUE(r1->SetCell(row, 0, Value(r1->GetInt(row, 0) + 1000)).ok());
+  }
+  const auto after_edit = engine.Execute(*query);
+  ASSERT_TRUE(after_edit.ok());
+  EXPECT_EQ(engine.metrics().plan_cache_misses, 2);
+  EXPECT_EQ(engine.metrics().plans, 2);
+  // The replan really recollected stats for the mutated input.
+  EXPECT_EQ(engine.metrics().stats_builds, 3);
+
+  // Growth invalidates too, and the warm engine matches a cold one.
+  Rng grow(52);
+  for (int i = 0; i < 40; ++i) {
+    r2->AppendIntRow({grow.UniformInt(0, 9), grow.UniformInt(0, 9)});
+  }
+  const auto grown = engine.Execute(*query);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(engine.metrics().plan_cache_misses, 3);
+  ThetaEngine fresh;
+  const auto cold = fresh.Execute(*query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(grown->makespan(), cold->makespan());
+  ExpectIdenticalRows(*grown->execution().result_ids,
+                      *cold->execution().result_ids);
+}
+
+TEST(PlanCacheTest, LruEvictsAtCapacity) {
+  MobileDataOptions options;
+  options.physical_rows = 80;
+  const auto q1 = BuildMobileQuery(1, options);
+  options.physical_rows = 90;  // distinct inputs -> distinct cache key
+  const auto q1_other = BuildMobileQuery(1, options);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q1_other.ok());
+
+  EngineOptions engine_options;
+  engine_options.plan_cache_capacity = 1;
+  ThetaEngine engine(engine_options);
+  ASSERT_TRUE(engine.Execute(*q1).ok());        // miss, cached
+  ASSERT_TRUE(engine.Execute(*q1_other).ok());  // miss, evicts q1
+  ASSERT_TRUE(engine.Execute(*q1).ok());        // miss again, evicts other
+  ASSERT_TRUE(engine.Execute(*q1).ok());        // hit
+
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.plan_cache_misses, 3);
+  EXPECT_EQ(metrics.plan_cache_evictions, 2);
+  EXPECT_EQ(metrics.plan_cache_hits, 1);
+}
+
+TEST(PlanCacheTest, ConcurrentSubmitStormPlansOneShapeOnce) {
+  MobileDataOptions options;
+  options.physical_rows = 80;
+  options.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, options);
+  ASSERT_TRUE(query.ok());
+
+  EngineOptions engine_options;
+  engine_options.executor.num_threads = 2;
+  ThetaEngine engine(engine_options);
+  constexpr int kStorm = 8;
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  futures.reserve(kStorm);
+  for (int i = 0; i < kStorm; ++i) futures.push_back(engine.Submit(*query));
+
+  std::vector<StatusOr<QueryResult>> results;
+  for (auto& future : futures) results.push_back(future.get());
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectIdenticalRows(*result->execution().result_ids,
+                        *results.front()->execution().result_ids);
+  }
+
+  // The whole miss path runs under one lock hold, so a storm of one new
+  // shape plans exactly once no matter how the submissions interleave.
+  const EngineMetrics metrics = engine.metrics();
+  EXPECT_EQ(metrics.plan_cache_misses, 1);
+  EXPECT_EQ(metrics.plan_cache_hits, kStorm - 1);
+  EXPECT_EQ(metrics.plans, 1);
+  EXPECT_EQ(metrics.executions, kStorm);
+}
+
+TEST(PreparedQueryTest, PinSkipsPlanningAndSurvivesMutation) {
+  auto r1 = std::make_shared<Relation>(
+      "r1", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  auto r2 = std::make_shared<Relation>(
+      "r2", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  Rng rng(61);
+  for (int i = 0; i < 80; ++i) {
+    r1->AppendIntRow({rng.UniformInt(0, 9), rng.UniformInt(0, 9)});
+    r2->AppendIntRow({rng.UniformInt(0, 9), rng.UniformInt(0, 9)});
+  }
+  QueryBuilder builder;
+  builder.From("r", r1).From("s", r2).Where(Col("r.a") <= Col("s.a"));
+
+  ThetaEngine engine;
+  StatusOr<PreparedQuery> prepared = engine.Prepare(builder);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_FALSE(prepared->plan().jobs.empty());
+  EXPECT_EQ(engine.metrics().plans, 1);
+
+  const auto first = prepared->Execute();
+  const auto second = prepared->Execute();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalRows(*first->execution().result_ids,
+                      *second->execution().result_ids);
+  // Both executions reused the pin; nothing replanned.
+  EXPECT_EQ(engine.metrics().plans, 1);
+  EXPECT_EQ(engine.metrics().plan_cache_hits, 2);
+  EXPECT_TRUE(first->plan_cache_hit());
+
+  // Submit goes through the same pin (and the admission machinery).
+  auto submitted = prepared->Submit();
+  const auto async_result = submitted.get();
+  ASSERT_TRUE(async_result.ok()) << async_result.status().ToString();
+  ExpectIdenticalRows(*async_result->execution().result_ids,
+                      *first->execution().result_ids);
+  EXPECT_EQ(engine.metrics().plans, 1);
+
+  // ExplainAnalyze reports the reuse.
+  const auto profile = prepared->ExplainAnalyze();
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->plan_cache_hit);
+
+  // Mutating an input makes the pin stale: the next Execute transparently
+  // replans (never serves a wrong plan) and matches a cold engine.
+  Rng grow(62);
+  for (int i = 0; i < 40; ++i) {
+    r1->AppendIntRow({grow.UniformInt(0, 9), grow.UniformInt(0, 9)});
+  }
+  const auto after = prepared->Execute();
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->plan_cache_hit());
+  EXPECT_EQ(engine.metrics().plans, 2);
+  ThetaEngine fresh;
+  const auto query = builder.Build();
+  ASSERT_TRUE(query.ok());
+  const auto cold = fresh.Execute(*query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(after->makespan(), cold->makespan());
+  ExpectIdenticalRows(*after->execution().result_ids,
+                      *cold->execution().result_ids);
+
+  // A default-constructed handle fails loudly, not with a crash.
+  PreparedQuery empty;
+  EXPECT_EQ(empty.Execute().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(empty.Submit().get().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(empty.ExplainAnalyze().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdmissionControlTest, RejectsBeyondQueueDepth) {
+  EngineOptions options;
+  options.executor.num_threads = 2;
+  options.max_inflight_queries = 1;
+  options.max_queue_depth = 0;  // no queue: reject the moment we're full
+  // Every task's first attempt stalls, so the first submission is still
+  // occupying the one slot when the second arrives.
+  options.executor.fault_plan = FaultPlan{};
+  options.executor.fault_plan.seed = 71;
+  options.executor.fault_plan.straggler_rate = 1.0;
+  options.executor.fault_plan.straggler_delay_ms = 300.0;
+  options.executor.speculation.enabled = false;
+  ThetaEngine engine(options);
+  MobileDataOptions data;
+  data.physical_rows = 80;
+  data.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, data);
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(engine.Explain(*query).ok());  // warm plan cache
+
+  // Admission is decided synchronously in the submitter's thread, so this
+  // sequence is deterministic: first admitted, second rejected.
+  auto admitted = engine.Submit(*query);
+  auto rejected = engine.Submit(*query);
+  const auto rejected_result = rejected.get();
+  ASSERT_FALSE(rejected_result.ok());
+  EXPECT_EQ(rejected_result.status().code(),
+            StatusCode::kResourceExhausted)
+      << rejected_result.status().ToString();
+  EXPECT_EQ(engine.metrics().admission_rejections, 1);
+
+  const auto admitted_result = admitted.get();
+  ASSERT_TRUE(admitted_result.ok()) << admitted_result.status().ToString();
+  EXPECT_EQ(engine.metrics().admission_rejections, 1);
+}
+
+TEST(AdmissionControlTest, QueuedSubmissionsRunFifoAndRecordWait) {
+  EngineOptions options;
+  options.executor.num_threads = 2;
+  options.max_inflight_queries = 1;
+  options.max_queue_depth = 8;
+  ThetaEngine engine(options);
+  MobileDataOptions data;
+  data.physical_rows = 80;
+  data.logical_bytes = 2 * kGiB;
+  const auto query = BuildMobileQuery(1, data);
+  ASSERT_TRUE(query.ok());
+
+  const auto reference = engine.Execute(*query);
+  ASSERT_TRUE(reference.ok());
+
+  // One slot: the second and third submissions must queue, wait their
+  // turn, and still produce byte-identical answers.
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(engine.Submit(*query));
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectIdenticalRows(*result->execution().result_ids,
+                        *reference->execution().result_ids);
+  }
+
+  EXPECT_EQ(engine.metrics().admission_rejections, 0);
+  // Every queued admission records its wait in the serving histogram; at
+  // least the two submissions behind the head must have queued.
+  MetricHistogram* wait = engine.metrics_registry().GetHistogram(
+      "engine_queue_wait_seconds", {}, 1e-6);
+  EXPECT_GE(wait->count(), 2);
 }
 
 TEST(ThetaEngineTest, DiscardedSubmitFutureNeitherBlocksNorLeaks) {
@@ -563,6 +835,39 @@ TEST(QueryBuilderTest, ReportsMalformedReferenceWithItsSpelling) {
   ASSERT_FALSE(built.ok());
   EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(built.status().message().find("'ra'"), std::string::npos);
+}
+
+TEST(QueryBuilderTest, AggregatesEveryErrorIntoOneStatus) {
+  // Three independent mistakes: Build must report all of them at once,
+  // numbered in clause order, carrying the first error's code — one
+  // round-trip to fix a broken query spec, not three.
+  QueryBuilder builder;
+  builder.From("r", MakeRel("r", 19))
+      .From("s", MakeRel("s", 20))
+      .Where(Col("r.a") <= Col("t.a"))   // [1] unknown alias
+      .Where(Col("r.zz") <= Col("s.a"))  // [2] unknown column
+      .Select("ra");                     // [3] malformed reference
+  const auto built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  const std::string& message = built.status().message();
+  EXPECT_EQ(built.status().code(), StatusCode::kNotFound);  // first error's
+  EXPECT_NE(message.find("3 errors"), std::string::npos) << message;
+  EXPECT_NE(message.find("[1]"), std::string::npos) << message;
+  EXPECT_NE(message.find("unknown alias 't'"), std::string::npos) << message;
+  EXPECT_NE(message.find("[2]"), std::string::npos) << message;
+  EXPECT_NE(message.find("unknown column 'zz'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("[3]"), std::string::npos) << message;
+  EXPECT_NE(message.find("'ra'"), std::string::npos) << message;
+
+  // A single mistake keeps the old single-error shape.
+  QueryBuilder one;
+  one.From("r", MakeRel("r", 21))
+      .From("s", MakeRel("s", 22))
+      .Where(Col("r.a") <= Col("t.a"));
+  const auto single = one.Build();
+  ASSERT_FALSE(single.ok());
+  EXPECT_EQ(single.status().message().find("errors"), std::string::npos);
 }
 
 // ---- Column pruning: plan-level differential ----
