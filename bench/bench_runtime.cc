@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -36,7 +37,9 @@
 #include "src/api/theta_engine.h"
 #include "src/baselines/baseline_planners.h"
 #include "src/common/flags.h"
+#include "src/common/rng.h"
 #include "src/exec/theta_kernels.h"
+#include "src/mem/memory_budget.h"
 #include "src/obs/obs_export.h"
 #include "src/workload/flights.h"
 #include "src/workload/mobile.h"
@@ -63,6 +66,9 @@ void RunScalingCurve(const PlannedQuery& pq, ThetaEngine& engine,
   for (int threads : kThreadSteps) {
     ExecutorOptions options = engine.options().executor;
     options.num_threads = threads;
+    // peak_mem_bytes is a process-wide high-water mark; reset per run so
+    // every record reports its own execution's peak (docs/MEMORY.md).
+    MemoryBudget::Global().ResetPeak();
     const auto result = engine.ExecutePlan(pq.query, pq.plan, options,
                                            engine.options().execution_seed);
     if (!result.ok()) {
@@ -103,6 +109,8 @@ void RunScalingCurve(const PlannedQuery& pq, ThetaEngine& engine,
     rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    rec.peak_mem_bytes = result->execution().peak_mem_bytes;
+    rec.spill_bytes = result->execution().spill_bytes;
     records.push_back(rec);
     std::printf("  %-8s %-10s threads=%d  wall=%7.3fs  speedup=%5.2fx  "
                 "rows=%lld\n",
@@ -129,6 +137,7 @@ void RunEngineReuse(ThetaEngine& engine,
 
   double cold_wall = 0.0;
   for (const char* phase : {"cold", "warm"}) {
+    MemoryBudget::Global().ResetPeak();
     const auto start = std::chrono::steady_clock::now();
     const auto result = engine.Execute(*query);
     const double wall = SecondsSince(start);
@@ -151,6 +160,8 @@ void RunEngineReuse(ThetaEngine& engine,
     rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    rec.peak_mem_bytes = result->execution().peak_mem_bytes;
+    rec.spill_bytes = result->execution().spill_bytes;
     records.push_back(rec);
     std::printf("  %-8s %-10s threads=%d  wall=%7.3fs  speedup=%5.2fx  "
                 "rows=%lld\n",
@@ -198,6 +209,7 @@ void RunPruneComparison(const Query& query, const QueryPlan& plan,
   const char* names[2] = {"q17_pruned", "q17_fullwidth"};
   int64_t shuffle[2] = {0, 0};
   for (int v = 0; v < 2; ++v) {
+    MemoryBudget::Global().ResetPeak();
     const auto start = std::chrono::steady_clock::now();
     const auto result = engine.ExecutePlan(query, *variants[v]);
     if (!result.ok()) {
@@ -219,6 +231,8 @@ void RunPruneComparison(const Query& query, const QueryPlan& plan,
     rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    rec.peak_mem_bytes = result->execution().peak_mem_bytes;
+    rec.spill_bytes = result->execution().spill_bytes;
     records.push_back(rec);
     std::printf("  %-8s %-14s shuffle=%lld B  sim=%7.1fs  rows=%lld\n",
                 rec.workload.c_str(), names[v],
@@ -269,6 +283,7 @@ void RunFaultOverhead(const Query& query, const QueryPlan& plan,
     options.num_threads = kMaxThreads;
     options.fault_plan = FaultPlan{};  // env-independent: explicit plans
     options.fault_plan.armed = v == 1;
+    MemoryBudget::Global().ResetPeak();
     const auto result = engine.ExecutePlan(query, plan, options,
                                            engine.options().execution_seed);
     if (!result.ok()) {
@@ -291,6 +306,8 @@ void RunFaultOverhead(const Query& query, const QueryPlan& plan,
     rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
+    rec.peak_mem_bytes = result->execution().peak_mem_bytes;
+    rec.spill_bytes = result->execution().spill_bytes;
     records.push_back(rec);
     std::printf("  %-8s %-10s wall=%7.3fs  rows=%lld\n", rec.workload.c_str(),
                 names[v], walls[v],
@@ -349,6 +366,8 @@ void RunTraceOverhead(const Query& query, const QueryPlan& plan,
   int64_t shuffle[2] = {0, 0};
   double sims[2] = {0.0, 0.0};
   int64_t rows[2] = {0, 0};
+  int64_t peaks[2] = {0, 0};
+  int64_t spills[2] = {0, 0};
   const char* names[2] = {"q17_untraced", "q17_traced"};
   // Variants are interleaved per rep so slow machine drift (thermal,
   // co-tenant load) hits both equally; min-of-reps then discards the
@@ -359,6 +378,7 @@ void RunTraceOverhead(const Query& query, const QueryPlan& plan,
     for (int v = 0; v < 2; ++v) {
       std::optional<TraceSession> session;
       if (v == 1) session.emplace(&tracer);
+      MemoryBudget::Global().ResetPeak();
       const auto result = engine.ExecutePlan(query, plan, options,
                                              engine.options().execution_seed);
       if (!result.ok()) {
@@ -372,6 +392,8 @@ void RunTraceOverhead(const Query& query, const QueryPlan& plan,
         shuffle[v] = result->sim_shuffle_bytes();
         sims[v] = result->simulated_seconds();
         rows[v] = result->num_rows();
+        peaks[v] = result->execution().peak_mem_bytes;
+        spills[v] = result->execution().spill_bytes;
       }
       const double wall = result->measured_seconds();
       if (rep == 0 || wall < walls[v]) walls[v] = wall;
@@ -404,6 +426,8 @@ void RunTraceOverhead(const Query& query, const QueryPlan& plan,
     rec.result_rows_physical = rows[v];
     rec.sort_kernel_min_pairs = kSortKernelMinPairs;
     rec.trace_overhead = overhead;
+    rec.peak_mem_bytes = peaks[v];
+    rec.spill_bytes = spills[v];
     records.push_back(rec);
     std::printf("  %-8s %-13s wall=%7.3fs (min of %d)  rows=%lld\n",
                 rec.workload.c_str(), names[v], walls[v], kReps,
@@ -436,6 +460,7 @@ void RunGateSweep(const Query& query, const QueryPlan& plan,
     ExecutorOptions options = engine.options().executor;
     options.num_threads = kMaxThreads;
     options.sort_kernel_min_pairs = gate;
+    MemoryBudget::Global().ResetPeak();
     const auto result = engine.ExecutePlan(query, plan, options,
                                            engine.options().execution_seed);
     if (!result.ok()) {
@@ -456,12 +481,167 @@ void RunGateSweep(const Query& query, const QueryPlan& plan,
     rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
     rec.result_rows_physical = result->num_rows();
     rec.sort_kernel_min_pairs = gate;
+    rec.peak_mem_bytes = result->execution().peak_mem_bytes;
+    rec.spill_bytes = result->execution().spill_bytes;
     records.push_back(rec);
     std::printf("  gate-sweep min_pairs=%-12lld wall=%7.3fs  rows=%lld\n",
                 static_cast<long long>(gate), wall,
                 static_cast<long long>(rec.result_rows_physical));
     std::fflush(stdout);
   }
+}
+
+// Bounded-memory shuffle figure (docs/MEMORY.md): a 40k x 40k equi-join —
+// 10x the mobile q1_4k physical scale — executed unbudgeted and under a
+// tight --mem-budget-style ExecutorOptions override, at 1 and 4 threads
+// each. Three hard contracts, the process aborts on violation:
+//
+//   1. all four runs produce byte-identical projected rows and the same
+//      simulated makespan (the budget is invisible to results);
+//   2. every budgeted run actually spills (spill_bytes > 0) — a budget
+//      the workload never reaches would gate nothing;
+//   3. the budgeted peak stays within kMemPeakSlack x the budget. "Flat"
+//      is 1.25x, not 1.0x: the budget is a spill trigger, so in-use
+//      memory legitimately overshoots by the page/run granularity plus
+//      the reduce-side merge working set before spilling catches up.
+//
+// The four records land in their own BENCH_mem.json; check_bench.py gates
+// peak_mem_bytes and spill_bytes direction-aware against the committed
+// baseline.
+void RunMemBudget(ThetaEngine& engine, const std::string& out_path) {
+  constexpr int64_t kMemRows = 125000;     // per side; mobile q1_4k is 4000
+  constexpr int64_t kMemKeyRange = 20000;  // ~780k joined pairs
+  constexpr int64_t kMemBudget = 6 * 1024 * 1024;
+  constexpr double kMemPeakSlack = 1.25;
+
+  auto make_side = [&](const char* name, uint64_t seed) {
+    auto rel = std::make_shared<Relation>(
+        name, Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+    Rng rng(seed);
+    for (int64_t i = 0; i < kMemRows; ++i) {
+      rel->AppendIntRow({static_cast<int64_t>(rng.Uniform(kMemKeyRange)),
+                         static_cast<int64_t>(rng.Uniform(1 << 20))});
+    }
+    return rel;
+  };
+  QueryBuilder builder;
+  builder.From("l", make_side("mem_l", 9101))
+      .From("r", make_side("mem_r", 9102))
+      .Where(Col("l.a") == Col("r.a"))
+      .Select("l.b")
+      .Select("r.b");
+  const auto query = builder.Build();
+  if (!query.ok()) {
+    std::fprintf(stderr, "mem_budget query: %s\n",
+                 query.status().ToString().c_str());
+    std::exit(1);
+  }
+  const auto plan = engine.PlanQuery(*query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "mem_budget plan: %s\n",
+                 plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  // The planner sizes RN(MRJ) for the tiny physical sample (RN <= 4 here),
+  // which makes ONE reduce task's merge working set comparable to the whole
+  // budget — no budget can keep peak flat when a single indivisible task
+  // needs most of it. Pin a cluster-realistic fan-out instead. 128 reduce
+  // tasks balance the two overheads that bound peak above the budget: the
+  // per-task merge working set (~ shuffle_bytes / RN per in-flight task,
+  // favors large RN) and the spool's unspillable floor of
+  // RN * kMinSpillRecords records (favors small RN). All four runs execute
+  // this same plan, so the determinism contract is unchanged.
+  QueryPlan mem_plan = *plan;
+  for (PlanJob& job : mem_plan.jobs) job.num_reduce_tasks = 128;
+
+  std::vector<MemBenchRecord> records;
+  uint64_t ref_fingerprint = 0;
+  SimTime ref_makespan = 0;
+  for (int budgeted = 0; budgeted <= 1; ++budgeted) {
+    for (int threads : {1, 4}) {
+      ExecutorOptions options = engine.options().executor;
+      options.num_threads = threads;
+      options.mem_budget_bytes = budgeted ? kMemBudget : 0;
+      MemoryBudget::Global().ResetPeak();
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = engine.ExecutePlan(*query, mem_plan, options,
+                                             engine.options().execution_seed);
+      if (!result.ok()) {
+        std::fprintf(stderr, "mem_budget %s/%dt failed: %s\n",
+                     budgeted ? "budgeted" : "unbudgeted", threads,
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      const double wall = SecondsSince(start);
+      const uint64_t fp = OrderedRowsFingerprint(result->rows());
+      if (records.empty()) {
+        ref_fingerprint = fp;
+        ref_makespan = result->makespan();
+      } else if (fp != ref_fingerprint || result->makespan() != ref_makespan) {
+        std::fprintf(stderr,
+                     "mem_budget: %s run at %d threads diverged from the "
+                     "unbudgeted single-thread reference (fingerprint %llx "
+                     "vs %llx, makespan %lld vs %lld) — the budget must be "
+                     "invisible to results\n",
+                     budgeted ? "budgeted" : "unbudgeted", threads,
+                     static_cast<unsigned long long>(fp),
+                     static_cast<unsigned long long>(ref_fingerprint),
+                     static_cast<long long>(result->makespan()),
+                     static_cast<long long>(ref_makespan));
+        std::exit(1);
+      }
+      const ExecutionResult& exec = result->execution();
+      if (budgeted) {
+        if (exec.spill_bytes <= 0 || exec.spill_files <= 0) {
+          std::fprintf(stderr,
+                       "mem_budget: budgeted run at %d threads never "
+                       "spilled (budget %lld, peak %lld) — the workload "
+                       "must exceed the budget to gate anything\n",
+                       threads, static_cast<long long>(kMemBudget),
+                       static_cast<long long>(exec.peak_mem_bytes));
+          std::exit(1);
+        }
+        if (static_cast<double>(exec.peak_mem_bytes) >
+            kMemPeakSlack * static_cast<double>(kMemBudget)) {
+          std::fprintf(stderr,
+                       "mem_budget: budgeted run at %d threads peaked at "
+                       "%lld bytes, over %.2fx the %lld-byte budget — "
+                       "peak memory must stay flat under spilling\n",
+                       threads, static_cast<long long>(exec.peak_mem_bytes),
+                       kMemPeakSlack, static_cast<long long>(kMemBudget));
+          std::exit(1);
+        }
+      }
+      MemBenchRecord rec;
+      rec.workload = "mem_budget";
+      rec.query = "equi_125k";
+      rec.mode = budgeted ? "budgeted" : "unbudgeted";
+      rec.threads = threads;
+      rec.mem_budget_bytes = budgeted ? kMemBudget : 0;
+      rec.jobs = static_cast<int>(mem_plan.jobs.size());
+      rec.wall_seconds = wall;
+      rec.sim_makespan_seconds = result->simulated_seconds();
+      rec.sim_shuffle_bytes = result->sim_shuffle_bytes();
+      rec.result_rows_physical = result->num_rows();
+      rec.spill_bytes = exec.spill_bytes;
+      rec.spill_files = exec.spill_files;
+      rec.peak_mem_bytes = exec.peak_mem_bytes;
+      records.push_back(rec);
+      std::printf("  %-8s %-10s threads=%d  wall=%7.3fs  rows=%lld  "
+                  "spill=%lld B  peak=%lld B\n",
+                  rec.workload.c_str(), rec.mode.c_str(), threads, wall,
+                  static_cast<long long>(rec.result_rows_physical),
+                  static_cast<long long>(rec.spill_bytes),
+                  static_cast<long long>(rec.peak_mem_bytes));
+      std::fflush(stdout);
+    }
+  }
+  const Status status = WriteMemBenchJson(out_path, records);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu records)\n", out_path.c_str(), records.size());
 }
 
 int Main(int argc, char** argv) {
@@ -554,6 +734,14 @@ int Main(int argc, char** argv) {
     return 1;
   }
   RunGateSweep(*q17, *q17_hive, engine, records);
+
+  // ---- Bounded-memory shuffle: unbudgeted vs tight budget, own file ----
+  const std::string::size_type slash = out_path.find_last_of('/');
+  const std::string mem_out_path =
+      slash == std::string::npos
+          ? std::string("BENCH_mem.json")
+          : out_path.substr(0, slash + 1) + "BENCH_mem.json";
+  RunMemBudget(engine, mem_out_path);
 
   const Status status = WriteRuntimeBenchJson(out_path, records);
   if (!status.ok()) {

@@ -125,12 +125,40 @@ Status WriteRuntimeBenchJson(const std::string& path,
         "\"sim_shuffle_bytes\": %lld, "
         "\"result_rows_physical\": %lld, "
         "\"sort_kernel_min_pairs\": %lld, "
-        "\"trace_overhead\": %.4f}",
+        "\"trace_overhead\": %.4f, "
+        "\"peak_mem_bytes\": %lld, \"spill_bytes\": %lld}",
         r.workload.c_str(), r.query.c_str(), r.threads, r.hardware_threads,
         r.jobs, r.wall_seconds, r.speedup_vs_1t, r.sim_makespan_seconds,
         static_cast<long long>(r.sim_shuffle_bytes),
         static_cast<long long>(r.result_rows_physical),
-        static_cast<long long>(r.sort_kernel_min_pairs), r.trace_overhead));
+        static_cast<long long>(r.sort_kernel_min_pairs), r.trace_overhead,
+        static_cast<long long>(r.peak_mem_bytes),
+        static_cast<long long>(r.spill_bytes)));
+  }
+  return WriteJsonArray(path, lines);
+}
+
+Status WriteMemBenchJson(const std::string& path,
+                         const std::vector<MemBenchRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const MemBenchRecord& r : records) {
+    lines.push_back(FormatLine(
+        "{\"workload\": \"%s\", \"query\": \"%s\", \"mode\": \"%s\", "
+        "\"threads\": %d, \"mem_budget_bytes\": %lld, "
+        "\"jobs\": %d, \"wall_seconds\": %.6f, "
+        "\"sim_makespan_seconds\": %.3f, "
+        "\"sim_shuffle_bytes\": %lld, "
+        "\"result_rows_physical\": %lld, "
+        "\"spill_bytes\": %lld, \"spill_files\": %lld, "
+        "\"peak_mem_bytes\": %lld}",
+        r.workload.c_str(), r.query.c_str(), r.mode.c_str(), r.threads,
+        static_cast<long long>(r.mem_budget_bytes), r.jobs, r.wall_seconds,
+        r.sim_makespan_seconds, static_cast<long long>(r.sim_shuffle_bytes),
+        static_cast<long long>(r.result_rows_physical),
+        static_cast<long long>(r.spill_bytes),
+        static_cast<long long>(r.spill_files),
+        static_cast<long long>(r.peak_mem_bytes)));
   }
   return WriteJsonArray(path, lines);
 }

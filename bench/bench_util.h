@@ -93,6 +93,13 @@ struct RuntimeBenchRecord {
   /// carries 0. Always serialized — check_bench.py fails if a record
   /// stops emitting it.
   double trace_overhead = 0.0;
+  /// Process-wide MemoryBudget high-water mark over this record's run
+  /// (docs/MEMORY.md). Benches ResetPeak() before each measured execution.
+  /// Always serialized; check_bench.py requires it on current records.
+  int64_t peak_mem_bytes = 0;
+  /// Shuffle bytes spilled to disk during this record's run. 0 for every
+  /// unbudgeted workload (the benches run without a memory budget).
+  int64_t spill_bytes = 0;
 };
 
 /// Writes `records` to `path` as a JSON array (overwrites the file).
@@ -123,6 +130,32 @@ struct SkewBenchRecord {
 /// Writes `records` to `path` as a JSON array (overwrites the file).
 Status WriteSkewBenchJson(const std::string& path,
                           const std::vector<SkewBenchRecord>& records);
+
+/// One bounded-memory shuffle measurement (bench_runtime's mem_budget
+/// workload / BENCH_mem.json): the same join executed unbudgeted and under
+/// a tight --mem-budget, fingerprint-checked byte-identical before a
+/// record is written. The budgeted records must spill (spill_bytes > 0)
+/// and hold peak_mem_bytes within 1.25x the budget; both are gated
+/// direction-aware by check_bench.py.
+struct MemBenchRecord {
+  std::string workload;  ///< "mem_budget"
+  std::string query;     ///< e.g. "equi_40k"
+  std::string mode;      ///< "unbudgeted" | "budgeted"
+  int threads = 1;
+  int64_t mem_budget_bytes = 0;  ///< 0 in unbudgeted mode
+  int jobs = 0;
+  double wall_seconds = 0.0;
+  double sim_makespan_seconds = 0.0;  ///< identical across modes/threads
+  int64_t sim_shuffle_bytes = 0;      ///< identical across modes/threads
+  int64_t result_rows_physical = 0;   ///< identical across modes/threads
+  int64_t spill_bytes = 0;
+  int64_t spill_files = 0;
+  int64_t peak_mem_bytes = 0;
+};
+
+/// Writes `records` to `path` as a JSON array (overwrites the file).
+Status WriteMemBenchJson(const std::string& path,
+                         const std::vector<MemBenchRecord>& records);
 
 /// FNV-1a over every cell of `rows` *in row order* — the benches'
 /// "byte-identical results" assertions mean content and order both.

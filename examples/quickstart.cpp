@@ -14,13 +14,14 @@
 
 using namespace mrtheta;  // NOLINT: example brevity
 
-// Usage: quickstart [--threads N] [--trace-out=F] [--metrics-out=F]
+// Usage: quickstart [--threads N] [--mem-budget SIZE] [--trace-out=F]
+//        [--metrics-out=F]
 int main(int argc, char** argv) {
   const StatusOr<CommonFlags> flags = ParseCommonFlags(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr,
-                 "%s\nusage: %s [--threads N] [--trace-out=FILE] "
-                 "[--metrics-out=FILE]\n",
+                 "%s\nusage: %s [--threads N] [--mem-budget SIZE] "
+                 "[--trace-out=FILE] [--metrics-out=FILE]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
@@ -28,8 +29,11 @@ int main(int argc, char** argv) {
 
   // 1. One engine per session: a simulated 96-unit cluster (Table 1
   // parameters); calibration (Sec. 6.2) runs lazily on the first query.
+  // --mem-budget SIZE bounds shuffle memory: beyond it the runtime spills
+  // to disk and merges back, with byte-identical results (docs/MEMORY.md).
   EngineOptions options;
   options.executor.num_threads = flags->num_threads;
+  options.mem_budget_bytes = flags->mem_budget_bytes;
   ThetaEngine engine(options);
   std::printf("cluster: %s\n", engine.cluster().config().ToString().c_str());
 

@@ -12,13 +12,14 @@
 
 using namespace mrtheta;  // NOLINT: example brevity
 
-// Usage: tpch_demo [--threads N] [--trace-out=F] [--metrics-out=F]
+// Usage: tpch_demo [--threads N] [--mem-budget SIZE] [--trace-out=F]
+//        [--metrics-out=F]
 int main(int argc, char** argv) {
   const StatusOr<CommonFlags> flags = ParseCommonFlags(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr,
-                 "%s\nusage: %s [--threads N] [--trace-out=FILE] "
-                 "[--metrics-out=FILE]\n",
+                 "%s\nusage: %s [--threads N] [--mem-budget SIZE] "
+                 "[--trace-out=FILE] [--metrics-out=FILE]\n",
                  flags.status().ToString().c_str(), argv[0]);
     return 2;
   }
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
 
   EngineOptions engine_options;
   engine_options.executor.num_threads = flags->num_threads;
+  engine_options.mem_budget_bytes = flags->mem_budget_bytes;
   ThetaEngine engine(engine_options);
 
   TpchOptions options;

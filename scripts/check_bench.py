@@ -64,8 +64,33 @@ SPECS = {
         # Fields every *current* record must carry, even when the value is
         # informational: a bench that silently stops emitting them has
         # disarmed part of the gate. trace_overhead is the span-tracing
-        # cost measured by bench_runtime (docs/OBSERVABILITY.md).
-        "required": ["trace_overhead"],
+        # cost measured by bench_runtime (docs/OBSERVABILITY.md);
+        # peak_mem_bytes is the per-run MemoryBudget high-water mark
+        # (docs/MEMORY.md).
+        "required": ["trace_overhead", "peak_mem_bytes"],
+    },
+    "BENCH_mem.json": {
+        "key": ["workload", "query", "mode", "threads"],
+        # bench_runtime's mem_budget workload aborts unless the budgeted
+        # runs are byte-identical to the unbudgeted reference, actually
+        # spill, and hold peak within 1.25x of the budget — so these
+        # records existing at all already certifies the contract. The gate
+        # here catches drift: result rows and the configured budget are
+        # exact; makespan/shuffle are the usual deterministic simulated
+        # quantities; peak_mem_bytes and spill_bytes are direction-aware
+        # (growth = the spill machinery holding more memory or writing
+        # more disk for the same workload). The unbudgeted records carry
+        # spill_bytes = 0, which the base_val == 0 rule skips.
+        "exact": ["jobs", "result_rows_physical", "mem_budget_bytes"],
+        "simulated": {
+            "sim_makespan_seconds": +1,
+            "sim_shuffle_bytes": +1,
+            "peak_mem_bytes": +1,
+            "spill_bytes": +1,
+        },
+        # wall_seconds is measured -> exempt; a record that stops emitting
+        # the memory columns has disarmed the gate.
+        "required": ["peak_mem_bytes", "spill_bytes", "spill_files"],
     },
     "BENCH_serve.json": {
         "key": ["workload", "query", "streams"],

@@ -60,6 +60,13 @@ struct EngineOptions {
   /// 0 = no cap (each query may use the full pool). ExecutePlan with
   /// caller-provided executor options is not capped.
   int per_query_threads = 0;
+  /// Session memory budget in bytes (docs/MEMORY.md): shuffle state beyond
+  /// it spills to disk and is merged back, with byte-identical results.
+  /// Applied to every Execute/Submit/ExecutePlan whose executor options
+  /// leave mem_budget_bytes at 0; 0 defers to executor.mem_budget_bytes
+  /// and then to $MRTHETA_MEM_BUDGET (the process-wide default). The
+  /// `--mem-budget` flag of the examples/benches sets this field.
+  int64_t mem_budget_bytes = 0;
 
   /// Cross-field validation; every ThetaEngine entry point fails with this
   /// status when the options are inconsistent.

@@ -493,6 +493,12 @@ StatusOr<QueryResult> ThetaEngine::ExecutePlan(
   FaultReport fault_report;
   ExecutorOptions opts = executor_options;
   opts.fault_report = &fault_report;
+  // Session memory budget (docs/MEMORY.md): an explicit per-call value
+  // wins; otherwise the engine option applies (and 0 falls through to the
+  // $MRTHETA_MEM_BUDGET process default inside the executor).
+  if (opts.mem_budget_bytes == 0) {
+    opts.mem_budget_bytes = options_.mem_budget_bytes;
+  }
   const Executor executor(&cluster_, opts);
   StatusOr<ExecutionResult> result =
       executor.ExecuteOn(pool_, query, plan, seed);
@@ -507,6 +513,9 @@ StatusOr<QueryResult> ThetaEngine::ExecutePlan(
   registry_.GetCounter("engine_executions")->Increment();
   registry_.GetHistogram("engine_execution_seconds", {}, 1e-6)
       ->Record(result->measured_seconds);
+  registry_.GetCounter("engine_spill_bytes")->Add(result->spill_bytes);
+  registry_.GetCounter("engine_spill_files")->Add(result->spill_files);
+  registry_.GetGauge("engine_peak_mem_bytes")->Set(result->peak_mem_bytes);
   return QueryResult(*std::move(result));
 }
 
@@ -548,6 +557,10 @@ EngineMetrics ThetaEngine::metrics() const {
       registry_.GetCounter("engine_speculative_launches")->value();
   m.wasted_task_seconds =
       registry_.GetGauge("engine_wasted_task_seconds")->value();
+  m.spill_bytes = registry_.GetCounter("engine_spill_bytes")->value();
+  m.spill_files = registry_.GetCounter("engine_spill_files")->value();
+  m.peak_mem_bytes = static_cast<int64_t>(
+      registry_.GetGauge("engine_peak_mem_bytes")->value());
   return m;
 }
 

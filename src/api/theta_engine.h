@@ -64,6 +64,11 @@ struct EngineMetrics {
   int64_t task_retries = 0;          ///< failed task attempts retried
   int64_t speculative_launches = 0;  ///< straggler re-executions launched
   double wasted_task_seconds = 0.0;  ///< time in never-committed attempts
+  // Memory accounting (docs/MEMORY.md); spill counters stay zero without
+  // a memory budget.
+  int64_t spill_bytes = 0;     ///< shuffle bytes spilled to disk
+  int64_t spill_files = 0;     ///< spill files created
+  int64_t peak_mem_bytes = 0;  ///< budget high-water mark (last execution)
 };
 
 class ThetaEngine;

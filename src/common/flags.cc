@@ -6,6 +6,8 @@
 #include <cstring>
 #include <thread>
 
+#include "src/mem/memory_budget.h"
+
 namespace mrtheta {
 
 namespace {
@@ -55,6 +57,17 @@ StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
         return Status::InvalidArgument("--threads: " + n.status().message());
       }
       flags.num_threads = *n;
+    } else if (std::strcmp(arg, "--mem-budget") == 0) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(
+            "--mem-budget needs a value (bytes, or K/M/G suffixed)");
+      }
+      StatusOr<int64_t> bytes = MemoryBudget::ParseByteSize(argv[++i]);
+      if (!bytes.ok()) {
+        return Status::InvalidArgument("--mem-budget: " +
+                                       bytes.status().message());
+      }
+      flags.mem_budget_bytes = *bytes;
     } else if (arg[0] == '-') {
       return Status::InvalidArgument(std::string("unknown flag: ") + arg);
     } else if (flags.output_path.empty()) {

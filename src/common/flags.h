@@ -23,14 +23,20 @@ struct CommonFlags {
   /// --metrics-out=FILE: write the session MetricsRegistry snapshot as
   /// JSON at exit. Empty = no snapshot. Accepted by every binary.
   std::string metrics_out;
+  /// --mem-budget SIZE: memory budget of the run (docs/MEMORY.md);
+  /// shuffle state beyond it spills to disk with byte-identical results.
+  /// SIZE accepts a plain byte count or K/M/G binary suffixes ("64M").
+  /// 0 = unlimited (the default; $MRTHETA_MEM_BUDGET still applies).
+  int64_t mem_budget_bytes = 0;
   /// The single optional positional argument (the benches' output path).
   std::string output_path;
 };
 
-/// Strict parser for the common CLI surface: `--threads N` plus at most one
-/// positional argument. Rejects what the per-binary copies it replaced
-/// silently accepted: a missing value, trailing junk ("--threads 4x"),
-/// non-positive counts, unknown flags, and extra positionals. Binaries
+/// Strict parser for the common CLI surface: `--threads N`, `--mem-budget
+/// SIZE` plus at most one positional argument. Rejects what the
+/// per-binary copies it replaced silently accepted: a missing value,
+/// trailing junk ("--threads 4x", "--mem-budget 64Q"), non-positive
+/// counts, unknown flags, and extra positionals. Binaries
 /// with a fixed thread schedule (the benches) pass `allow_threads = false`
 /// so `--threads` is rejected instead of silently ignored; likewise
 /// `--no-prune` is only accepted when `allow_no_prune` is set.

@@ -7,6 +7,8 @@
 #include "src/exec/hilbert_join.h"
 #include "src/exec/merge_join.h"
 #include "src/exec/pairwise_join.h"
+#include "src/mem/memory_budget.h"
+#include "src/mem/spill.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/runtime/dag_scheduler.h"
@@ -83,6 +85,9 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   MRTHETA_RETURN_IF_ERROR(options_.fault_plan.Validate());
   MRTHETA_RETURN_IF_ERROR(options_.retry.Validate());
   MRTHETA_RETURN_IF_ERROR(options_.speculation.Validate());
+  if (options_.mem_budget_bytes < 0) {
+    return Status::InvalidArgument("mem_budget_bytes must be >= 0");
+  }
   if (plan.jobs.empty()) {
     return Status::InvalidArgument("plan has no jobs");
   }
@@ -126,6 +131,17 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   const bool chaos = options_.fault_plan.enabled();
   const FaultInjector injector(options_.fault_plan);
   CancellationToken plan_cancel(options_.cancel_token);
+
+  // Memory budget (docs/MEMORY.md): an explicit option wins; 0 inherits the
+  // process-wide limit ($MRTHETA_MEM_BUDGET). The spill directory lives on
+  // this stack frame, so its destructor sweeps every spill file on success,
+  // failure and cancellation alike; it is created lazily, so unbudgeted and
+  // never-spilling runs touch the filesystem not at all.
+  const int64_t mem_budget = options_.mem_budget_bytes > 0
+                                 ? options_.mem_budget_bytes
+                                 : MemoryBudget::Global().limit_bytes();
+  const bool budgeted = mem_budget > 0;
+  SpillDirectory spill_dir;
 
   // Fault accounting must survive *failed* executions too — a run that
   // exhausted its retries or was cancelled mid-flight still injected
@@ -232,12 +248,14 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     }
     if (!spec.ok()) return spec.status();
     spec->text_serde = pj.text_serde;
+    if (pj.map_side_combine) spec->combine = MakeDedupCombiner();
     job_span.Arg("job", spec->name);
 
     const auto job_start = std::chrono::steady_clock::now();
-    // Chaos routes even single-threaded plans through the fault-tolerant
-    // parallel runner (byte-identical to the sequential reference on a
-    // 1-thread pool) — there is no injection point in RunJobPhysically.
+    // Chaos and memory budgets route even single-threaded plans through
+    // the parallel runner (byte-identical to the sequential reference on a
+    // 1-thread pool) — RunJobPhysically has neither an injection point nor
+    // the spill machinery.
     FaultReport job_faults;
     ParallelRunnerOptions popts;
     if (chaos) {
@@ -247,9 +265,14 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     }
     popts.cancel = &plan_cancel;
     popts.fault_report = &job_faults;
+    if (budgeted) {
+      popts.mem_budget_bytes = mem_budget;
+      popts.spill_dir = &spill_dir;
+    }
     StatusOr<PhysicalJobResult> phys =
-        (num_threads > 1 || chaos) ? RunJobParallel(*spec, pool, popts)
-                                   : RunJobPhysically(*spec);
+        (num_threads > 1 || chaos || budgeted)
+            ? RunJobParallel(*spec, pool, popts)
+            : RunJobPhysically(*spec);
     // Keep the fault accounting even when the job failed: the runner
     // published everything it injected/retried into job_faults, and the
     // plan-level FaultPublisher reads it from this slot.
@@ -263,6 +286,8 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
     exec.reduce_tasks = spec->num_reduce_tasks;
     exec.kernel = spec->kernel;
     exec.metrics = phys->metrics;
+    exec.spill_bytes = phys->spill_bytes;
+    exec.spill_files = phys->spill_files;
     exec.wall_seconds = SecondsSince(job_start);
     if (pj.kind == PlanJobKind::kHilbertJoin) {
       exec.skew_residual_tasks = hilbert_info.skew.residual_tasks;
@@ -334,7 +359,10 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   for (const JobExecution& exec : result.jobs) {
     result.sim_shuffle_bytes += exec.metrics.map_output_bytes_logical;
     result.fault_report.Merge(exec.faults);
+    result.spill_bytes += exec.spill_bytes;
+    result.spill_files += exec.spill_files;
   }
+  result.peak_mem_bytes = MemoryBudget::Global().peak_bytes();
 
   // Replay the DAG through the discrete-event engine.
   StatusOr<SimReport> report = RunSimulation(cluster_->config(), sim_jobs);

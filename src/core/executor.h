@@ -45,6 +45,11 @@ struct JobExecution {
   /// speculative launches, wasted attempt time). All zero on the fault-free
   /// fast path; observability only — never feeds results or timing.
   FaultReport faults;
+  /// Shuffle bytes/files this job spilled to disk under a memory budget
+  /// (docs/MEMORY.md). Observability only — simulated metrics are
+  /// byte-identical with or without spilling.
+  int64_t spill_bytes = 0;
+  int64_t spill_files = 0;
   std::shared_ptr<Relation> output;
   std::vector<int> covered_bases;
 };
@@ -75,6 +80,14 @@ struct ExecutionResult {
   /// Plan-wide fault-tolerance accounting: the sum of the per-job
   /// JobExecution::faults reports.
   FaultReport fault_report;
+  /// Plan-wide spill totals: the sum of the per-job spill_bytes /
+  /// spill_files (docs/MEMORY.md). Zero when no memory budget was set.
+  int64_t spill_bytes = 0;
+  int64_t spill_files = 0;
+  /// MemoryBudget::Global().peak_bytes() sampled when the plan finished —
+  /// the process-wide budget high-water mark, including any concurrent
+  /// executions (benches ResetPeak() between runs to isolate one query).
+  int64_t peak_mem_bytes = 0;
 };
 
 /// Knobs controlling how plan jobs are lowered to physical kernels and
@@ -127,6 +140,15 @@ struct ExecutorOptions {
   /// session metrics; without it, a failed run's faults would be invisible
   /// (the under-reporting bug pinned by api_test). Not owned.
   FaultReport* fault_report = nullptr;
+  /// Memory budget in bytes (docs/MEMORY.md): once the process-wide
+  /// MemoryBudget's in-use bytes exceed it, shuffle state spills to a
+  /// per-execution temp directory (removed on success, failure and
+  /// cancellation alike). 0 inherits MemoryBudget::Global()'s limit (the
+  /// $MRTHETA_MEM_BUDGET environment knob); every budgeted plan routes
+  /// through the parallel runner, even at one thread. The budget is a
+  /// spill trigger, not a hard cap — outputs and simulated metrics are
+  /// byte-identical at any setting.
+  int64_t mem_budget_bytes = 0;
 };
 
 class ThreadPool;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "src/obs/trace.h"
 
@@ -16,6 +17,15 @@ uint64_t Mix64(uint64_t x) {
   x ^= x >> 33;
   return x;
 }
+
+/// Rewraps a task-internal error with job context, preserving its code so
+/// kResourceExhausted survives to the caller (admission control and tests
+/// key on the code, not the message).
+Status WrapTaskError(const std::string& what, const MapReduceJobSpec& spec,
+                     const Status& cause) {
+  return Status::WithCode(cause.code(), what + " in job '" + spec.name +
+                                            "': " + cause.message());
+}
 }  // namespace
 
 int HashPartition(int64_t key, int num_reduce_tasks) {
@@ -25,9 +35,14 @@ int HashPartition(int64_t key, int num_reduce_tasks) {
 
 void ReduceCollector::Emit(const std::vector<Value>& row) {
   if (!status_.ok()) return;  // latch the first error, drop the rest
-  Status s = output_->AppendRow(row);
-  if (!s.ok()) {
-    status_ = std::move(s);
+  try {
+    Status s = output_->AppendRow(row);
+    if (!s.ok()) {
+      status_ = std::move(s);
+      return;
+    }
+  } catch (const std::bad_alloc&) {
+    status_ = Status::ResourceExhausted("reduce output row append failed");
     return;
   }
   ++rows_emitted_;
@@ -41,14 +56,16 @@ int64_t JobMeasurement::MaxReduceInputBytes() const {
 
 StatusOr<double> RunReduceTask(const MapReduceJobSpec& spec,
                                std::vector<MapOutputRecord>& records,
-                               Relation* output) {
+                               Relation* output, bool presorted) {
   const int num_tags = static_cast<int>(spec.inputs.size());
-  std::sort(records.begin(), records.end(),
-            [](const MapOutputRecord& a, const MapOutputRecord& b) {
-              if (a.key != b.key) return a.key < b.key;
-              if (a.tag != b.tag) return a.tag < b.tag;
-              return a.row < b.row;
-            });
+  if (!presorted) {
+    std::sort(records.begin(), records.end(),
+              [](const MapOutputRecord& a, const MapOutputRecord& b) {
+                if (a.key != b.key) return a.key < b.key;
+                if (a.tag != b.tag) return a.tag < b.tag;
+                return a.row < b.row;
+              });
+  }
   ReduceCollector collector(output);
   size_t i = 0;
   while (i < records.size()) {
@@ -64,8 +81,7 @@ StatusOr<double> RunReduceTask(const MapReduceJobSpec& spec,
     ctx.inputs = &spec.inputs;
     spec.reduce(ctx, collector);
     if (!collector.status().ok()) {
-      return Status::Internal("reduce emit failed in job '" + spec.name +
-                              "': " + collector.status().ToString());
+      return WrapTaskError("reduce emit failed", spec, collector.status());
     }
     i = j;
   }
@@ -92,7 +108,12 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
   // ---- Map phase ----
   TraceSpan map_phase("map-phase", "runtime");
   if (map_phase.enabled()) map_phase.Arg("job", spec.name);
+  const int n = spec.num_reduce_tasks;
+  const PartitionFn& partition =
+      spec.partition ? spec.partition : PartitionFn(HashPartition);
   MapEmitter emitter;
+  emitter.SetPartitioner(partition, n);
+  if (spec.combine) emitter.set_combine(spec.combine);
   {
     double expected_records = 0.0;
     for (int tag = 0; tag < static_cast<int>(spec.inputs.size()); ++tag) {
@@ -108,32 +129,32 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec) {
     m.input_bytes_physical += rel.physical_bytes();
     for (int64_t row = 0; row < rel.num_rows(); ++row) {
       spec.map(tag, rel, row, emitter);
+      emitter.EndRow();
     }
   }
-  m.map_output_records_physical =
-      static_cast<int64_t>(emitter.records().size());
+  if (!emitter.status().ok()) {
+    return WrapTaskError("map emit failed", spec, emitter.status());
+  }
+  m.map_output_records_physical = emitter.size();
   map_phase.End();
 
-  // ---- Shuffle: partition by key, charge logical bytes per record ----
+  // ---- Shuffle: route by the emit-time target, charge logical bytes ----
   TraceSpan shuffle_phase("shuffle-merge", "runtime");
   if (shuffle_phase.enabled()) shuffle_phase.Arg("job", spec.name);
-  const int n = spec.num_reduce_tasks;
-  const PartitionFn& partition =
-      spec.partition ? spec.partition : PartitionFn(HashPartition);
   std::vector<std::vector<MapOutputRecord>> task_records(n);
   std::vector<double> task_bytes(n, 0.0);
   double map_out_bytes = 0.0;
-  for (const MapOutputRecord& rec : emitter.records()) {
-    const int task = partition(rec.key, n);
-    if (task < 0 || task >= n) {
-      return Status::Internal("partitioner returned task out of range");
-    }
+  Status walk = emitter.ForEach([&](const MapOutputRecord& rec) {
     const double scaled_bytes =
         static_cast<double>(rec.bytes) * spec.inputs[rec.tag].scale;
-    task_bytes[task] += scaled_bytes;
+    task_bytes[rec.target] += scaled_bytes;
     map_out_bytes += scaled_bytes;
-    task_records[task].push_back(rec);
-  }
+    task_records[rec.target].push_back(rec);
+  });
+  if (!walk.ok()) return WrapTaskError("shuffle walk failed", spec, walk);
+  result.spill_bytes = emitter.spilled_bytes();
+  result.spill_files = emitter.spill_files();
+  emitter.Clear();
   m.map_output_bytes_logical = static_cast<int64_t>(map_out_bytes);
   m.reduce_input_bytes_logical.resize(n);
   for (int t = 0; t < n; ++t) {

@@ -10,9 +10,15 @@ namespace mrtheta {
 
 /// Result of physically executing a job: the exact output relation (with
 /// logical cardinality attached) plus the measurements the simulator needs.
+/// `spill_bytes`/`spill_files` count shuffle bytes/files spilled to disk
+/// under a memory budget — observability only, deliberately *not* part of
+/// JobMeasurement: simulated metrics must stay byte-identical with or
+/// without spilling (docs/MEMORY.md).
 struct PhysicalJobResult {
   std::shared_ptr<Relation> output;
   JobMeasurement metrics;
+  int64_t spill_bytes = 0;
+  int64_t spill_files = 0;
 };
 
 /// \brief Executes the Map, shuffle and Reduce phases of `spec` faithfully
@@ -22,12 +28,21 @@ struct PhysicalJobResult {
 /// output by key, sort each reduce task's records by key (ties broken by
 /// (tag, row) for stability), invoke reduce once per key group, concatenate
 /// reduce outputs in task order.
+///
+/// This runner never spills: budgeted executions route through the
+/// parallel runner (even at one thread), which owns the spill machinery.
 StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec);
 
 /// \brief Runs one reduce task: sorts `records` in place by (key, tag,
 /// row), groups by key, invokes spec.reduce per group into `output`, and
-/// returns the task's charged comparisons — or the first emit error
-/// (ReduceCollector::status()).
+/// returns the task's charged comparisons — or the first emit error, with
+/// its code preserved (kResourceExhausted for allocation failures).
+///
+/// `presorted` skips the sort when the caller's records already arrive in
+/// (key, tag, row) order — the spill merge path (ShuffleSpool) produces
+/// exactly that order, so re-sorting would be pure waste. Safe because
+/// comparator ties are identical records by the emit contract, making the
+/// sorted sequence unique for observable purposes.
 ///
 /// Idempotent per attempt: the sort is stable under re-sorting and emits
 /// go to the caller's (fresh, task-private) output relation, so the
@@ -39,7 +54,7 @@ StatusOr<PhysicalJobResult> RunJobPhysically(const MapReduceJobSpec& spec);
 /// their outputs byte-identical (docs/RUNTIME.md determinism contract).
 StatusOr<double> RunReduceTask(const MapReduceJobSpec& spec,
                                std::vector<MapOutputRecord>& records,
-                               Relation* output);
+                               Relation* output, bool presorted = false);
 
 }  // namespace mrtheta
 

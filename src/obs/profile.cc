@@ -55,6 +55,9 @@ QueryProfile BuildQueryProfile(const ExecutionResult& result) {
   profile.result_rows_physical =
       result.result_ids ? result.result_ids->num_rows() : 0;
   profile.result_selectivity = result.result_selectivity;
+  profile.spill_bytes = result.spill_bytes;
+  profile.spill_files = result.spill_files;
+  profile.peak_mem_bytes = result.peak_mem_bytes;
 
   profile.jobs.reserve(result.jobs.size());
   for (size_t i = 0; i < result.jobs.size(); ++i) {
@@ -80,6 +83,8 @@ QueryProfile BuildQueryProfile(const ExecutionResult& result) {
     jp.task_retries = job.faults.task_retries;
     jp.speculative_launches = job.faults.speculative_launches;
     jp.wasted_task_seconds = job.faults.wasted_task_seconds;
+    jp.spill_bytes = job.spill_bytes;
+    jp.spill_files = job.spill_files;
     jp.skew_residual_tasks = job.skew_residual_tasks;
     jp.skew_heavy_tasks = job.skew_heavy_tasks;
     jp.skew_heavy_groups = job.skew_heavy_groups;
@@ -91,7 +96,7 @@ QueryProfile BuildQueryProfile(const ExecutionResult& result) {
 std::string QueryProfile::ToTable() const {
   TablePrinter table({"job", "name", "kind", "inputs", "kernel", "reducers",
                       "wall_s", "sim_s", "in_bytes", "shuffle_bytes",
-                      "out_rows", "retries", "spec", "skew"});
+                      "out_rows", "retries", "spec", "spill", "skew"});
   for (const JobExecutionProfile& jp : jobs) {
     const double sim_s = jp.sim_finish_seconds - jp.sim_release_seconds;
     std::string skew = jp.skew_heavy_tasks > 0
@@ -106,7 +111,9 @@ std::string QueryProfile::ToTable() const {
                   TablePrinter::Int(jp.shuffle_bytes),
                   TablePrinter::Int(jp.output_rows_physical),
                   TablePrinter::Int(jp.task_retries),
-                  TablePrinter::Int(jp.speculative_launches), skew});
+                  TablePrinter::Int(jp.speculative_launches),
+                  jp.spill_bytes > 0 ? TablePrinter::Int(jp.spill_bytes) : "-",
+                  skew});
   }
   std::ostringstream os;
   table.Print(os);
@@ -116,6 +123,10 @@ std::string QueryProfile::ToTable() const {
      << result_rows_physical << " (selectivity "
      << FormatDouble(result_selectivity) << ", plan "
      << (plan_cache_hit ? "cached" : "fresh") << ")\n";
+  if (spill_bytes > 0 || peak_mem_bytes > 0) {
+    os << "memory: spilled " << spill_bytes << " bytes in " << spill_files
+       << " files, peak " << peak_mem_bytes << " bytes\n";
+  }
   return os.str();
 }
 
@@ -156,6 +167,8 @@ std::string QueryProfile::ToJson() const {
            std::to_string(jp.speculative_launches) +
            ", \"wasted_task_seconds\": " +
            FormatDouble(jp.wasted_task_seconds) +
+           ", \"spill_bytes\": " + std::to_string(jp.spill_bytes) +
+           ", \"spill_files\": " + std::to_string(jp.spill_files) +
            ", \"skew_residual_tasks\": " +
            std::to_string(jp.skew_residual_tasks) +
            ", \"skew_heavy_tasks\": " + std::to_string(jp.skew_heavy_tasks) +
@@ -170,6 +183,9 @@ std::string QueryProfile::ToJson() const {
          ",\n";
   out += "  \"result_selectivity\": " + FormatDouble(result_selectivity) +
          ",\n";
+  out += "  \"spill_bytes\": " + std::to_string(spill_bytes) + ",\n";
+  out += "  \"spill_files\": " + std::to_string(spill_files) + ",\n";
+  out += "  \"peak_mem_bytes\": " + std::to_string(peak_mem_bytes) + ",\n";
   out += std::string("  \"plan_cache_hit\": ") +
          (plan_cache_hit ? "true" : "false") + "\n";
   out += "}\n";

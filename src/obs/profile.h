@@ -43,6 +43,10 @@ struct JobExecutionProfile {
   int64_t task_retries = 0;
   int64_t speculative_launches = 0;
   double wasted_task_seconds = 0.0;
+  /// Shuffle bytes/files this job spilled under a memory budget
+  /// (docs/MEMORY.md); zero without one.
+  int64_t spill_bytes = 0;
+  int64_t spill_files = 0;
   int skew_residual_tasks = 0;
   int skew_heavy_tasks = 0;
   int skew_heavy_groups = 0;
@@ -59,6 +63,11 @@ struct QueryProfile {
   int64_t sim_shuffle_bytes = 0;
   int64_t result_rows_physical = 0;
   double result_selectivity = 0.0;
+  /// Plan-wide spill totals and the budget high-water mark
+  /// (ExecutionResult; docs/MEMORY.md).
+  int64_t spill_bytes = 0;
+  int64_t spill_files = 0;
+  int64_t peak_mem_bytes = 0;
   /// True when this execution reused a plan from the engine's plan cache
   /// (docs/API.md "Serving") instead of running the planner. Set by
   /// QueryResult::profile(); BuildQueryProfile alone leaves it false.

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/mem/memory_budget.h"
+#include "src/mem/shuffle_spool.h"
 #include "src/obs/trace.h"
 
 namespace mrtheta {
@@ -28,9 +30,8 @@ struct MapSplit {
   int64_t end = 0;
 
   // Committed map output of the split's winning attempt, in the split's
-  // row order, plus each record's precomputed reduce task.
+  // row order; each record carries its emit-time reduce target.
   MapEmitter emitter;
-  std::vector<int> target;
 };
 
 /// Splits every input into contiguous row ranges in (tag, range) order, so
@@ -329,6 +330,8 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   ctx.speculation = options.speculation;
   ctx.external_cancel = options.cancel;
   const bool chaos = options.injector != nullptr;
+  const bool budgeted =
+      options.spill_dir != nullptr && options.mem_budget_bytes > 0;
   // Safe unsynchronized after each ParallelFor (its return is a barrier).
   auto publish_report = [&]() {
     if (options.fault_report != nullptr) {
@@ -362,11 +365,18 @@ StatusOr<PhysicalJobResult> RunJobParallel(
       static_cast<int64_t>(splits.size()), [&](int64_t s) {
         MapSplit& split = splits[s];
         const Relation& rel = *spec.inputs[split.tag].relation;
-        MapEmitter emitter;       // attempt-local until commit
-        std::vector<int> target;  // attempt-local until commit
+        MapEmitter emitter;  // attempt-local until commit
         auto work = [&]() -> Status {
-          emitter = MapEmitter();  // fresh buffers per attempt
-          target.clear();
+          // Fresh buffers per attempt; replacing the emitter also removes
+          // any spill file a previous failed attempt left behind. Reduce
+          // targets are computed at emit time — off the sequential merge
+          // path; partitioners are pure functions of (key, n).
+          emitter = MapEmitter();
+          emitter.SetPartitioner(partition, n);
+          if (spec.combine) emitter.set_combine(spec.combine);
+          if (budgeted) {
+            emitter.EnableSpill(options.mem_budget_bytes, options.spill_dir);
+          }
           emitter.Reserve(static_cast<size_t>(
               static_cast<double>(split.end - split.begin) *
               spec.EmitsPerRow(split.tag)));
@@ -377,25 +387,17 @@ StatusOr<PhysicalJobResult> RunJobParallel(
               return ctx.CancelledStatus(spec.name);
             }
             spec.map(split.tag, rel, row, emitter);
+            emitter.EndRow();  // combine + spill boundary
           }
-          // Precompute each record's reduce task here, off the sequential
-          // merge path. Partitioners are pure functions of (key, n).
-          const std::vector<MapOutputRecord>& records = emitter.records();
-          target.reserve(records.size());
-          for (const MapOutputRecord& rec : records) {
-            const int task = partition(rec.key, n);
-            if (task < 0 || task >= n) {
-              return Status::Internal(
-                  "partitioner returned task out of range");
-            }
-            target.push_back(task);
+          const Status& s = emitter.status();
+          if (!s.ok()) {
+            return Status::WithCode(s.code(), "map emit failed in job '" +
+                                                  spec.name +
+                                                  "': " + s.message());
           }
           return Status::OK();
         };
-        auto commit = [&]() {
-          split.emitter = std::move(emitter);
-          split.target = std::move(target);
-        };
+        auto commit = [&]() { split.emitter = std::move(emitter); };
         map_status[s] = RunRestartableTask(
             ctx, spec.name, FaultPoint::kMapAlloc, FaultPoint::kMapTask,
             FaultPoint::kMapStraggler, s, map_tracker, work, commit);
@@ -412,8 +414,7 @@ StatusOr<PhysicalJobResult> RunJobParallel(
     }
   }
   for (MapSplit& split : splits) {
-    m.map_output_records_physical +=
-        static_cast<int64_t>(split.emitter.records().size());
+    m.map_output_records_physical += split.emitter.size();
   }
   if (ctx.Cancelled()) {  // external cancel between phases
     publish_report();
@@ -426,33 +427,40 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   // (two additions, one push) is trivial next to map/reduce compute.
   TraceSpan shuffle_phase("shuffle-merge", "runtime");
   if (shuffle_phase.enabled()) shuffle_phase.Arg("job", spec.name);
-  std::vector<std::vector<MapOutputRecord>> task_records(n);
-  {
-    std::vector<int64_t> task_counts(n, 0);
-    for (const MapSplit& split : splits) {
-      for (int task : split.target) ++task_counts[task];
-    }
-    for (int t = 0; t < n; ++t) {
-      task_records[t].reserve(static_cast<size_t>(task_counts[t]));
-    }
-  }
+  ShuffleSpool spool(n, budgeted ? options.mem_budget_bytes : 0,
+                     budgeted ? options.spill_dir : nullptr);
   std::vector<double> task_bytes(n, 0.0);
   double map_out_bytes = 0.0;
   for (MapSplit& split : splits) {
     const double scale = spec.inputs[split.tag].scale;
-    const std::vector<MapOutputRecord>& records = split.emitter.records();
-    for (size_t k = 0; k < records.size(); ++k) {
-      const int task = split.target[k];
-      const double scaled_bytes =
-          static_cast<double>(records[k].bytes) * scale;
-      task_bytes[task] += scaled_bytes;
+    result.spill_bytes += split.emitter.spilled_bytes();
+    result.spill_files += split.emitter.spill_files();
+    Status walk = split.emitter.ForEach([&](const MapOutputRecord& rec) {
+      const double scaled_bytes = static_cast<double>(rec.bytes) * scale;
+      task_bytes[rec.target] += scaled_bytes;
       map_out_bytes += scaled_bytes;
-      task_records[task].push_back(records[k]);
+      spool.Append(rec.target, rec);
+    });
+    if (walk.ok() && !spool.status().ok()) walk = spool.status();
+    if (!walk.ok()) {
+      publish_report();
+      return Status::WithCode(walk.code(), "shuffle merge failed in job '" +
+                                               spec.name +
+                                               "': " + walk.message());
     }
-    // The split's records are merged; release its buffers eagerly.
-    std::vector<MapOutputRecord>().swap(split.emitter.records());
-    std::vector<int>().swap(split.target);
+    // The split's records are merged into the spool; release its buffers
+    // (and any spill file it made) eagerly.
+    split.emitter.Clear();
   }
+  {
+    Status finish = spool.FinishWrites();
+    if (!finish.ok()) {
+      publish_report();
+      return finish;
+    }
+  }
+  result.spill_bytes += spool.spill_bytes();
+  result.spill_files += spool.spill_files();
   m.map_output_bytes_logical = static_cast<int64_t>(map_out_bytes);
   m.reduce_input_bytes_logical.resize(n);
   for (int t = 0; t < n; ++t) {
@@ -462,9 +470,10 @@ StatusOr<PhysicalJobResult> RunJobParallel(
 
   // ---- Reduce phase: restartable tasks, each with a private output ----
   // RunReduceTask is the same sort+group+reduce loop the sequential runner
-  // uses — sharing it is what keeps the runners byte-identical. Re-sorting
-  // an already-sorted record vector is deterministic, so a retried attempt
-  // reduces exactly the groups the failed attempt saw.
+  // uses — sharing it is what keeps the runners byte-identical.
+  // MaterializeTask is non-destructive, so a retried attempt reduces
+  // exactly the records the failed attempt saw; spilled tasks arrive
+  // pre-merged in (key, tag, row) order and skip the reduce-side sort.
   m.reduce_comparisons_logical.assign(n, 0.0);
   std::vector<Relation> task_outputs;
   task_outputs.reserve(n);
@@ -482,8 +491,16 @@ StatusOr<PhysicalJobResult> RunJobParallel(
     Relation attempt_output;  // attempt-local until commit
     auto work = [&]() -> Status {
       attempt_output = Relation(spec.output_name, spec.output_schema);
-      StatusOr<double> c =
-          RunReduceTask(spec, task_records[t], &attempt_output);
+      StatusOr<ShuffleSpool::MaterializedTask> input =
+          spool.MaterializeTask(static_cast<int>(t));
+      if (!input.ok()) return input.status();
+      // Account the materialized vector so concurrent reduce tasks show
+      // up in peak-memory tracking (it frees with the attempt).
+      ScopedCharge charge(
+          static_cast<int64_t>(input->records.capacity()) *
+          static_cast<int64_t>(sizeof(MapOutputRecord)));
+      StatusOr<double> c = RunReduceTask(spec, input->records,
+                                         &attempt_output, input->sorted);
       if (!c.ok()) return c.status();
       comparisons = *c;
       return Status::OK();
@@ -491,7 +508,7 @@ StatusOr<PhysicalJobResult> RunJobParallel(
     auto commit = [&]() {
       m.reduce_comparisons_logical[t] = comparisons;
       task_outputs[t] = std::move(attempt_output);
-      std::vector<MapOutputRecord>().swap(task_records[t]);
+      spool.ReleaseTask(static_cast<int>(t));
     };
     reduce_status[t] = RunRestartableTask(
         ctx, spec.name, FaultPoint::kReduceAlloc, FaultPoint::kReduceTask,

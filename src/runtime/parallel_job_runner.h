@@ -5,6 +5,7 @@
 
 #include "src/common/status.h"
 #include "src/mapreduce/job_runner.h"
+#include "src/mem/spill.h"
 #include "src/runtime/fault_injection.h"
 #include "src/runtime/thread_pool.h"
 
@@ -35,6 +36,15 @@ struct ParallelRunnerOptions {
   /// — on success and on failure. Observability only: no field of the
   /// report feeds back into results or simulated metrics.
   FaultReport* fault_report = nullptr;
+  /// Spill threshold (docs/MEMORY.md): once MemoryBudget::Global()'s
+  /// in-use bytes exceed this, map emitters flush full pages and the
+  /// shuffle spool writes sorted runs to `spill_dir`. <= 0 disables
+  /// spilling. The budget is a spill trigger, not a hard cap — outputs
+  /// and simulated metrics are byte-identical at any setting.
+  int64_t mem_budget_bytes = 0;
+  /// Per-execution temp directory for spill files; not owned, must
+  /// outlive the call. Null disables spilling regardless of the budget.
+  SpillDirectory* spill_dir = nullptr;
 };
 
 /// \brief Multi-threaded, deterministic executor for one MapReduceJobSpec.
@@ -44,10 +54,12 @@ struct ParallelRunnerOptions {
 ///  - map tasks over contiguous input-row splits, each with a private
 ///    MapEmitter, merged in (input, split) order — reproducing the exact
 ///    record order of the sequential runner;
-///  - a hash-partitioned shuffle into per-reduce-task buckets (partition
-///    ids precomputed by the map tasks; the merge walk itself is sequential
-///    so the floating-point byte accounting accumulates in the sequential
-///    runner's order);
+///  - a hash-partitioned shuffle into per-reduce-task buckets (reduce
+///    targets computed at emit time by the map tasks; the merge walk itself
+///    is sequential so the floating-point byte accounting accumulates in
+///    the sequential runner's order). Under a memory budget the buckets
+///    live in a ShuffleSpool that spills sorted runs to disk and k-way
+///    merges them back per reduce task (docs/MEMORY.md);
 ///  - reduce tasks running concurrently, each collecting into a private
 ///    output relation; task outputs are concatenated in task order.
 ///

@@ -15,7 +15,10 @@
 #include "src/exec/pairwise_join.h"
 #include "src/exec/theta_kernels.h"
 #include "src/mapreduce/job_runner.h"
+#include "src/mem/spill.h"
 #include "src/relation/column_view.h"
+#include "src/runtime/parallel_job_runner.h"
+#include "src/runtime/thread_pool.h"
 
 namespace mrtheta {
 namespace {
@@ -1084,6 +1087,112 @@ TEST(ChooseSortDriverTest, PrefersInequalityOverEquality) {
       {{0, 0}, ThetaOp::kNe, {1, 0}, 0.0, 0},
   };
   EXPECT_EQ(ChooseSortDriver(ne_only, {a, b}), -1);
+}
+
+// ---- Spill differential: every operator under a tight memory budget ----
+
+// Runs `job` through the parallel runner at {1, 4} threads under an
+// unlimited and a 1-byte budget (maximal spill pressure, docs/MEMORY.md)
+// and demands byte-identical rows — order included, stronger than
+// SameRows — and byte-identical JobMeasurement against the sequential
+// reference. Spilling may only change where shuffle records live.
+void CheckSpillInvariance(const StatusOr<MapReduceJobSpec>& job,
+                          const std::string& label) {
+  ASSERT_TRUE(job.ok()) << label << ": " << job.status().ToString();
+  const auto reference = RunJobPhysically(*job);
+  ASSERT_TRUE(reference.ok()) << label;
+  SpillDirectory spill_dir;
+  for (const int64_t budget : {int64_t{0}, int64_t{1}}) {
+    for (const int threads : {1, 4}) {
+      ThreadPool pool(threads);
+      ParallelRunnerOptions options;
+      options.min_split_rows = 16;
+      options.splits_per_thread = 3;
+      options.mem_budget_bytes = budget;
+      options.spill_dir = budget > 0 ? &spill_dir : nullptr;
+      const auto result = RunJobParallel(*job, pool, options);
+      const std::string at = label + " budget=" + std::to_string(budget) +
+                             " threads=" + std::to_string(threads);
+      ASSERT_TRUE(result.ok()) << at << ": " << result.status().ToString();
+      const Relation& ref = *reference->output;
+      const Relation& got = *result->output;
+      ASSERT_EQ(ref.num_rows(), got.num_rows()) << at;
+      for (int64_t r = 0; r < ref.num_rows(); ++r) {
+        for (int c = 0; c < ref.schema().num_columns(); ++c) {
+          ASSERT_EQ(ref.GetInt(r, c), got.GetInt(r, c))
+              << at << " row " << r << " col " << c;
+        }
+      }
+      const JobMeasurement& rm = reference->metrics;
+      const JobMeasurement& gm = result->metrics;
+      EXPECT_EQ(rm.input_bytes_logical, gm.input_bytes_logical) << at;
+      EXPECT_EQ(rm.map_output_bytes_logical, gm.map_output_bytes_logical)
+          << at;
+      EXPECT_EQ(rm.map_output_records_physical,
+                gm.map_output_records_physical)
+          << at;
+      EXPECT_EQ(rm.reduce_input_bytes_logical, gm.reduce_input_bytes_logical)
+          << at;
+      EXPECT_EQ(rm.reduce_comparisons_logical, gm.reduce_comparisons_logical)
+          << at;
+      EXPECT_EQ(rm.output_rows_physical, gm.output_rows_physical) << at;
+      EXPECT_EQ(rm.output_rows_logical, gm.output_rows_logical) << at;
+      EXPECT_EQ(rm.output_bytes_logical, gm.output_bytes_logical) << at;
+    }
+  }
+}
+
+TEST(SpillDifferentialTest, AllFourOperatorsSurviveTightBudgets) {
+  RelationPtr a = MakeRel("a", 150, 25, 7801);
+  RelationPtr b = MakeRel("b", 150, 25, 7802);
+  RelationPtr c = MakeRel("c", 150, 25, 7803);
+
+  // Hilbert multi-way.
+  MultiwayJoinJobSpec mw;
+  mw.inputs = {JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1),
+               JoinSide::ForBase(c, 2)};
+  mw.base_relations = {a, b, c};
+  mw.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0},
+                   {{1, 1}, ThetaOp::kLe, {2, 1}, 0.0, 1}};
+  mw.num_reduce_tasks = 8;
+  CheckSpillInvariance(BuildHilbertJoinJob(mw), "hilbert");
+
+  // Equi-join (hash repartition).
+  PairwiseJoinJobSpec pw;
+  pw.left = JoinSide::ForBase(a, 0);
+  pw.right = JoinSide::ForBase(b, 1);
+  pw.base_relations = {a, b};
+  pw.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+  pw.num_reduce_tasks = 4;
+  CheckSpillInvariance(BuildEquiJoinJob(pw), "equi");
+
+  // 1-Bucket-Theta.
+  pw.conditions = {{{0, 0}, ThetaOp::kLt, {1, 0}, 0.0, 0}};
+  CheckSpillInvariance(BuildOneBucketThetaJob(pw), "1bucket");
+
+  // Merge of two pairwise partials.
+  auto run_pair = [&](JoinSide l, JoinSide r, JoinCondition cond) {
+    PairwiseJoinJobSpec spec;
+    spec.left = l;
+    spec.right = r;
+    spec.base_relations = {a, b, c};
+    spec.conditions = {cond};
+    spec.num_reduce_tasks = 4;
+    const auto job = cond.op == ThetaOp::kEq ? BuildEquiJoinJob(spec)
+                                             : BuildOneBucketThetaJob(spec);
+    EXPECT_TRUE(job.ok());
+    return RunJobPhysically(*job)->output;
+  };
+  auto ab = run_pair(JoinSide::ForBase(a, 0), JoinSide::ForBase(b, 1),
+                     {{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0});
+  auto bc = run_pair(JoinSide::ForBase(b, 1), JoinSide::ForBase(c, 2),
+                     {{1, 1}, ThetaOp::kLe, {2, 1}, 0.0, 1});
+  MergeJobSpec merge;
+  merge.left = JoinSide::ForIntermediate(ab, {0, 1});
+  merge.right = JoinSide::ForIntermediate(bc, {1, 2});
+  merge.base_relations = {a, b, c};
+  merge.num_reduce_tasks = 4;
+  CheckSpillInvariance(BuildMergeJob(merge), "merge");
 }
 
 // ---- Naive oracle sanity ----

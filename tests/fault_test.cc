@@ -10,6 +10,8 @@
 // FaultReport may differ.
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <thread>
@@ -464,6 +466,83 @@ TEST_F(ChaosDifferentialTest, FlightItinerary) {
       BuildItineraryQuery(legs, {StayOver{60, 240}, StayOver{120, 360}});
   ASSERT_TRUE(q.ok());
   CheckChaosInvariance(*q, "flights");
+}
+
+// ---- Chaos x spill: tiny budgets under fault injection ----
+
+TEST_F(ChaosDifferentialTest, TinyBudgetChaosIsInvisibleAndLeaksNoFiles) {
+  // Chaos retries re-materialize spilled shuffle partitions; a 1-byte
+  // budget makes every task do so. Rows must stay byte-identical, and —
+  // the cleanup satellite — no spill file may outlive any execution,
+  // successful or failed. $MRTHETA_SPILL_DIR points every SpillDirectory
+  // of this test at a private root we can audit for leaks.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root =
+      fs::temp_directory_path() / "mrtheta-fault-spill-audit";
+  fs::remove_all(root, ec);
+  fs::create_directories(root, ec);
+  ASSERT_FALSE(ec) << ec.message();
+  ASSERT_EQ(setenv("MRTHETA_SPILL_DIR", root.c_str(), 1), 0);
+
+  MobileDataOptions data;
+  data.physical_rows = 1000;  // big enough that spilling actually happens
+  data.logical_bytes = 4 * kGiB;
+  const auto q = BuildMobileQuery(1, data);
+  ASSERT_TRUE(q.ok());
+  const auto plan = planner_->Plan(*q);
+  ASSERT_TRUE(plan.ok());
+
+  ExecutorOptions ref_options;
+  ref_options.fault_plan = FaultPlan{};  // fault-free, env-proof
+  const Executor reference(cluster_.get(), ref_options);
+  const auto ref = reference.Execute(*q, *plan);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (const int threads : {1, 4}) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.mem_budget_bytes = 1;  // maximal spill pressure
+    options.fault_plan = FaultPlan{};
+    options.fault_plan.seed = 4321;
+    options.fault_plan.map_failure_rate = 0.2;
+    options.fault_plan.reduce_failure_rate = 0.2;
+    options.fault_plan.armed = true;
+    options.retry.max_attempts = 12;
+    options.retry.backoff_base_ms = 0.05;
+    options.retry.backoff_max_ms = 0.5;
+    const Executor executor(cluster_.get(), options);
+    const auto result = executor.Execute(*q, *plan);
+    ASSERT_TRUE(result.ok())
+        << "threads=" << threads << ": " << result.status().ToString();
+    EXPECT_EQ(result->makespan, ref->makespan) << "threads=" << threads;
+    EXPECT_TRUE(IdenticalRelations(*ref->result_ids, *result->result_ids))
+        << "threads=" << threads;
+    EXPECT_GT(result->fault_report.injected_faults, 0)
+        << "threads=" << threads;
+    // The run must actually have spilled, or the cleanup check is vacuous.
+    EXPECT_GT(result->spill_bytes, 0) << "threads=" << threads;
+    EXPECT_TRUE(fs::is_empty(root, ec)) << "threads=" << threads;
+  }
+
+  // A *failing* execution (retries exhausted mid-run, spill files open)
+  // must clean up on the error path too.
+  ExecutorOptions doomed;
+  doomed.num_threads = 4;
+  doomed.mem_budget_bytes = 1;
+  doomed.fault_plan = FaultPlan{};
+  doomed.fault_plan.seed = 9;
+  doomed.fault_plan.map_failure_rate = 1.0;
+  doomed.retry.max_attempts = 2;
+  doomed.retry.backoff_base_ms = 0.05;
+  doomed.retry.backoff_max_ms = 0.5;
+  const Executor failing(cluster_.get(), doomed);
+  const auto failed = failing.Execute(*q, *plan);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(fs::is_empty(root, ec));
+
+  ASSERT_EQ(unsetenv("MRTHETA_SPILL_DIR"), 0);
+  fs::remove_all(root, ec);
 }
 
 // ---- Structured propagation through ThetaEngine ----

@@ -1,12 +1,17 @@
 // Tests for the MapReduce substrate: physical job execution, the
-// discrete-event engine, the timing model and the load models.
+// discrete-event engine, the timing model, the load models, and the
+// bounded-memory emit/spill machinery (docs/MEMORY.md).
 
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/mapreduce/load_model.h"
 #include "src/mapreduce/sim_cluster.h"
+#include "src/mem/memory_budget.h"
+#include "src/mem/shuffle_spool.h"
+#include "src/mem/spill.h"
 
 namespace mrtheta {
 namespace {
@@ -121,6 +126,230 @@ TEST(HashPartitionTest, InRangeAndSpreads) {
     hits[t]++;
   }
   for (int h : hits) EXPECT_GT(h, 50);
+}
+
+// ---- Memory budget / paged emit / spill (docs/MEMORY.md) ----
+
+TEST(MemoryBudgetTest, ParseByteSizeAcceptsSuffixesRejectsJunk) {
+  EXPECT_EQ(*MemoryBudget::ParseByteSize("0"), 0);
+  EXPECT_EQ(*MemoryBudget::ParseByteSize("1024"), 1024);
+  EXPECT_EQ(*MemoryBudget::ParseByteSize("64K"), 64 * 1024);
+  EXPECT_EQ(*MemoryBudget::ParseByteSize("64k"), 64 * 1024);
+  EXPECT_EQ(*MemoryBudget::ParseByteSize("2M"), 2 * 1024 * 1024);
+  EXPECT_EQ(*MemoryBudget::ParseByteSize("1G"), int64_t{1} << 30);
+  EXPECT_FALSE(MemoryBudget::ParseByteSize("").ok());
+  EXPECT_FALSE(MemoryBudget::ParseByteSize("-1").ok());
+  EXPECT_FALSE(MemoryBudget::ParseByteSize("64Q").ok());
+  EXPECT_FALSE(MemoryBudget::ParseByteSize("1.5M").ok());
+  EXPECT_FALSE(MemoryBudget::ParseByteSize("64K ").ok());
+  EXPECT_FALSE(MemoryBudget::ParseByteSize("999999999999999G").ok());
+}
+
+TEST(MemoryBudgetTest, PagesAndChargesDriveTheLedgerAndPeak) {
+  MemoryBudget& budget = MemoryBudget::Global();
+  const int64_t base = budget.in_use_bytes();
+  budget.ResetPeak();
+  auto page = budget.AcquirePage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(budget.in_use_bytes(), base + MemoryBudget::kPageBytes);
+  {
+    ScopedCharge charge(1000);
+    EXPECT_EQ(budget.in_use_bytes(), base + MemoryBudget::kPageBytes + 1000);
+    EXPECT_GE(budget.peak_bytes(), base + MemoryBudget::kPageBytes + 1000);
+  }
+  budget.ReleasePage(*std::move(page));
+  EXPECT_EQ(budget.in_use_bytes(), base);
+  // OverBudget is a threshold test on a caller-supplied limit; 0 never.
+  EXPECT_FALSE(budget.OverBudget(0));
+  EXPECT_TRUE(budget.OverBudget(1) == (budget.in_use_bytes() > 1));
+}
+
+TEST(MapEmitterTest, PagedEmitRoundTripsInOrderAcrossPages) {
+  MapEmitter emitter;
+  emitter.SetPartitioner(HashPartition, 8);
+  const int64_t n = 3 * MapEmitter::kRecordsPerPage + 7;
+  for (int64_t i = 0; i < n; ++i) {
+    emitter.Emit(i, static_cast<int32_t>(i % 3), i * 2, i * 3, 16);
+    emitter.EndRow();
+  }
+  ASSERT_TRUE(emitter.status().ok()) << emitter.status().ToString();
+  EXPECT_EQ(emitter.size(), n);
+  EXPECT_EQ(emitter.spilled_bytes(), 0);
+  int64_t i = 0;
+  const Status walk = emitter.ForEach([&](const MapOutputRecord& rec) {
+    ASSERT_EQ(rec.key, i);
+    ASSERT_EQ(rec.tag, static_cast<int32_t>(i % 3));
+    ASSERT_EQ(rec.target, HashPartition(i, 8));
+    ASSERT_EQ(rec.row, i * 2);
+    ASSERT_EQ(rec.rec_id, i * 3);
+    ++i;
+  });
+  ASSERT_TRUE(walk.ok()) << walk.ToString();
+  EXPECT_EQ(i, n);
+}
+
+TEST(MapEmitterTest, ReserveFailureLatchesResourceExhausted) {
+  MapEmitter emitter;
+  emitter.SetPartitioner(HashPartition, 4);
+  emitter.Emit(1, 0, 0, 0, 16);
+  // An absurd reservation must latch kResourceExhausted, not abort.
+  emitter.Reserve(static_cast<size_t>(int64_t{1} << 60));
+  EXPECT_EQ(emitter.status().code(), StatusCode::kResourceExhausted)
+      << emitter.status().ToString();
+  // Latched: later emits are dropped, the first error survives.
+  emitter.Emit(2, 0, 0, 0, 16);
+  EXPECT_EQ(emitter.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MapEmitterTest, SpilledEmitterStreamsIdenticallyToInMemory) {
+  // The same emit sequence through an unbudgeted emitter and through one
+  // spilling under a 1-byte limit must stream back identically.
+  MapEmitter plain;
+  plain.SetPartitioner(HashPartition, 4);
+  SpillDirectory dir;
+  MapEmitter spilling;
+  spilling.SetPartitioner(HashPartition, 4);
+  spilling.EnableSpill(1, &dir);
+  const int64_t rows = 4000;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t e = 0; e < 2; ++e) {
+      plain.Emit(r % 97, static_cast<int32_t>(e), r, r, 16);
+      spilling.Emit(r % 97, static_cast<int32_t>(e), r, r, 16);
+    }
+    plain.EndRow();
+    spilling.EndRow();
+  }
+  ASSERT_TRUE(plain.status().ok());
+  ASSERT_TRUE(spilling.status().ok()) << spilling.status().ToString();
+  EXPECT_GT(spilling.spilled_bytes(), 0);
+  EXPECT_EQ(spilling.spill_files(), 1);
+  EXPECT_EQ(spilling.size(), plain.size());
+  std::vector<MapOutputRecord> a, b;
+  ASSERT_TRUE(plain.ForEach([&](const MapOutputRecord& r) {
+    a.push_back(r);
+  }).ok());
+  ASSERT_TRUE(spilling.ForEach([&](const MapOutputRecord& r) {
+    b.push_back(r);
+  }).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key) << i;
+    ASSERT_EQ(a[i].tag, b[i].tag) << i;
+    ASSERT_EQ(a[i].target, b[i].target) << i;
+    ASSERT_EQ(a[i].row, b[i].row) << i;
+    ASSERT_EQ(a[i].rec_id, b[i].rec_id) << i;
+    ASSERT_EQ(a[i].bytes, b[i].bytes) << i;
+  }
+  // Clear removes the spill file and resets the emitter.
+  spilling.Clear();
+  EXPECT_EQ(spilling.size(), 0);
+  EXPECT_EQ(spilling.spilled_bytes(), 0);
+}
+
+TEST(CombinerTest, DedupCombinerDropsDuplicatesWithinARow) {
+  MapEmitter emitter;
+  emitter.SetPartitioner(HashPartition, 4);
+  emitter.set_combine(MakeDedupCombiner());
+  // Row 0: 3 distinct records each emitted twice -> 3 survive.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int64_t k = 0; k < 3; ++k) emitter.Emit(k, 0, 7, 7, 16);
+  }
+  emitter.EndRow();
+  EXPECT_EQ(emitter.size(), 3);
+  // Row 1: all distinct -> no-op.
+  for (int64_t k = 0; k < 4; ++k) emitter.Emit(k, 1, 8, 8, 16);
+  emitter.EndRow();
+  EXPECT_EQ(emitter.size(), 7);
+  // Duplicates across *different* rows are preserved: the row boundary is
+  // the combine scope (the thread-count-invariant unit).
+  emitter.Emit(0, 0, 7, 7, 16);
+  emitter.EndRow();
+  EXPECT_EQ(emitter.size(), 8);
+}
+
+TEST(CombinerTest, CombinedJobKeepsExactResults) {
+  // CountJob never emits duplicate records, so the dedup combiner must be
+  // a perfect no-op: same rows, same metrics.
+  MapReduceJobSpec plain = CountJob(MakeInts(1000), 4);
+  const auto reference = RunJobPhysically(plain);
+  ASSERT_TRUE(reference.ok());
+  MapReduceJobSpec combined = CountJob(MakeInts(1000), 4);
+  combined.combine = MakeDedupCombiner();
+  const auto result = RunJobPhysically(combined);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.map_output_records_physical,
+            reference->metrics.map_output_records_physical);
+  EXPECT_EQ(result->metrics.map_output_bytes_logical,
+            reference->metrics.map_output_bytes_logical);
+  ASSERT_EQ(result->output->num_rows(), reference->output->num_rows());
+  for (int64_t r = 0; r < reference->output->num_rows(); ++r) {
+    EXPECT_EQ(result->output->GetInt(r, 0), reference->output->GetInt(r, 0));
+    EXPECT_EQ(result->output->GetInt(r, 1), reference->output->GetInt(r, 1));
+  }
+
+  // A genuinely duplicating map: every record emitted twice. The combiner
+  // halves the shuffle; the reduce output is identical to the single-emit
+  // job's.
+  MapReduceJobSpec doubled = CountJob(MakeInts(1000), 4);
+  doubled.map = [](int tag, const Relation& r, int64_t row, MapEmitter& out) {
+    out.Emit(r.GetInt(row, 0), tag, row, row, 16);
+    out.Emit(r.GetInt(row, 0), tag, row, row, 16);
+  };
+  doubled.combine = MakeDedupCombiner();
+  const auto deduped = RunJobPhysically(doubled);
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(deduped->metrics.map_output_records_physical,
+            reference->metrics.map_output_records_physical);
+  ASSERT_EQ(deduped->output->num_rows(), reference->output->num_rows());
+  for (int64_t r = 0; r < reference->output->num_rows(); ++r) {
+    EXPECT_EQ(deduped->output->GetInt(r, 1),
+              reference->output->GetInt(r, 1));
+  }
+}
+
+TEST(ShuffleSpoolTest, SpilledRunsMergeBackSorted) {
+  // Push enough records through a 2-task spool under a 1-byte limit that
+  // several sorted runs hit the shared spill file, then materialize: every
+  // record comes back, sorted by (key, tag, row), twice in a row (the
+  // chaos-retry path re-materializes).
+  ScopedMemoryBudget tiny(1);
+  SpillDirectory dir;
+  ShuffleSpool spool(2, 1, &dir);
+  const int64_t n = 20000;
+  for (int64_t i = 0; i < n; ++i) {
+    MapOutputRecord rec;
+    rec.key = (i * 2654435761u) % 1000;
+    rec.tag = static_cast<int32_t>(i % 2);
+    rec.target = static_cast<int32_t>(i % 2);
+    rec.row = i;
+    rec.rec_id = i;
+    rec.bytes = 16;
+    spool.Append(rec.target, rec);
+  }
+  ASSERT_TRUE(spool.status().ok()) << spool.status().ToString();
+  ASSERT_TRUE(spool.FinishWrites().ok());
+  EXPECT_GT(spool.spill_bytes(), 0);
+  EXPECT_EQ(spool.spill_files(), 1);
+  int64_t total = 0;
+  for (int task = 0; task < 2; ++task) {
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto got = spool.MaterializeTask(task);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(got->sorted);
+      for (size_t i = 0; i + 1 < got->records.size(); ++i) {
+        const MapOutputRecord& a = got->records[i];
+        const MapOutputRecord& b = got->records[i + 1];
+        const bool le = a.key < b.key ||
+                        (a.key == b.key &&
+                         (a.tag < b.tag ||
+                          (a.tag == b.tag && a.row <= b.row)));
+        ASSERT_TRUE(le) << "task " << task << " index " << i;
+      }
+      if (pass == 0) total += static_cast<int64_t>(got->records.size());
+    }
+    spool.ReleaseTask(task);
+  }
+  EXPECT_EQ(total, n);
 }
 
 // ---- Discrete-event engine ----

@@ -23,6 +23,8 @@
 #include "src/exec/naive_join.h"
 #include "src/exec/pairwise_join.h"
 #include "src/mapreduce/job_runner.h"
+#include "src/mem/memory_budget.h"
+#include "src/mem/spill.h"
 #include "src/runtime/dag_scheduler.h"
 #include "src/runtime/parallel_job_runner.h"
 #include "src/runtime/thread_pool.h"
@@ -263,6 +265,9 @@ RelationPtr MakeRel(const char* name, int64_t rows, int64_t key_range,
 // Runs `spec` through the sequential reference and through the parallel
 // runner at several pool sizes; every run must match the reference exactly.
 // Small splits force multi-split merges even on the tests' tiny inputs.
+// Every spec then re-runs under a 1-byte memory budget (maximal spill
+// pressure, docs/MEMORY.md) at {1, 4} threads: spilling may only change
+// where records live, never rows or metrics.
 void ExpectParallelMatchesSequential(const MapReduceJobSpec& spec,
                                      const std::string& label) {
   const StatusOr<PhysicalJobResult> reference = RunJobPhysically(spec);
@@ -281,6 +286,22 @@ void ExpectParallelMatchesSequential(const MapReduceJobSpec& spec,
         << label << " threads=" << threads;
     EXPECT_TRUE(IdenticalMetrics(reference->metrics, parallel->metrics))
         << label << " threads=" << threads;
+  }
+  SpillDirectory spill_dir;
+  ParallelRunnerOptions budgeted = options;
+  budgeted.mem_budget_bytes = 1;
+  budgeted.spill_dir = &spill_dir;
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const StatusOr<PhysicalJobResult> spilled =
+        RunJobParallel(spec, pool, budgeted);
+    ASSERT_TRUE(spilled.ok())
+        << label << " budgeted threads=" << threads << ": "
+        << spilled.status().ToString();
+    EXPECT_TRUE(IdenticalRelations(*reference->output, *spilled->output))
+        << label << " budgeted threads=" << threads;
+    EXPECT_TRUE(IdenticalMetrics(reference->metrics, spilled->metrics))
+        << label << " budgeted threads=" << threads;
   }
 }
 
@@ -387,6 +408,98 @@ TEST(ParallelRunnerDifferentialTest, MergeJoin) {
   }
 }
 
+// ---- Bounded-memory spill differential (docs/MEMORY.md) ----
+
+// A job big enough that a tight budget *must* spill — both in the map
+// emitters (full pages) and in the shuffle spool (sorted runs) — so the
+// differential is not vacuously in-memory.
+MapReduceJobSpec LargeEquiJoinSpec() {
+  RelationPtr a = MakeRel("a", 3000, 40, 2400);
+  RelationPtr b = MakeRel("b", 3000, 40, 2401);
+  PairwiseJoinJobSpec spec;
+  spec.left = JoinSide::ForBase(a, 0);
+  spec.right = JoinSide::ForBase(b, 1);
+  spec.base_relations = {a, b};
+  spec.conditions = {{{0, 0}, ThetaOp::kEq, {1, 0}, 0.0, 0}};
+  spec.num_reduce_tasks = 4;
+  const auto job = BuildEquiJoinJob(spec);
+  EXPECT_TRUE(job.ok());
+  return *job;
+}
+
+TEST(SpillDifferentialTest, TightBudgetSpillsAndStaysByteIdentical) {
+  const MapReduceJobSpec spec = LargeEquiJoinSpec();
+  const auto reference = RunJobPhysically(spec);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->spill_bytes, 0);  // the sequential runner never spills
+  SpillDirectory spill_dir;
+  for (int threads : {1, 4}) {
+    for (int64_t budget : {int64_t{0}, int64_t{1}}) {
+      ThreadPool pool(threads);
+      ParallelRunnerOptions options;
+      options.mem_budget_bytes = budget;
+      options.spill_dir = budget > 0 ? &spill_dir : nullptr;
+      const auto result = RunJobParallel(spec, pool, options);
+      const std::string at = "threads=" + std::to_string(threads) +
+                             " budget=" + std::to_string(budget);
+      ASSERT_TRUE(result.ok()) << at << ": " << result.status().ToString();
+      EXPECT_TRUE(IdenticalRelations(*reference->output, *result->output))
+          << at;
+      EXPECT_TRUE(IdenticalMetrics(reference->metrics, result->metrics))
+          << at;
+      if (budget > 0) {
+        EXPECT_GT(result->spill_bytes, 0) << at;
+        EXPECT_GT(result->spill_files, 0) << at;
+      } else {
+        EXPECT_EQ(result->spill_bytes, 0) << at;
+      }
+    }
+  }
+}
+
+TEST(SpillDifferentialTest, CombinerComposesWithSpilling) {
+  // A duplicate-heavy group-count with the dedup combiner, run unbudgeted
+  // and under maximal spill pressure: identical rows and metrics, and the
+  // combiner keeps working at the row boundary while pages spill.
+  auto rel = std::make_shared<Relation>(
+      "t", Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 4000; ++i) rel->AppendIntRow({i % 64, i});
+  MapReduceJobSpec spec;
+  spec.name = "dup-count";
+  spec.inputs.push_back({rel, 1.0});
+  spec.num_reduce_tasks = 4;
+  spec.output_schema =
+      Schema({{"key", ValueType::kInt64}, {"count", ValueType::kInt64}});
+  spec.map = [](int tag, const Relation& r, int64_t row, MapEmitter& out) {
+    // Three identical emissions per row; the combiner keeps one.
+    for (int rep = 0; rep < 3; ++rep) {
+      out.Emit(r.GetInt(row, 0), tag, row, row, 16);
+    }
+  };
+  spec.combine = MakeDedupCombiner();
+  spec.reduce = [](const ReduceContext& ctx, ReduceCollector& out) {
+    out.Emit({Value(ctx.key),
+              Value(static_cast<int64_t>(ctx.records(0).size()))});
+  };
+  const auto reference = RunJobPhysically(spec);
+  ASSERT_TRUE(reference.ok());
+  // Combined: one record per row survives.
+  EXPECT_EQ(reference->metrics.map_output_records_physical, 4000);
+  SpillDirectory spill_dir;
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ParallelRunnerOptions options;
+    options.mem_budget_bytes = 1;
+    options.spill_dir = &spill_dir;
+    const auto result = RunJobParallel(spec, pool, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(IdenticalRelations(*reference->output, *result->output))
+        << "threads=" << threads;
+    EXPECT_TRUE(IdenticalMetrics(reference->metrics, result->metrics))
+        << "threads=" << threads;
+  }
+}
+
 // ---- Executor-level parity ----
 
 class RuntimeExecutorTest : public ::testing::Test {
@@ -449,6 +562,42 @@ TEST_F(RuntimeExecutorTest, ParallelPlanExecutionMatchesSequential) {
       ASSERT_NE(result->projected, nullptr);
       EXPECT_TRUE(IdenticalRelations(*ref->projected, *result->projected));
     }
+  }
+}
+
+TEST_F(RuntimeExecutorTest, BudgetedExecutionMatchesUnbudgeted) {
+  // ExecutorOptions::mem_budget_bytes = 1 puts every job of the plan under
+  // maximal spill pressure; simulated accounting and rows must not move.
+  // At one thread this also exercises the routing rule: budgeted plans run
+  // through the parallel runner (the only spill-capable one) even when
+  // num_threads == 1.
+  const Query q = ChainQuery();
+  Planner planner(cluster_.get(), params_);
+  const auto plan = planner.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  Executor sequential(cluster_.get());
+  const auto ref = sequential.Execute(q, *plan);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  // (No spill assertion on the reference: under a $MRTHETA_MEM_BUDGET CI
+  // leg even the default-options executor is budgeted and may spill.)
+  for (int threads : {1, 4}) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.mem_budget_bytes = 1;
+    Executor executor(cluster_.get(), options);
+    const auto result = executor.Execute(q, *plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->makespan, ref->makespan) << "threads=" << threads;
+    ASSERT_EQ(result->jobs.size(), ref->jobs.size());
+    for (size_t j = 0; j < ref->jobs.size(); ++j) {
+      EXPECT_TRUE(
+          IdenticalMetrics(ref->jobs[j].metrics, result->jobs[j].metrics))
+          << "job " << j << " threads=" << threads;
+    }
+    EXPECT_TRUE(IdenticalRelations(*ref->result_ids, *result->result_ids))
+        << "threads=" << threads;
+    // The ledger saw the run: the process high-water mark is non-zero.
+    EXPECT_GT(result->peak_mem_bytes, 0) << "threads=" << threads;
   }
 }
 
