@@ -182,21 +182,14 @@ def compare_file(name, baseline_path, current_path, tolerance):
     return failures
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline-dir", default="bench/baselines")
-    parser.add_argument("--current-dir", default="build")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional regression in simulated "
-                             "metrics (default 0.25)")
-    args = parser.parse_args()
-
+def run_gate(baseline_dir, current_dir, tolerance, log=print):
+    """Runs the whole gate; returns (failures, files_checked)."""
     failures = []
     checked = 0
     # Files without a SPECS entry would otherwise never be compared — a
     # bench that writes BENCH_foo.json without registering its spec here
     # ships an ungated metric.
-    for directory in (args.baseline_dir, args.current_dir):
+    for directory in (baseline_dir, current_dir):
         if not os.path.isdir(directory):
             continue
         for entry in sorted(os.listdir(directory)):
@@ -206,28 +199,144 @@ def main():
                     f"{os.path.join(directory, entry)}: no comparison spec "
                     f"(add it to SPECS in scripts/check_bench.py)")
     for name in sorted(SPECS):
-        baseline_path = os.path.join(args.baseline_dir, name)
-        current_path = os.path.join(args.current_dir, name)
+        baseline_path = os.path.join(baseline_dir, name)
+        current_path = os.path.join(current_dir, name)
         if not os.path.exists(baseline_path):
             if os.path.exists(current_path):
                 failures.append(
                     f"{name}: produced but has no baseline (commit "
-                    f"{current_path} to {args.baseline_dir} to arm the "
+                    f"{current_path} to {baseline_dir} to arm the "
                     f"gate)")
             else:
-                print(f"note: {name} not produced and not in baselines; "
-                      f"skipping")
+                log(f"note: {name} not produced and not in baselines; "
+                    f"skipping")
             continue
         if not os.path.exists(current_path):
             failures.append(
                 f"{name}: baseline exists but CI produced no {current_path}")
             continue
         file_failures = compare_file(name, baseline_path, current_path,
-                                     args.tolerance)
+                                     tolerance)
         checked += 1
         status = "FAIL" if file_failures else "ok"
-        print(f"{name}: {status}")
+        log(f"{name}: {status}")
         failures.extend(file_failures)
+    return failures, checked
+
+
+def self_test():
+    """Synthetic baseline/current pairs through the real gate: each case
+    asserts the gate fires (or stays quiet) for one policy rule. Guards
+    the gate itself — a comparison that silently stopped comparing would
+    otherwise only be noticed by a regression it failed to catch."""
+    import re
+    import shutil
+    import tempfile
+
+    kernels_base = [{"label": "a", "kernel": "sort", "left_rows": 10,
+                     "right_rows": 10, "output_pairs": 100}]
+    runtime_base = [{"workload": "w", "query": "q", "threads": 2,
+                     "sort_kernel_min_pairs": 0, "jobs": 3,
+                     "result_rows_physical": 42,
+                     "sim_makespan_seconds": 10.0,
+                     "sim_shuffle_bytes": 1000,
+                     "trace_overhead": 0.01, "peak_mem_bytes": 1}]
+
+    def deep(records, **overrides):
+        out = [dict(r) for r in records]
+        out[0].update(overrides)
+        return out
+
+    # (case name, baseline {file: records}, current {file: records},
+    #  regex the failures must match — None = must pass clean)
+    cases = [
+        ("identical passes",
+         {"BENCH_kernels.json": kernels_base},
+         {"BENCH_kernels.json": kernels_base}, None),
+        ("exact field change fails",
+         {"BENCH_kernels.json": kernels_base},
+         {"BENCH_kernels.json": deep(kernels_base, output_pairs=99)},
+         r"output_pairs changed"),
+        ("simulated regression beyond tolerance fails",
+         {"BENCH_runtime.json": runtime_base},
+         {"BENCH_runtime.json": deep(runtime_base,
+                                     sim_makespan_seconds=14.0)},
+         r"sim_makespan_seconds regressed"),
+        ("simulated improvement passes",
+         {"BENCH_runtime.json": runtime_base},
+         {"BENCH_runtime.json": deep(runtime_base,
+                                     sim_makespan_seconds=6.0)}, None),
+        ("tolerance override tightens",
+         {"BENCH_runtime.json": deep(runtime_base,
+                                     workload="fault_overhead")},
+         {"BENCH_runtime.json": deep(runtime_base,
+                                     workload="fault_overhead",
+                                     sim_makespan_seconds=10.5)},
+         r"tolerance 2%"),
+        ("missing record fails",
+         {"BENCH_kernels.json": kernels_base},
+         {"BENCH_kernels.json": []}, r"disappeared"),
+        ("unspecced bench file fails",
+         {"BENCH_kernels.json": kernels_base},
+         {"BENCH_kernels.json": kernels_base,
+          "BENCH_mystery.json": []}, r"no comparison spec"),
+        ("dropped required field fails",
+         {"BENCH_runtime.json": runtime_base},
+         {"BENCH_runtime.json": [
+             {k: v for k, v in runtime_base[0].items()
+              if k != "trace_overhead"}]},
+         r"required field 'trace_overhead'"),
+        ("baseline without current fails",
+         {"BENCH_kernels.json": kernels_base}, {},
+         r"produced no"),
+    ]
+
+    problems = []
+    for case_name, baseline, current, expect in cases:
+        root = tempfile.mkdtemp(prefix="check_bench_selftest_")
+        try:
+            for sub, contents in (("base", baseline), ("cur", current)):
+                os.makedirs(os.path.join(root, sub))
+                for fname, records in contents.items():
+                    with open(os.path.join(root, sub, fname), "w") as f:
+                        json.dump(records, f)
+            failures, _ = run_gate(os.path.join(root, "base"),
+                                   os.path.join(root, "cur"),
+                                   tolerance=0.25, log=lambda *_: None)
+            if expect is None:
+                if failures:
+                    problems.append(f"{case_name}: expected pass, "
+                                    f"got {failures}")
+            elif not any(re.search(expect, f) for f in failures):
+                problems.append(f"{case_name}: no failure matching "
+                                f"/{expect}/ in {failures}")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    if problems:
+        for p in problems:
+            print(f"check_bench.py self-test FAILED: {p}", file=sys.stderr)
+        return 1
+    print(f"check_bench.py self-test ok: {len(cases)} cases")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="build")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression in simulated "
+                             "metrics (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own test cases and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    failures, checked = run_gate(args.baseline_dir, args.current_dir,
+                                 args.tolerance)
 
     if failures:
         print(f"\nbenchmark-regression gate FAILED "

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Thread-safety analysis gate (docs/STATIC_ANALYSIS.md).
+#
+# Two-sided check of clang's -Werror=thread-safety against the annotated
+# primitives in src/common/thread_annotations.h:
+#
+#   1. tests/static/thread_safety_ok.cc        must COMPILE — proves the
+#      harness itself is sound (headers resolve, flags are valid);
+#   2. tests/static/thread_safety_violation.cc must FAIL — proves the
+#      analysis actually rejects mis-locked code. If the annotation macros
+#      are ever accidentally compiled out, this side trips.
+#
+# Usage: scripts/check_thread_safety.sh [clang++-binary]
+set -u
+
+cd "$(dirname "$0")/.."
+
+CXX="${1:-clang++}"
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "check_thread_safety.sh: $CXX not found" >&2
+  exit 2
+fi
+
+FLAGS=(-std=c++20 -I. -fsyntax-only -Wthread-safety -Werror=thread-safety)
+
+if ! "$CXX" "${FLAGS[@]}" tests/static/thread_safety_ok.cc; then
+  echo "FAIL: thread_safety_ok.cc must compile cleanly (harness broken?)" >&2
+  exit 1
+fi
+echo "ok: thread_safety_ok.cc compiles"
+
+if "$CXX" "${FLAGS[@]}" tests/static/thread_safety_violation.cc 2>/dev/null; then
+  echo "FAIL: thread_safety_violation.cc compiled — the thread-safety" >&2
+  echo "analysis is not rejecting mis-locked code (annotations inert?)" >&2
+  exit 1
+fi
+echo "ok: thread_safety_violation.cc rejected by -Werror=thread-safety"
+echo "check_thread_safety.sh: gate sound"

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Cached, optionally diff-aware clang-tidy driver.
+
+Reads compile_commands.json from the build directory (the repo configures
+with CMAKE_EXPORT_COMPILE_COMMANDS=ON), runs clang-tidy over the repo's
+own translation units, and caches per-file results keyed on
+
+    sha256(file contents, .clang-tidy contents, compile command,
+           clang-tidy version)
+
+so re-runs — locally and in CI, where the cache directory is persisted
+with actions/cache — only pay for files whose inputs changed. A cache hit
+replays the stored findings and exit status, so a cached failure still
+fails.
+
+--changed-only restricts the run to files changed relative to a git ref
+(default: origin/main, falling back to HEAD~1) — the PR-gate mode; full
+runs happen on pushes to main. Header-only changes are covered by
+HeaderFilterRegex: a changed header reruns every TU that includes it,
+because the TU's *inputs* didn't change but its header's did — so headers
+are folded into the cache key via the TU's include list when available,
+and conservatively via a tree-wide header digest otherwise.
+
+Exit status: 0 = clean, 1 = findings (clang-tidy errors), 2 = setup error
+(missing clang-tidy / compile_commands.json).
+
+Usage:
+  scripts/run_clang_tidy.py --build-dir build [--cache-dir .tidy-cache]
+                            [--changed-only [--base-ref origin/main]]
+                            [--jobs N]
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        print(f"run_clang_tidy.py: {path} not found — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def own_sources(commands, root):
+    """Repo TUs under src/ and tests/ — not third-party, not generated."""
+    chosen = {}
+    for entry in commands:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(("src" + os.sep, "tests" + os.sep)):
+            chosen[path] = entry  # last command wins (GLOB emits one each)
+    return chosen
+
+
+def changed_files(root, base_ref):
+    for ref in (base_ref, "HEAD~1"):
+        try:
+            out = subprocess.run(
+                ["git", "diff", "--name-only", ref, "--"],
+                cwd=root, capture_output=True, text=True, check=True).stdout
+        except subprocess.CalledProcessError:
+            continue
+        return {os.path.normpath(os.path.join(root, line))
+                for line in out.splitlines() if line}
+    print(f"run_clang_tidy.py: neither {base_ref} nor HEAD~1 resolvable; "
+          "running on everything", file=sys.stderr)
+    return None
+
+
+def sha256_file(path):
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for block in iter(lambda: f.read(1 << 16), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def tree_header_digest(root):
+    """Digest over every header in src/ — the conservative invalidator:
+    any header edit reruns every TU. Per-TU include lists would be finer,
+    but this stays correct with zero compiler involvement."""
+    digest = hashlib.sha256()
+    for dirpath, _, filenames in sorted(os.walk(os.path.join(root, "src"))):
+        for name in sorted(filenames):
+            if name.endswith(".h"):
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, root).encode())
+                digest.update(sha256_file(path).encode())
+    return digest.hexdigest()
+
+
+def entry_command(entry):
+    if "arguments" in entry:
+        return shlex.join(entry["arguments"])
+    return entry["command"]
+
+
+def cache_key(path, entry, config_digest, headers_digest, tidy_version):
+    digest = hashlib.sha256()
+    for part in (sha256_file(path), entry_command(entry), config_digest,
+                 headers_digest, tidy_version):
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def run_one(tidy, path, build_dir, cache_dir, key, root):
+    hit = os.path.join(cache_dir, key + ".json")
+    if os.path.isfile(hit):
+        with open(hit, encoding="utf-8") as f:
+            cached = json.load(f)
+        return path, cached["returncode"], cached["output"], True
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True, cwd=root)
+    output = (proc.stdout + proc.stderr).strip()
+    os.makedirs(cache_dir, exist_ok=True)
+    tmp = hit + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump({"returncode": proc.returncode, "output": output}, f)
+    os.replace(tmp, hit)
+    return path, proc.returncode, output, False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--cache-dir", default=".tidy-cache")
+    parser.add_argument("--changed-only", action="store_true")
+    parser.add_argument("--base-ref", default="origin/main")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--clang-tidy", default=None,
+                        help="binary (default: clang-tidy, else highest "
+                             "clang-tidy-N on PATH)")
+    args = parser.parse_args()
+
+    root = repo_root()
+    tidy = args.clang_tidy
+    if tidy is None:
+        candidates = ["clang-tidy"] + [f"clang-tidy-{v}"
+                                       for v in range(25, 11, -1)]
+        tidy = next((c for c in candidates if shutil.which(c)), None)
+    if tidy is None or not shutil.which(tidy):
+        print("run_clang_tidy.py: clang-tidy not found on PATH",
+              file=sys.stderr)
+        return 2
+
+    commands = load_compile_commands(args.build_dir)
+    if commands is None:
+        return 2
+    sources = own_sources(commands, root)
+
+    if args.changed_only:
+        changed = changed_files(root, args.base_ref)
+        if changed is not None:
+            # A changed header reruns everything via the headers digest in
+            # the key, so TU selection only needs the .cc list.
+            sources = {p: e for p, e in sources.items() if p in changed}
+            if not sources:
+                print("run_clang_tidy.py: no changed translation units")
+                return 0
+
+    tidy_version = subprocess.run(
+        [tidy, "--version"], capture_output=True, text=True).stdout.strip()
+    config_digest = sha256_file(os.path.join(root, ".clang-tidy"))
+    headers_digest = tree_header_digest(root)
+
+    failures = 0
+    hits = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, tidy, path, args.build_dir, args.cache_dir,
+                        cache_key(path, entry, config_digest, headers_digest,
+                                  tidy_version),
+                        root)
+            for path, entry in sorted(sources.items())
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            path, returncode, output, from_cache = future.result()
+            hits += from_cache
+            rel = os.path.relpath(path, root)
+            if returncode != 0:
+                failures += 1
+                tag = " (cached)" if from_cache else ""
+                print(f"== {rel}{tag}\n{output}")
+            elif output:
+                print(f"-- {rel}: warnings (not errors)\n{output}")
+
+    print(f"run_clang_tidy.py: {len(sources)} files, {hits} cache hits, "
+          f"{failures} failing")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,8 +47,8 @@ ThetaEngine::ThetaEngine(EngineOptions options)
       pool_(std::max(1, options_.executor.num_threads)) {}
 
 ThetaEngine::~ThetaEngine() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return inflight_submissions_ == 0; });
+  MutexLock lock(&mu_);
+  while (inflight_submissions_ != 0) idle_cv_.Wait(&mu_);
 }
 
 Status ThetaEngine::EnsureReadyLocked() {
@@ -119,7 +119,7 @@ std::vector<TableStats> ThetaEngine::StatsForLocked(const Query& query) {
 }
 
 StatusOr<CalibrationReport> ThetaEngine::Calibration() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
   return *calibration_;
 }
@@ -127,7 +127,7 @@ StatusOr<CalibrationReport> ThetaEngine::Calibration() {
 StatusOr<ThetaEngine::PlannedQuery> ThetaEngine::PlanForExecution(
     const Query& query) {
   MRTHETA_RETURN_IF_ERROR(query.Validate());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MRTHETA_RETURN_IF_ERROR(EnsureReadyLocked());
   PlannedQuery out;
   const bool cache_on = options_.plan_cache_capacity > 0;
@@ -267,7 +267,7 @@ std::future<StatusOr<QueryResult>> ThetaEngine::SubmitInternal(
   bool queued = false;
   uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (options_.max_inflight_queries > 0) {
       if (admitted_queries_ < options_.max_inflight_queries &&
           admission_queue_.empty()) {
@@ -293,7 +293,7 @@ std::future<StatusOr<QueryResult>> ThetaEngine::SubmitInternal(
     inflight_tokens_.push_back(token);
   }
   auto deregister = [this, raw = token.get()] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --inflight_submissions_;
     for (auto it = inflight_tokens_.begin(); it != inflight_tokens_.end();
          ++it) {
@@ -302,7 +302,7 @@ std::future<StatusOr<QueryResult>> ThetaEngine::SubmitInternal(
         break;
       }
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   };
   // A detached coordination thread, not std::async: the returned future
   // must not block on destruction. The destructor's drain keeps `this`
@@ -333,7 +333,7 @@ std::future<StatusOr<QueryResult>> ThetaEngine::SubmitInternal(
     // the destructor's drain would wait forever) and fail the submission.
     if (admitted) ReleaseAdmission();
     if (queued) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (auto it = admission_queue_.begin(); it != admission_queue_.end();
            ++it) {
         if (*it == ticket) {
@@ -341,7 +341,7 @@ std::future<StatusOr<QueryResult>> ThetaEngine::SubmitInternal(
           break;
         }
       }
-      admission_cv_.notify_all();
+      admission_cv_.NotifyAll();
     }
     deregister();
     promise->set_value(
@@ -356,12 +356,13 @@ Status ThetaEngine::WaitForAdmission(uint64_t ticket,
                                      const CancellationToken* token) {
   TraceSpan span("admission-wait", "engine");
   const auto start = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
-  admission_cv_.wait(lock, [&] {
-    return (token != nullptr && token->cancelled()) ||
+  mu_.Lock();
+  while (!((token != nullptr && token->cancelled()) ||
            (admitted_queries_ < options_.max_inflight_queries &&
-            !admission_queue_.empty() && admission_queue_.front() == ticket);
-  });
+            !admission_queue_.empty() &&
+            admission_queue_.front() == ticket))) {
+    admission_cv_.Wait(&mu_);
+  }
   if (token != nullptr && token->cancelled()) {
     for (auto it = admission_queue_.begin(); it != admission_queue_.end();
          ++it) {
@@ -371,7 +372,8 @@ Status ThetaEngine::WaitForAdmission(uint64_t ticket,
       }
     }
     // The queue front may have changed; wake the remaining waiters.
-    admission_cv_.notify_all();
+    admission_cv_.NotifyAll();
+    mu_.Unlock();
     return Status::Cancelled(
         "submission cancelled while queued for admission");
   }
@@ -379,8 +381,8 @@ Status ThetaEngine::WaitForAdmission(uint64_t ticket,
   ++admitted_queries_;
   // With max_inflight_queries > 1, further slots may be free for the new
   // queue front.
-  admission_cv_.notify_all();
-  lock.unlock();
+  admission_cv_.NotifyAll();
+  mu_.Unlock();
   const double waited =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -391,19 +393,19 @@ Status ThetaEngine::WaitForAdmission(uint64_t ticket,
 }
 
 void ThetaEngine::ReleaseAdmission() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --admitted_queries_;
-  admission_cv_.notify_all();
+  admission_cv_.NotifyAll();
 }
 
 void ThetaEngine::CancelInflight() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const std::shared_ptr<CancellationToken>& token : inflight_tokens_) {
     token->Cancel();
   }
   // Queued submissions wait on admission_cv_ with a cancellation check in
   // the predicate; wake them so they resolve promptly with kCancelled.
-  admission_cv_.notify_all();
+  admission_cv_.NotifyAll();
 }
 
 StatusOr<QueryResult> ThetaEngine::ExecuteCancellable(

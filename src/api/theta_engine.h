@@ -1,13 +1,11 @@
 #ifndef MRTHETA_API_THETA_ENGINE_H_
 #define MRTHETA_API_THETA_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -16,6 +14,7 @@
 #include "src/api/engine_options.h"
 #include "src/api/query_builder.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/executor.h"
 #include "src/core/planner.h"
 #include "src/cost/calibration.h"
@@ -244,7 +243,7 @@ class ThetaEngine {
   };
 
   /// Validates options and runs calibration once; caller holds mu_.
-  Status EnsureReadyLocked();
+  Status EnsureReadyLocked() MRTHETA_REQUIRES(mu_);
   /// Validates `query` and resolves its plan: a plan-cache hit returns the
   /// cached plan + stats without touching the planner; a miss collects
   /// stats, plans, and inserts into the LRU cache (all under one mu_ hold,
@@ -259,7 +258,7 @@ class ThetaEngine {
   /// plan_cache_capacity; caller holds mu_.
   void InsertPlanLocked(const std::string& key,
                         std::shared_ptr<const QueryPlan> plan,
-                        std::vector<TableStats> stats);
+                        std::vector<TableStats> stats) MRTHETA_REQUIRES(mu_);
   /// Executes a resolved plan with engine executor options (cancellation
   /// token wired in, per_query_threads cap applied) and stamps the
   /// result's plan_cache_hit.
@@ -283,7 +282,8 @@ class ThetaEngine {
   void ReleaseAdmission();
   /// Session statistics for the query's relations, cached by relation
   /// identity; caller holds mu_.
-  std::vector<TableStats> StatsForLocked(const Query& query);
+  std::vector<TableStats> StatsForLocked(const Query& query)
+      MRTHETA_REQUIRES(mu_);
   /// Adds one execution's fault accounting to the registry (total and
   /// per-phase retry counters, wasted-seconds gauge). Called on every
   /// ExecutePlan exit path — success, failure and cancellation alike.
@@ -293,11 +293,12 @@ class ThetaEngine {
   SimCluster cluster_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  bool initialized_ = false;          // guarded by mu_
-  Status init_status_;                // guarded by mu_
-  std::unique_ptr<CalibrationReport> calibration_;  // guarded by mu_
-  std::unique_ptr<Planner> planner_;  // created once under mu_
+  mutable Mutex mu_;
+  bool initialized_ MRTHETA_GUARDED_BY(mu_) = false;
+  Status init_status_ MRTHETA_GUARDED_BY(mu_);
+  std::unique_ptr<CalibrationReport> calibration_ MRTHETA_GUARDED_BY(mu_);
+  /// Created once under mu_; all planner calls happen under mu_ too.
+  std::unique_ptr<Planner> planner_ MRTHETA_GUARDED_BY(mu_);
   /// One cached per-relation statistics entry, keyed by relation address
   /// and validated by Relation::generation() — a process-wide monotonic
   /// counter re-drawn on every mutation. An entry is served only when the
@@ -311,8 +312,8 @@ class ThetaEngine {
     uint64_t generation = 0;
     TableStats stats;
   };
-  std::unordered_map<const Relation*, CachedStats>
-      stats_cache_;                   // guarded by mu_
+  std::unordered_map<const Relation*, CachedStats> stats_cache_
+      MRTHETA_GUARDED_BY(mu_);
   /// The session plan cache (docs/API.md "Serving"): key =
   /// Query::StructureKey() + the generation of every input in query-index
   /// order. Generations are drawn from a never-reused process-wide counter,
@@ -328,14 +329,16 @@ class ThetaEngine {
     std::vector<TableStats> stats;
     std::list<std::string>::iterator lru_it;  ///< position in plan_lru_
   };
-  std::list<std::string> plan_lru_;   // front = most recent; guarded by mu_
-  std::unordered_map<std::string, PlanCacheEntry>
-      plan_cache_;                    // guarded by mu_
+  /// Front = most recent.
+  std::list<std::string> plan_lru_ MRTHETA_GUARDED_BY(mu_);
+  std::unordered_map<std::string, PlanCacheEntry> plan_cache_
+      MRTHETA_GUARDED_BY(mu_);
   // Admission control (active when options_.max_inflight_queries > 0).
-  int admitted_queries_ = 0;          // guarded by mu_
-  uint64_t next_ticket_ = 0;          // guarded by mu_
-  std::deque<uint64_t> admission_queue_;  // FIFO tickets; guarded by mu_
-  std::condition_variable admission_cv_;  // slot freed / queue front moved
+  int admitted_queries_ MRTHETA_GUARDED_BY(mu_) = 0;
+  uint64_t next_ticket_ MRTHETA_GUARDED_BY(mu_) = 0;
+  /// FIFO tickets.
+  std::deque<uint64_t> admission_queue_ MRTHETA_GUARDED_BY(mu_);
+  CondVar admission_cv_;  // slot freed / queue front moved
   /// Source of truth for all session metrics; internally synchronized
   /// (handles are lock-free), so fault accounting from executor scope
   /// guards and detached Submit threads lands here without touching mu_ —
@@ -343,13 +346,13 @@ class ThetaEngine {
   /// reading metrics on a const engine still registers handles on first
   /// use.
   mutable MetricsRegistry registry_;
-  int inflight_submissions_ = 0;      // guarded by mu_
+  int inflight_submissions_ MRTHETA_GUARDED_BY(mu_) = 0;
   /// One token per in-flight Submit, registered for CancelInflight. The
   /// coordination thread holds its own shared_ptr, so entries here are
   /// alive by construction; each is deregistered when its submission ends.
-  std::vector<std::shared_ptr<CancellationToken>>
-      inflight_tokens_;               // guarded by mu_
-  std::condition_variable idle_cv_;   // signalled when a submission ends
+  std::vector<std::shared_ptr<CancellationToken>> inflight_tokens_
+      MRTHETA_GUARDED_BY(mu_);
+  CondVar idle_cv_;  // signalled when a submission ends
 };
 
 }  // namespace mrtheta

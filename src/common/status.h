@@ -11,6 +11,10 @@ namespace mrtheta {
 
 /// Error taxonomy for the library. Kept deliberately small; the message
 /// carries the detail.
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -38,7 +42,15 @@ enum class StatusCode {
 ///
 /// A Status is cheap to copy (code + shared message string) and convertible
 /// to bool via ok().
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning Status (or
+/// StatusOr<T>) warns when its result is dropped, on gcc and clang alike —
+/// a dropped Status is a swallowed error (exactly the bug class PR 7 fixed
+/// dynamically in the fault-counter path). Builds treat the warning as an
+/// error; intentionally discarding a Status is allowed only in tests,
+/// through an explicit `(void)` cast with a comment
+/// (docs/STATIC_ANALYSIS.md suppression policy).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,7 +89,15 @@ class Status {
   /// Builds a status with an explicit code — for callers that must keep an
   /// underlying error's code while rewriting its message (e.g. the retry
   /// wrapper reporting "failed after N attempts: <last error>").
+  /// CHECK-fails on kOk in every build type: rewrapping an error must never
+  /// silently convert it into success (an OK status carrying an error
+  /// message would read as "fine" at every call site that checks ok()).
   static Status WithCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) {
+      internal::CheckFailed("Status::WithCode(kOk, ...) would convert an "
+                            "error into success",
+                            __FILE__, __LINE__);
+    }
     return Status(code, std::move(msg));
   }
 
@@ -103,18 +123,16 @@ class Status {
   std::string message_;
 };
 
-namespace internal {
-[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
-}  // namespace internal
-
 /// \brief Value-or-error result type: holds either a T or a non-OK Status.
 ///
 /// Mirrors absl::StatusOr semantics closely enough for this codebase:
 /// `value()` CHECK-fails when !ok() — in every build type, including
 /// NDEBUG Release (an unchecked error must never silently read a
 /// disengaged optional); callers must check `ok()` first.
+///
+/// [[nodiscard]] like Status: a dropped StatusOr is a swallowed error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value: `return MakeThing();` works.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -183,5 +201,22 @@ class StatusOr {
       ::mrtheta::internal::CheckFailed(#cond, __FILE__, __LINE__);       \
     }                                                                    \
   } while (false)
+
+/// Debug-only invariant check: the sanctioned replacement for raw assert()
+/// (banned in src/ by scripts/lint.py — asserts look like checks but
+/// vanish under NDEBUG, which is every Release build here). MRTHETA_DCHECK
+/// compiles away in NDEBUG but keeps the expression parsed and
+/// type-checked, so it cannot rot. Use it on per-row/per-record hot paths
+/// where an always-on check would cost real throughput; use MRTHETA_CHECK
+/// for build/plan-time invariants and anything whose violation would
+/// corrupt results silently.
+#ifdef NDEBUG
+#define MRTHETA_DCHECK(cond)                          \
+  do {                                                \
+    if (false) static_cast<void>(cond);               \
+  } while (false)
+#else
+#define MRTHETA_DCHECK(cond) MRTHETA_CHECK(cond)
+#endif
 
 #endif  // MRTHETA_COMMON_STATUS_H_

@@ -153,7 +153,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   // publishes it on every return path; by destructor time all job bodies
   // have joined (the sequential loop and RunDag both complete before
   // returning), so the read is race-free.
-  std::mutex plan_faults_mu;
+  Mutex plan_faults_mu;
   FaultReport plan_faults;
   struct FaultPublisher {
     const FaultReport& faults;
@@ -336,7 +336,7 @@ StatusOr<ExecutionResult> Executor::RunOn(ThreadPool& pool,
   auto run_job = [&](int i) -> Status {
     Status s = run_job_body(i);
     {
-      std::lock_guard<std::mutex> lock(plan_faults_mu);
+      MutexLock lock(&plan_faults_mu);
       plan_faults.Merge(result.jobs[i].faults);
     }
     if (!s.ok() && !s.IsCancelled()) plan_cancel.Cancel();

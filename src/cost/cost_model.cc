@@ -1,7 +1,8 @@
 #include "src/cost/cost_model.h"
 
+#include "src/common/status.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace mrtheta {
@@ -9,8 +10,8 @@ namespace mrtheta {
 PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
                                  std::vector<double> ys)
     : xs_(std::move(xs)), ys_(std::move(ys)) {
-  assert(xs_.size() == ys_.size() && !xs_.empty());
-  for (size_t i = 1; i < xs_.size(); ++i) assert(xs_[i] > xs_[i - 1]);
+  MRTHETA_CHECK(xs_.size() == ys_.size() && !xs_.empty());
+  for (size_t i = 1; i < xs_.size(); ++i) MRTHETA_CHECK(xs_[i] > xs_[i - 1]);
 }
 
 double PiecewiseLinear::operator()(double x) const {

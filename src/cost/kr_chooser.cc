@@ -1,6 +1,7 @@
 #include "src/cost/kr_chooser.h"
 
-#include <cassert>
+#include "src/common/status.h"
+
 #include <cmath>
 #include <limits>
 
@@ -10,7 +11,7 @@ namespace mrtheta {
 
 KrChoice ChooseKrByDelta(std::span<const double> cardinalities, int kr_max,
                          double lambda) {
-  assert(!cardinalities.empty());
+  MRTHETA_CHECK(!cardinalities.empty());
   const int d = static_cast<int>(cardinalities.size());
   double sum = 0.0, product = 1.0;
   for (double c : cardinalities) {
@@ -51,11 +52,11 @@ KrChoice ChooseKrByCost(const CostModelParams& params,
 double PowerFit::operator()(double x) const { return a * std::pow(x, b); }
 
 PowerFit FitPowerLaw(std::span<const double> xs, std::span<const double> ys) {
-  assert(xs.size() == ys.size() && xs.size() >= 2);
+  MRTHETA_CHECK(xs.size() == ys.size() && xs.size() >= 2);
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
   const double n = static_cast<double>(xs.size());
   for (size_t i = 0; i < xs.size(); ++i) {
-    assert(xs[i] > 0 && ys[i] > 0);
+    MRTHETA_CHECK(xs[i] > 0 && ys[i] > 0);
     const double lx = std::log(xs[i]);
     const double ly = std::log(ys[i]);
     sx += lx;

@@ -1,7 +1,8 @@
 #include "src/exec/hilbert_join.h"
 
+#include "src/common/status.h"
+
 #include <algorithm>
-#include <cassert>
 #include <functional>
 #include <map>
 #include <set>
@@ -412,7 +413,7 @@ class ComponentJoiner {
     for (int i = 0; i < static_cast<int>(state_.inputs.size()); ++i) {
       if (state_.inputs[i].Covers(base)) return i;
     }
-    assert(false && "condition references uncovered base");
+    MRTHETA_CHECK(false && "condition references uncovered base");
     return 0;
   }
 

@@ -1,7 +1,8 @@
 #include "src/exec/join_side.h"
 
+#include "src/common/status.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace mrtheta {
@@ -82,11 +83,11 @@ JoinSide JoinSide::ForIntermediate(RelationPtr rel, std::vector<int> bases) {
 
 int64_t JoinSide::BaseRow(int64_t row, int base) const {
   if (is_base) {
-    assert(base == bases[0]);
+    MRTHETA_DCHECK(base == bases[0]);
     return row;
   }
   const auto it = std::find(bases.begin(), bases.end(), base);
-  assert(it != bases.end());
+  MRTHETA_DCHECK(it != bases.end());
   const int col = static_cast<int>(it - bases.begin());
   return data->GetInt(row, col);
 }
@@ -137,11 +138,11 @@ int64_t SideShuffleBytes(const JoinSide& side,
 
 const int64_t* RidColumnFor(const JoinSide& side, int base) {
   if (side.is_base) {
-    assert(base == side.bases[0]);
+    MRTHETA_CHECK(base == side.bases[0]);
     return nullptr;
   }
   const auto it = std::find(side.bases.begin(), side.bases.end(), base);
-  assert(it != side.bases.end());
+  MRTHETA_CHECK(it != side.bases.end());
   return side.data
       ->TryColumn<int64_t>(static_cast<int>(it - side.bases.begin()))
       ->data();

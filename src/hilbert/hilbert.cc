@@ -1,6 +1,7 @@
 #include "src/hilbert/hilbert.h"
 
-#include <cassert>
+#include "src/common/status.h"
+
 #include <cmath>
 
 namespace mrtheta {
@@ -75,10 +76,10 @@ StatusOr<HilbertCurve> HilbertCurve::Create(int dims, int order) {
 }
 
 uint64_t HilbertCurve::Encode(std::span<const uint32_t> coords) const {
-  assert(static_cast<int>(coords.size()) == dims_);
+  MRTHETA_DCHECK(static_cast<int>(coords.size()) == dims_);
   uint32_t x[16];
   for (int i = 0; i < dims_; ++i) {
-    assert(coords[i] < side());
+    MRTHETA_DCHECK(coords[i] < side());
     x[i] = coords[i];
   }
   if (order_ > 1) {
@@ -98,7 +99,7 @@ uint64_t HilbertCurve::Encode(std::span<const uint32_t> coords) const {
 }
 
 void HilbertCurve::Decode(uint64_t index, std::span<uint32_t> coords) const {
-  assert(static_cast<int>(coords.size()) == dims_);
+  MRTHETA_DCHECK(static_cast<int>(coords.size()) == dims_);
   uint32_t x[16] = {0};
   // De-interleave.
   for (int bit = order_ - 1; bit >= 0; --bit) {
@@ -176,10 +177,10 @@ uint64_t SegmentCoverage::SegmentBegin(int seg) const {
 
 int64_t SegmentCoverage::Score(
     const std::vector<std::vector<int64_t>>& slice_population) const {
-  assert(static_cast<int>(slice_population.size()) == dims_);
+  MRTHETA_DCHECK(static_cast<int>(slice_population.size()) == dims_);
   int64_t score = 0;
   for (int d = 0; d < dims_; ++d) {
-    assert(slice_population[d].size() == side_);
+    MRTHETA_DCHECK(slice_population[d].size() == side_);
     for (uint32_t s = 0; s < side_; ++s) {
       score += slice_population[d][s] *
                static_cast<int64_t>(slice_segments_[d][s].size());
@@ -203,7 +204,7 @@ int64_t SegmentCoverage::ReplicasForUniformRelation(int dim,
 
 int ChooseGridOrder(int dims, int num_segments, int cells_per_segment_target,
                     int max_total_bits) {
-  assert(dims >= 1);
+  MRTHETA_CHECK(dims >= 1);
   const double want_cells =
       static_cast<double>(num_segments) * cells_per_segment_target;
   int order = 1;

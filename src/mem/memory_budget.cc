@@ -39,8 +39,13 @@ MemoryBudget& MemoryBudget::Global() {
 }
 
 StatusOr<MemoryBudget::PagePtr> MemoryBudget::AcquirePage() {
+  // Lock-ordering contract (see kSpoolPartitionLockName): page-pool calls
+  // must never run under a spool partition lock. The static analysis cannot
+  // see across the subsystem boundary, so this is checked at runtime
+  // against the thread's held-lock registry, in every build type.
+  MRTHETA_CHECK(!Mutex::ThisThreadHoldsNamed(kSpoolPartitionLockName));
   {
-    std::lock_guard<std::mutex> lock(free_mu_);
+    MutexLock lock(&free_mu_);
     if (!free_pages_.empty()) {
       PagePtr page = std::move(free_pages_.back());
       free_pages_.pop_back();
@@ -60,8 +65,9 @@ StatusOr<MemoryBudget::PagePtr> MemoryBudget::AcquirePage() {
 
 void MemoryBudget::ReleasePage(PagePtr page) {
   if (page == nullptr) return;
+  MRTHETA_CHECK(!Mutex::ThisThreadHoldsNamed(kSpoolPartitionLockName));
   Uncharge(kPageBytes);
-  std::lock_guard<std::mutex> lock(free_mu_);
+  MutexLock lock(&free_mu_);
   if (free_pages_.size() < kMaxFreePages) {
     free_pages_.push_back(std::move(page));
   }

@@ -4,13 +4,24 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace mrtheta {
+
+/// Registry name of ShuffleSpool's partition lock (src/mem/shuffle_spool.h).
+/// It lives here because MemoryBudget is the *enforcement* site of the
+/// cross-subsystem lock-ordering contract: the page-pool lock (free_mu_)
+/// must never be acquired while a spool partition lock is held — spilling
+/// under the partition lock while the pool blocks on the same budget is
+/// the deadlock shape docs/STATIC_ANALYSIS.md describes. Static EXCLUDES
+/// annotations cannot name another class's private mutex, so the runtime
+/// guard in AcquirePage/ReleasePage checks the thread-local held-lock
+/// registry by this name instead (tests/thread_safety_test.cc proves it).
+inline constexpr char kSpoolPartitionLockName[] = "mem.spool_partition";
 
 /// \brief Process-wide accounting arena for the runtime's shuffle memory
 /// (docs/MEMORY.md).
@@ -58,10 +69,13 @@ class MemoryBudget {
 
   /// Hands out one kPageBytes page (recycled or freshly allocated) and
   /// charges it to the ledger. Only a real allocation failure errors
-  /// (kResourceExhausted); being over limit does not.
-  StatusOr<PagePtr> AcquirePage();
+  /// (kResourceExhausted); being over limit does not. Must not be called
+  /// with a spool partition lock held (CHECK-enforced, see
+  /// kSpoolPartitionLockName above).
+  StatusOr<PagePtr> AcquirePage() MRTHETA_EXCLUDES(free_mu_);
   /// Uncharges and recycles `page` (freelist-capped; excess pages free).
-  void ReleasePage(PagePtr page);
+  /// Same lock-ordering contract as AcquirePage.
+  void ReleasePage(PagePtr page) MRTHETA_EXCLUDES(free_mu_);
 
   /// Tracks a non-paged allocation of `bytes` against the ledger.
   void Charge(int64_t bytes);
@@ -92,8 +106,8 @@ class MemoryBudget {
   std::atomic<int64_t> in_use_{0};
   std::atomic<int64_t> peak_{0};
 
-  std::mutex free_mu_;
-  std::vector<PagePtr> free_pages_;  // guarded by free_mu_
+  Mutex free_mu_{"mem.page_pool"};
+  std::vector<PagePtr> free_pages_ MRTHETA_GUARDED_BY(free_mu_);
 };
 
 /// RAII Charge/Uncharge against the global budget; movable so it can ride

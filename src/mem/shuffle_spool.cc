@@ -43,6 +43,7 @@ ShuffleSpool::ShuffleSpool(int num_tasks, int64_t spill_limit_bytes,
       spill_dir_(dir) {}
 
 ShuffleSpool::~ShuffleSpool() {
+  MutexLock lock(&partition_mu_);
   for (Bucket& bucket : buckets_) UnchargeBucket(bucket);
 }
 
@@ -66,6 +67,7 @@ void ShuffleSpool::UnchargeBucket(Bucket& bucket) {
 }
 
 void ShuffleSpool::Append(int task, const MapOutputRecord& rec) {
+  MutexLock lock(&partition_mu_);
   if (!status_.ok()) return;
   if (task < 0 || task >= static_cast<int>(buckets_.size())) {
     status_ = Status::Internal("shuffle record targets task " +
@@ -135,32 +137,56 @@ Status ShuffleSpool::SpillBucket(Bucket& bucket) {
 }
 
 Status ShuffleSpool::FinishWrites() {
-  MRTHETA_RETURN_IF_ERROR(status_);
+  {
+    MutexLock lock(&partition_mu_);
+    MRTHETA_RETURN_IF_ERROR(status_);
+  }
+  // spill_file_ is frozen from here on (single writer, and Append latches
+  // errors before ever reaching it again); Finish outside the lock.
   if (spill_file_.has_value()) return spill_file_->Finish();
   return Status::OK();
 }
 
 StatusOr<ShuffleSpool::MaterializedTask> ShuffleSpool::MaterializeTask(
     int task) const {
-  if (task < 0 || task >= static_cast<int>(buckets_.size())) {
-    return Status::Internal("materialize of unknown shuffle task " +
-                            std::to_string(task));
+  // Snapshot the bucket under the partition lock, then run the (possibly
+  // long) k-way merge outside it: concurrent reduce tasks materialize in
+  // parallel, serialized only for the copy. The merge reads spill_file_,
+  // which is frozen after FinishWrites (see the member comment).
+  std::vector<MapOutputRecord> resident;
+  std::vector<Run> runs;
+  {
+    MutexLock lock(&partition_mu_);
+    if (task < 0 || task >= static_cast<int>(buckets_.size())) {
+      return Status::Internal("materialize of unknown shuffle task " +
+                              std::to_string(task));
+    }
+    const Bucket& bucket = buckets_[static_cast<size_t>(task)];
+    try {
+      // A copy, not a move — a retried task attempt re-materializes the
+      // same records.
+      resident = bucket.records;
+      runs = bucket.runs;
+    } catch (const std::bad_alloc&) {
+      return Status::ResourceExhausted(
+          "materializing shuffle task " + std::to_string(task) + " (" +
+          std::to_string(bucket.records.size()) + " resident records, " +
+          std::to_string(bucket.runs.size()) + " spilled runs) failed");
+    }
   }
-  const Bucket& bucket = buckets_[static_cast<size_t>(task)];
   MaterializedTask out;
   try {
-    if (bucket.runs.empty()) {
-      // Pure in-memory bucket: hand back a copy in append order (a copy,
-      // not a move — a retried task attempt re-materializes the same
-      // records). The runner's usual sort follows.
-      out.records = bucket.records;
+    if (runs.empty()) {
+      // Pure in-memory bucket: hand back the copy in append order. The
+      // runner's usual sort follows.
+      out.records = std::move(resident);
       out.sorted = false;
       return out;
     }
 
     TraceSpan span("spill-merge", "mem");
-    int64_t total = static_cast<int64_t>(bucket.records.size());
-    for (const Run& run : bucket.runs) total += run.count;
+    int64_t total = static_cast<int64_t>(resident.size());
+    for (const Run& run : runs) total += run.count;
     out.records.reserve(static_cast<size_t>(total));
 
     // One merge source per spilled run plus the sorted in-memory tail.
@@ -182,8 +208,8 @@ StatusOr<ShuffleSpool::MaterializedTask> ShuffleSpool::MaterializeTask(
       }
     };
     std::vector<Source> sources;
-    sources.reserve(bucket.runs.size() + 1);
-    for (const Run& run : bucket.runs) {
+    sources.reserve(runs.size() + 1);
+    for (const Run& run : runs) {
       StatusOr<SpillFile::Reader> reader =
           spill_file_->OpenReader(run.offset_bytes, run.count * kRecordBytes);
       if (!reader.ok()) return reader.status();
@@ -194,7 +220,7 @@ StatusOr<ShuffleSpool::MaterializedTask> ShuffleSpool::MaterializeTask(
     }
     {
       Source tail;
-      tail.buffer = bucket.records;  // copy; the bucket stays intact
+      tail.buffer = std::move(resident);  // snapshot; the bucket is intact
       std::sort(tail.buffer.begin(), tail.buffer.end(), RecordLess);
       sources.push_back(std::move(tail));
     }
@@ -234,12 +260,13 @@ StatusOr<ShuffleSpool::MaterializedTask> ShuffleSpool::MaterializeTask(
   } catch (const std::bad_alloc&) {
     return Status::ResourceExhausted(
         "materializing shuffle task " + std::to_string(task) + " (" +
-        std::to_string(bucket.records.size()) + " resident records, " +
-        std::to_string(bucket.runs.size()) + " spilled runs) failed");
+        std::to_string(out.records.size()) + " merged records, " +
+        std::to_string(runs.size()) + " spilled runs) failed");
   }
 }
 
 void ShuffleSpool::ReleaseTask(int task) {
+  MutexLock lock(&partition_mu_);
   if (task < 0 || task >= static_cast<int>(buckets_.size())) return;
   UnchargeBucket(buckets_[static_cast<size_t>(task)]);
 }

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/mapreduce/job.h"
+#include "src/mem/memory_budget.h"
 #include "src/mem/spill.h"
 
 namespace mrtheta {
@@ -56,7 +58,10 @@ class ShuffleSpool {
   Status FinishWrites();
 
   /// First latched error, or OK.
-  const Status& status() const { return status_; }
+  Status status() const {
+    MutexLock lock(&partition_mu_);
+    return status_;
+  }
 
   struct MaterializedTask {
     std::vector<MapOutputRecord> records;
@@ -76,7 +81,10 @@ class ShuffleSpool {
   void ReleaseTask(int task);
 
   /// Bytes written to the spill file (0 = never spilled).
-  int64_t spill_bytes() const { return spill_bytes_; }
+  int64_t spill_bytes() const {
+    MutexLock lock(&partition_mu_);
+    return spill_bytes_;
+  }
   /// Spill files created (0 or 1 — runs share one file).
   int64_t spill_files() const { return spill_file_.has_value() ? 1 : 0; }
 
@@ -92,18 +100,28 @@ class ShuffleSpool {
     std::vector<Run> runs;
   };
 
-  void ChargedPush(Bucket& bucket, const MapOutputRecord& rec);
-  void UnchargeBucket(Bucket& bucket);
+  void ChargedPush(Bucket& bucket, const MapOutputRecord& rec)
+      MRTHETA_REQUIRES(partition_mu_);
+  void UnchargeBucket(Bucket& bucket) MRTHETA_REQUIRES(partition_mu_);
   /// Spills the largest buckets until under budget (or all are tiny).
-  void MaybeSpill();
-  Status SpillBucket(Bucket& bucket);
+  void MaybeSpill() MRTHETA_REQUIRES(partition_mu_);
+  Status SpillBucket(Bucket& bucket) MRTHETA_REQUIRES(partition_mu_);
 
-  std::vector<Bucket> buckets_;
-  int64_t spill_limit_bytes_ = 0;
-  SpillDirectory* spill_dir_ = nullptr;
+  /// Registered under kSpoolPartitionLockName so MemoryBudget's page pool
+  /// can CHECK the cross-subsystem lock-ordering contract (never acquire
+  /// pool pages while a partition lock is held) at runtime; the bucket
+  /// path only uses the budget's lock-free Charge/Uncharge, so the
+  /// contract holds by construction here.
+  mutable Mutex partition_mu_{kSpoolPartitionLockName};
+  std::vector<Bucket> buckets_ MRTHETA_GUARDED_BY(partition_mu_);
+  const int64_t spill_limit_bytes_ = 0;
+  SpillDirectory* const spill_dir_ = nullptr;
+  /// Single-writer during the sequential Append phase, frozen after
+  /// FinishWrites; concurrent MaterializeTask merges read it through their
+  /// own Reader handles, so it is deliberately NOT guarded.
   std::optional<SpillFile> spill_file_;
-  int64_t spill_bytes_ = 0;
-  Status status_;
+  int64_t spill_bytes_ MRTHETA_GUARDED_BY(partition_mu_) = 0;
+  Status status_ MRTHETA_GUARDED_BY(partition_mu_);
 };
 
 }  // namespace mrtheta

@@ -23,7 +23,7 @@ std::atomic<uint64_t> g_next_dir_id{0};
 SpillDirectory::~SpillDirectory() {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     path = path_;
   }
   if (path.empty()) return;
@@ -32,12 +32,12 @@ SpillDirectory::~SpillDirectory() {
 }
 
 std::string SpillDirectory::path() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return path_;
 }
 
 StatusOr<std::string> SpillDirectory::NewFilePath() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (path_.empty()) {
     // $MRTHETA_SPILL_DIR is read here, per directory, not cached
     // process-wide: tests redirect it between executions.

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace mrtheta {
 
@@ -37,9 +37,9 @@ class SpillDirectory {
   std::string path() const;
 
  private:
-  mutable std::mutex mu_;
-  std::string path_;      // guarded by mu_
-  int next_file_ = 0;     // guarded by mu_
+  mutable Mutex mu_;
+  std::string path_ MRTHETA_GUARDED_BY(mu_);
+  int next_file_ MRTHETA_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief One append-then-read spill stream: raw bytes written

@@ -94,7 +94,7 @@ std::string MetricsRegistry::FullName(const std::string& name,
 MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
                                            const MetricLabels& labels) {
   const std::string key = FullName(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[key];
   if (slot == nullptr) slot = std::make_unique<MetricCounter>();
   return slot.get();
@@ -103,7 +103,7 @@ MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
 MetricGauge* MetricsRegistry::GetGauge(const std::string& name,
                                        const MetricLabels& labels) {
   const std::string key = FullName(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[key];
   if (slot == nullptr) slot = std::make_unique<MetricGauge>();
   return slot.get();
@@ -113,14 +113,14 @@ MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name,
                                                const MetricLabels& labels,
                                                double min_value) {
   const std::string key = FullName(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[key];
   if (slot == nullptr) slot = std::make_unique<MetricHistogram>(min_value);
   return slot.get();
 }
 
 std::string MetricsRegistry::SnapshotText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += name + " " + std::to_string(counter->value()) + "\n";
@@ -139,7 +139,7 @@ std::string MetricsRegistry::SnapshotText() const {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {

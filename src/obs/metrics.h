@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace mrtheta {
 
@@ -110,10 +110,15 @@ class MetricsRegistry {
   static std::string FullName(const std::string& name,
                               const MetricLabels& labels);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
-  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  mutable Mutex mu_;
+  // The maps are guarded; the pointed-to metric objects are not (their
+  // handle methods are lock-free atomics by design).
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_
+      MRTHETA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_
+      MRTHETA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_
+      MRTHETA_GUARDED_BY(mu_);
 };
 
 }  // namespace mrtheta

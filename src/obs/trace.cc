@@ -1,7 +1,6 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <map>
 
@@ -80,17 +79,17 @@ double Tracer::NowMicros() const {
 
 void Tracer::Record(TraceEvent ev) {
   ev.tid = CurrentThreadTid();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(std::move(ev));
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_;
 }
 
 size_t Tracer::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
@@ -183,8 +182,11 @@ TraceSession::TraceSession(Tracer* tracer) {
   Tracer* expected = nullptr;
   installed_ = Tracer::active_tracer_.compare_exchange_strong(
       expected, tracer, std::memory_order_acq_rel);
-  // Nested sessions are a programming error; the outer one stays active.
-  assert(installed_ && "nested TraceSession");
+  // Nesting a session is a programming error that used to be an assert() —
+  // invisible in NDEBUG Release builds, where the inner session silently
+  // recorded nothing and the caller's trace went missing. It now aborts in
+  // every build type (tests/thread_safety_test.cc holds the regression).
+  MRTHETA_CHECK(installed_ && "nested TraceSession");
 }
 
 TraceSession::~TraceSession() {

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace mrtheta {
 
@@ -82,8 +82,8 @@ class Tracer {
   static std::atomic<Tracer*> active_tracer_;
 
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;  // guarded by mu_
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ MRTHETA_GUARDED_BY(mu_);
 };
 
 /// RAII installer: `Tracer::active()` returns `tracer` for the session's

@@ -1,5 +1,7 @@
 #include "src/relation/column_view.h"
 
+#include "src/common/status.h"
+
 namespace mrtheta {
 
 namespace {
@@ -48,9 +50,9 @@ CompiledPredicate CompiledPredicate::Compile(const JoinCondition& cond,
 
   const bool l_string = l.type == ValueType::kString;
   const bool r_string = r.type == ValueType::kString;
-  assert(l_string == r_string && "string vs numeric join condition");
+  MRTHETA_CHECK(l_string == r_string && "string vs numeric join condition");
   if (l_string || r_string) {
-    assert(cond.offset == 0.0 && "offset on string comparison");
+    MRTHETA_CHECK(cond.offset == 0.0 && "offset on string comparison");
     p.domain_ = Domain::kString;
     return p;
   }

@@ -1,8 +1,9 @@
 #ifndef MRTHETA_RELATION_COLUMN_VIEW_H_
 #define MRTHETA_RELATION_COLUMN_VIEW_H_
 
-#include <cassert>
 #include <cstdint>
+
+#include "src/common/status.h"
 #include <string>
 
 #include "src/relation/predicate.h"
@@ -26,7 +27,7 @@ class ColumnView {
   /// (asserted — callers dispatch on the schema type first).
   static ColumnView<T> Of(const Relation& rel, int col) {
     const std::vector<T>* v = rel.TryColumn<T>(col);
-    assert(v != nullptr && "column storage type mismatch");
+    MRTHETA_DCHECK(v != nullptr && "column storage type mismatch");
     return ColumnView<T>(v->data(), static_cast<int64_t>(v->size()));
   }
 

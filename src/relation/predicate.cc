@@ -1,6 +1,7 @@
 #include "src/relation/predicate.h"
 
-#include <cassert>
+#include "src/common/status.h"
+
 #include <cstdio>
 
 namespace mrtheta {
@@ -51,7 +52,7 @@ bool EvalTheta(const Value& lhs, ThetaOp op, const Value& rhs, double offset) {
     }
     return EvalThetaDouble(lhs.AsDouble(), op, rhs.AsDouble(), offset);
   }
-  assert(offset == 0.0 && "offset on string comparison");
+  MRTHETA_DCHECK(offset == 0.0 && "offset on string comparison");
   const int cmp = lhs.Compare(rhs);
   switch (op) {
     case ThetaOp::kLt:
@@ -84,7 +85,7 @@ std::string SelectionFilter::ToString() const {
 }
 
 JoinCondition JoinCondition::OrientedFor(int relation) const {
-  assert(relation == lhs.relation || relation == rhs.relation);
+  MRTHETA_CHECK(relation == lhs.relation || relation == rhs.relation);
   if (relation == lhs.relation) return *this;
   // (lhs + offset) op rhs   ⇔   rhs flip(op) (lhs + offset)
   //                         ⇔   (rhs + (-offset)) flip(op) lhs

@@ -1,7 +1,8 @@
 #include "src/relation/relation.h"
 
+#include "src/common/status.h"
+
 #include <atomic>
-#include <cassert>
 
 namespace mrtheta {
 
@@ -55,7 +56,7 @@ Status Relation::AppendRow(const std::vector<Value>& row) {
 }
 
 void Relation::AppendIntRow(const std::vector<int64_t>& row) {
-  assert(static_cast<int>(row.size()) == schema_.num_columns());
+  MRTHETA_DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
   for (int c = 0; c < schema_.num_columns(); ++c) {
     std::get<std::vector<int64_t>>(cols_[c]).push_back(row[c]);
   }

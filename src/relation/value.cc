@@ -1,6 +1,7 @@
 #include "src/relation/value.h"
 
-#include <cassert>
+#include "src/common/status.h"
+
 #include <cstdio>
 
 namespace mrtheta {
@@ -18,8 +19,8 @@ const char* ValueTypeName(ValueType t) {
 }
 
 int Value::Compare(const Value& other) const {
-  assert(is_numeric() == other.is_numeric() &&
-         "comparing string against numeric value");
+  MRTHETA_DCHECK(is_numeric() == other.is_numeric() &&
+                 "comparing string against numeric value");
   if (is_numeric()) {
     // Compare in the int64 domain when both sides are integers to avoid
     // double rounding on large keys.

@@ -1,48 +1,53 @@
 #include "src/runtime/dag_scheduler.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/trace.h"
 
 namespace mrtheta {
 
 namespace {
 
-/// Shared scheduler state; all fields are guarded by `mu`.
+/// Shared scheduler state.
 struct DagState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<int> pending_deps;            // unfinished deps per node
-  std::vector<std::vector<int>> dependents;  // node -> nodes waiting on it
+  Mutex mu;
+  CondVar cv;
+  // unfinished deps per node
+  std::vector<int> pending_deps MRTHETA_GUARDED_BY(mu);
+  // node -> nodes waiting on it
+  std::vector<std::vector<int>> dependents MRTHETA_GUARDED_BY(mu);
   // Min-heap of runnable nodes: lowest index starts first.
-  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
-  int remaining = 0;   // nodes not yet finished
-  int running = 0;     // bodies currently executing
-  bool aborted = false;
-  int error_node = -1;
-  Status error;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready
+      MRTHETA_GUARDED_BY(mu);
+  int remaining MRTHETA_GUARDED_BY(mu) = 0;   // nodes not yet finished
+  int running MRTHETA_GUARDED_BY(mu) = 0;     // bodies currently executing
+  bool aborted MRTHETA_GUARDED_BY(mu) = false;
+  int error_node MRTHETA_GUARDED_BY(mu) = -1;
+  Status error MRTHETA_GUARDED_BY(mu);
 };
 
 void WorkerLoop(DagState& state, const std::function<Status(int)>& body) {
-  std::unique_lock<std::mutex> lock(state.mu);
+  state.mu.Lock();
   for (;;) {
     // Wake when there is work, when everything finished, on abort, or when
     // the dag is stuck (nothing ready, nothing running, nodes remaining —
     // a dependency cycle, surfaced by RunDag via `remaining != 0`).
-    state.cv.wait(lock, [&] {
-      return !state.ready.empty() || state.remaining == 0 || state.aborted ||
-             state.running == 0;
-    });
-    if (state.ready.empty() || state.aborted) return;
+    while (state.ready.empty() && state.remaining != 0 && !state.aborted &&
+           state.running != 0) {
+      state.cv.Wait(&state.mu);
+    }
+    if (state.ready.empty() || state.aborted) {
+      state.mu.Unlock();
+      return;
+    }
     const int node = state.ready.top();
     state.ready.pop();
     ++state.running;
-    lock.unlock();
+    state.mu.Unlock();
 
     Status status;
     {
@@ -51,7 +56,7 @@ void WorkerLoop(DagState& state, const std::function<Status(int)>& body) {
       status = body(node);
     }
 
-    lock.lock();
+    state.mu.Lock();
     --state.running;
     --state.remaining;
     if (!status.ok()) {
@@ -78,7 +83,7 @@ void WorkerLoop(DagState& state, const std::function<Status(int)>& body) {
     // Unconditional: finishing a node can unblock work, completion, abort
     // drain, or stuck-dag detection; bodies are heavyweight so the extra
     // wake-ups are free.
-    state.cv.notify_all();
+    state.cv.NotifyAll();
   }
 }
 
@@ -90,55 +95,61 @@ Status RunDag(const std::vector<std::vector<int>>& deps, int max_concurrency,
   if (n == 0) return Status::OK();
 
   DagState state;
-  state.pending_deps.assign(n, 0);
-  state.dependents.resize(n);
-  state.remaining = n;
-  for (int i = 0; i < n; ++i) {
-    for (int d : deps[i]) {
-      if (d < 0 || d >= n) {
-        return Status::InvalidArgument(
-            "dag node " + std::to_string(i) + " depends on out-of-range node " +
-            std::to_string(d));
-      }
-      if (d == i) {
-        return Status::FailedPrecondition(
-            "dag node " + std::to_string(i) + " depends on itself");
-      }
-      ++state.pending_deps[i];
-      state.dependents[d].push_back(i);
-    }
-  }
-  int initially_ready = 0;
-  for (int i = 0; i < n; ++i) {
-    if (state.pending_deps[i] == 0) {
-      state.ready.push(i);
-      ++initially_ready;
-    }
-  }
-  if (initially_ready == 0) {
-    return Status::FailedPrecondition("dag has no dependency-free node");
-  }
-
   const int threads = std::max(1, std::min(max_concurrency, n));
-  if (threads == 1) {
-    // Sequential fast path: pop lowest-index ready nodes in order.
-    while (!state.ready.empty()) {
-      const int node = state.ready.top();
-      state.ready.pop();
-      {
-        TraceSpan span("dag-node", "scheduler");
-        if (span.enabled()) span.Arg("node", static_cast<int64_t>(node));
-        MRTHETA_RETURN_IF_ERROR(body(node));
-      }
-      --state.remaining;
-      for (int dep : state.dependents[node]) {
-        if (--state.pending_deps[dep] == 0) state.ready.push(dep);
+  {
+    // No other thread exists yet, but the fields are guarded so the setup
+    // takes the (uncontended) lock; it also publishes the initial state to
+    // the workers spawned below.
+    MutexLock lock(&state.mu);
+    state.pending_deps.assign(n, 0);
+    state.dependents.resize(n);
+    state.remaining = n;
+    for (int i = 0; i < n; ++i) {
+      for (int d : deps[i]) {
+        if (d < 0 || d >= n) {
+          return Status::InvalidArgument(
+              "dag node " + std::to_string(i) +
+              " depends on out-of-range node " + std::to_string(d));
+        }
+        if (d == i) {
+          return Status::FailedPrecondition(
+              "dag node " + std::to_string(i) + " depends on itself");
+        }
+        ++state.pending_deps[i];
+        state.dependents[d].push_back(i);
       }
     }
-    if (state.remaining != 0) {
-      return Status::FailedPrecondition("dag contains a dependency cycle");
+    int initially_ready = 0;
+    for (int i = 0; i < n; ++i) {
+      if (state.pending_deps[i] == 0) {
+        state.ready.push(i);
+        ++initially_ready;
+      }
     }
-    return Status::OK();
+    if (initially_ready == 0) {
+      return Status::FailedPrecondition("dag has no dependency-free node");
+    }
+
+    if (threads == 1) {
+      // Sequential fast path: pop lowest-index ready nodes in order.
+      while (!state.ready.empty()) {
+        const int node = state.ready.top();
+        state.ready.pop();
+        {
+          TraceSpan span("dag-node", "scheduler");
+          if (span.enabled()) span.Arg("node", static_cast<int64_t>(node));
+          MRTHETA_RETURN_IF_ERROR(body(node));
+        }
+        --state.remaining;
+        for (int dep : state.dependents[node]) {
+          if (--state.pending_deps[dep] == 0) state.ready.push(dep);
+        }
+      }
+      if (state.remaining != 0) {
+        return Status::FailedPrecondition("dag contains a dependency cycle");
+      }
+      return Status::OK();
+    }
   }
 
   std::vector<std::thread> workers;
@@ -148,6 +159,7 @@ Status RunDag(const std::vector<std::vector<int>>& deps, int max_concurrency,
   }
   for (std::thread& t : workers) t.join();
 
+  MutexLock lock(&state.mu);
   if (state.error_node >= 0) return state.error;
   if (state.remaining != 0) {
     return Status::FailedPrecondition("dag contains a dependency cycle");

@@ -5,10 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/mem/memory_budget.h"
 #include "src/mem/shuffle_spool.h"
 #include "src/obs/trace.h"
@@ -63,7 +63,7 @@ std::vector<MapSplit> PlanMapSplits(const MapReduceJobSpec& spec,
 class TaskTimeTracker {
  public:
   void Record(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     durations_.push_back(seconds);
   }
 
@@ -71,7 +71,7 @@ class TaskTimeTracker {
   /// while fewer than `min_completed_tasks` durations are recorded (the
   /// median of a few samples is noise, not a baseline).
   double DeadlineSeconds(const SpeculationPolicy& policy) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (static_cast<int>(durations_.size()) < policy.min_completed_tasks) {
       return std::numeric_limits<double>::infinity();
     }
@@ -83,8 +83,8 @@ class TaskTimeTracker {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> durations_;
+  mutable Mutex mu_;
+  std::vector<double> durations_ MRTHETA_GUARDED_BY(mu_);
 };
 
 /// Shared state of one job execution under (possible) faults.
@@ -97,8 +97,10 @@ struct FaultContext {
   /// their next boundary instead of burning retries on doomed work.
   CancellationToken job_cancel;
 
-  std::mutex report_mu;
-  FaultReport report;  // guarded by report_mu during the parallel phases
+  Mutex report_mu;
+  /// Guarded during the parallel phases; read unlocked only after the
+  /// ParallelFor barrier (publish_report in RunJobParallel).
+  FaultReport report MRTHETA_GUARDED_BY(report_mu);
 
   bool Cancelled() const {
     return (external_cancel != nullptr && external_cancel->cancelled()) ||
@@ -114,11 +116,11 @@ struct FaultContext {
   }
 
   void CountInjected() {
-    std::lock_guard<std::mutex> lock(report_mu);
+    MutexLock lock(&report_mu);
     ++report.injected_faults;
   }
   void CountRetry(bool is_map) {
-    std::lock_guard<std::mutex> lock(report_mu);
+    MutexLock lock(&report_mu);
     ++report.task_retries;
     if (is_map) {
       ++report.map_task_retries;
@@ -127,12 +129,12 @@ struct FaultContext {
     }
   }
   void CountSpeculative(double wasted_seconds) {
-    std::lock_guard<std::mutex> lock(report_mu);
+    MutexLock lock(&report_mu);
     ++report.speculative_launches;
     report.wasted_task_seconds += wasted_seconds;
   }
   void CountWasted(double wasted_seconds) {
-    std::lock_guard<std::mutex> lock(report_mu);
+    MutexLock lock(&report_mu);
     report.wasted_task_seconds += wasted_seconds;
   }
 };
@@ -332,9 +334,11 @@ StatusOr<PhysicalJobResult> RunJobParallel(
   const bool chaos = options.injector != nullptr;
   const bool budgeted =
       options.spill_dir != nullptr && options.mem_budget_bytes > 0;
-  // Safe unsynchronized after each ParallelFor (its return is a barrier).
+  // Called only after a ParallelFor barrier, so the lock is uncontended;
+  // taking it anyway keeps the guarded-by discipline uniform.
   auto publish_report = [&]() {
     if (options.fault_report != nullptr) {
+      MutexLock lock(&ctx.report_mu);
       options.fault_report->Merge(ctx.report);
     }
   };

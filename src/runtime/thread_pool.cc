@@ -18,9 +18,9 @@ struct ThreadPool::Batch {
   // last task, the notify, and the caller's wake-up form a clean
   // happens-before chain: every task's writes are visible to the caller
   // when Wait() returns.
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int64_t done = 0;
+  Mutex mu;
+  CondVar done_cv;
+  int64_t done MRTHETA_GUARDED_BY(mu) = 0;
 };
 
 ThreadPool::ThreadPool(int num_threads)
@@ -33,10 +33,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -54,10 +54,10 @@ void ThreadPool::DrainBatch(Batch& batch) {
     ++ran;
   }
   if (ran > 0) {
-    std::lock_guard<std::mutex> lock(batch.mu);
+    MutexLock lock(&batch.mu);
     batch.done += ran;
     MRTHETA_CHECK(batch.done <= batch.total);
-    if (batch.done == batch.total) batch.done_cv.notify_all();
+    if (batch.done == batch.total) batch.done_cv.NotifyAll();
   }
 }
 
@@ -65,8 +65,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !active_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && active_.empty()) work_cv_.Wait(&mu_);
       if (active_.empty()) {
         if (stop_) return;
         continue;
@@ -95,18 +95,18 @@ void ThreadPool::ParallelFor(int64_t num_tasks,
   batch->total = num_tasks;
   batch->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     active_.push_back(batch);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   DrainBatch(*batch);
   {
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done_cv.wait(lock, [&] { return batch->done == batch->total; });
+    MutexLock lock(&batch->mu);
+    while (batch->done != batch->total) batch->done_cv.Wait(&batch->mu);
   }
   // Retire the exhausted batch ourselves — workers may be busy elsewhere
   // and must not find stale entries piling up.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = active_.begin(); it != active_.end(); ++it) {
     if (*it == batch) {
       active_.erase(it);

@@ -1,14 +1,14 @@
 #ifndef MRTHETA_RUNTIME_THREAD_POOL_H_
 #define MRTHETA_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace mrtheta {
 
@@ -51,10 +51,10 @@ class ThreadPool {
   static void DrainBatch(Batch& batch);
 
   const int num_threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Batch>> active_;  // guarded by mu_
-  bool stop_ = false;                          // guarded by mu_
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Batch>> active_ MRTHETA_GUARDED_BY(mu_);
+  bool stop_ MRTHETA_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,49 @@
+// The corrected twin of thread_safety_violation.cc: same shape, locks
+// held properly everywhere. scripts/check_thread_safety.sh compiles this
+// expecting SUCCESS — so a failure of the violation file provably comes
+// from the thread-safety analysis, not from an unrelated build break
+// (a missing header would fail both files and the gate notices).
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  int64_t LockedRead() const {
+    mrtheta::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void LockedWrite(int64_t v) {
+    mrtheta::MutexLock lock(&mu_);
+    balance_ = v;
+  }
+
+  void BalancedLock() {
+    mu_.Lock();
+    balance_ += 1;
+    mu_.Unlock();
+  }
+
+  void CallWithLock() {
+    mrtheta::MutexLock lock(&mu_);
+    AddLocked(1);
+  }
+
+ private:
+  void AddLocked(int64_t v) MRTHETA_REQUIRES(mu_) { balance_ += v; }
+
+  mutable mrtheta::Mutex mu_;
+  int64_t balance_ MRTHETA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.LockedWrite(7);
+  account.BalancedLock();
+  account.CallWithLock();
+  return static_cast<int>(account.LockedRead());
+}

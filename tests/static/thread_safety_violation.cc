@@ -1,0 +1,48 @@
+// Negative-compile sample: deliberately mis-locked code that MUST fail
+// under clang's -Werror=thread-safety. scripts/check_thread_safety.sh
+// compiles this file expecting FAILURE (and its _ok twin expecting
+// success) — proving the annotation plumbing in
+// src/common/thread_annotations.h actually rejects lock-discipline bugs,
+// not just that a clean build stays clean. If a refactor ever neuters the
+// macros (say, the __clang__ gate breaks), this gate trips.
+//
+// Outside the tests/*_test.cc GLOB on purpose: never part of any cmake
+// target.
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION 1: reads a guarded member without holding the lock.
+  int64_t UnlockedRead() const { return balance_; }
+
+  // VIOLATION 2: writes a guarded member under no lock.
+  void UnlockedWrite(int64_t v) { balance_ = v; }
+
+  // VIOLATION 3: returns with the lock still held (Lock without Unlock).
+  void LeakLock() {
+    mu_.Lock();
+    balance_ += 1;
+  }
+
+  // VIOLATION 4: calls a REQUIRES(mu_) function without the lock.
+  void CallWithoutLock() { AddLocked(1); }
+
+ private:
+  void AddLocked(int64_t v) MRTHETA_REQUIRES(mu_) { balance_ += v; }
+
+  mutable mrtheta::Mutex mu_;
+  int64_t balance_ MRTHETA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.UnlockedWrite(7);
+  account.LeakLock();
+  account.CallWithoutLock();
+  return static_cast<int>(account.UnlockedRead());
+}

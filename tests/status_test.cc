@@ -1,0 +1,143 @@
+// Status / StatusOr edge cases (docs/STATIC_ANALYSIS.md): the factory
+// invariants (WithCode refuses kOk, StatusOr refuses an OK Status), the
+// abort-on-misuse contract of value(), and move semantics — the paths a
+// dropped-Status bug would travel through. Both classes are [[nodiscard]];
+// the deliberate discards below are the sanctioned test-only pattern:
+// an explicit (void) cast plus a comment saying what is being dropped.
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+
+namespace mrtheta {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing relation R");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing relation R");
+  EXPECT_NE(s.ToString().find("missing relation R"), std::string::npos);
+}
+
+TEST(StatusTest, WithCodeKeepsCodeAndMessage) {
+  Status s = Status::WithCode(StatusCode::kDeadlineExceeded, "slow reduce");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "slow reduce");
+  // Re-coding an existing error (the fault layer's cancel translation).
+  Status recoded = Status::WithCode(StatusCode::kCancelled, s.message());
+  EXPECT_TRUE(recoded.IsCancelled());
+  EXPECT_EQ(recoded.message(), "slow reduce");
+}
+
+TEST(StatusDeathTest, WithCodeRefusesOk) {
+  // An "error" carrying kOk would read as success at every ok() check —
+  // the constructor aborts rather than minting one.
+  EXPECT_DEATH(
+      {
+        Status s = Status::WithCode(StatusCode::kOk, "not an error");
+        static_cast<void>(s);
+      },
+      "WithCode");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Aborted("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::ResourceExhausted("page pool empty");
+    return Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    MRTHETA_RETURN_IF_ERROR(inner(fail));
+    return Status::Internal("reached past the guard");
+  };
+  EXPECT_EQ(outer(true), Status::ResourceExhausted("page pool empty"));
+  EXPECT_EQ(outer(false), Status::Internal("reached past the guard"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status(), Status::OK());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r = Status::NotFound("no such plan");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ArrowReachesMembers) {
+  StatusOr<std::string> r = std::string("shuffle");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 7u);
+}
+
+TEST(StatusOrTest, RvalueValueMovesOut) {
+  StatusOr<std::string> r = std::string(256, 'x');
+  const char* before = r.value().data();
+  std::string moved = *std::move(r);
+  // The buffer moved, not copied (same heap allocation).
+  EXPECT_EQ(moved.data(), before);
+  EXPECT_EQ(moved.size(), 256u);
+}
+
+TEST(StatusOrDeathTest, ConstructingFromOkStatusAborts) {
+  // StatusOr<T>(Status) is the error path; smuggling an OK through it
+  // would create a "successful" result with no value.
+  EXPECT_DEATH(
+      {
+        StatusOr<int> r = Status::OK();
+        static_cast<void>(r);
+      },
+      "OK status");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  // The NDEBUG-surviving contract: an unchecked error never silently
+  // reads the disengaged optional, in any build type.
+  StatusOr<int> r = Status::Internal("exec failed");
+  EXPECT_DEATH(static_cast<void>(r.value()), "error status");
+}
+
+TEST(CheckMacroTest, PassingCheckIsSilent) {
+  MRTHETA_CHECK(1 + 1 == 2);
+  MRTHETA_DCHECK(1 + 1 == 2);
+}
+
+TEST(CheckMacroDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(MRTHETA_CHECK(false && "invariant"), "MRTHETA_CHECK failed");
+}
+
+TEST(CheckMacroTest, DcheckMatchesBuildType) {
+#ifdef NDEBUG
+  // Compiled away — but still parsed, so this line would not build if the
+  // expression rotted.
+  MRTHETA_DCHECK(false && "dcheck is off in NDEBUG");
+#else
+  EXPECT_DEATH(MRTHETA_DCHECK(false && "dcheck is on in debug"),
+               "MRTHETA_CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace mrtheta
